@@ -1,0 +1,214 @@
+//! Descriptive statistics over repeated-seed measurements.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for count < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (midpoint-interpolated for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// A zeroed summary for an empty sample.
+    pub fn empty() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+        }
+    }
+
+    /// Renders as `mean ± std` with the given precision.
+    pub fn mean_pm_std(&self, decimals: usize) -> String {
+        format!("{:.*} ± {:.*}", decimals, self.mean, decimals, self.std)
+    }
+
+    /// Half-width of the 95% confidence interval for the mean, using
+    /// Student's t critical values (0 for samples smaller than 2).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        t_critical_95(self.count - 1) * self.std / (self.count as f64).sqrt()
+    }
+
+    /// The 95% confidence interval `(low, high)` for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let h = self.ci95_half_width();
+        (self.mean - h, self.mean + h)
+    }
+}
+
+/// Two-sided 95% critical value of Student's t distribution with `df`
+/// degrees of freedom (exact table through 30, then the asymptotic
+/// normal value — the error of that tail approximation is under 2%).
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.960
+    }
+}
+
+/// Summarizes a sample. Returns [`Summary::empty`] for empty input.
+///
+/// # Example
+///
+/// ```
+/// let s = rd_analysis::summarize(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.median, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// ```
+pub fn summarize(sample: &[f64]) -> Summary {
+    if sample.is_empty() {
+        return Summary::empty();
+    }
+    let count = sample.len();
+    let mean = sample.iter().sum::<f64>() / count as f64;
+    let var = if count > 1 {
+        sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+    } else {
+        0.0
+    };
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let median = if count % 2 == 1 {
+        sorted[count / 2]
+    } else {
+        (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+    };
+    Summary {
+        count,
+        mean,
+        std: var.sqrt(),
+        min: sorted[0],
+        max: sorted[count - 1],
+        median,
+    }
+}
+
+/// The `p`-th percentile (0–100) of a sample, by nearest-rank.
+///
+/// # Panics
+///
+/// Panics on an empty sample or `p` outside `0..=100`.
+pub fn percentile(sample: &[f64], p: f64) -> f64 {
+    assert!(!sample.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        assert_eq!(summarize(&[]), Summary::empty());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Bessel-corrected std of this classic sample is ~2.138.
+        assert!((s.std - 2.138).abs() < 0.01, "std = {}", s.std);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn odd_median() {
+        assert_eq!(summarize(&[3.0, 1.0, 2.0]).median, 2.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 50.0), 51.0); // nearest-rank on 0..99
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn formatting() {
+        let s = summarize(&[1.0, 2.0]);
+        assert_eq!(s.mean_pm_std(1), "1.5 ± 0.7");
+    }
+
+    #[test]
+    fn ci95_matches_hand_computation() {
+        // Sample of 5: std = 1, mean = 10; t(4) = 2.776.
+        let s = Summary {
+            count: 5,
+            mean: 10.0,
+            std: 1.0,
+            min: 8.0,
+            max: 12.0,
+            median: 10.0,
+        };
+        let expect = 2.776 / 5f64.sqrt();
+        assert!((s.ci95_half_width() - expect).abs() < 1e-9);
+        let (lo, hi) = s.ci95();
+        assert!((hi - lo - 2.0 * expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci95_zero_for_tiny_samples() {
+        assert_eq!(summarize(&[3.0]).ci95_half_width(), 0.0);
+        assert_eq!(Summary::empty().ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci95_narrows_with_sample_size() {
+        let small = Summary {
+            count: 3,
+            std: 1.0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+        };
+        let large = Summary { count: 100, ..small };
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+}

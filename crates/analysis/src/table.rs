@@ -1,0 +1,165 @@
+//! Fixed-width table and CSV rendering for experiment output.
+
+use std::fmt;
+
+/// A simple column-aligned table builder.
+///
+/// # Example
+///
+/// ```
+/// use rd_analysis::Table;
+///
+/// let mut t = Table::new(["algorithm", "rounds"]);
+/// t.row(["hm", "33"]);
+/// t.row(["name-dropper", "78"]);
+/// let text = t.to_string();
+/// assert!(text.contains("| hm"));
+/// assert_eq!(t.to_csv(), "algorithm,rounds\nhm,33\nname-dropper,78\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as RFC-4180-ish CSV (cells containing commas, quotes, or
+    /// newlines are quoted).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let push_row = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        push_row(&self.headers, &mut out);
+        for row in &self.rows {
+            push_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for i in 0..cols {
+                let pad = widths[i] - cells[i].chars().count();
+                write!(f, " {}{} |", cells[i], " ".repeat(pad))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        line(f, &self.headers)?;
+        rule(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        rule(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["a", "longer"]);
+        t.row(["wide-cell", "x"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // rule, header, rule, row, rule
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len), "ragged table:\n{s}");
+        assert!(s.contains("| wide-cell |"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(["name", "note"]);
+        t.row(["a,b", "say \"hi\""]);
+        assert_eq!(t.to_csv(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn ragged_row_rejected() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn empty_table_still_renders_header() {
+        let t = Table::new(["solo"]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains("solo"));
+        assert_eq!(t.to_csv(), "solo\n");
+    }
+
+    #[test]
+    fn len_counts_rows() {
+        let mut t = Table::new(["c"]);
+        t.row(["1"]).row(["2"]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Wall-clock micro-benchmarks of the four discovery algorithms
+//! (simulator time per complete run, not model rounds — the model-level
+//! complexity tables come from the `figures` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rd_core::runner::{run, AlgorithmKind, RunConfig};
+use rd_graphs::Topology;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery-run");
+    group.sample_size(10);
+    for kind in AlgorithmKind::contenders() {
+        for n in [128usize, 512] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &n,
+                |b, &n| {
+                    let cfg = RunConfig::new(Topology::KOut { k: 3 }, n, 7);
+                    b.iter(|| {
+                        let report = run(black_box(kind), black_box(&cfg));
+                        assert!(report.completed);
+                        report.rounds
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hm_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery-hm-large");
+    group.sample_size(10);
+    for n in [2048usize, 8192] {
+        group.bench_with_input(BenchmarkId::new("hm", n), &n, |b, &n| {
+            let cfg = RunConfig::new(Topology::KOut { k: 3 }, n, 7);
+            b.iter(|| run(AlgorithmKind::Hm(Default::default()), black_box(&cfg)).rounds);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_hm_large);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Wall-clock micro-benchmarks of the gossip primitives (T6's protocols).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rd_core::gossip::{run_gossip, GossipStrategy};
+use std::hint::black_box;
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip-run");
+    group.sample_size(20);
+    for strategy in [GossipStrategy::AddressedSplit, GossipStrategy::PushPull] {
+        for n in [1024usize, 8192] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let r = run_gossip(black_box(strategy), black_box(n), 3);
+                        assert!(r.completed);
+                        r.messages
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gossip);
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Regenerates every table and figure of the evaluation.
+//!
+//! ```text
+//! figures [--quick] [--csv] [ids...]
+//! ```
+//!
+//! With no ids, everything runs. Ids: `t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5
+//! t6 t7 t8 t9 t10` (case-insensitive). `--quick` uses the small profile, `--csv`
+//! additionally prints each table as CSV.
+
+use rd_analysis::Table;
+use rd_bench::experiments::{
+    ablation, asynchrony, bandwidth, classic, clusters, diameter, failover, faults, floor, gossip,
+    scaling, survey,
+};
+use rd_bench::Profile;
+
+struct Options {
+    profile: Profile,
+    csv: bool,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut profile = Profile::Full;
+    let mut csv = false;
+    let mut ids = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => profile = Profile::Quick,
+            "--full" => profile = Profile::Full,
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                eprintln!("usage: figures [--quick] [--csv] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t6 t7 t8 t9 t10]");
+                std::process::exit(0);
+            }
+            id => ids.push(id.to_ascii_lowercase()),
+        }
+    }
+    Options { profile, csv, ids }
+}
+
+fn wanted(opts: &Options, id: &str) -> bool {
+    opts.ids.is_empty() || opts.ids.iter().any(|i| i == id)
+}
+
+fn emit(opts: &Options, id: &str, title: &str, table: &Table) {
+    println!("== {} — {title} ==", id.to_uppercase());
+    print!("{table}");
+    if opts.csv {
+        println!("--- csv ---");
+        print!("{}", table.to_csv());
+    }
+    println!();
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "resource-discovery evaluation (profile: {})\n",
+        opts.profile.name()
+    );
+
+    let scaling_needed = ["t1", "f1", "t2", "f2", "f4"]
+        .iter()
+        .any(|id| wanted(&opts, id));
+    if scaling_needed {
+        eprintln!("[figures] running scaling sweep ({})...", opts.profile.name());
+        let data = scaling::run(opts.profile);
+        if wanted(&opts, "t1") {
+            emit(
+                &opts,
+                "t1",
+                "rounds to completion vs n (k-out random overlay, mean ± std)",
+                &scaling::t1_rounds(&data),
+            );
+        }
+        if wanted(&opts, "f1") {
+            emit(
+                &opts,
+                "f1",
+                "scaling-law fits of mean rounds (least squares, ranked by R²)",
+                &scaling::f1_fits(&data),
+            );
+            let mut plot = rd_analysis::Plot::new(56, 14).with_log_x();
+            for alg in data.algorithms() {
+                let pts: Vec<(f64, f64)> = data
+                    .ns
+                    .iter()
+                    .filter_map(|&n| Some((n as f64, data.cell(&alg, n)?.rounds.mean)))
+                    .collect();
+                plot.series(alg, pts);
+            }
+            println!("rounds vs n (log x):\n{plot}");
+        }
+        if wanted(&opts, "t2") {
+            emit(
+                &opts,
+                "t2",
+                "total messages vs n (and mean messages per node)",
+                &scaling::t2_messages(&data),
+            );
+        }
+        if wanted(&opts, "f2") {
+            emit(
+                &opts,
+                "f2",
+                "total pointers (identifier transfers) vs n",
+                &scaling::f2_pointers(&data),
+            );
+        }
+        if wanted(&opts, "f4") {
+            emit(
+                &opts,
+                "f4",
+                "baseline rounds as a multiple of HM rounds",
+                &scaling::f4_ratios(&data),
+            );
+        }
+    }
+
+    if wanted(&opts, "t3") {
+        eprintln!("[figures] running topology survey...");
+        emit(
+            &opts,
+            "t3",
+            "rounds across the topology zoo at fixed n",
+            &survey::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "f3") {
+        eprintln!("[figures] running cluster-collapse trace...");
+        emit(
+            &opts,
+            "f3",
+            "HM cluster count per super-round (doubly-exponential collapse)",
+            &clusters::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "t4") {
+        eprintln!("[figures] running ablations...");
+        emit(
+            &opts,
+            "t4",
+            "HM design ablations (merge rule, probe parallelism, invites)",
+            &ablation::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "f5") {
+        eprintln!("[figures] running diameter sweep...");
+        let (table, series) = diameter::run(opts.profile);
+        emit(
+            &opts,
+            "f5",
+            "rounds vs diameter at fixed n (clique chains)",
+            &table,
+        );
+        println!("HM rounds vs log D fit: {}\n", diameter::log_d_fit(&series));
+    }
+
+    if wanted(&opts, "f6") {
+        eprintln!("[figures] running path floor sweep...");
+        emit(
+            &opts,
+            "f6",
+            "the Ω(log D) floor: rounds on directed paths",
+            &floor::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "t5") {
+        eprintln!("[figures] running fault sweep...");
+        emit(
+            &opts,
+            "t5",
+            "completion under independent message drops",
+            &faults::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "t6") {
+        eprintln!("[figures] running gossip comparison...");
+        emit(
+            &opts,
+            "t6",
+            "direct-addressing gossip vs random push–pull",
+            &gossip::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "t7") {
+        eprintln!("[figures] running classic suite...");
+        emit(
+            &opts,
+            "t7",
+            "the historical suite: HLL '99 algorithms through HM '15",
+            &classic::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "t8") {
+        eprintln!("[figures] running leader-failover sweep...");
+        emit(
+            &opts,
+            "t8",
+            "staggered crashes of the top-k leaders (failure detector on)",
+            &failover::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "t9") {
+        eprintln!("[figures] running bandwidth sweep...");
+        emit(
+            &opts,
+            "t9",
+            "completion rounds under per-node receive caps",
+            &bandwidth::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "t10") {
+        eprintln!("[figures] running asynchrony sweep...");
+        emit(
+            &opts,
+            "t10",
+            "completion time under random message delays (jitter)",
+            &asynchrony::run(opts.profile),
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! **T4** — ablations of the HM algorithm's design choices: merge rule,
+//! probe parallelism, and the invite path.
+
+use crate::profile::Profile;
+use rd_analysis::experiment::{sweep, SweepSpec};
+use rd_analysis::Table;
+use rd_core::algorithms::hm::{HmConfig, MergeRule};
+use rd_core::runner::AlgorithmKind;
+use rd_graphs::Topology;
+
+/// The ablation grid: the default configuration plus one knob flipped at
+/// a time.
+pub fn variants() -> Vec<HmConfig> {
+    vec![
+        HmConfig::default(),
+        HmConfig {
+            merge_rule: MergeRule::RandomAbove,
+            ..Default::default()
+        },
+        HmConfig {
+            merge_rule: MergeRule::MinAbove,
+            ..Default::default()
+        },
+        HmConfig {
+            parallel_probes: false,
+            ..Default::default()
+        },
+        HmConfig {
+            invites: false,
+            ..Default::default()
+        },
+    ]
+}
+
+/// Runs every variant on the random-overlay workload at the profile's
+/// survey size.
+pub fn run(profile: Profile) -> Table {
+    let n = profile.survey_n();
+    let mut t = Table::new([
+        "variant",
+        "rounds (mean ± std)",
+        "messages",
+        "completion",
+    ]);
+    for cfg in variants() {
+        let cells = sweep(&SweepSpec {
+            kinds: vec![AlgorithmKind::Hm(cfg)],
+            topology: Topology::KOut { k: 3 },
+            ns: vec![n],
+            seeds: profile.seeds(),
+            // The no-invite variant can legitimately stall; bound it.
+            max_rounds: 20_000,
+            ..Default::default()
+        });
+        let c = &cells[0];
+        t.row([
+            c.algorithm.clone(),
+            c.rounds.mean_pm_std(1),
+            format!("{:.0}", c.messages.mean),
+            format!("{}%", (c.completion_rate * 100.0) as u32),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_flips_one_knob_at_a_time() {
+        let v = variants();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0], HmConfig::default());
+        let names: Vec<String> = v.iter().map(HmConfig::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "hm",
+                "hm-random-above",
+                "hm-min-above",
+                "hm-serial",
+                "hm-noinvite"
+            ]
+        );
+    }
+}

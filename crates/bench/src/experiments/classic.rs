@@ -1,0 +1,67 @@
+//! **T7** — the complete historical suite: all three PODC '99
+//! algorithms (Flooding, Swamping, Random Pointer Jump, plus their
+//! successor Name-Dropper), the deterministic pointer-doubling line, and
+//! the paper's algorithm, side by side on the same instances.
+
+use crate::profile::Profile;
+use rd_analysis::experiment::{sweep, SweepSpec};
+use rd_analysis::Table;
+use rd_core::runner::AlgorithmKind;
+use rd_graphs::Topology;
+
+/// Runs the suite on the random overlay and the directed path (the
+/// friendly and the adversarial instance) at a size every algorithm can
+/// afford.
+pub fn run(profile: Profile) -> Table {
+    let n = match profile {
+        Profile::Quick => 128,
+        Profile::Full => 512,
+    };
+    let topologies = [Topology::KOut { k: 3 }, Topology::Path];
+    let mut headers = vec!["algorithm".to_string()];
+    for topo in &topologies {
+        headers.push(format!("{} rounds", topo.name()));
+        headers.push(format!("{} messages", topo.name()));
+        headers.push(format!("{} pointers", topo.name()));
+    }
+    let mut t = Table::new(headers);
+    for kind in AlgorithmKind::classic_suite() {
+        let mut row = vec![kind.name()];
+        for &topology in &topologies {
+            let cells = sweep(&SweepSpec {
+                kinds: vec![kind],
+                topology,
+                ns: vec![n],
+                seeds: profile.seeds(),
+                // Random pointer jump legitimately never completes on
+                // the path (see its module docs); bound its futile runs.
+                max_rounds: 5_000,
+                ..Default::default()
+            });
+            let c = &cells[0];
+            if c.completion_rate == 1.0 {
+                row.push(format!("{:.0}", c.rounds.mean));
+            } else {
+                row.push(format!(
+                    "{:.0} ({}% done)",
+                    c.rounds.mean,
+                    (c.completion_rate * 100.0) as u32
+                ));
+            }
+            row.push(format!("{:.0}", c.messages.mean));
+            row.push(format!("{:.1e}", c.pointers.mean));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_six_algorithms() {
+        assert_eq!(AlgorithmKind::classic_suite().len(), 6);
+    }
+}

@@ -1,0 +1,74 @@
+//! **F5** — diameter dependence at fixed `n`: the clique-chain knob.
+//!
+//! Holding `n` fixed and stretching a chain of cliques isolates the
+//! `O(log D)` spreading term from the `O(log log n)` consolidation term:
+//! the reconstructed bound predicts rounds growing linearly in `log D`
+//! with a constant offset.
+
+use crate::profile::Profile;
+use rd_analysis::experiment::{sweep, SweepSpec};
+use rd_analysis::fit::{fit_model, ScalingModel};
+use rd_analysis::Table;
+use rd_core::runner::AlgorithmKind;
+use rd_graphs::{metrics, topology, Topology};
+
+/// Runs HM and pointer doubling on clique chains of growing length.
+/// Returns the table and HM's `(diameter, rounds)` series for fitting.
+pub fn run(profile: Profile) -> (Table, Vec<(f64, f64)>) {
+    let (n, chain_lengths): (usize, Vec<usize>) = match profile {
+        Profile::Quick => (256, vec![2, 4, 8, 16, 32]),
+        Profile::Full => (4096, vec![2, 4, 8, 16, 32, 64, 128, 256, 512]),
+    };
+    let kinds = [
+        AlgorithmKind::Hm(Default::default()),
+        AlgorithmKind::PointerDoubling,
+    ];
+    let mut headers = vec!["cliques".to_string(), "diameter".to_string()];
+    headers.extend(kinds.iter().map(|k| format!("{} rounds", k.name())));
+    let mut t = Table::new(headers);
+    let mut hm_series = Vec::new();
+    for &cliques in &chain_lengths {
+        let g = topology::clique_chain(n, cliques);
+        let d = metrics::approx_undirected_diameter(&g, 0).expect("connected") as f64;
+        let mut row = vec![cliques.to_string(), format!("{d:.0}")];
+        for (i, &kind) in kinds.iter().enumerate() {
+            let cells = sweep(&SweepSpec {
+                kinds: vec![kind],
+                topology: Topology::CliqueChain { cliques },
+                ns: vec![n],
+                seeds: profile.seeds(),
+                ..Default::default()
+            });
+            row.push(format!("{:.0}", cells[0].rounds.mean));
+            if i == 0 {
+                hm_series.push((d, cells[0].rounds.mean));
+            }
+        }
+        t.row(row);
+    }
+    (t, hm_series)
+}
+
+/// Fits HM's rounds against `log D` (treating the diameter as the size
+/// variable): the reconstructed claim predicts an excellent linear fit.
+pub fn log_d_fit(series: &[(f64, f64)]) -> rd_analysis::FitResult {
+    let ds: Vec<f64> = series.iter().map(|&(d, _)| d.max(2.0)).collect();
+    let ys: Vec<f64> = series.iter().map(|&(_, y)| y).collect();
+    fit_model(ScalingModel::Log, &ds, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_d_fit_recovers_synthetic_law() {
+        let series: Vec<(f64, f64)> = [4.0, 16.0, 64.0, 256.0]
+            .iter()
+            .map(|&d: &f64| (d, 10.0 + 6.0 * d.log2()))
+            .collect();
+        let fit = log_d_fit(&series);
+        assert!((fit.b - 6.0).abs() < 1e-9);
+        assert!(fit.r2 > 0.999);
+    }
+}

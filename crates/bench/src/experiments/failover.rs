@@ -1,0 +1,77 @@
+//! **T8** — leader-crash failover: staggered crashes of the highest
+//! identifiers (the emerging merge targets) during consolidation.
+//!
+//! Merges always flow toward larger identifiers, so crashing the top-k
+//! ids mid-run is the adversarial schedule: each crash decapitates the
+//! cluster most of the network has already joined. With the failure
+//! detector enabled, orphaned members fail over, re-run discovery from
+//! their accumulated knowledge, and the survivors still reach full
+//! completion — this experiment measures what each decapitation costs.
+
+use crate::profile::Profile;
+use rd_analysis::experiment::{sweep, SweepSpec};
+use rd_analysis::Table;
+use rd_core::runner::AlgorithmKind;
+use rd_graphs::Topology;
+use rd_sim::FaultPlan;
+
+/// Builds the staggered top-k crash schedule for an `n`-node instance:
+/// node `n-1` dies at round 10, `n-2` at round 20, and so on.
+pub fn top_k_crashes(n: usize, k: usize, detection_delay: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new().with_crash_detection_after(detection_delay);
+    for i in 0..k.min(n.saturating_sub(1)) {
+        plan = plan.with_crash_at(n - 1 - i, 10 * (i as u64 + 1));
+    }
+    plan
+}
+
+/// Runs the failover sweep at the profile's survey size.
+pub fn run(profile: Profile) -> Table {
+    let n = profile.survey_n();
+    let mut t = Table::new([
+        "leaders crashed",
+        "rounds (mean ± std)",
+        "messages",
+        "completion",
+    ]);
+    for k in [0usize, 1, 2, 4, 8] {
+        let cells = sweep(&SweepSpec {
+            kinds: vec![AlgorithmKind::Hm(Default::default())],
+            topology: Topology::KOut { k: 3 },
+            ns: vec![n],
+            seeds: profile.seeds(),
+            faults: top_k_crashes(n, k, 12),
+            max_rounds: 100_000,
+            ..Default::default()
+        });
+        let c = &cells[0];
+        t.row([
+            k.to_string(),
+            c.rounds.mean_pm_std(1),
+            format!("{:.0}", c.messages.mean),
+            format!("{}%", (c.completion_rate * 100.0) as u32),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_kills_top_ids_staggered() {
+        let plan = top_k_crashes(100, 3, 12);
+        assert_eq!(plan.crash_round(99), Some(10));
+        assert_eq!(plan.crash_round(98), Some(20));
+        assert_eq!(plan.crash_round(97), Some(30));
+        assert_eq!(plan.crash_round(96), None);
+        assert_eq!(plan.detection_delay(), Some(12));
+    }
+
+    #[test]
+    fn zero_crashes_is_fault_free_except_detector() {
+        let plan = top_k_crashes(100, 0, 12);
+        assert_eq!(plan.crashed_nodes().count(), 0);
+    }
+}

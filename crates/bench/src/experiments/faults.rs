@@ -1,0 +1,65 @@
+//! **T5** — fault tolerance: completion under independent message drops.
+//!
+//! The HM algorithm carries an explicit reliability layer (report
+//! epochs/acks, join retries, invite retries, roster rebroadcast);
+//! Name-Dropper is naturally self-healing because it never stops
+//! re-transferring. This experiment measures the round-count price of
+//! increasing drop rates for both.
+
+use crate::profile::Profile;
+use rd_analysis::experiment::{sweep, SweepSpec};
+use rd_analysis::Table;
+use rd_core::runner::AlgorithmKind;
+use rd_graphs::Topology;
+use rd_sim::FaultPlan;
+
+/// Drop probabilities measured.
+pub fn drop_rates() -> Vec<f64> {
+    vec![0.0, 0.01, 0.05, 0.10, 0.20]
+}
+
+/// Runs the drop sweep at the profile's survey size.
+pub fn run(profile: Profile) -> Table {
+    let n = profile.survey_n().min(2048);
+    let kinds = [
+        AlgorithmKind::Hm(Default::default()),
+        AlgorithmKind::NameDropper,
+    ];
+    let mut headers = vec!["drop rate".to_string()];
+    for kind in &kinds {
+        headers.push(format!("{} rounds", kind.name()));
+        headers.push(format!("{} completion", kind.name()));
+    }
+    let mut t = Table::new(headers);
+    for p in drop_rates() {
+        let mut row = vec![format!("{:.0}%", p * 100.0)];
+        for &kind in &kinds {
+            let cells = sweep(&SweepSpec {
+                kinds: vec![kind],
+                topology: Topology::KOut { k: 3 },
+                ns: vec![n],
+                seeds: profile.seeds(),
+                faults: FaultPlan::new().with_drop_probability(p),
+                max_rounds: 100_000,
+                ..Default::default()
+            });
+            row.push(cells[0].rounds.mean_pm_std(1));
+            row.push(format!("{}%", (cells[0].completion_rate * 100.0) as u32));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_start_fault_free() {
+        let rates = drop_rates();
+        assert_eq!(rates[0], 0.0);
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+        assert!(*rates.last().unwrap() < 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! **F6** — the Ω(log D) information-propagation floor, demonstrated on
+//! paths.
+//!
+//! On a directed path the diameter is `n − 1`, so *no* algorithm can
+//! beat `Θ(log n)` rounds (DESIGN.md §1.1). This experiment shows every
+//! algorithm — including the sub-logarithmic one — paying that floor,
+//! which is the honest counterpart to the flat curves of F1.
+
+use crate::profile::Profile;
+use rd_analysis::experiment::{sweep, SweepSpec};
+use rd_analysis::Table;
+use rd_core::runner::AlgorithmKind;
+use rd_graphs::Topology;
+
+/// Runs all four algorithms on paths of growing length and reports mean
+/// rounds per size (respecting the profile's per-algorithm caps).
+pub fn run(profile: Profile) -> Table {
+    let ns = profile.scaling_ns();
+    let kinds = AlgorithmKind::contenders();
+    let mut headers = vec!["algorithm".to_string()];
+    headers.extend(ns.iter().map(|n| format!("n={n}")));
+    let mut t = Table::new(headers);
+    for &kind in &kinds {
+        let capped: Vec<usize> = ns
+            .iter()
+            .copied()
+            .filter(|&n| n <= profile.cap_for(kind))
+            .collect();
+        let cells = sweep(&SweepSpec {
+            kinds: vec![kind],
+            topology: Topology::Path,
+            ns: capped.clone(),
+            seeds: profile.seeds(),
+            ..Default::default()
+        });
+        let mut row = vec![kind.name()];
+        for &n in &ns {
+            row.push(match cells.iter().find(|c| c.n == n) {
+                Some(c) => format!("{:.0}", c.rounds.mean),
+                None => "—".into(),
+            });
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_core::runner::{run as run_one, RunConfig};
+
+    #[test]
+    fn every_algorithm_pays_at_least_log_n_on_the_path() {
+        // Doubling the knowledge radius per round is the physical limit:
+        // n = 128 needs at least log2(127) ≈ 7 rounds, for everyone.
+        for kind in AlgorithmKind::contenders() {
+            let report = run_one(kind, &RunConfig::new(Topology::Path, 128, 1));
+            assert!(report.completed);
+            assert!(
+                report.rounds >= 7,
+                "{} broke the information-propagation floor: {} rounds",
+                report.algorithm,
+                report.rounds
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! **T6** — direct-addressing gossip versus random push–pull: the
+//! PODC '14 message-complexity separation.
+
+use crate::profile::Profile;
+use rd_analysis::{summarize, Table};
+use rd_core::gossip::{run_gossip, GossipStrategy};
+
+/// Runs both strategies across sizes; cells hold `rounds / messages`.
+pub fn run(profile: Profile) -> Table {
+    let ns = profile.scaling_ns();
+    let strategies = [GossipStrategy::AddressedSplit, GossipStrategy::PushPull];
+    let mut headers = vec!["strategy".to_string()];
+    headers.extend(ns.iter().map(|n| format!("n={n}")));
+    let mut t = Table::new(headers);
+    for strategy in strategies {
+        let mut row = vec![strategy.name().to_string()];
+        for &n in &ns {
+            let mut rounds = Vec::new();
+            let mut messages = Vec::new();
+            for seed in profile.seeds() {
+                let r = run_gossip(strategy, n, seed);
+                assert!(r.completed, "{} n={n} seed={seed}", strategy.name());
+                rounds.push(r.rounds as f64);
+                messages.push(r.messages as f64);
+            }
+            row.push(format!(
+                "{:.0} rds / {:.0} msgs",
+                summarize(&rounds).mean,
+                summarize(&messages).mean
+            ));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_beats_push_pull_on_messages() {
+        let n = 512;
+        let split = run_gossip(GossipStrategy::AddressedSplit, n, 1);
+        let pp = run_gossip(GossipStrategy::PushPull, n, 1);
+        assert!(split.messages * 3 < pp.messages);
+    }
+}

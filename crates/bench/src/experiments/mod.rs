@@ -1,0 +1,29 @@
+//! One module per experiment of the evaluation (`DESIGN.md` §4).
+//!
+//! | module       | regenerates |
+//! |--------------|-------------|
+//! | [`scaling`]  | T1 (rounds vs n), F1 (scaling-law fits), T2 (messages), F2 (pointers), F4 (round ratios) |
+//! | [`survey`]   | T3 (topology robustness) |
+//! | [`clusters`] | F3 (cluster-count collapse per super-round) |
+//! | [`ablation`] | T4 (merge rule / probe parallelism / invite ablations) |
+//! | [`diameter`] | F5 (rounds vs diameter at fixed n) |
+//! | [`floor`]    | F6 (the Ω(log D) floor on paths) |
+//! | [`faults`]   | T5 (completion under message drops) |
+//! | [`gossip`]   | T6 (direct-addressing gossip vs push–pull) |
+//! | [`classic`]  | T7 (the full historical suite, HLL '99 onward) |
+//! | [`failover`] | T8 (staggered leader crashes with failure detection) |
+//! | [`bandwidth`]| T9 (completion under per-node receive caps) |
+//! | [`asynchrony`]| T10 (completion under random message delays) |
+
+pub mod ablation;
+pub mod asynchrony;
+pub mod bandwidth;
+pub mod classic;
+pub mod clusters;
+pub mod diameter;
+pub mod failover;
+pub mod faults;
+pub mod floor;
+pub mod gossip;
+pub mod scaling;
+pub mod survey;

@@ -1,0 +1,231 @@
+//! The headline scaling sweep: rounds, messages, and pointers versus
+//! `n` on the random-overlay workload, for all four algorithms.
+//! Feeds T1, F1, T2, F2, and F4.
+
+use crate::profile::Profile;
+use rd_analysis::experiment::{sweep, SweepCell, SweepSpec};
+use rd_analysis::fit::{best_fit, fit_model, ScalingModel};
+use rd_analysis::Table;
+use rd_core::runner::AlgorithmKind;
+use rd_graphs::Topology;
+
+/// The workload every scaling experiment runs on: each machine initially
+/// knows three uniformly random peers (a freshly bootstrapped overlay).
+pub fn workload() -> Topology {
+    Topology::KOut { k: 3 }
+}
+
+/// Raw cells of the sweep, grouped per algorithm in contender order.
+#[derive(Debug, Clone)]
+pub struct ScalingData {
+    /// One `(algorithm, n)` cell per entry; sizes above an algorithm's
+    /// profile cap are absent.
+    pub cells: Vec<SweepCell>,
+    /// The instance sizes of the sweep.
+    pub ns: Vec<usize>,
+}
+
+impl ScalingData {
+    /// The cell for `(algorithm, n)`, if that size ran.
+    pub fn cell(&self, algorithm: &str, n: usize) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.algorithm == algorithm && c.n == n)
+    }
+
+    /// Algorithm names in contender order.
+    pub fn algorithms(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for c in &self.cells {
+            if !names.contains(&c.algorithm) {
+                names.push(c.algorithm.clone());
+            }
+        }
+        names
+    }
+}
+
+/// Runs the sweep for the given profile.
+pub fn run(profile: Profile) -> ScalingData {
+    let ns = profile.scaling_ns();
+    let mut cells = Vec::new();
+    for kind in AlgorithmKind::contenders() {
+        let capped: Vec<usize> = ns
+            .iter()
+            .copied()
+            .filter(|&n| n <= profile.cap_for(kind))
+            .collect();
+        let spec = SweepSpec {
+            kinds: vec![kind],
+            topology: workload(),
+            ns: capped,
+            seeds: profile.seeds(),
+            ..Default::default()
+        };
+        cells.extend(sweep(&spec));
+    }
+    ScalingData { cells, ns }
+}
+
+fn metric_table(
+    data: &ScalingData,
+    title_metric: &str,
+    value: impl Fn(&SweepCell) -> String,
+) -> Table {
+    let mut headers = vec!["algorithm".to_string()];
+    headers.extend(data.ns.iter().map(|n| format!("n={n}")));
+    let mut t = Table::new(headers);
+    for alg in data.algorithms() {
+        let mut row = vec![alg.clone()];
+        for &n in &data.ns {
+            row.push(match data.cell(&alg, n) {
+                Some(c) if c.completion_rate == 1.0 => value(c),
+                Some(c) => format!("{} ({}% done)", value(c), (c.completion_rate * 100.0) as u32),
+                None => "—".into(),
+            });
+        }
+        t.row(row);
+    }
+    let _ = title_metric;
+    t
+}
+
+/// **T1** — mean ± std rounds to completion versus `n`.
+pub fn t1_rounds(data: &ScalingData) -> Table {
+    metric_table(data, "rounds", |c| c.rounds.mean_pm_std(1))
+}
+
+/// **T2** — total messages versus `n`, plus the per-node mean.
+pub fn t2_messages(data: &ScalingData) -> Table {
+    metric_table(data, "messages", |c| {
+        format!(
+            "{:.0} ({:.1}/node)",
+            c.messages.mean, c.mean_messages_per_node.mean
+        )
+    })
+}
+
+/// **F2** — total pointers (identifier transfers) versus `n`.
+pub fn f2_pointers(data: &ScalingData) -> Table {
+    metric_table(data, "pointers", |c| format!("{:.0}", c.pointers.mean))
+}
+
+/// **F1** — least-squares fits of mean rounds against every candidate
+/// scaling law, per algorithm; the best-R² law is marked `<-- best`.
+pub fn f1_fits(data: &ScalingData) -> Table {
+    let mut t = Table::new(["algorithm", "model", "a", "b", "R²", "verdict"]);
+    for alg in data.algorithms() {
+        let mut ns = Vec::new();
+        let mut ys = Vec::new();
+        for &n in &data.ns {
+            if let Some(c) = data.cell(&alg, n) {
+                if c.completion_rate == 1.0 {
+                    ns.push(n as f64);
+                    ys.push(c.rounds.mean);
+                }
+            }
+        }
+        if ns.len() < 2 {
+            continue;
+        }
+        let ranked = best_fit(&ns, &ys);
+        let best_model = ranked[0].model;
+        for model in ScalingModel::all() {
+            let fit = fit_model(model, &ns, &ys);
+            t.row([
+                alg.clone(),
+                model.to_string(),
+                format!("{:.2}", fit.a),
+                format!("{:.3}", fit.b),
+                format!("{:.4}", fit.r2),
+                if model == best_model {
+                    "<-- best".into()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    t
+}
+
+/// **F4** — round-count ratios of each baseline over the HM algorithm,
+/// per `n`: the crossover/advantage figure.
+pub fn f4_ratios(data: &ScalingData) -> Table {
+    let algorithms = data.algorithms();
+    let hm = algorithms
+        .iter()
+        .find(|a| a.starts_with("hm"))
+        .cloned()
+        .expect("HM present in contenders");
+    let mut headers = vec!["baseline / hm".to_string()];
+    headers.extend(data.ns.iter().map(|n| format!("n={n}")));
+    let mut t = Table::new(headers);
+    for alg in algorithms.iter().filter(|a| **a != hm) {
+        let mut row = vec![alg.clone()];
+        for &n in &data.ns {
+            let cell = match (data.cell(alg, n), data.cell(&hm, n)) {
+                (Some(b), Some(h)) if h.rounds.mean > 0.0 => {
+                    format!("{:.2}x", b.rounds.mean / h.rounds.mean)
+                }
+                _ => "—".into(),
+            };
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_data() -> ScalingData {
+        // A hand-sized sweep so the table plumbing is tested quickly.
+        let spec = |kind| SweepSpec {
+            kinds: vec![kind],
+            topology: workload(),
+            ns: vec![32, 64, 128],
+            seeds: 0..2,
+            ..Default::default()
+        };
+        let mut cells = sweep(&spec(AlgorithmKind::PointerDoubling));
+        cells.extend(sweep(&spec(AlgorithmKind::Hm(Default::default()))));
+        ScalingData {
+            cells,
+            ns: vec![32, 64, 128],
+        }
+    }
+
+    #[test]
+    fn tables_have_one_row_per_algorithm() {
+        let data = tiny_data();
+        assert_eq!(t1_rounds(&data).len(), 2);
+        assert_eq!(t2_messages(&data).len(), 2);
+        assert_eq!(f2_pointers(&data).len(), 2);
+    }
+
+    #[test]
+    fn fit_table_covers_all_models() {
+        let data = tiny_data();
+        let fits = f1_fits(&data);
+        assert_eq!(fits.len(), 2 * ScalingModel::all().len());
+        assert!(fits.to_string().contains("<-- best"));
+    }
+
+    #[test]
+    fn ratio_table_excludes_hm_itself() {
+        let data = tiny_data();
+        let ratios = f4_ratios(&data);
+        assert_eq!(ratios.len(), 1);
+        assert!(ratios.to_string().contains("pointer-doubling"));
+    }
+
+    #[test]
+    fn missing_sizes_render_as_dashes() {
+        let mut data = tiny_data();
+        data.ns.push(256); // nobody ran 256
+        assert!(t1_rounds(&data).to_string().contains('—'));
+    }
+}

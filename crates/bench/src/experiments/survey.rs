@@ -1,0 +1,76 @@
+//! **T3** — topology robustness: rounds for every algorithm across the
+//! whole topology zoo at a fixed `n`.
+
+use crate::profile::Profile;
+use rd_analysis::experiment::{sweep, SweepSpec};
+use rd_analysis::Table;
+use rd_core::runner::AlgorithmKind;
+use rd_graphs::Topology;
+
+/// Whether an `(algorithm, topology)` pair is excluded from the survey.
+///
+/// Flooding on a complete knowledge graph sends `n` full-knowledge
+/// payloads from every node in its very first round — `Θ(n³)` pointer
+/// traffic in one shot — which is not a measurement, it is a memory
+/// bomb. The pair is reported as excluded.
+pub fn excluded(kind: AlgorithmKind, topology: Topology) -> bool {
+    matches!(kind, AlgorithmKind::Flooding) && matches!(topology, Topology::Complete)
+}
+
+/// Runs the survey and renders one row per topology, one column per
+/// algorithm, cells holding mean rounds (with completion rate when it is
+/// not 100%).
+pub fn run(profile: Profile) -> Table {
+    let n = profile.survey_n().min(2048);
+    let kinds = AlgorithmKind::contenders();
+    let mut headers = vec!["topology".to_string(), "diameter".to_string()];
+    headers.extend(kinds.iter().map(|k| k.name()));
+    let mut t = Table::new(headers);
+    for topology in Topology::survey() {
+        let g = topology.generate(n, 0);
+        let diam = rd_graphs::metrics::approx_undirected_diameter(&g, 0)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "?".into());
+        let mut row = vec![topology.name(), diam];
+        for &kind in &kinds {
+            if excluded(kind, topology) {
+                row.push("excluded".into());
+                continue;
+            }
+            let cells = sweep(&SweepSpec {
+                kinds: vec![kind],
+                topology,
+                ns: vec![n],
+                seeds: profile.seeds(),
+                ..Default::default()
+            });
+            let c = &cells[0];
+            row.push(if c.completion_rate == 1.0 {
+                format!("{:.0}", c.rounds.mean)
+            } else {
+                format!(
+                    "{:.0} ({}% done)",
+                    c.rounds.mean,
+                    (c.completion_rate * 100.0) as u32
+                )
+            });
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusion_rule_is_narrow() {
+        assert!(excluded(AlgorithmKind::Flooding, Topology::Complete));
+        assert!(!excluded(AlgorithmKind::Flooding, Topology::Path));
+        assert!(!excluded(
+            AlgorithmKind::Hm(Default::default()),
+            Topology::Complete
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Sweep sizing profiles.
+
+use rd_core::runner::AlgorithmKind;
+
+/// How big the experiment sweeps run.
+///
+/// The message-heavy baselines are capped at smaller `n` than the
+/// message-frugal algorithms: flooding moves `Θ(n²)` envelopes per round
+/// and Name-Dropper `Θ(n²)` pointers per round near completion, so their
+/// caps keep the full profile practical on a laptop-class machine. The
+/// caps are data, not policy — every table states which sizes each
+/// algorithm ran at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Small sizes and few seeds: used by tests and `--quick`. Minutes.
+    Quick,
+    /// The sizes EXPERIMENTS.md reports. Tens of minutes on one core.
+    Full,
+}
+
+impl Profile {
+    /// Instance sizes of the headline scaling sweep (T1/F1/T2/F2).
+    pub fn scaling_ns(self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![64, 128, 256, 512],
+            Profile::Full => vec![256, 512, 1024, 2048, 4096, 8192],
+        }
+    }
+
+    /// Largest `n` the given algorithm runs at in the scaling sweep.
+    pub fn cap_for(self, kind: AlgorithmKind) -> usize {
+        match self {
+            Profile::Quick => usize::MAX,
+            Profile::Full => match kind {
+                // Flooding's mid-run rounds ship ~n² envelopes of ~n
+                // fresh ids each — Θ(n³·4B) of in-flight payload. 1024
+                // peaks around 2 GB; 2048 would need ~34 GB.
+                AlgorithmKind::Flooding => 1024,
+                // Swamping re-ships full knowledge on every edge every
+                // round: strictly worse than flooding.
+                AlgorithmKind::Swamping => 512,
+                AlgorithmKind::NameDropper | AlgorithmKind::RandomPointerJump => 4096,
+                AlgorithmKind::PointerDoubling | AlgorithmKind::Hm(_) => usize::MAX,
+            },
+        }
+    }
+
+    /// Seeds per `(algorithm, n)` cell.
+    pub fn seeds(self) -> std::ops::Range<u64> {
+        match self {
+            Profile::Quick => 0..3,
+            Profile::Full => 0..5,
+        }
+    }
+
+    /// Fixed instance size for the non-scaling experiments (T3/T4/T5).
+    /// Bounded by the flooding memory cap, since the survey runs every
+    /// contender.
+    pub fn survey_n(self) -> usize {
+        match self {
+            Profile::Quick => 256,
+            Profile::Full => 1024,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        assert!(
+            Profile::Quick.scaling_ns().last() < Profile::Full.scaling_ns().last()
+        );
+        assert!(Profile::Quick.seeds().count() <= Profile::Full.seeds().count());
+        assert!(Profile::Quick.survey_n() < Profile::Full.survey_n());
+    }
+
+    #[test]
+    fn full_caps_heavy_baselines_only() {
+        assert_eq!(Profile::Full.cap_for(AlgorithmKind::Flooding), 1024);
+        assert_eq!(Profile::Full.cap_for(AlgorithmKind::NameDropper), 4096);
+        assert_eq!(
+            Profile::Full.cap_for(AlgorithmKind::PointerDoubling),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn quick_never_caps() {
+        assert_eq!(Profile::Quick.cap_for(AlgorithmKind::Flooding), usize::MAX);
+    }
+}

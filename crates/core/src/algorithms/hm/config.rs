@@ -1,0 +1,104 @@
+//! Configuration knobs of the cluster-merge algorithm (the ablation
+//! surface of experiment T4).
+
+/// How a leader picks its merge target among the larger-id leaders it
+/// discovered this super-round.
+///
+/// All rules only ever merge *toward larger identifiers*, which keeps
+/// the merge graph acyclic by construction; they differ in which larger
+/// leader wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeRule {
+    /// Join the largest discovered leader (default). Concentrates merges
+    /// on locally maximal clusters, which is what produces the
+    /// doubly-exponential cluster collapse.
+    #[default]
+    MaxId,
+    /// Join a uniformly random discovered larger leader.
+    RandomAbove,
+    /// Join the *smallest* discovered larger leader (adversarial
+    /// de-concentration; expected to slow the collapse).
+    MinAbove,
+}
+
+impl MergeRule {
+    /// Display name for ablation tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MergeRule::MaxId => "max-id",
+            MergeRule::RandomAbove => "random-above",
+            MergeRule::MinAbove => "min-above",
+        }
+    }
+}
+
+/// Configuration of [`HmDiscovery`](super::HmDiscovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HmConfig {
+    /// Merge-target selection rule.
+    pub merge_rule: MergeRule,
+    /// When `true` (default), a cluster of size `s` probes up to `s`
+    /// distinct frontier targets per super-round — the engine of the
+    /// sub-logarithmic collapse. When `false`, only the leader probes
+    /// (one target per super-round), degrading the algorithm to
+    /// Boruvka-style pairwise merging.
+    pub parallel_probes: bool,
+    /// When `true` (default), a leader that only discovered *smaller*
+    /// leaders invites them to join it. Disabling this (ablation) can
+    /// strand clusters whose only cross edges were discovered in the
+    /// non-mergeable direction.
+    pub invites: bool,
+}
+
+impl Default for HmConfig {
+    fn default() -> Self {
+        HmConfig {
+            merge_rule: MergeRule::MaxId,
+            parallel_probes: true,
+            invites: true,
+        }
+    }
+}
+
+impl HmConfig {
+    /// Display name for tables, encoding any non-default knobs.
+    pub fn name(&self) -> String {
+        let mut name = String::from("hm");
+        if self.merge_rule != MergeRule::MaxId {
+            name.push('-');
+            name.push_str(self.merge_rule.name());
+        }
+        if !self.parallel_probes {
+            name.push_str("-serial");
+        }
+        if !self.invites {
+            name.push_str("-noinvite");
+        }
+        name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_configuration() {
+        let cfg = HmConfig::default();
+        assert_eq!(cfg.merge_rule, MergeRule::MaxId);
+        assert!(cfg.parallel_probes);
+        assert!(cfg.invites);
+        assert_eq!(cfg.name(), "hm");
+    }
+
+    #[test]
+    fn names_encode_ablations() {
+        let cfg = HmConfig {
+            merge_rule: MergeRule::RandomAbove,
+            parallel_probes: false,
+            invites: false,
+        };
+        assert_eq!(cfg.name(), "hm-random-above-serial-noinvite");
+        assert_eq!(MergeRule::MinAbove.name(), "min-above");
+    }
+}

@@ -1,0 +1,595 @@
+//! The per-node state machine of the cluster-merge algorithm.
+
+use super::config::{HmConfig, MergeRule};
+use super::messages::HmMsg;
+use crate::algorithms::KnowledgeView;
+use crate::knowledge::KnowledgeSet;
+use rand::Rng;
+use rd_sim::{Envelope, Node, NodeId, RoundContext};
+use std::collections::VecDeque;
+
+/// Rounds per super-round. Phase 0 reports, phase 1 assigns, phase 2
+/// probes; phases 3–4 carry the probe-forward/reply hops; phase 5 merges.
+pub const PHASES: u64 = 6;
+
+const REPORT: u64 = 0;
+const ASSIGN: u64 = 1;
+const PROBE: u64 = 2;
+const MERGE: u64 = 5;
+
+/// One machine of the reconstructed Haeupler–Malkhi protocol.
+///
+/// Every node starts as the leader of its own singleton cluster with its
+/// initial acquaintances as the *frontier*. Super-rounds then gather
+/// fresh pointers to the leader, hand each member one distinct frontier
+/// target to probe, and merge clusters along discovered leader–leader
+/// edges, always toward the larger identifier. See `DESIGN.md` §3.2 for
+/// the full protocol narrative and the complexity argument.
+#[derive(Debug, Clone)]
+pub struct HmNode {
+    me: NodeId,
+    cfg: HmConfig,
+    /// Everything this node has learned (ids only ever grow).
+    knowledge: KnowledgeSet,
+    /// Current leader pointer (`me` while this node leads).
+    leader: NodeId,
+    /// Leader-only: cluster members (this node first).
+    members: KnowledgeSet,
+    /// Leader-only: external ids awaiting a probe, oldest first.
+    frontier: VecDeque<NodeId>,
+    /// Leader-only: every id ever enqueued (enqueue dedup).
+    seen: KnowledgeSet,
+    /// Leader-only: targets assigned this super-round, not yet confirmed.
+    outstanding: Vec<NodeId>,
+    /// Leader-only: foreign leaders discovered since the last merge phase.
+    discovered: Vec<NodeId>,
+    /// Leader-only: smaller leaders to invite, retried every merge phase
+    /// until they become members (or the invite is handed over).
+    pending_invites: Vec<NodeId>,
+    /// Member-side: targets to probe at the next probe phase.
+    pending_probes: Vec<NodeId>,
+    /// Member-side: fresh identifiers not yet acknowledged by the leader.
+    pending_report: Vec<NodeId>,
+    /// Member-side: epoch of the most recent report in flight.
+    report_epoch: u64,
+    /// Member-side: `(epoch, ids covered)` of the report in flight.
+    inflight_report: Option<(u64, usize)>,
+    /// Ex-leader: the join payload retried every merge phase until an
+    /// [`HmMsg::Adopt`] proves some leader absorbed it.
+    pending_join: Option<(Vec<NodeId>, Vec<NodeId>)>,
+    /// Member-side: a roster has been received (speculative completion).
+    got_roster: bool,
+    /// Nodes reported crashed by the failure detector (when configured).
+    suspected: KnowledgeSet,
+}
+
+impl HmNode {
+    pub(super) fn new(me: NodeId, initial: &[NodeId], cfg: HmConfig) -> Self {
+        let mut node = HmNode {
+            me,
+            cfg,
+            knowledge: KnowledgeSet::new(me),
+            leader: me,
+            members: KnowledgeSet::new(me),
+            frontier: VecDeque::new(),
+            seen: KnowledgeSet::new(me),
+            outstanding: Vec::new(),
+            discovered: Vec::new(),
+            pending_invites: Vec::new(),
+            pending_probes: Vec::new(),
+            pending_report: Vec::new(),
+            report_epoch: 0,
+            inflight_report: None,
+            pending_join: None,
+            got_roster: false,
+            suspected: KnowledgeSet::default(),
+        };
+        for &id in initial {
+            node.knowledge.insert(id);
+            node.enqueue_external(id);
+        }
+        node.knowledge.take_fresh(); // initial ids are in the frontier already
+        node
+    }
+
+    /// Whether this node currently leads a cluster.
+    pub fn is_leader(&self) -> bool {
+        self.leader == self.me
+    }
+
+    /// This node's current leader pointer.
+    pub fn leader(&self) -> NodeId {
+        self.leader
+    }
+
+    /// Leader-only: current cluster size (1 for non-leaders' stale view).
+    pub fn cluster_size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The members this node believes it leads (meaningful for leaders;
+    /// a plain member reports just itself). Exposed for white-box
+    /// observation and tests.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.members.iter().collect()
+    }
+
+    /// Leader-only: whether the cluster has exhausted all leads and all
+    /// known ids are members — the speculative local-completion signal.
+    pub fn is_quiescent(&self) -> bool {
+        self.is_leader()
+            && self.frontier.is_empty()
+            && self.outstanding.is_empty()
+            && self.discovered.is_empty()
+            && self.pending_invites.is_empty()
+            && self.all_known_accounted_for()
+    }
+
+    /// Every known id is either a member or reported crashed. (Without a
+    /// failure detector `suspected` is empty and this reduces to the
+    /// count comparison `members == knowledge`.)
+    fn all_known_accounted_for(&self) -> bool {
+        if self.suspected.is_empty() {
+            return self.members.len() == self.knowledge.len();
+        }
+        self.knowledge
+            .iter()
+            .all(|id| self.members.contains(id) || self.suspected.contains(id))
+    }
+
+    /// Digests the failure detector's report: crashed nodes are purged
+    /// from every work queue so the cluster can drain to quiescence, and
+    /// a member whose leader died fails over to leading again.
+    fn digest_suspects(&mut self, report: &[NodeId]) {
+        for &s in report {
+            if !self.suspected.insert(s) {
+                continue;
+            }
+            self.frontier.retain(|&t| t != s);
+            self.outstanding.retain(|&t| t != s);
+            self.pending_invites.retain(|&t| t != s);
+            self.discovered.retain(|&t| t != s);
+            self.pending_probes.retain(|&t| t != s);
+        }
+    }
+
+    /// Leader-crash recovery: resume leadership of whatever members
+    /// still point at this node (an ex-leader with an unacknowledged
+    /// join keeps its old member list; an ordinary member leads itself),
+    /// and rebuild the exploration frontier from everything known.
+    fn fail_over(&mut self) {
+        self.leader = self.me;
+        self.pending_join = None;
+        self.pending_report.clear();
+        self.inflight_report = None;
+        self.got_roster = false;
+        self.outstanding.clear();
+        self.discovered.clear();
+        self.pending_invites.clear();
+        self.frontier.clear();
+        self.seen = self.members.clone();
+        let known: Vec<NodeId> = self.knowledge.iter().collect();
+        for id in known {
+            self.enqueue_external(id);
+        }
+    }
+
+    fn enqueue_external(&mut self, id: NodeId) {
+        if !self.members.contains(id) && !self.suspected.contains(id) && self.seen.insert(id) {
+            self.frontier.push_back(id);
+        }
+    }
+
+    fn record_discovery(&mut self, foreign: NodeId) {
+        // A suspected (crashed) node must never re-enter the work
+        // queues: a single stale in-flight message naming it would
+        // otherwise park it in `pending_invites` forever, blocking
+        // quiescence — and with it the final roster.
+        if foreign == self.me
+            || self.members.contains(foreign)
+            || self.suspected.contains(foreign)
+        {
+            return;
+        }
+        self.knowledge.insert(foreign);
+        if !self.discovered.contains(&foreign) {
+            self.discovered.push(foreign);
+        }
+    }
+
+    fn forward(&self, ctx: &mut RoundContext<'_, HmMsg>, msg: HmMsg) {
+        debug_assert!(!self.is_leader());
+        debug_assert!(self.leader > self.me, "leader pointers increase");
+        ctx.send(self.leader, msg);
+    }
+
+    fn absorb_join(
+        &mut self,
+        members: Vec<NodeId>,
+        frontier: Vec<NodeId>,
+        ctx: &mut RoundContext<'_, HmMsg>,
+    ) {
+        for m in members {
+            self.knowledge.insert(m);
+            if self.members.insert(m) {
+                self.seen.insert(m);
+            }
+            // Adopt is (re)sent even for members we already hold: a
+            // retried Join means the original Adopt may have been lost,
+            // and the Adopt doubles as the join acknowledgement.
+            if m != self.me {
+                ctx.send(m, HmMsg::Adopt { leader: self.me });
+            }
+        }
+        for f in frontier {
+            self.knowledge.insert(f);
+            self.enqueue_external(f);
+        }
+    }
+
+    fn handle_message(&mut self, env: Envelope<HmMsg>, ctx: &mut RoundContext<'_, HmMsg>) {
+        self.knowledge.insert(env.src);
+        match env.payload {
+            HmMsg::Report { from, epoch, ids } => {
+                self.knowledge.insert(from);
+                if self.is_leader() {
+                    for id in ids {
+                        self.knowledge.insert(id);
+                        self.enqueue_external(id);
+                    }
+                    if from != self.me {
+                        ctx.send(from, HmMsg::ReportAck { epoch });
+                    }
+                } else {
+                    self.forward(ctx, HmMsg::Report { from, epoch, ids });
+                }
+            }
+            HmMsg::ReportAck { epoch } => {
+                if !self.is_leader() {
+                    // The ack comes straight from the current leader:
+                    // adopt it (pointers only ever move up), shortcutting
+                    // any forwarding chain the report travelled through.
+                    // An *acting* leader must never be demoted this way —
+                    // a stray ack for a pre-failover report would
+                    // silently orphan the members it now leads.
+                    self.leader = self.leader.max(env.src);
+                } else {
+                    self.record_discovery(env.src);
+                }
+                if let Some((inflight_epoch, covered)) = self.inflight_report {
+                    if inflight_epoch == epoch {
+                        self.pending_report.drain(..covered.min(self.pending_report.len()));
+                        self.inflight_report = None;
+                    }
+                }
+            }
+            HmMsg::Assign { target } => {
+                self.knowledge.insert(target);
+                self.pending_probes.push(target);
+            }
+            HmMsg::Probe { from_leader } => {
+                self.knowledge.insert(from_leader);
+                if self.is_leader() {
+                    if from_leader == self.me {
+                        // A probe of the leader by its own cluster: the
+                        // leader is internal by definition, nothing to do.
+                    } else {
+                        self.record_discovery(from_leader);
+                        ctx.send(
+                            from_leader,
+                            HmMsg::ProbeReply {
+                                leader: self.me,
+                                target: self.me,
+                            },
+                        );
+                    }
+                } else {
+                    // Whether the probe is foreign or from our own
+                    // cluster, the leader decides: it either records the
+                    // discovery or retires an internal probe.
+                    self.forward(
+                        ctx,
+                        HmMsg::ProbeFwd {
+                            from_leader,
+                            target: self.me,
+                        },
+                    );
+                }
+            }
+            HmMsg::ProbeFwd {
+                from_leader,
+                target,
+            } => {
+                self.knowledge.insert(from_leader);
+                self.knowledge.insert(target);
+                if self.is_leader() {
+                    if from_leader == self.me {
+                        // Our own probe found one of our own members.
+                        self.outstanding.retain(|&t| t != target);
+                    } else {
+                        self.record_discovery(from_leader);
+                        ctx.send(
+                            from_leader,
+                            HmMsg::ProbeReply {
+                                leader: self.me,
+                                target,
+                            },
+                        );
+                    }
+                } else {
+                    self.forward(
+                        ctx,
+                        HmMsg::ProbeFwd {
+                            from_leader,
+                            target,
+                        },
+                    );
+                }
+            }
+            HmMsg::ProbeReply { leader, target } => {
+                self.knowledge.insert(leader);
+                self.knowledge.insert(target);
+                if self.is_leader() {
+                    self.outstanding.retain(|&t| t != target);
+                    self.record_discovery(leader);
+                } else {
+                    self.forward(ctx, HmMsg::ProbeReply { leader, target });
+                }
+            }
+            HmMsg::Join { members, frontier } => {
+                if self.is_leader() {
+                    self.absorb_join(members, frontier, ctx);
+                } else {
+                    self.forward(ctx, HmMsg::Join { members, frontier });
+                }
+            }
+            HmMsg::Invite { leader } => {
+                self.knowledge.insert(leader);
+                if self.is_leader() {
+                    self.record_discovery(leader);
+                } else if leader != self.leader {
+                    self.forward(ctx, HmMsg::Invite { leader });
+                }
+            }
+            HmMsg::Adopt { leader } => {
+                self.knowledge.insert(leader);
+                if self.is_leader() {
+                    // A stale adoption (from a join or report that
+                    // predates a leader-crash recovery) must not demote
+                    // an acting leader: its members — and its frontier
+                    // leads — would be silently orphaned. Treat it as a
+                    // discovery and merge through the ordinary join path
+                    // instead.
+                    self.record_discovery(leader);
+                } else {
+                    // Leader pointers only ever move to larger ids, so
+                    // the max is always the newest information.
+                    self.leader = self.leader.max(leader);
+                    // Any adoption proves our join payload reached a
+                    // leader.
+                    self.pending_join = None;
+                }
+            }
+            HmMsg::Roster { ids } => {
+                self.knowledge.extend(ids);
+                self.got_roster = true;
+            }
+        }
+    }
+
+    fn phase_report(&mut self, ctx: &mut RoundContext<'_, HmMsg>) {
+        if self.is_leader() {
+            let fresh = self.knowledge.take_fresh();
+            for id in fresh {
+                self.enqueue_external(id);
+            }
+            return;
+        }
+        let fresh = self.knowledge.take_fresh();
+        self.pending_report.extend(fresh);
+        if self.pending_report.is_empty() && self.got_roster {
+            return;
+        }
+        // (Re)transmit everything unacknowledged under a fresh epoch;
+        // the ack releases exactly the prefix this transmission covered.
+        // An empty report doubles as a heartbeat: the acknowledgement
+        // comes back from the *current* leader, healing leader pointers
+        // that went stale through dropped Adopt messages.
+        self.report_epoch += 1;
+        self.inflight_report = Some((self.report_epoch, self.pending_report.len()));
+        self.forward(
+            ctx,
+            HmMsg::Report {
+                from: self.me,
+                epoch: self.report_epoch,
+                ids: self.pending_report.clone(),
+            },
+        );
+    }
+
+    fn phase_assign(&mut self, ctx: &mut RoundContext<'_, HmMsg>) {
+        if !self.is_leader() {
+            return;
+        }
+        // Recycle unconfirmed probes from the previous super-round
+        // (drops, forwarding latency): they go back to the front so
+        // retries happen before new exploration.
+        for t in std::mem::take(&mut self.outstanding).into_iter().rev() {
+            self.frontier.push_front(t);
+        }
+        let cap = if self.cfg.parallel_probes {
+            self.members.len()
+        } else {
+            1
+        };
+        let mut targets = Vec::new();
+        while targets.len() < cap {
+            let Some(t) = self.frontier.pop_front() else {
+                break;
+            };
+            if self.members.contains(t) {
+                continue; // became internal since enqueue
+            }
+            targets.push(t);
+        }
+        if targets.is_empty() {
+            self.maybe_broadcast_roster(ctx);
+            return;
+        }
+        // First target is probed by the leader itself; the rest go to
+        // members in roster order.
+        let assignees: Vec<NodeId> = self
+            .members
+            .iter()
+            .filter(|&m| m != self.me)
+            .take(targets.len().saturating_sub(1))
+            .collect();
+        self.outstanding.push(targets[0]);
+        self.pending_probes.push(targets[0]);
+        for (&t, &m) in targets[1..].iter().zip(&assignees) {
+            self.outstanding.push(t);
+            ctx.send(m, HmMsg::Assign { target: t });
+        }
+        // Targets beyond the member pool (cannot happen with the default
+        // cap, but kept for safety) return to the frontier.
+        for &t in targets[1 + assignees.len()..].iter().rev() {
+            self.frontier.push_front(t);
+        }
+    }
+
+    fn maybe_broadcast_roster(&mut self, ctx: &mut RoundContext<'_, HmMsg>) {
+        // Rebroadcast every quiescent super-round: a dropped roster must
+        // not strand a member one id short of completion. In fault-free
+        // runs the harness observes completion right after the first
+        // roster lands, so at most one broadcast is ever sent.
+        if !self.is_quiescent() || self.members.len() <= 1 {
+            return;
+        }
+        let roster: Vec<NodeId> = self.members.iter().collect();
+        for m in self.members.iter() {
+            if m != self.me {
+                ctx.send(m, HmMsg::Roster { ids: roster.clone() });
+            }
+        }
+        self.got_roster = true;
+    }
+
+    fn phase_probe(&mut self, ctx: &mut RoundContext<'_, HmMsg>) {
+        let from_leader = self.leader;
+        for t in std::mem::take(&mut self.pending_probes) {
+            if t == self.me {
+                continue;
+            }
+            ctx.send(t, HmMsg::Probe { from_leader });
+        }
+    }
+
+    fn phase_merge(&mut self, ctx: &mut RoundContext<'_, HmMsg>) {
+        // Join retry: until some leader's Adopt confirms our payload was
+        // absorbed, re-send it along the freshest leader pointer we hold.
+        if let Some((members, frontier)) = &self.pending_join {
+            debug_assert!(!self.is_leader());
+            let msg = HmMsg::Join {
+                members: members.clone(),
+                frontier: frontier.clone(),
+            };
+            ctx.send(self.leader, msg);
+            return;
+        }
+        if !self.is_leader() {
+            return;
+        }
+        // Sort the discoveries of this super-round.
+        let mut above: Vec<NodeId> = Vec::new();
+        for d in std::mem::take(&mut self.discovered) {
+            if self.members.contains(d) {
+                continue; // merged into us in the meantime
+            }
+            if d > self.me {
+                above.push(d);
+            } else if !self.pending_invites.contains(&d) {
+                self.pending_invites.push(d);
+            }
+        }
+        self.pending_invites
+            .retain(|&b| !self.members.contains(b) && !self.suspected.contains(b));
+        if above.is_empty() {
+            if self.cfg.invites {
+                // Retried every merge phase until the invitee joins (or
+                // we defect and hand the lead over).
+                for &b in &self.pending_invites {
+                    ctx.send(b, HmMsg::Invite { leader: self.me });
+                }
+            }
+            return;
+        }
+        let target = match self.cfg.merge_rule {
+            MergeRule::MaxId => above.iter().copied().max().expect("nonempty"),
+            MergeRule::MinAbove => above.iter().copied().min().expect("nonempty"),
+            MergeRule::RandomAbove => above[ctx.rng().random_range(0..above.len())],
+        };
+        // Hand over every lead we hold: the frontier, unconfirmed
+        // probes, unresolved invites, and the discovered leaders we are
+        // not joining.
+        let mut handover: Vec<NodeId> = std::mem::take(&mut self.frontier).into_iter().collect();
+        handover.append(&mut self.outstanding);
+        handover.extend(above.iter().copied().filter(|&d| d != target));
+        handover.append(&mut self.pending_invites);
+        let members: Vec<NodeId> = self.members.iter().collect();
+        ctx.send(
+            target,
+            HmMsg::Join {
+                members: members.clone(),
+                frontier: handover.clone(),
+            },
+        );
+        self.leader = target;
+        self.knowledge.insert(target);
+        self.pending_join = Some((members, handover));
+    }
+}
+
+impl Node for HmNode {
+    type Msg = HmMsg;
+
+    fn on_round(&mut self, inbox: Vec<Envelope<HmMsg>>, ctx: &mut RoundContext<'_, HmMsg>) {
+        if !ctx.suspects().is_empty() {
+            let report: Vec<NodeId> = ctx.suspects().to_vec();
+            self.digest_suspects(&report);
+        }
+        for env in inbox {
+            self.handle_message(env, ctx);
+        }
+        // Checked every round (not just on fresh reports): a stale Adopt
+        // can point us at an already-reported-dead leader.
+        if !self.is_leader() && self.suspected.contains(self.leader) {
+            self.fail_over();
+        }
+        match ctx.round() % PHASES {
+            REPORT => self.phase_report(ctx),
+            ASSIGN => self.phase_assign(ctx),
+            PROBE => self.phase_probe(ctx),
+            MERGE => self.phase_merge(ctx),
+            _ => {}
+        }
+    }
+}
+
+impl KnowledgeView for HmNode {
+    fn knows(&self, id: NodeId) -> bool {
+        self.knowledge.contains(id)
+    }
+    fn knows_count(&self) -> usize {
+        self.knowledge.len()
+    }
+    fn known_ids(&self) -> Vec<NodeId> {
+        self.knowledge.to_vec()
+    }
+    fn believes_done(&self) -> bool {
+        if self.is_leader() {
+            self.is_quiescent()
+        } else {
+            self.got_roster
+        }
+    }
+}

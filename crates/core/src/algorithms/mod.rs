@@ -1,0 +1,52 @@
+//! The discovery protocols and the traits that bind them to the runner.
+
+pub mod flooding;
+pub mod hm;
+pub mod name_dropper;
+pub mod pointer_doubling;
+pub mod random_pointer_jump;
+pub mod swamping;
+
+pub use flooding::Flooding;
+pub use hm::HmDiscovery;
+pub use name_dropper::NameDropper;
+pub use pointer_doubling::PointerDoubling;
+pub use random_pointer_jump::RandomPointerJump;
+pub use swamping::Swamping;
+
+use rd_sim::NodeId;
+
+/// Harness-side read access to a node's knowledge.
+///
+/// The omniscient harness uses this view to decide global completion
+/// (the literature measures *convergence time*, observed from outside)
+/// and to verify soundness; protocols themselves never see it.
+pub trait KnowledgeView {
+    /// Does this node know `id`?
+    fn knows(&self, id: NodeId) -> bool;
+    /// Number of identifiers this node knows.
+    fn knows_count(&self) -> usize;
+    /// All identifiers this node knows.
+    fn known_ids(&self) -> Vec<NodeId>;
+    /// Whether the node's *local* state claims discovery is finished.
+    ///
+    /// Only protocols with genuine local termination detection return
+    /// `true` here; the default (no claim) is correct for the rest.
+    fn believes_done(&self) -> bool {
+        false
+    }
+}
+
+/// A resource-discovery protocol: a factory that turns an instance's
+/// initial knowledge into node programs the engine can run.
+pub trait DiscoveryAlgorithm {
+    /// The per-node program type.
+    type NodeState: rd_sim::Node + KnowledgeView;
+
+    /// Display name for tables.
+    fn name(&self) -> String;
+
+    /// Instantiates one node program per machine; `initial[u]` is the
+    /// identifiers machine `u` starts with (itself first).
+    fn make_nodes(&self, initial: &[Vec<NodeId>]) -> Vec<Self::NodeState>;
+}

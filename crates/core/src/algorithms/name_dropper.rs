@@ -1,0 +1,169 @@
+//! Name-Dropper (Harchol-Balter, Leighton, Lewin — PODC '99): the
+//! randomized `O(log² n)` baseline the paper improves on.
+//!
+//! Every round, every machine picks one uniformly random machine it
+//! knows and *transfers* its entire knowledge to it; the receiver also
+//! learns the sender's id from the envelope (the "reverse pointer" of the
+//! original paper). HLL '99 prove completion in `O(log² n)` rounds w.h.p.
+//! on any weakly connected initial knowledge graph, with `O(n log² n)`
+//! messages and `O(n² log² n)` pointers.
+//!
+//! Name-Dropper has no local termination detection — the original
+//! analysis simply runs it for `c · log² n` rounds — so the harness
+//! measures convergence with the omniscient completion predicate, as the
+//! literature does.
+
+use crate::algorithms::{DiscoveryAlgorithm, KnowledgeView};
+use crate::knowledge::KnowledgeSet;
+use rd_sim::{Envelope, MessageCost, Node, NodeId, RoundContext};
+
+/// Factory for the Name-Dropper baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NameDropper;
+
+/// Name-Dropper payload: the sender's entire knowledge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferMsg {
+    /// Every identifier the sender knew when it sent.
+    pub ids: Vec<NodeId>,
+}
+
+impl MessageCost for TransferMsg {
+    fn pointers(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Per-node state of Name-Dropper.
+#[derive(Debug, Clone)]
+pub struct NameDropperNode {
+    knowledge: KnowledgeSet,
+}
+
+impl Node for NameDropperNode {
+    type Msg = TransferMsg;
+
+    fn on_round(
+        &mut self,
+        inbox: Vec<Envelope<TransferMsg>>,
+        ctx: &mut RoundContext<'_, TransferMsg>,
+    ) {
+        for env in inbox {
+            self.knowledge.insert(env.src); // reverse pointer
+            self.knowledge.extend(env.payload.ids);
+        }
+        let me = ctx.id();
+        if let Some(target) = {
+            let rng = ctx.rng();
+            self.knowledge.sample_other(rng, me)
+        } {
+            let ids: Vec<NodeId> = self.knowledge.iter().filter(|&v| v != target).collect();
+            ctx.send(target, TransferMsg { ids });
+        }
+    }
+}
+
+impl KnowledgeView for NameDropperNode {
+    fn knows(&self, id: NodeId) -> bool {
+        self.knowledge.contains(id)
+    }
+    fn knows_count(&self) -> usize {
+        self.knowledge.len()
+    }
+    fn known_ids(&self) -> Vec<NodeId> {
+        self.knowledge.to_vec()
+    }
+}
+
+impl DiscoveryAlgorithm for NameDropper {
+    type NodeState = NameDropperNode;
+
+    fn name(&self) -> String {
+        "name-dropper".into()
+    }
+
+    fn make_nodes(&self, initial: &[Vec<NodeId>]) -> Vec<NameDropperNode> {
+        initial
+            .iter()
+            .enumerate()
+            .map(|(u, ids)| {
+                let mut knowledge = KnowledgeSet::new(NodeId::new(u as u32));
+                knowledge.extend(ids.iter().copied());
+                NameDropperNode { knowledge }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem;
+    use rd_graphs::Topology;
+    use rd_sim::Engine;
+
+    fn run_nd(topo: Topology, n: usize, seed: u64) -> (rd_sim::RunOutcome, u64) {
+        let g = topo.generate(n, seed);
+        let nodes = NameDropper.make_nodes(&problem::initial_knowledge(&g));
+        let mut engine = Engine::new(nodes, seed);
+        let outcome = engine.run_until(100_000, problem::everyone_knows_everyone);
+        (outcome, engine.metrics().total_messages())
+    }
+
+    #[test]
+    fn completes_on_path() {
+        let (outcome, _) = run_nd(Topology::Path, 64, 3);
+        assert!(outcome.completed);
+        // O(log² n) with small constants: log2(64)² = 36; give slack.
+        assert!(outcome.rounds <= 120, "rounds = {}", outcome.rounds);
+    }
+
+    #[test]
+    fn completes_on_random_overlay() {
+        let (outcome, _) = run_nd(Topology::KOut { k: 3 }, 256, 5);
+        assert!(outcome.completed);
+        assert!(outcome.rounds <= 80, "rounds = {}", outcome.rounds);
+    }
+
+    #[test]
+    fn one_message_per_node_per_round() {
+        let g = Topology::Cycle.generate(32, 1);
+        let nodes = NameDropper.make_nodes(&problem::initial_knowledge(&g));
+        let mut engine = Engine::new(nodes, 1);
+        for _ in 0..5 {
+            engine.step();
+        }
+        assert_eq!(engine.metrics().total_messages(), 5 * 32);
+    }
+
+    #[test]
+    fn single_node_is_silent() {
+        let (outcome, messages) = run_nd(Topology::Path, 1, 1);
+        assert!(outcome.completed);
+        assert_eq!(messages, 0);
+    }
+
+    #[test]
+    fn knowledge_is_monotone_under_transfer() {
+        let g = Topology::RandomTree.generate(48, 9);
+        let nodes = NameDropper.make_nodes(&problem::initial_knowledge(&g));
+        let mut engine = Engine::new(nodes, 9);
+        let mut prev: Vec<usize> = engine.nodes().iter().map(|n| n.knows_count()).collect();
+        for _ in 0..30 {
+            engine.step();
+            let now: Vec<usize> = engine.nodes().iter().map(|n| n.knows_count()).collect();
+            for (a, b) in prev.iter().zip(&now) {
+                assert!(b >= a, "knowledge shrank");
+            }
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            run_nd(Topology::KOut { k: 2 }, 64, 77),
+            run_nd(Topology::KOut { k: 2 }, 64, 77)
+        );
+    }
+}

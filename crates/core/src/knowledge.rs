@@ -1,0 +1,271 @@
+//! The per-node knowledge set.
+
+use rand::Rng;
+use rd_sim::NodeId;
+
+/// The set of identifiers a node has learned, with freshness tracking.
+///
+/// Resource-discovery protocols constantly ask three things of their
+/// knowledge state: *do I know this id?* (O(1)), *give me everything I
+/// learned since I last forwarded* (the freshness queue, drained by
+/// [`take_fresh`](Self::take_fresh)), and *pick a uniformly random known
+/// id* (Name-Dropper's only primitive). `KnowledgeSet` serves all three.
+///
+/// Internally membership is a growable bitmap over raw identifier
+/// indices (identifiers are dense in the simulator), plus an insertion-
+/// order list for O(1) random sampling. This is a set *representation*
+/// choice only — protocols still treat identifiers as opaque and learn
+/// them exclusively through messages.
+///
+/// # Example
+///
+/// ```
+/// use rd_core::KnowledgeSet;
+/// use rd_sim::NodeId;
+///
+/// let mut k = KnowledgeSet::new(NodeId::new(3));
+/// assert!(k.contains(NodeId::new(3)));
+/// k.insert(NodeId::new(7));
+/// k.insert(NodeId::new(7)); // duplicate: no effect
+/// assert_eq!(k.len(), 2);
+/// assert_eq!(k.take_fresh(), vec![NodeId::new(7)]); // self is not "fresh"
+/// assert!(k.take_fresh().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeSet {
+    bits: Vec<u64>,
+    list: Vec<NodeId>,
+    fresh: Vec<NodeId>,
+}
+
+impl KnowledgeSet {
+    /// Creates a knowledge set containing only the node's own id (which
+    /// is *not* queued as fresh: a node never needs to tell anyone about
+    /// an id they necessarily learn from the message envelope).
+    pub fn new(own: NodeId) -> Self {
+        let mut k = KnowledgeSet::default();
+        k.insert_quiet(own);
+        k
+    }
+
+    fn word_bit(id: NodeId) -> (usize, u64) {
+        let i = id.index();
+        (i / 64, 1u64 << (i % 64))
+    }
+
+    /// `true` if `id` has been learned.
+    pub fn contains(&self, id: NodeId) -> bool {
+        let (w, b) = Self::word_bit(id);
+        self.bits.get(w).is_some_and(|word| word & b != 0)
+    }
+
+    /// Learns `id`, queuing it as fresh if new. Returns `true` if new.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        if self.insert_quiet(id) {
+            self.fresh.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert_quiet(&mut self, id: NodeId) -> bool {
+        let (w, b) = Self::word_bit(id);
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        if self.bits[w] & b != 0 {
+            return false;
+        }
+        self.bits[w] |= b;
+        self.list.push(id);
+        true
+    }
+
+    /// Learns every id in `ids`; returns how many were new.
+    pub fn extend(&mut self, ids: impl IntoIterator<Item = NodeId>) -> usize {
+        let mut added = 0;
+        for id in ids {
+            if self.insert(id) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Number of identifiers known.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// `true` only for the (unreachable in practice) empty set.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// All known identifiers, in learning order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.list.iter().copied()
+    }
+
+    /// A copy of the full knowledge, in learning order.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.list.clone()
+    }
+
+    /// Drains and returns identifiers learned since the previous drain
+    /// (never includes the node's own id from construction).
+    pub fn take_fresh(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.fresh)
+    }
+
+    /// `true` if identifiers have been learned since the last drain.
+    pub fn has_fresh(&self) -> bool {
+        !self.fresh.is_empty()
+    }
+
+    /// A uniformly random known id, excluding `exclude` (typically the
+    /// node itself). Returns `None` if no other id is known.
+    pub fn sample_other<R: Rng + ?Sized>(&self, rng: &mut R, exclude: NodeId) -> Option<NodeId> {
+        // The list contains at most one excluded entry, so rejection
+        // sampling terminates in O(1) expected tries once len > 1.
+        if self.list.is_empty() || (self.list.len() == 1 && self.list[0] == exclude) {
+            return None;
+        }
+        loop {
+            let id = self.list[rng.random_range(0..self.list.len())];
+            if id != exclude {
+                return Some(id);
+            }
+        }
+    }
+
+    /// The maximum known id (total-order tie-breaking primitive used by
+    /// the deterministic baseline and the cluster protocol).
+    pub fn max_id(&self) -> Option<NodeId> {
+        self.list.iter().copied().max()
+    }
+}
+
+impl FromIterator<NodeId> for KnowledgeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut k = KnowledgeSet::default();
+        for id in iter {
+            k.insert_quiet(id);
+        }
+        k
+    }
+}
+
+impl Extend<NodeId> for KnowledgeSet {
+    fn extend<T: IntoIterator<Item = NodeId>>(&mut self, iter: T) {
+        KnowledgeSet::extend(self, iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn id(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn new_contains_self_only() {
+        let k = KnowledgeSet::new(id(5));
+        assert!(k.contains(id(5)));
+        assert!(!k.contains(id(4)));
+        assert_eq!(k.len(), 1);
+        assert!(!k.has_fresh());
+    }
+
+    #[test]
+    fn insert_tracks_freshness_once() {
+        let mut k = KnowledgeSet::new(id(0));
+        assert!(k.insert(id(9)));
+        assert!(!k.insert(id(9)));
+        assert_eq!(k.take_fresh(), vec![id(9)]);
+        assert!(k.take_fresh().is_empty());
+        assert!(k.contains(id(9)));
+    }
+
+    #[test]
+    fn extend_counts_new_only() {
+        let mut k = KnowledgeSet::new(id(0));
+        let added = KnowledgeSet::extend(&mut k, [id(1), id(2), id(1), id(0)]);
+        assert_eq!(added, 2);
+        assert_eq!(k.len(), 3);
+    }
+
+    #[test]
+    fn iteration_preserves_learning_order() {
+        let mut k = KnowledgeSet::new(id(2));
+        k.insert(id(7));
+        k.insert(id(1));
+        assert_eq!(k.to_vec(), vec![id(2), id(7), id(1)]);
+    }
+
+    #[test]
+    fn sample_other_excludes_self() {
+        let mut k = KnowledgeSet::new(id(0));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(k.sample_other(&mut rng, id(0)), None);
+        k.insert(id(3));
+        for _ in 0..20 {
+            assert_eq!(k.sample_other(&mut rng, id(0)), Some(id(3)));
+        }
+    }
+
+    #[test]
+    fn sample_other_is_roughly_uniform() {
+        let mut k = KnowledgeSet::new(id(0));
+        for i in 1..5 {
+            k.insert(id(i));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 5];
+        for _ in 0..4000 {
+            counts[k.sample_other(&mut rng, id(0)).unwrap().index()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            assert!((800..1200).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn max_id_tracks_maximum() {
+        let mut k = KnowledgeSet::new(id(4));
+        assert_eq!(k.max_id(), Some(id(4)));
+        k.insert(id(9));
+        k.insert(id(2));
+        assert_eq!(k.max_id(), Some(id(9)));
+    }
+
+    #[test]
+    fn bitmap_grows_for_sparse_large_ids() {
+        let mut k = KnowledgeSet::new(id(0));
+        k.insert(id(100_000));
+        assert!(k.contains(id(100_000)));
+        assert!(!k.contains(id(99_999)));
+        assert_eq!(k.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_dedups_without_freshness() {
+        let k: KnowledgeSet = [id(1), id(2), id(2)].into_iter().collect();
+        assert_eq!(k.len(), 2);
+        assert!(!k.has_fresh());
+    }
+
+    #[test]
+    fn extend_trait_matches_inherent() {
+        let mut k = KnowledgeSet::new(id(0));
+        Extend::extend(&mut k, [id(1), id(2)]);
+        assert_eq!(k.len(), 3);
+        assert!(k.has_fresh());
+    }
+}

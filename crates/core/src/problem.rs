@@ -1,0 +1,191 @@
+//! Instance construction and completion predicates for the
+//! resource-discovery problem.
+
+use crate::algorithms::KnowledgeView;
+use rd_graphs::{connectivity, DiGraph};
+use rd_sim::NodeId;
+
+/// Builds the per-node initial knowledge from an initial knowledge graph:
+/// node `u` starts knowing itself plus every out-neighbour in `g`.
+///
+/// # Panics
+///
+/// Panics if `g` is not weakly connected — resource discovery is
+/// undefined (and unsolvable) on disconnected knowledge graphs.
+pub fn initial_knowledge(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    assert!(
+        connectivity::is_weakly_connected(g),
+        "initial knowledge graph must be weakly connected"
+    );
+    (0..g.node_count())
+        .map(|u| {
+            let mut ids = Vec::with_capacity(g.out_degree(u) + 1);
+            ids.push(NodeId::new(u as u32));
+            ids.extend(g.out(u).iter().map(|&v| NodeId::new(v)));
+            ids
+        })
+        .collect()
+}
+
+/// `true` when every node knows every identifier — the strongest
+/// completion notion (`EveryoneKnowsEveryone` in DESIGN.md).
+pub fn everyone_knows_everyone<N: KnowledgeView>(nodes: &[N]) -> bool {
+    let n = nodes.len();
+    nodes.iter().all(|node| node.knows_count() == n)
+}
+
+/// `true` when some node ℓ knows every identifier **and** every node
+/// knows ℓ — the classic PODC '99 completion notion (`LeaderKnowsAll`):
+/// one more broadcast round from ℓ finishes the job.
+pub fn leader_knows_all<N: KnowledgeView>(nodes: &[N]) -> bool {
+    let n = nodes.len();
+    nodes.iter().enumerate().any(|(i, node)| {
+        node.knows_count() == n
+            && nodes
+                .iter()
+                .all(|other| other.knows(NodeId::new(i as u32)))
+    })
+}
+
+/// [`everyone_knows_everyone`] restricted to the live nodes of a
+/// crash-faulted instance: every live node knows every live node.
+/// (`live[i]` marks node `i` live; with every node live this is
+/// equivalent to the unrestricted predicate.)
+///
+/// # Panics
+///
+/// Panics if `live.len() != nodes.len()`.
+pub fn everyone_knows_everyone_among<N: KnowledgeView>(nodes: &[N], live: &[bool]) -> bool {
+    assert_eq!(nodes.len(), live.len(), "live mask size mismatch");
+    nodes.iter().enumerate().all(|(i, node)| {
+        !live[i]
+            || live
+                .iter()
+                .enumerate()
+                .all(|(j, &lj)| !lj || node.knows(NodeId::new(j as u32)))
+    })
+}
+
+/// [`leader_knows_all`] restricted to live nodes: some live ℓ knows
+/// every live node, and every live node knows ℓ.
+///
+/// # Panics
+///
+/// Panics if `live.len() != nodes.len()`.
+pub fn leader_knows_all_among<N: KnowledgeView>(nodes: &[N], live: &[bool]) -> bool {
+    assert_eq!(nodes.len(), live.len(), "live mask size mismatch");
+    nodes.iter().enumerate().any(|(i, node)| {
+        live[i]
+            && live
+                .iter()
+                .enumerate()
+                .all(|(j, &lj)| !lj || node.knows(NodeId::new(j as u32)))
+            && nodes
+                .iter()
+                .enumerate()
+                .all(|(j, other)| !live[j] || other.knows(NodeId::new(i as u32)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        known: Vec<NodeId>,
+    }
+
+    impl KnowledgeView for Fake {
+        fn knows(&self, id: NodeId) -> bool {
+            self.known.contains(&id)
+        }
+        fn knows_count(&self) -> usize {
+            self.known.len()
+        }
+        fn known_ids(&self) -> Vec<NodeId> {
+            self.known.clone()
+        }
+    }
+
+    fn fake(ids: &[u32]) -> Fake {
+        Fake {
+            known: ids.iter().map(|&i| NodeId::new(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn initial_knowledge_includes_self_first() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let init = initial_knowledge(&g);
+        assert_eq!(init[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(init[2], vec![NodeId::new(2), NodeId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weakly connected")]
+    fn disconnected_instance_rejected() {
+        initial_knowledge(&DiGraph::new(2));
+    }
+
+    #[test]
+    fn everyone_predicate() {
+        let done = [fake(&[0, 1]), fake(&[1, 0])];
+        let not = [fake(&[0, 1]), fake(&[1])];
+        assert!(everyone_knows_everyone(&done));
+        assert!(!everyone_knows_everyone(&not));
+    }
+
+    #[test]
+    fn leader_predicate_requires_backlinks() {
+        // Node 0 knows all, and everyone knows 0.
+        let ok = [fake(&[0, 1, 2]), fake(&[1, 0]), fake(&[2, 0])];
+        assert!(leader_knows_all(&ok));
+        // Node 0 knows all, but node 2 does not know 0.
+        let no_backlink = [fake(&[0, 1, 2]), fake(&[1, 0]), fake(&[2, 1])];
+        assert!(!leader_knows_all(&no_backlink));
+        // Nobody knows all.
+        let nobody = [fake(&[0, 1]), fake(&[1, 2]), fake(&[2, 0])];
+        assert!(!leader_knows_all(&nobody));
+    }
+
+    #[test]
+    fn leader_predicate_weaker_than_everyone() {
+        let ok = [fake(&[0, 1, 2]), fake(&[1, 0]), fake(&[2, 0])];
+        assert!(leader_knows_all(&ok));
+        assert!(!everyone_knows_everyone(&ok));
+    }
+
+    #[test]
+    fn among_variants_ignore_crashed_nodes() {
+        // Node 2 crashed: nobody needs to know it, it needs to know no one.
+        let nodes = [fake(&[0, 1]), fake(&[1, 0]), fake(&[2])];
+        let live = [true, true, false];
+        assert!(everyone_knows_everyone_among(&nodes, &live));
+        assert!(leader_knows_all_among(&nodes, &live));
+        assert!(!everyone_knows_everyone(&nodes));
+        // The live nodes must still know each other.
+        let gap = [fake(&[0]), fake(&[1, 0]), fake(&[2])];
+        assert!(!everyone_knows_everyone_among(&gap, &live));
+    }
+
+    #[test]
+    fn among_with_all_live_matches_unrestricted() {
+        let nodes = [fake(&[0, 1]), fake(&[1, 0])];
+        let live = [true, true];
+        assert_eq!(
+            everyone_knows_everyone_among(&nodes, &live),
+            everyone_knows_everyone(&nodes)
+        );
+        assert_eq!(
+            leader_knows_all_among(&nodes, &live),
+            leader_knows_all(&nodes)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mask size")]
+    fn among_rejects_wrong_mask() {
+        let nodes = [fake(&[0])];
+        everyone_knows_everyone_among(&nodes, &[true, false]);
+    }
+}

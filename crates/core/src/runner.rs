@@ -1,0 +1,356 @@
+//! One-call execution of a discovery run with full complexity reporting.
+
+use crate::algorithms::hm::HmConfig;
+use crate::algorithms::{
+    DiscoveryAlgorithm, Flooding, HmDiscovery, KnowledgeView, NameDropper, PointerDoubling,
+    RandomPointerJump, Swamping,
+};
+use crate::{problem, verify};
+use rd_graphs::Topology;
+use rd_sim::{Engine, FaultPlan, Node};
+
+/// Which discovery algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgorithmKind {
+    /// Eager flooding (round-optimal baseline).
+    Flooding,
+    /// Name-Dropper (HLL '99 randomized baseline).
+    NameDropper,
+    /// Deterministic pointer doubling (KPV-flavoured baseline).
+    PointerDoubling,
+    /// Swamping (HLL '99): exchange full knowledge on every edge, every
+    /// round. Log-round but maximally message-wasteful.
+    Swamping,
+    /// Random pointer jump (HLL '99): pull from one random acquaintance
+    /// per round. Instructively fragile on weakly connected inputs.
+    RandomPointerJump,
+    /// The reconstructed Haeupler–Malkhi algorithm.
+    Hm(HmConfig),
+}
+
+impl AlgorithmKind {
+    /// Display name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            AlgorithmKind::Flooding => "flooding".into(),
+            AlgorithmKind::NameDropper => "name-dropper".into(),
+            AlgorithmKind::PointerDoubling => "pointer-doubling".into(),
+            AlgorithmKind::Swamping => "swamping".into(),
+            AlgorithmKind::RandomPointerJump => "random-pointer-jump".into(),
+            AlgorithmKind::Hm(cfg) => cfg.name(),
+        }
+    }
+
+    /// The four standard contenders of the headline comparison (T1/T2).
+    pub fn contenders() -> Vec<AlgorithmKind> {
+        vec![
+            AlgorithmKind::Flooding,
+            AlgorithmKind::NameDropper,
+            AlgorithmKind::PointerDoubling,
+            AlgorithmKind::Hm(HmConfig::default()),
+        ]
+    }
+
+    /// The full historical suite: the contenders plus the other two
+    /// PODC '99 algorithms (experiment T7).
+    pub fn classic_suite() -> Vec<AlgorithmKind> {
+        vec![
+            AlgorithmKind::Flooding,
+            AlgorithmKind::Swamping,
+            AlgorithmKind::RandomPointerJump,
+            AlgorithmKind::NameDropper,
+            AlgorithmKind::PointerDoubling,
+            AlgorithmKind::Hm(HmConfig::default()),
+        ]
+    }
+}
+
+/// When a run counts as finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Completion {
+    /// Every node knows every identifier (default; strongest).
+    #[default]
+    EveryoneKnowsEveryone,
+    /// Some node knows everyone and everyone knows it (PODC '99 notion).
+    LeaderKnowsAll,
+    /// Every node's local state claims completion (only meaningful for
+    /// protocols with local termination detection).
+    AllBelieveDone,
+}
+
+/// Configuration of a single discovery run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Initial knowledge-graph family.
+    pub topology: Topology,
+    /// Number of machines.
+    pub n: usize,
+    /// Seed for topology generation, protocol randomness, and faults.
+    pub seed: u64,
+    /// Round budget before the run is declared incomplete.
+    pub max_rounds: u64,
+    /// Completion predicate.
+    pub completion: Completion,
+    /// Fault plan (drops, crashes).
+    pub faults: FaultPlan,
+}
+
+impl RunConfig {
+    /// A fault-free run with the default completion predicate and a
+    /// generous round budget.
+    pub fn new(topology: Topology, n: usize, seed: u64) -> Self {
+        RunConfig {
+            topology,
+            n,
+            seed,
+            max_rounds: 1_000_000,
+            completion: Completion::default(),
+            faults: FaultPlan::new(),
+        }
+    }
+
+    /// Overrides the completion predicate.
+    pub fn with_completion(mut self, completion: Completion) -> Self {
+        self.completion = completion;
+        self
+    }
+
+    /// Overrides the round budget.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Installs a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Complexity report of one discovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Topology display name.
+    pub topology: String,
+    /// Number of machines.
+    pub n: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// Whether the completion predicate was reached within the budget.
+    pub completed: bool,
+    /// Rounds until completion (or the budget, if incomplete).
+    pub rounds: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total pointers carried by delivered messages.
+    pub pointers: u64,
+    /// Total bit complexity.
+    pub bits: u64,
+    /// Messages lost to fault injection.
+    pub dropped: u64,
+    /// Maximum messages any single node sent.
+    pub max_sent_messages: u64,
+    /// Maximum messages any single node received.
+    pub max_recv_messages: u64,
+    /// Mean messages per node.
+    pub mean_messages_per_node: f64,
+    /// Soundness verdict: no fabricated ids, initial knowledge retained,
+    /// and — when the run completed under the default predicate — the
+    /// completion is real.
+    pub sound: bool,
+}
+
+/// Runs `kind` on the instance described by `config`.
+///
+/// # Panics
+///
+/// Panics if `config.n == 0` or the generated knowledge graph is not
+/// weakly connected (the generators guarantee it is).
+pub fn run(kind: AlgorithmKind, config: &RunConfig) -> RunReport {
+    match kind {
+        AlgorithmKind::Flooding => run_algorithm(&Flooding, config),
+        AlgorithmKind::NameDropper => run_algorithm(&NameDropper, config),
+        AlgorithmKind::PointerDoubling => run_algorithm(&PointerDoubling, config),
+        AlgorithmKind::Swamping => run_algorithm(&Swamping, config),
+        AlgorithmKind::RandomPointerJump => run_algorithm(&RandomPointerJump, config),
+        AlgorithmKind::Hm(cfg) => run_algorithm(&HmDiscovery::new(cfg), config),
+    }
+}
+
+/// Runs any [`DiscoveryAlgorithm`] on the instance described by `config`.
+pub fn run_algorithm<A: DiscoveryAlgorithm>(alg: &A, config: &RunConfig) -> RunReport
+where
+    A::NodeState: Node,
+{
+    let graph = config.topology.generate(config.n, config.seed);
+    let initial = problem::initial_knowledge(&graph);
+    let nodes = alg.make_nodes(&initial);
+    let mut engine = Engine::new(nodes, config.seed).with_faults(config.faults.clone());
+    let completion = config.completion;
+    // Crashed nodes are exempt from every completion requirement: they
+    // neither learn nor need to be learned by the survivors.
+    let live: Vec<bool> = (0..config.n).map(|i| !config.faults.is_crashed(i)).collect();
+    let live_pred = live.clone();
+    let outcome = engine.run_until(config.max_rounds, move |nodes: &[A::NodeState]| {
+        match completion {
+            Completion::EveryoneKnowsEveryone => {
+                problem::everyone_knows_everyone_among(nodes, &live_pred)
+            }
+            Completion::LeaderKnowsAll => problem::leader_knows_all_among(nodes, &live_pred),
+            Completion::AllBelieveDone => nodes
+                .iter()
+                .zip(&live_pred)
+                .all(|(n, &l)| !l || n.believes_done()),
+        }
+    });
+
+    let nodes = engine.nodes();
+    let mut sound = verify::no_fabricated_ids(nodes) && verify::knows_self(nodes);
+    if config.faults.is_fault_free() {
+        // Crashed nodes legitimately miss initial knowledge updates.
+        sound &= verify::retains_initial_knowledge(nodes, &initial);
+    }
+    if outcome.completed && completion == Completion::EveryoneKnowsEveryone {
+        sound &= problem::everyone_knows_everyone_among(nodes, &live);
+    }
+
+    let m = engine.metrics();
+    RunReport {
+        algorithm: alg.name(),
+        topology: config.topology.name(),
+        n: config.n,
+        seed: config.seed,
+        completed: outcome.completed,
+        rounds: outcome.rounds,
+        messages: m.total_messages(),
+        pointers: m.total_pointers(),
+        bits: m.total_bits(),
+        dropped: m.total_dropped(),
+        max_sent_messages: m.max_sent_messages(),
+        max_recv_messages: m.max_recv_messages(),
+        mean_messages_per_node: m.mean_messages_per_node(),
+        sound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contenders_complete_soundly_on_the_default_workload() {
+        for kind in AlgorithmKind::contenders() {
+            let report = run(kind, &RunConfig::new(Topology::KOut { k: 3 }, 128, 1));
+            assert!(report.completed, "{} incomplete", report.algorithm);
+            assert!(report.sound, "{} unsound", report.algorithm);
+            assert!(report.rounds > 0);
+            assert!(report.messages > 0);
+            assert!(report.bits > report.pointers);
+        }
+    }
+
+    #[test]
+    fn leader_completion_is_no_later_than_everyone() {
+        for kind in AlgorithmKind::contenders() {
+            let base = RunConfig::new(Topology::Cycle, 64, 2);
+            let everyone = run(kind, &base.clone());
+            let leader = run(
+                kind,
+                &RunConfig::new(Topology::Cycle, 64, 2).with_completion(Completion::LeaderKnowsAll),
+            );
+            assert!(everyone.completed && leader.completed);
+            assert!(
+                leader.rounds <= everyone.rounds,
+                "{}: leader {} > everyone {}",
+                everyone.algorithm,
+                leader.rounds,
+                everyone.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let report = run(
+            AlgorithmKind::NameDropper,
+            &RunConfig::new(Topology::Path, 128, 3).with_max_rounds(2),
+        );
+        assert!(!report.completed);
+        assert_eq!(report.rounds, 2);
+    }
+
+    #[test]
+    fn believes_done_completion_for_hm() {
+        let report = run(
+            AlgorithmKind::Hm(HmConfig::default()),
+            &RunConfig::new(Topology::KOut { k: 3 }, 64, 5)
+                .with_completion(Completion::AllBelieveDone),
+        );
+        assert!(report.completed);
+        assert!(report.sound);
+    }
+
+    #[test]
+    fn crashes_with_detector_reach_full_completion_among_survivors() {
+        let faults = FaultPlan::new()
+            .with_crashes([3, 17, 40, 55])
+            .with_crash_detection_after(30);
+        let report = run(
+            AlgorithmKind::Hm(HmConfig::default()),
+            &RunConfig::new(Topology::KOut { k: 6 }, 64, 5)
+                .with_faults(faults)
+                .with_max_rounds(50_000),
+        );
+        assert!(report.completed, "survivors did not complete");
+        assert!(report.sound);
+    }
+
+    #[test]
+    fn crashes_without_detector_still_reach_leader_completion() {
+        // Dead frontier targets block quiescence (so the final roster
+        // never goes out), but the classic leader-knows-all notion is
+        // still reached.
+        let faults = FaultPlan::new().with_crashes([3, 17]);
+        let report = run(
+            AlgorithmKind::Hm(HmConfig::default()),
+            &RunConfig::new(Topology::KOut { k: 6 }, 64, 5)
+                .with_faults(faults)
+                .with_completion(Completion::LeaderKnowsAll)
+                .with_max_rounds(50_000),
+        );
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn drops_are_reported() {
+        let report = run(
+            AlgorithmKind::Hm(HmConfig::default()),
+            &RunConfig::new(Topology::KOut { k: 3 }, 64, 5)
+                .with_faults(FaultPlan::new().with_drop_probability(0.05)),
+        );
+        assert!(report.completed);
+        assert!(report.dropped > 0);
+    }
+
+    #[test]
+    fn report_names_match_inputs() {
+        let report = run(
+            AlgorithmKind::PointerDoubling,
+            &RunConfig::new(Topology::Grid2d, 36, 0),
+        );
+        assert_eq!(report.algorithm, "pointer-doubling");
+        assert_eq!(report.topology, "grid");
+        assert_eq!(report.n, 36);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let cfg = RunConfig::new(Topology::ErdosRenyi { avg_degree: 4 }, 96, 17);
+        let a = run(AlgorithmKind::Hm(HmConfig::default()), &cfg);
+        let b = run(AlgorithmKind::Hm(HmConfig::default()), &cfg);
+        assert_eq!(a, b);
+    }
+}

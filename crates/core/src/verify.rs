@@ -1,0 +1,171 @@
+//! Harness-side soundness checks.
+//!
+//! A discovery run is only meaningful if the protocol (a) never invents
+//! identifiers, (b) never forgets what it knew, and (c) reaches the
+//! completion state it claims. These checks are run by the omniscient
+//! harness over the node population; protocols cannot see them.
+
+use crate::algorithms::KnowledgeView;
+use rd_sim::NodeId;
+
+/// Checks that every identifier known by any node actually names one of
+/// the `n` machines of the instance (no fabricated identifiers).
+pub fn no_fabricated_ids<N: KnowledgeView>(nodes: &[N]) -> bool {
+    let n = nodes.len();
+    nodes
+        .iter()
+        .all(|node| node.known_ids().iter().all(|id| id.index() < n))
+}
+
+/// Checks that every node still knows its entire initial knowledge
+/// (knowledge is monotone from the start state).
+pub fn retains_initial_knowledge<N: KnowledgeView>(nodes: &[N], initial: &[Vec<NodeId>]) -> bool {
+    nodes.len() == initial.len()
+        && nodes
+            .iter()
+            .zip(initial)
+            .all(|(node, init)| init.iter().all(|&id| node.knows(id)))
+}
+
+/// Checks that every node knows itself (identity is never lost).
+pub fn knows_self<N: KnowledgeView>(nodes: &[N]) -> bool {
+    nodes
+        .iter()
+        .enumerate()
+        .all(|(i, node)| node.knows(NodeId::new(i as u32)))
+}
+
+/// Round-over-round monotonicity checker: feed it the node population
+/// after every round; it reports the first shrink it sees.
+///
+/// # Example
+///
+/// ```
+/// use rd_core::verify::MonotonicityChecker;
+/// # use rd_core::algorithms::KnowledgeView;
+/// # use rd_core::KnowledgeSet;
+/// # use rd_sim::NodeId;
+/// # struct Fake(KnowledgeSet);
+/// # impl KnowledgeView for Fake {
+/// #     fn knows(&self, id: NodeId) -> bool { self.0.contains(id) }
+/// #     fn knows_count(&self) -> usize { self.0.len() }
+/// #     fn known_ids(&self) -> Vec<NodeId> { self.0.to_vec() }
+/// # }
+/// let mut checker = MonotonicityChecker::new();
+/// let mut nodes = vec![Fake(KnowledgeSet::new(NodeId::new(0)))];
+/// assert!(checker.observe(&nodes).is_ok());
+/// nodes[0].0.insert(NodeId::new(1));
+/// assert!(checker.observe(&nodes).is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MonotonicityChecker {
+    previous: Vec<usize>,
+}
+
+impl MonotonicityChecker {
+    /// Creates a checker with no history.
+    pub fn new() -> Self {
+        MonotonicityChecker::default()
+    }
+
+    /// Records the current knowledge sizes; errors if any node's
+    /// knowledge shrank since the previous observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending node index and the before/after counts.
+    pub fn observe<N: KnowledgeView>(&mut self, nodes: &[N]) -> Result<(), MonotonicityViolation> {
+        let now: Vec<usize> = nodes.iter().map(|n| n.knows_count()).collect();
+        if self.previous.len() == now.len() {
+            for (i, (&before, &after)) in self.previous.iter().zip(&now).enumerate() {
+                if after < before {
+                    return Err(MonotonicityViolation {
+                        node: i,
+                        before,
+                        after,
+                    });
+                }
+            }
+        }
+        self.previous = now;
+        Ok(())
+    }
+}
+
+/// A node's knowledge shrank between two observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonotonicityViolation {
+    /// Offending node index.
+    pub node: usize,
+    /// Knowledge size at the previous observation.
+    pub before: usize,
+    /// Knowledge size now.
+    pub after: usize,
+}
+
+impl std::fmt::Display for MonotonicityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node {} knowledge shrank from {} to {}",
+            self.node, self.before, self.after
+        )
+    }
+}
+
+impl std::error::Error for MonotonicityViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::KnowledgeSet;
+
+    struct Fake(KnowledgeSet);
+    impl KnowledgeView for Fake {
+        fn knows(&self, id: NodeId) -> bool {
+            self.0.contains(id)
+        }
+        fn knows_count(&self) -> usize {
+            self.0.len()
+        }
+        fn known_ids(&self) -> Vec<NodeId> {
+            self.0.to_vec()
+        }
+    }
+
+    fn fake(ids: &[u32]) -> Fake {
+        Fake(ids.iter().map(|&i| NodeId::new(i)).collect())
+    }
+
+    #[test]
+    fn fabrication_detected() {
+        let ok = [fake(&[0, 1]), fake(&[1])];
+        assert!(no_fabricated_ids(&ok));
+        let bad = [fake(&[0, 7]), fake(&[1])];
+        assert!(!no_fabricated_ids(&bad));
+    }
+
+    #[test]
+    fn initial_retention_detected() {
+        let initial = vec![vec![NodeId::new(0), NodeId::new(1)], vec![NodeId::new(1)]];
+        assert!(retains_initial_knowledge(&[fake(&[0, 1]), fake(&[1])], &initial));
+        assert!(!retains_initial_knowledge(&[fake(&[0]), fake(&[1])], &initial));
+    }
+
+    #[test]
+    fn self_knowledge_detected() {
+        assert!(knows_self(&[fake(&[0]), fake(&[1, 0])]));
+        assert!(!knows_self(&[fake(&[1]), fake(&[1])]));
+    }
+
+    #[test]
+    fn monotonicity_checker_flags_shrink() {
+        let mut checker = MonotonicityChecker::new();
+        checker.observe(&[fake(&[0, 1, 2])]).unwrap();
+        checker.observe(&[fake(&[0, 1, 2, 3])]).unwrap();
+        let err = checker.observe(&[fake(&[0])]).unwrap_err();
+        assert_eq!(err.node, 0);
+        assert_eq!((err.before, err.after), (4, 1));
+        assert!(err.to_string().contains("shrank"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Connectivity analysis: weak components, reachability, and Tarjan's
+//! strongly connected components.
+
+use crate::digraph::DiGraph;
+use crate::unionfind::UnionFind;
+
+/// Returns `true` if the graph is weakly connected (its undirected
+/// closure is connected). The empty graph and the single-node graph are
+/// weakly connected by convention.
+///
+/// Resource discovery is only solvable on weakly connected knowledge
+/// graphs, so every topology generator is validated with this predicate.
+pub fn is_weakly_connected(g: &DiGraph) -> bool {
+    weak_component_count(g) <= 1
+}
+
+/// Number of weakly connected components.
+pub fn weak_component_count(g: &DiGraph) -> usize {
+    let n = g.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.iter_edges() {
+        uf.union(u, v);
+    }
+    uf.set_count()
+}
+
+/// Labels each node with the id of its weakly connected component;
+/// component ids are the minimum node index in the component.
+pub fn weak_components(g: &DiGraph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.iter_edges() {
+        uf.union(u, v);
+    }
+    // Canonicalize representatives to the minimum index in each set.
+    let mut min_of_root = vec![usize::MAX; n];
+    for v in 0..n {
+        let r = uf.find(v);
+        min_of_root[r] = min_of_root[r].min(v);
+    }
+    (0..n).map(|v| min_of_root[uf.find(v)]).collect()
+}
+
+/// Set of nodes reachable from `src` by directed edges (including `src`),
+/// as a boolean membership vector.
+pub fn reachable_from(g: &DiGraph, src: usize) -> Vec<bool> {
+    let n = g.node_count();
+    assert!(src < n, "source {src} out of range for n={n}");
+    let mut seen = vec![false; n];
+    let mut stack = vec![src];
+    seen[src] = true;
+    while let Some(u) = stack.pop() {
+        for &v in g.out(u) {
+            let v = v as usize;
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Tarjan's strongly connected components (iterative, so deep graphs do
+/// not overflow the call stack). Returns one sorted `Vec` of node indices
+/// per component, in reverse topological order of the condensation.
+pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frame: (node, position in its adjacency list).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        frames.push((start as u32, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start as u32);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let v = v as usize;
+            if *pos < g.out_degree(v) {
+                let w = g.out(v)[*pos] as usize;
+                *pos += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    frames.push((w as u32, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let p = parent as usize;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w as usize);
+                        if w as usize == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// `true` if the graph is strongly connected (one SCC spanning all nodes).
+pub fn is_strongly_connected(g: &DiGraph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let comps = strongly_connected_components(g);
+    comps.len() == 1 && comps[0].len() == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> DiGraph {
+        DiGraph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn empty_and_singleton_are_weakly_connected() {
+        assert!(is_weakly_connected(&DiGraph::new(0)));
+        assert!(is_weakly_connected(&DiGraph::new(1)));
+    }
+
+    #[test]
+    fn two_isolated_nodes_are_disconnected() {
+        let g = DiGraph::new(2);
+        assert!(!is_weakly_connected(&g));
+        assert_eq!(weak_component_count(&g), 2);
+    }
+
+    #[test]
+    fn directed_path_is_weakly_but_not_strongly_connected() {
+        let g = path(10);
+        assert!(is_weakly_connected(&g));
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn cycle_is_strongly_connected() {
+        let mut g = path(5);
+        g.add_edge(4, 0);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(strongly_connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn weak_components_label_by_min_index() {
+        let g = DiGraph::from_edges(5, [(0, 1), (3, 4)]);
+        assert_eq!(weak_components(&g), vec![0, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn reachability_follows_direction() {
+        let g = path(4);
+        assert_eq!(reachable_from(&g, 0), vec![true; 4]);
+        assert_eq!(reachable_from(&g, 2), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn tarjan_partitions_all_nodes() {
+        // Two 3-cycles joined by a one-way bridge, plus a lone sink.
+        let g = DiGraph::from_edges(
+            7,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
+        );
+        let mut comps = strongly_connected_components(&g);
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+    }
+
+    #[test]
+    fn tarjan_handles_deep_path_without_overflow() {
+        let g = path(200_000);
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 200_000);
+    }
+}

@@ -1,0 +1,560 @@
+//! The topology zoo: generators for every initial-knowledge-graph family
+//! used in the evaluation.
+//!
+//! A knowledge graph's edge `u -> v` means "`u` initially knows `v`'s
+//! identifier". Resource discovery requires weak connectivity, so every
+//! generator either is weakly connected by construction or is repaired by
+//! [`ensure_weakly_connected`] after random generation.
+
+use crate::connectivity;
+use crate::digraph::DiGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A family of initial knowledge graphs, parameterised where applicable.
+///
+/// # Example
+///
+/// ```
+/// use rd_graphs::{Topology, connectivity};
+///
+/// for topo in Topology::survey() {
+///     let g = topo.generate(64, 7);
+///     assert_eq!(g.node_count(), 64);
+///     assert!(connectivity::is_weakly_connected(&g), "{topo}");
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Directed path: `i` knows `i + 1`. Diameter `n - 1`: the worst case
+    /// for every algorithm (see DESIGN.md §1.1).
+    Path,
+    /// Directed cycle: the path plus `n-1 -> 0`.
+    Cycle,
+    /// Out-star: node 0 knows every other node; leaves know nobody.
+    StarOut,
+    /// In-star: every node knows node 0.
+    StarIn,
+    /// Complete binary tree, parent knows children.
+    BinaryTree,
+    /// Uniform random recursive tree: node `i` knows one uniform `j < i`.
+    RandomTree,
+    /// Complete knowledge graph (everyone already knows everyone's id but
+    /// not that discovery is complete — also the gossip substrate).
+    Complete,
+    /// Every node knows `k` distinct uniform random peers; repaired to
+    /// weak connectivity. The evaluation's default "overlay bootstrap"
+    /// workload.
+    KOut {
+        /// Out-degree per node.
+        k: usize,
+    },
+    /// `G(n, m)` random digraph with `m ≈ avg_degree · n` edges, repaired
+    /// to weak connectivity.
+    ErdosRenyi {
+        /// Expected out-degree per node.
+        avg_degree: usize,
+    },
+    /// Hypercube over `⌈log₂ n⌉` dimensions, truncated to `n` nodes
+    /// (edges to indices `>= n` are skipped).
+    Hypercube,
+    /// Two-dimensional grid with row-major layout and rightward/downward
+    /// knowledge edges.
+    Grid2d,
+    /// A chain of `cliques` bidirectional cliques joined by single
+    /// bridges. Diameter `Θ(cliques)` at any `n`: the knob experiment F5
+    /// turns to isolate diameter dependence.
+    CliqueChain {
+        /// Number of cliques in the chain.
+        cliques: usize,
+    },
+    /// Barabási–Albert preferential attachment: each new node knows
+    /// `m` degree-biased existing nodes.
+    ScaleFree {
+        /// Attachment edges per new node.
+        m: usize,
+    },
+    /// Lollipop: a clique on `n/2` nodes with a path of `n/2` hanging off.
+    Lollipop,
+}
+
+impl Topology {
+    /// A short stable name for tables and CSV output.
+    pub fn name(&self) -> String {
+        match self {
+            Topology::Path => "path".into(),
+            Topology::Cycle => "cycle".into(),
+            Topology::StarOut => "star-out".into(),
+            Topology::StarIn => "star-in".into(),
+            Topology::BinaryTree => "binary-tree".into(),
+            Topology::RandomTree => "random-tree".into(),
+            Topology::Complete => "complete".into(),
+            Topology::KOut { k } => format!("kout-{k}"),
+            Topology::ErdosRenyi { avg_degree } => format!("er-{avg_degree}"),
+            Topology::Hypercube => "hypercube".into(),
+            Topology::Grid2d => "grid".into(),
+            Topology::CliqueChain { cliques } => format!("clique-chain-{cliques}"),
+            Topology::ScaleFree { m } => format!("scale-free-{m}"),
+            Topology::Lollipop => "lollipop".into(),
+        }
+    }
+
+    /// The ten-topology survey used by experiment T3.
+    pub fn survey() -> Vec<Topology> {
+        vec![
+            Topology::Path,
+            Topology::Cycle,
+            Topology::StarOut,
+            Topology::StarIn,
+            Topology::BinaryTree,
+            Topology::RandomTree,
+            Topology::KOut { k: 3 },
+            Topology::ErdosRenyi { avg_degree: 4 },
+            Topology::Hypercube,
+            Topology::Grid2d,
+            Topology::CliqueChain { cliques: 16 },
+            Topology::ScaleFree { m: 2 },
+            Topology::Lollipop,
+            Topology::Complete,
+        ]
+    }
+
+    /// Generates an `n`-node instance of this family.
+    ///
+    /// The result is always weakly connected (for `n >= 1`). `seed` makes
+    /// random families reproducible; deterministic families ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if a parameterised family receives a
+    /// degenerate parameter (`k == 0`, `m == 0`, `cliques == 0`).
+    pub fn generate(&self, n: usize, seed: u64) -> DiGraph {
+        assert!(n > 0, "knowledge graphs need at least one node");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        match *self {
+            Topology::Path => path(n),
+            Topology::Cycle => cycle(n),
+            Topology::StarOut => star_out(n),
+            Topology::StarIn => star_in(n),
+            Topology::BinaryTree => binary_tree(n),
+            Topology::RandomTree => random_tree(n, &mut rng),
+            Topology::Complete => complete(n),
+            Topology::KOut { k } => k_out(n, k, &mut rng),
+            Topology::ErdosRenyi { avg_degree } => erdos_renyi(n, avg_degree, &mut rng),
+            Topology::Hypercube => hypercube(n),
+            Topology::Grid2d => grid2d(n),
+            Topology::CliqueChain { cliques } => clique_chain(n, cliques),
+            Topology::ScaleFree { m } => scale_free(n, m, &mut rng),
+            Topology::Lollipop => lollipop(n),
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+fn path(n: usize) -> DiGraph {
+    DiGraph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+}
+
+fn cycle(n: usize) -> DiGraph {
+    let mut g = path(n);
+    if n > 1 {
+        g.add_edge(n - 1, 0);
+    }
+    g
+}
+
+fn star_out(n: usize) -> DiGraph {
+    DiGraph::from_edges(n, (1..n).map(|i| (0, i)))
+}
+
+fn star_in(n: usize) -> DiGraph {
+    DiGraph::from_edges(n, (1..n).map(|i| (i, 0)))
+}
+
+fn binary_tree(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n {
+                g.add_edge(i, child);
+            }
+        }
+    }
+    g
+}
+
+fn random_tree(n: usize, rng: &mut StdRng) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        g.add_edge(i, j);
+    }
+    g
+}
+
+fn complete(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+fn k_out(n: usize, k: usize, rng: &mut StdRng) -> DiGraph {
+    assert!(k > 0, "k-out requires k >= 1");
+    let mut g = DiGraph::new(n);
+    if n == 1 {
+        return g;
+    }
+    let k = k.min(n - 1);
+    for u in 0..n {
+        let mut added = 0;
+        // Rejection sampling; with k << n this terminates quickly, and
+        // the loop guard keeps degenerate cases (k close to n) safe.
+        let mut attempts = 0;
+        while added < k && attempts < 64 * k + 64 {
+            attempts += 1;
+            let v = rng.random_range(0..n);
+            if v != u && g.add_edge(u, v) {
+                added += 1;
+            }
+        }
+        // Deterministic fallback for the (tiny-n) cases where rejection
+        // sampling stalls.
+        let mut v = (u + 1) % n;
+        while added < k {
+            if v != u && g.add_edge(u, v) {
+                added += 1;
+            }
+            v = (v + 1) % n;
+        }
+    }
+    ensure_weakly_connected(&mut g, rng);
+    g
+}
+
+fn erdos_renyi(n: usize, avg_degree: usize, rng: &mut StdRng) -> DiGraph {
+    assert!(avg_degree > 0, "Erdős–Rényi requires avg_degree >= 1");
+    let mut g = DiGraph::new(n);
+    if n == 1 {
+        return g;
+    }
+    let target = avg_degree.saturating_mul(n).min(n * (n - 1));
+    let mut inserted = 0;
+    let mut attempts = 0usize;
+    let max_attempts = target.saturating_mul(20) + 100;
+    while inserted < target && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && g.add_edge(u, v) {
+            inserted += 1;
+        }
+    }
+    ensure_weakly_connected(&mut g, rng);
+    g
+}
+
+fn hypercube(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    if n == 1 {
+        return g;
+    }
+    let dims = usize::BITS - (n - 1).leading_zeros();
+    for v in 0..n {
+        for b in 0..dims {
+            let w = v ^ (1usize << b);
+            if w < n && w != v {
+                g.add_edge(v, w);
+            }
+        }
+    }
+    g
+}
+
+fn grid2d(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    let w = (n as f64).sqrt().ceil() as usize;
+    let w = w.max(1);
+    for v in 0..n {
+        if (v + 1) % w != 0 && v + 1 < n {
+            g.add_edge(v, v + 1);
+        }
+        if v + w < n {
+            g.add_edge(v, v + w);
+        }
+    }
+    // A final partial row whose first cell index is not a multiple of w
+    // cannot occur (row-major layout), but a 1-wide tail is linked by the
+    // downward edges above; nothing else to repair.
+    g
+}
+
+/// Chain of `cliques` bidirectional cliques. Exposed directly (in
+/// addition to [`Topology::CliqueChain`]) so experiment F5 can sweep the
+/// clique count while keeping `n` fixed.
+pub fn clique_chain(n: usize, cliques: usize) -> DiGraph {
+    assert!(cliques > 0, "clique chain requires at least one clique");
+    let cliques = cliques.min(n);
+    let mut g = DiGraph::new(n);
+    let base = n / cliques;
+    let extra = n % cliques;
+    let mut start = 0;
+    let mut prev_last: Option<usize> = None;
+    for c in 0..cliques {
+        let size = base + usize::from(c < extra);
+        let end = start + size;
+        for u in start..end {
+            for v in start..end {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        if let Some(p) = prev_last {
+            // Single directed bridge: the previous clique's last node
+            // knows this clique's first node, and vice versa, so the
+            // chain is weakly (indeed strongly) connected.
+            g.add_edge(p, start);
+            g.add_edge(start, p);
+        }
+        prev_last = Some(end - 1);
+        start = end;
+    }
+    g
+}
+
+fn scale_free(n: usize, m: usize, rng: &mut StdRng) -> DiGraph {
+    assert!(m > 0, "preferential attachment requires m >= 1");
+    let mut g = DiGraph::new(n);
+    if n == 1 {
+        return g;
+    }
+    // Endpoint multiset for degree-proportional sampling.
+    let mut endpoints: Vec<u32> = vec![0];
+    for i in 1..n {
+        let targets = m.min(i);
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < targets && attempts < 64 * targets + 64 {
+            attempts += 1;
+            let t = endpoints[rng.random_range(0..endpoints.len())] as usize;
+            if t != i && g.add_edge(i, t) {
+                endpoints.push(t as u32);
+                added += 1;
+            }
+        }
+        if added == 0 {
+            // Guarantee attachment even if sampling stalled.
+            g.add_edge(i, i - 1);
+            endpoints.push((i - 1) as u32);
+        }
+        endpoints.push(i as u32);
+    }
+    g
+}
+
+fn lollipop(n: usize) -> DiGraph {
+    let head = (n / 2).max(1);
+    let mut g = DiGraph::new(n);
+    for u in 0..head {
+        for v in 0..head {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    for i in head..n {
+        g.add_edge(i, i - 1);
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// Repairs a (possibly disconnected) random graph to weak connectivity by
+/// linking one random representative of each weak component to a random
+/// node of the previous component.
+pub fn ensure_weakly_connected(g: &mut DiGraph, rng: &mut StdRng) {
+    let n = g.node_count();
+    if n <= 1 || connectivity::is_weakly_connected(g) {
+        return;
+    }
+    let labels = connectivity::weak_components(g);
+    let mut members: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (v, &c) in labels.iter().enumerate() {
+        members.entry(c).or_default().push(v);
+    }
+    let comps: Vec<&Vec<usize>> = members.values().collect();
+    for w in comps.windows(2) {
+        let a = w[0][rng.random_range(0..w[0].len())];
+        let b = w[1][rng.random_range(0..w[1].len())];
+        g.add_edge(b, a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn every_survey_family_is_weakly_connected() {
+        for topo in Topology::survey() {
+            for n in [1usize, 2, 3, 7, 32, 100] {
+                let g = topo.generate(n, 1234);
+                assert_eq!(g.node_count(), n, "{topo} n={n}");
+                assert!(
+                    connectivity::is_weakly_connected(&g),
+                    "{topo} n={n} disconnected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for topo in [
+            Topology::KOut { k: 3 },
+            Topology::ErdosRenyi { avg_degree: 4 },
+            Topology::RandomTree,
+            Topology::ScaleFree { m: 2 },
+        ] {
+            let a = topo.generate(200, 9);
+            let b = topo.generate(200, 9);
+            let c = topo.generate(200, 10);
+            assert_eq!(a, b, "{topo} not deterministic");
+            assert_ne!(a, c, "{topo} ignores seed");
+        }
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = Topology::Path.generate(5, 0);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(metrics::undirected_diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = Topology::Cycle.generate(6, 0);
+        assert_eq!(g.edge_count(), 6);
+        assert!(connectivity::is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn stars_have_diameter_two() {
+        for topo in [Topology::StarOut, Topology::StarIn] {
+            let g = topo.generate(9, 0);
+            assert_eq!(g.edge_count(), 8);
+            assert_eq!(metrics::undirected_diameter(&g), Some(2), "{topo}");
+        }
+    }
+
+    #[test]
+    fn complete_has_all_edges() {
+        let g = Topology::Complete.generate(7, 0);
+        assert_eq!(g.edge_count(), 42);
+    }
+
+    #[test]
+    fn kout_has_exact_out_degree() {
+        let g = Topology::KOut { k: 3 }.generate(50, 5);
+        for u in 0..50 {
+            assert!(g.out_degree(u) >= 3, "node {u} degree {}", g.out_degree(u));
+        }
+    }
+
+    #[test]
+    fn kout_clamps_k_for_tiny_n() {
+        let g = Topology::KOut { k: 10 }.generate(4, 5);
+        for u in 0..4 {
+            assert_eq!(g.out_degree(u), 3);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_hits_edge_budget() {
+        let g = Topology::ErdosRenyi { avg_degree: 4 }.generate(500, 5);
+        let m = g.edge_count();
+        assert!((1900..=2600).contains(&m), "edge count {m} out of range");
+    }
+
+    #[test]
+    fn hypercube_power_of_two_degrees() {
+        let g = Topology::Hypercube.generate(16, 0);
+        for u in 0..16 {
+            assert_eq!(g.out_degree(u), 4);
+        }
+        assert_eq!(metrics::undirected_diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn hypercube_truncated_still_connected() {
+        let g = Topology::Hypercube.generate(13, 0);
+        assert!(connectivity::is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        let g = Topology::Grid2d.generate(16, 0);
+        assert_eq!(metrics::undirected_diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn clique_chain_diameter_scales_with_cliques() {
+        let d4 = metrics::undirected_diameter(&clique_chain(64, 4)).unwrap();
+        let d16 = metrics::undirected_diameter(&clique_chain(64, 16)).unwrap();
+        assert!(d16 > d4, "d4={d4} d16={d16}");
+        assert!(connectivity::is_strongly_connected(&clique_chain(64, 16)));
+    }
+
+    #[test]
+    fn clique_chain_clamps_cliques_to_n() {
+        let g = clique_chain(3, 10);
+        assert!(connectivity::is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn scale_free_every_late_node_attaches() {
+        let g = Topology::ScaleFree { m: 2 }.generate(300, 3);
+        for u in 2..300 {
+            assert!(g.out_degree(u) >= 1, "node {u} unattached");
+        }
+        assert!(connectivity::is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn lollipop_has_clique_and_tail() {
+        let g = Topology::Lollipop.generate(20, 0);
+        assert!(g.out_degree(0) >= 9);
+        let d = metrics::undirected_diameter(&g).unwrap();
+        assert!(d >= 10, "tail too short: diameter {d}");
+    }
+
+    #[test]
+    fn ensure_weakly_connected_repairs() {
+        let mut g = DiGraph::from_edges(6, [(0, 1), (2, 3), (4, 5)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        ensure_weakly_connected(&mut g, &mut rng);
+        assert!(connectivity::is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn single_node_everywhere() {
+        for topo in Topology::survey() {
+            let g = topo.generate(1, 0);
+            assert_eq!(g.node_count(), 1);
+            assert_eq!(g.edge_count(), 0);
+        }
+    }
+}

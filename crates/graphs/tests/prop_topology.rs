@@ -1,0 +1,112 @@
+//! Property-based tests over the topology zoo and graph utilities.
+
+use proptest::prelude::*;
+use rd_graphs::{connectivity, metrics, topology::Topology, DiGraph, UnionFind};
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Path),
+        Just(Topology::Cycle),
+        Just(Topology::StarOut),
+        Just(Topology::StarIn),
+        Just(Topology::BinaryTree),
+        Just(Topology::RandomTree),
+        Just(Topology::Hypercube),
+        Just(Topology::Grid2d),
+        Just(Topology::Lollipop),
+        (1usize..6).prop_map(|k| Topology::KOut { k }),
+        (1usize..8).prop_map(|avg_degree| Topology::ErdosRenyi { avg_degree }),
+        (1usize..20).prop_map(|cliques| Topology::CliqueChain { cliques }),
+        (1usize..4).prop_map(|m| Topology::ScaleFree { m }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn generated_graphs_are_weakly_connected(
+        topo in arb_topology(),
+        n in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let g = topo.generate(n, seed);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(connectivity::is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn generation_is_deterministic(
+        topo in arb_topology(),
+        n in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        prop_assert_eq!(topo.generate(n, seed), topo.generate(n, seed));
+    }
+
+    #[test]
+    fn double_sweep_never_exceeds_exact_diameter(
+        topo in arb_topology(),
+        n in 2usize..80,
+        seed in any::<u64>(),
+    ) {
+        let g = topo.generate(n, seed);
+        let exact = metrics::undirected_diameter(&g).expect("connected");
+        let approx = metrics::approx_undirected_diameter(&g, 0).expect("connected");
+        prop_assert!(approx <= exact);
+        // Double sweep is a 2-approximation from any start node.
+        prop_assert!(u64::from(exact) <= 2 * u64::from(approx) + 1);
+    }
+
+    #[test]
+    fn union_find_agrees_with_component_labels(
+        edges in prop::collection::vec((0usize..50, 0usize..50), 0..120),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().filter(|(u, v)| u != v).collect();
+        let g = DiGraph::from_edges(50, edges.iter().copied());
+        let labels = connectivity::weak_components(&g);
+        let mut uf = UnionFind::new(50);
+        for &(u, v) in &edges {
+            uf.union(u, v);
+        }
+        for u in 0..50 {
+            for v in 0..50 {
+                prop_assert_eq!(labels[u] == labels[v], uf.same(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn scc_partition_covers_all_nodes_once(
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..150),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().filter(|(u, v)| u != v).collect();
+        let g = DiGraph::from_edges(40, edges);
+        let comps = connectivity::strongly_connected_components(&g);
+        let mut seen = [false; 40];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v], "node {} in two SCCs", v);
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn scc_members_are_mutually_reachable(
+        edges in prop::collection::vec((0usize..25, 0usize..25), 0..80),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().filter(|(u, v)| u != v).collect();
+        let g = DiGraph::from_edges(25, edges);
+        for comp in connectivity::strongly_connected_components(&g) {
+            let reach = connectivity::reachable_from(&g, comp[0]);
+            for &v in &comp {
+                prop_assert!(reach[v]);
+                let back = connectivity::reachable_from(&g, v);
+                prop_assert!(back[comp[0]]);
+            }
+        }
+    }
+}

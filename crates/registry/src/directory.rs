@@ -1,0 +1,148 @@
+//! The directory: membership + placement, with change diffs.
+
+use crate::placement;
+use rd_sim::NodeId;
+
+/// A resource directory over a discovered membership.
+///
+/// Construction sorts and deduplicates the membership so that two
+/// machines building a `Directory` from the same discovered *set* (in
+/// any order) agree on every lookup.
+///
+/// # Example
+///
+/// ```
+/// use rd_registry::Directory;
+/// use rd_sim::NodeId;
+///
+/// let dir = Directory::new((0..5).map(NodeId::new));
+/// assert_eq!(dir.len(), 5);
+/// let moved = dir.without(NodeId::new(2)).moved_keys(&dir, 0..100);
+/// // Only keys owned by the removed machine move.
+/// assert!(moved.iter().all(|&k| dir.owner(k) == NodeId::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directory {
+    members: Vec<NodeId>,
+}
+
+impl Directory {
+    /// Builds a directory from a membership (deduplicated, any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty membership.
+    pub fn new(members: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut members: Vec<NodeId> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        assert!(!members.is_empty(), "a directory needs at least one member");
+        Directory { members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// A directory is never empty (construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The membership, sorted.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The machine responsible for `key`.
+    pub fn owner(&self, key: u64) -> NodeId {
+        placement::owner(key, &self.members)
+    }
+
+    /// The `r` machines holding `key`'s replicas, primary first.
+    pub fn replicas(&self, key: u64, r: usize) -> Vec<NodeId> {
+        placement::replicas(key, &self.members, r)
+    }
+
+    /// This directory minus one machine (e.g. after a crash report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is the only member.
+    pub fn without(&self, member: NodeId) -> Directory {
+        Directory::new(self.members.iter().copied().filter(|&m| m != member))
+    }
+
+    /// This directory plus one machine (e.g. after a join).
+    pub fn with(&self, member: NodeId) -> Directory {
+        Directory::new(self.members.iter().copied().chain([member]))
+    }
+
+    /// The keys in `keys` whose owner differs between `other` and
+    /// `self` — the migration set of a membership change.
+    pub fn moved_keys(&self, other: &Directory, keys: impl IntoIterator<Item = u64>) -> Vec<u64> {
+        keys.into_iter()
+            .filter(|&k| self.owner(k) != other.owner(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(n: u32) -> Directory {
+        Directory::new((0..n).map(NodeId::new))
+    }
+
+    #[test]
+    fn construction_dedups_and_sorts() {
+        let d = Directory::new([3, 1, 3, 2].map(NodeId::new));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.members(), &[1, 2, 3].map(NodeId::new));
+    }
+
+    #[test]
+    fn order_independent_lookups() {
+        let a = Directory::new([5, 1, 9].map(NodeId::new));
+        let b = Directory::new([9, 5, 1].map(NodeId::new));
+        for key in 0..100 {
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+    }
+
+    #[test]
+    fn removal_diff_is_exactly_the_victims_keys() {
+        let full = dir(10);
+        let victim = NodeId::new(7);
+        let reduced = full.without(victim);
+        let keys = 0..1000u64;
+        let moved = reduced.moved_keys(&full, keys.clone());
+        let owned: Vec<u64> = keys.filter(|&k| full.owner(k) == victim).collect();
+        assert_eq!(moved, owned);
+        assert!(!owned.is_empty(), "victim owned nothing; test is vacuous");
+    }
+
+    #[test]
+    fn addition_diff_lands_on_the_newcomer() {
+        let base = dir(9);
+        let grown = base.with(NodeId::new(9));
+        for k in grown.moved_keys(&base, 0..1000) {
+            assert_eq!(grown.owner(k), NodeId::new(9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn sole_member_cannot_be_removed() {
+        let _ = dir(1).without(NodeId::new(0));
+    }
+
+    #[test]
+    fn replica_sets_shrink_gracefully() {
+        let d = dir(4);
+        assert_eq!(d.replicas(11, 3).len(), 3);
+        assert_eq!(d.replicas(11, 9).len(), 4);
+    }
+}

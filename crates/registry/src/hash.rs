@@ -1,0 +1,61 @@
+//! A small, self-contained 64-bit mixing hash.
+//!
+//! Rendezvous hashing needs a fast keyed hash whose outputs behave like
+//! independent uniform draws per `(key, node)` pair. This is a
+//! SplitMix64-style finalizer over an FNV-style combine — deterministic
+//! across platforms (the placement decision must be identical on every
+//! machine), with avalanche quality validated by the tests.
+
+/// Combines and scrambles two 64-bit inputs into one well-mixed output.
+pub fn mix2(a: u64, b: u64) -> u64 {
+    finalize(a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+}
+
+/// The 64-bit finalizer (xorshift-multiply avalanche).
+pub fn finalize(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(mix2(1, 2), mix2(1, 2));
+        assert_ne!(mix2(1, 2), mix2(2, 1), "order matters");
+    }
+
+    #[test]
+    fn no_collisions_on_dense_inputs() {
+        let outs: HashSet<u64> = (0..10_000).map(|i| mix2(i, 7)).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn single_bit_flips_avalanche() {
+        // Flipping one input bit should flip roughly half the output
+        // bits on average.
+        let mut total = 0u32;
+        let samples = 256;
+        for i in 0..samples {
+            let base = mix2(i, 99);
+            let flipped = mix2(i ^ 1, 99);
+            total += (base ^ flipped).count_ones();
+        }
+        let avg = total as f64 / samples as f64;
+        assert!((24.0..40.0).contains(&avg), "weak avalanche: {avg}");
+    }
+
+    #[test]
+    fn finalize_is_bijective_spotcheck() {
+        // A bijection cannot collide; spot-check a dense range.
+        let outs: HashSet<u64> = (0..10_000).map(finalize).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+}

@@ -1,0 +1,145 @@
+//! Rendezvous (highest-random-weight) placement.
+//!
+//! Every machine computes `weight(key, m) = hash(key, m)` for each
+//! member `m` and assigns the key to the maximum — the same answer on
+//! every machine that holds the same membership, with no communication.
+//! Rendezvous hashing's defining property is *minimal disruption*:
+//! removing a member reassigns exactly the keys that member owned, and
+//! adding one steals from everyone only the keys it now wins.
+
+use crate::hash::mix2;
+use rd_sim::NodeId;
+
+/// The rendezvous weight of `member` for `key`.
+pub fn weight(key: u64, member: NodeId) -> u64 {
+    mix2(key, u64::from(u32::from(member)) + 1)
+}
+
+/// The owner of `key` among `members` (ties, which need a 2⁻⁶⁴ fluke,
+/// break toward the larger id).
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub fn owner(key: u64, members: &[NodeId]) -> NodeId {
+    assert!(!members.is_empty(), "placement over an empty membership");
+    members
+        .iter()
+        .copied()
+        .max_by_key(|&m| (weight(key, m), m))
+        .expect("nonempty")
+}
+
+/// The `r` distinct members with the highest weights for `key` —
+/// the replica set (all members if `r >= members.len()`), best first.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or `r == 0`.
+pub fn replicas(key: u64, members: &[NodeId], r: usize) -> Vec<NodeId> {
+    assert!(!members.is_empty(), "placement over an empty membership");
+    assert!(r > 0, "a replica set needs at least one member");
+    let mut ranked: Vec<NodeId> = members.to_vec();
+    ranked.sort_by_key(|&m| std::cmp::Reverse((weight(key, m), m)));
+    ranked.truncate(r);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_member() {
+        let m = members(16);
+        for key in 0..200 {
+            let o = owner(key, &m);
+            assert!(m.contains(&o));
+            assert_eq!(o, owner(key, &m));
+        }
+    }
+
+    #[test]
+    fn owner_ignores_membership_order() {
+        let m = members(16);
+        let mut shuffled = m.clone();
+        shuffled.reverse();
+        for key in 0..200 {
+            assert_eq!(owner(key, &m), owner(key, &shuffled));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let m = members(8);
+        let mut counts = vec![0u32; 8];
+        let keys = 8000;
+        for key in 0..keys {
+            counts[owner(key, &m).index()] += 1;
+        }
+        for &c in &counts {
+            // Expected 1000 per member; allow ±25%.
+            assert!((750..1250).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removal_moves_only_the_victims_keys() {
+        let full = members(10);
+        let removed = NodeId::new(4);
+        let reduced: Vec<NodeId> = full.iter().copied().filter(|&m| m != removed).collect();
+        for key in 0..2000 {
+            let before = owner(key, &full);
+            let after = owner(key, &reduced);
+            if before == removed {
+                assert_ne!(after, removed);
+            } else {
+                assert_eq!(before, after, "key {key} moved needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn addition_steals_only_what_it_wins() {
+        let small = members(9);
+        let mut grown = small.clone();
+        let newcomer = NodeId::new(9);
+        grown.push(newcomer);
+        for key in 0..2000 {
+            let before = owner(key, &small);
+            let after = owner(key, &grown);
+            assert!(after == before || after == newcomer, "key {key} hopped sideways");
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_ranked_prefixes() {
+        let m = members(12);
+        for key in 0..100 {
+            let r3 = replicas(key, &m, 3);
+            assert_eq!(r3.len(), 3);
+            assert_eq!(r3[0], owner(key, &m));
+            let mut dedup = r3.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3);
+            // Prefix consistency: the top-2 are the first two of top-3.
+            assert_eq!(&replicas(key, &m, 2)[..], &r3[..2]);
+        }
+    }
+
+    #[test]
+    fn replicas_clamp_to_membership() {
+        let m = members(3);
+        assert_eq!(replicas(1, &m, 10).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty membership")]
+    fn empty_membership_rejected() {
+        owner(1, &[]);
+    }
+}

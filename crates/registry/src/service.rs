@@ -1,0 +1,284 @@
+//! The end-to-end pipeline: discovery, then a running directory
+//! service, inside the simulator.
+//!
+//! Machines start with local resources and a weakly connected knowledge
+//! graph. Phase one runs the discovery algorithm to completion; phase
+//! two builds a [`Directory`] *locally on every machine* from its
+//! discovered membership and runs the registry protocol over it:
+//! publish every local resource to its owner (one message each), then
+//! resolve lookups through the owner (one round trip each). The
+//! pipeline is the paper's raison d'être made concrete: after
+//! discovery, locating any resource costs O(1) messages.
+
+use crate::directory::Directory;
+use crate::hash::mix2;
+use rd_core::algorithms::hm::HmDiscovery;
+use rd_core::{problem, DiscoveryAlgorithm, KnowledgeView};
+use rd_graphs::Topology;
+use rd_sim::{Engine, Envelope, MessageCost, Node, NodeId, RoundContext};
+use std::collections::HashMap;
+
+/// The resource key a machine holds, by machine index and slot
+/// (deterministic, so tests and queriers can name any resource).
+pub fn resource_key(machine: u32, slot: u32) -> u64 {
+    mix2(machine as u64, slot as u64) | 1 // never zero
+}
+
+/// Registry wire messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryMsg {
+    /// "I hold this resource" — sent to the key's owner.
+    Publish {
+        /// The resource key.
+        key: u64,
+    },
+    /// "Who holds this resource?" — sent to the key's owner.
+    Lookup {
+        /// The resource key.
+        key: u64,
+    },
+    /// The owner's answer.
+    Found {
+        /// The resource key.
+        key: u64,
+        /// The machine that published it (`None` if unknown).
+        holder: Option<NodeId>,
+    },
+}
+
+impl MessageCost for RegistryMsg {
+    fn pointers(&self) -> usize {
+        match self {
+            RegistryMsg::Publish { .. } | RegistryMsg::Lookup { .. } => 1,
+            RegistryMsg::Found { .. } => 2,
+        }
+    }
+}
+
+/// One machine of the registry protocol (phase two).
+#[derive(Debug, Clone)]
+pub struct RegistryNode {
+    directory: Directory,
+    /// Local resources to publish.
+    resources: Vec<u64>,
+    /// Keys this machine wants to resolve.
+    queries: Vec<u64>,
+    /// The owner-side index: key → publisher.
+    store: HashMap<u64, NodeId>,
+    /// Resolved lookups: key → holder.
+    resolved: HashMap<u64, NodeId>,
+}
+
+impl RegistryNode {
+    /// Builds a machine from its discovered membership view.
+    pub fn new(membership: Vec<NodeId>, resources: Vec<u64>, queries: Vec<u64>) -> Self {
+        RegistryNode {
+            directory: Directory::new(membership),
+            resources,
+            queries,
+            store: HashMap::new(),
+            resolved: HashMap::new(),
+        }
+    }
+
+    /// Whether every query has been answered.
+    pub fn all_resolved(&self) -> bool {
+        self.queries.iter().all(|k| self.resolved.contains_key(k))
+    }
+
+    /// The resolved holder for `key`, if known.
+    pub fn holder_of(&self, key: u64) -> Option<NodeId> {
+        self.resolved.get(&key).copied()
+    }
+
+    /// Number of keys stored at this machine (owner side).
+    pub fn stored(&self) -> usize {
+        self.store.len()
+    }
+}
+
+impl Node for RegistryNode {
+    type Msg = RegistryMsg;
+
+    fn on_round(&mut self, inbox: Vec<Envelope<RegistryMsg>>, ctx: &mut RoundContext<'_, RegistryMsg>) {
+        let me = ctx.id();
+        for env in inbox {
+            match env.payload {
+                RegistryMsg::Publish { key } => {
+                    self.store.insert(key, env.src);
+                }
+                RegistryMsg::Lookup { key } => {
+                    let holder = self.store.get(&key).copied();
+                    ctx.send(env.src, RegistryMsg::Found { key, holder });
+                }
+                RegistryMsg::Found { key, holder } => {
+                    if let Some(h) = holder {
+                        self.resolved.insert(key, h);
+                    }
+                    // Unknown keys are retried next query round.
+                }
+            }
+        }
+        match ctx.round() {
+            0 => {
+                // Publish local resources to their owners.
+                for &key in &self.resources.clone() {
+                    let owner = self.directory.owner(key);
+                    if owner == me {
+                        self.store.insert(key, me);
+                    } else {
+                        ctx.send(owner, RegistryMsg::Publish { key });
+                    }
+                }
+            }
+            r if r >= 2 && r % 2 == 0 => {
+                // Issue (and re-issue) unresolved lookups; publishes from
+                // round 0 landed in round 1, so the first wave already
+                // finds everything in a fault-free run.
+                for &key in &self.queries.clone() {
+                    if self.resolved.contains_key(&key) {
+                        continue;
+                    }
+                    let owner = self.directory.owner(key);
+                    if owner == me {
+                        if let Some(&h) = self.store.get(&key) {
+                            self.resolved.insert(key, h);
+                        }
+                    } else {
+                        ctx.send(owner, RegistryMsg::Lookup { key });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Outcome of the end-to-end pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Rounds the discovery phase took.
+    pub discovery_rounds: u64,
+    /// Rounds the registry phase took.
+    pub registry_rounds: u64,
+    /// Messages the discovery phase sent.
+    pub discovery_messages: u64,
+    /// Messages the registry phase sent.
+    pub registry_messages: u64,
+    /// Whether every machine resolved every query correctly.
+    pub all_resolved: bool,
+}
+
+/// Runs discovery (the HM algorithm) and then the registry protocol on
+/// the discovered membership. Each machine holds `resources_per_node`
+/// resources and queries one resource of each of its `queries_per_node`
+/// successors (by index, wrapping).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn run_pipeline(
+    topology: Topology,
+    n: usize,
+    seed: u64,
+    resources_per_node: u32,
+    queries_per_node: u32,
+) -> PipelineReport {
+    assert!(n > 0);
+    // Phase one: discovery.
+    let g = topology.generate(n, seed);
+    let nodes = HmDiscovery::default().make_nodes(&problem::initial_knowledge(&g));
+    let mut discovery = Engine::new(nodes, seed);
+    let outcome = discovery.run_until(1_000_000, problem::everyone_knows_everyone);
+    assert!(outcome.completed, "discovery failed");
+
+    // Phase two: every machine builds its directory from *its own*
+    // discovered view (they all agree, because discovery completed).
+    let registry_nodes: Vec<RegistryNode> = (0..n)
+        .map(|i| {
+            let membership = discovery.nodes()[i].known_ids();
+            let resources = (0..resources_per_node)
+                .map(|s| resource_key(i as u32, s))
+                .collect();
+            let queries = (1..=queries_per_node as usize)
+                .map(|q| resource_key(((i + q) % n) as u32, q as u32 % resources_per_node.max(1)))
+                .collect();
+            RegistryNode::new(membership, resources, queries)
+        })
+        .collect();
+    let mut registry = Engine::new(registry_nodes, seed ^ 0xfeed);
+    let reg_outcome = registry.run_until(1_000, |nodes: &[RegistryNode]| {
+        nodes.iter().all(|r| r.all_resolved())
+    });
+
+    // Verify every resolution names the true publisher.
+    let correct = registry.nodes().iter().enumerate().all(|(i, node)| {
+        (1..=queries_per_node as usize).all(|q| {
+            let key = resource_key(((i + q) % n) as u32, q as u32 % resources_per_node.max(1));
+            node.holder_of(key) == Some(NodeId::new(((i + q) % n) as u32))
+        })
+    });
+
+    PipelineReport {
+        discovery_rounds: outcome.rounds,
+        registry_rounds: reg_outcome.rounds,
+        discovery_messages: discovery.metrics().total_messages(),
+        registry_messages: registry.metrics().total_messages(),
+        all_resolved: reg_outcome.completed && correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_resolves_everything() {
+        let report = run_pipeline(Topology::KOut { k: 3 }, 64, 7, 4, 3);
+        assert!(report.all_resolved);
+        assert!(report.discovery_rounds > 0);
+        // Publish (round 0) + deliver (1) + lookup (2) + reply (3):
+        // resolution completes within a couple of query waves.
+        assert!(report.registry_rounds <= 6, "{}", report.registry_rounds);
+    }
+
+    #[test]
+    fn registry_message_cost_is_linear_in_resources_and_queries() {
+        let report = run_pipeline(Topology::KOut { k: 3 }, 64, 7, 4, 3);
+        // <= publishes + lookups + replies (self-owned traffic is free).
+        let bound = 64 * (4 + 3 + 3) as u64;
+        assert!(
+            report.registry_messages <= bound,
+            "{} > {bound}",
+            report.registry_messages
+        );
+    }
+
+    #[test]
+    fn pipeline_works_on_sparse_topologies() {
+        for topo in [Topology::Path, Topology::RandomTree] {
+            let report = run_pipeline(topo, 48, 3, 2, 2);
+            assert!(report.all_resolved, "{topo}");
+        }
+    }
+
+    #[test]
+    fn resource_keys_are_unique_per_machine_slot() {
+        let mut seen = std::collections::HashSet::new();
+        for m in 0..100 {
+            for s in 0..10 {
+                assert!(seen.insert(resource_key(m, s)));
+            }
+        }
+    }
+
+    #[test]
+    fn owner_side_load_is_spread() {
+        let report = run_pipeline(Topology::KOut { k: 3 }, 32, 9, 8, 1);
+        assert!(report.all_resolved);
+        // 32*8 = 256 keys over 32 machines: nobody should hold more
+        // than ~4x the mean.
+        // (Load inspected indirectly: the pipeline asserts correctness;
+        // placement balance itself is property-tested in `placement`.)
+    }
+}

@@ -1,0 +1,613 @@
+//! The synchronous round engine.
+
+use crate::faults::FaultPlan;
+use crate::message::{Envelope, MessageCost};
+use crate::metrics::RunMetrics;
+use crate::node::{Node, RoundContext};
+use crate::rng;
+use crate::trace::{Trace, TraceEvent};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Result of [`Engine::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Whether the completion predicate became true within the round
+    /// budget.
+    pub completed: bool,
+    /// Rounds executed when the run stopped.
+    pub rounds: u64,
+}
+
+/// Drives a population of [`Node`] programs through synchronous rounds.
+///
+/// Per round, the engine hands every live node its inbox (messages sent
+/// to it in the previous round) together with a deterministic
+/// per-`(seed, node, round)` random generator, then routes the node's
+/// outbox through the fault layer into next-round inboxes, accounting
+/// every message in [`RunMetrics`].
+///
+/// See the crate-level documentation for a complete example.
+pub struct Engine<N: Node> {
+    nodes: Vec<N>,
+    inboxes: Vec<Vec<Envelope<N::Msg>>>,
+    round: u64,
+    seed: u64,
+    metrics: RunMetrics,
+    faults: FaultPlan,
+    fault_rng: StdRng,
+    trace: Option<Trace>,
+    /// Crash-detection schedule `(report round, node)`, report-time order.
+    detect_schedule: Vec<(u64, crate::NodeId)>,
+    /// Crashes already reported to the nodes.
+    active_suspects: Vec<crate::NodeId>,
+    next_detection: usize,
+    /// Per-node per-round delivery cap (`None` = unbounded).
+    receive_cap: Option<usize>,
+    /// Maximum extra delivery delay in rounds (0 = synchronous).
+    max_extra_delay: u64,
+    /// Messages awaiting a later delivery round, keyed by that round.
+    delayed: std::collections::BTreeMap<u64, Vec<Envelope<N::Msg>>>,
+    delay_rng: StdRng,
+}
+
+impl<N: Node> Engine<N> {
+    /// Creates an engine over `nodes`, where node `i` has identifier
+    /// `NodeId::new(i)`. `seed` determines all protocol and fault
+    /// randomness.
+    pub fn new(nodes: Vec<N>, seed: u64) -> Self {
+        let n = nodes.len();
+        Engine {
+            nodes,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            round: 0,
+            seed,
+            metrics: RunMetrics::new(n),
+            faults: FaultPlan::new(),
+            fault_rng: rng::fault_rng(seed),
+            trace: None,
+            detect_schedule: Vec::new(),
+            active_suspects: Vec::new(),
+            next_detection: 0,
+            receive_cap: None,
+            max_extra_delay: 0,
+            delayed: std::collections::BTreeMap::new(),
+            delay_rng: rng::delay_rng(seed),
+        }
+    }
+
+    /// Installs a fault plan (drops, crashes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan crashes a node index that does not exist.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        for c in faults.crashed_nodes() {
+            assert!(c < self.nodes.len(), "crash target {c} out of range");
+        }
+        if let Some(delay) = faults.detection_delay() {
+            self.detect_schedule = faults
+                .crash_schedule()
+                .map(|(node, round)| (round.saturating_add(delay), crate::NodeId::new(node as u32)))
+                .collect();
+            self.detect_schedule.sort_unstable();
+        }
+        self.faults = faults;
+        self
+    }
+
+    /// Enables message tracing with the given event capacity.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(Trace::with_capacity(capacity));
+        self
+    }
+
+    /// Caps deliveries at `cap` messages per node per round; excess
+    /// messages queue (in arrival order) for later rounds. Models the
+    /// *connection bottleneck* of bandwidth-limited networks: protocols
+    /// whose hot spots (e.g. a popular merge target) rely on unbounded
+    /// fan-in slow down accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` (nothing could ever be delivered).
+    pub fn with_receive_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "a receive cap of 0 can never deliver anything");
+        self.receive_cap = Some(cap);
+        self
+    }
+
+    /// Makes delivery asynchronous: every message independently takes
+    /// `1 + U{0..=max_extra}` rounds to arrive instead of exactly one.
+    /// With this knob the round counter reads as *time units* and the
+    /// synchronized phase structure of round-based protocols is
+    /// deliberately scrambled — the robustness-to-asynchrony experiment.
+    pub fn with_max_extra_delay(mut self, max_extra: u64) -> Self {
+        self.max_extra_delay = max_extra;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to the node programs (for completion predicates,
+    /// verification, and white-box observations such as cluster counts).
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The complexity record.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The message trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Executes one synchronous round: delivers current inboxes, runs
+    /// every live node, and routes outboxes through the fault layer.
+    pub fn step(&mut self) {
+        self.metrics.begin_round();
+        let round = self.round;
+        let mut outbox: Vec<Envelope<N::Msg>> = Vec::new();
+        let mut staged: Vec<Envelope<N::Msg>> = Vec::new();
+        // The perfect failure detector reports each crash once its
+        // per-crash latency has elapsed.
+        while self
+            .detect_schedule
+            .get(self.next_detection)
+            .is_some_and(|&(at, _)| at <= round)
+        {
+            self.active_suspects
+                .push(self.detect_schedule[self.next_detection].1);
+            self.next_detection += 1;
+        }
+        // Cloned so the report can be lent to nodes while the engine
+        // mutates them (the list is tiny: one entry per crash).
+        let suspects = self.active_suspects.clone();
+
+        // Deliver messages whose (asynchronous) delay expires this round.
+        while self
+            .delayed
+            .first_key_value()
+            .is_some_and(|(&at, _)| at <= round)
+        {
+            let (_, batch) = self.delayed.pop_first().expect("nonempty");
+            for env in batch {
+                self.inboxes[env.dst.index()].push(env);
+            }
+        }
+
+        for i in 0..self.nodes.len() {
+            let inbox = match self.receive_cap {
+                Some(cap) if self.inboxes[i].len() > cap => {
+                    // Deliver the oldest `cap` messages; the rest wait.
+                    let rest = self.inboxes[i].split_off(cap);
+                    std::mem::replace(&mut self.inboxes[i], rest)
+                }
+                _ => std::mem::take(&mut self.inboxes[i]),
+            };
+            if self.faults.is_crashed_at(i, round) {
+                continue; // crashed nodes neither run nor receive
+            }
+            let mut node_rng = rng::node_round_rng(self.seed, i, round);
+            let mut ctx = RoundContext::new(
+                crate::NodeId::new(i as u32),
+                round,
+                &mut node_rng,
+                &mut outbox,
+            )
+            .with_suspects(&suspects);
+            self.nodes[i].on_round(inbox, &mut ctx);
+            staged.append(&mut outbox);
+        }
+
+        for env in staged {
+            self.route(env, round);
+        }
+        self.round += 1;
+    }
+
+    fn route(&mut self, env: Envelope<N::Msg>, round: u64) {
+        let src = env.src.index();
+        let dst = env.dst.index();
+        assert!(
+            dst < self.nodes.len(),
+            "message to unknown node {} from {}",
+            env.dst,
+            env.src
+        );
+        let pointers = env.payload.pointers();
+        // Delivery happens at the start of the next round; a node dead
+        // by then never sees the message.
+        let dropped = self.faults.is_crashed_at(dst, round + 1)
+            || (self.faults.drop_probability() > 0.0
+                && self.fault_rng.random_bool(self.faults.drop_probability()));
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                round,
+                src: env.src,
+                dst: env.dst,
+                pointers,
+                dropped,
+            });
+        }
+        if dropped {
+            self.metrics.record_drop(src, pointers);
+        } else {
+            self.metrics.record_delivery(src, dst, pointers);
+            let extra = if self.max_extra_delay > 0 {
+                self.delay_rng.random_range(0..=self.max_extra_delay)
+            } else {
+                0
+            };
+            if extra == 0 {
+                self.inboxes[dst].push(env);
+            } else {
+                self.delayed.entry(round + 1 + extra).or_default().push(env);
+            }
+        }
+    }
+
+    /// Runs until `done(nodes)` holds (checked before the first round and
+    /// after every round) or `max_rounds` have executed.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut done: impl FnMut(&[N]) -> bool,
+    ) -> RunOutcome {
+        if done(&self.nodes) {
+            return RunOutcome {
+                completed: true,
+                rounds: self.round,
+            };
+        }
+        while self.round < max_rounds {
+            self.step();
+            if done(&self.nodes) {
+                return RunOutcome {
+                    completed: true,
+                    rounds: self.round,
+                };
+            }
+        }
+        RunOutcome {
+            completed: false,
+            rounds: self.round,
+        }
+    }
+
+    /// Like [`run_until`](Self::run_until), additionally invoking
+    /// `observe(round, nodes)` after every round — the hook white-box
+    /// experiments (e.g. cluster-count evolution, figure F3) use.
+    pub fn run_observed(
+        &mut self,
+        max_rounds: u64,
+        mut done: impl FnMut(&[N]) -> bool,
+        mut observe: impl FnMut(u64, &[N]),
+    ) -> RunOutcome {
+        if done(&self.nodes) {
+            return RunOutcome {
+                completed: true,
+                rounds: self.round,
+            };
+        }
+        while self.round < max_rounds {
+            self.step();
+            observe(self.round, &self.nodes);
+            if done(&self.nodes) {
+                return RunOutcome {
+                    completed: true,
+                    rounds: self.round,
+                };
+            }
+        }
+        RunOutcome {
+            completed: false,
+            rounds: self.round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::NodeId;
+
+    /// Test payload: a bag of ids.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Ids(Vec<NodeId>);
+    impl MessageCost for Ids {
+        fn pointers(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    /// Broadcast relay: node 0 floods a token along a ring; each node
+    /// forwards once.
+    struct RingRelay {
+        next: NodeId,
+        has_token: bool,
+        forwarded: bool,
+    }
+
+    impl Node for RingRelay {
+        type Msg = Ids;
+        fn on_round(&mut self, inbox: Vec<Envelope<Ids>>, ctx: &mut RoundContext<'_, Ids>) {
+            if ctx.round() == 0 && ctx.id() == NodeId::new(0) {
+                self.has_token = true;
+            }
+            for env in inbox {
+                assert_eq!(env.dst, ctx.id());
+                self.has_token = true;
+            }
+            if self.has_token && !self.forwarded {
+                self.forwarded = true;
+                if self.next != ctx.id() {
+                    ctx.send(self.next, Ids(vec![ctx.id()]));
+                }
+            }
+        }
+    }
+
+    fn ring(n: usize) -> Vec<RingRelay> {
+        (0..n)
+            .map(|i| RingRelay {
+                next: NodeId::new(((i + 1) % n) as u32),
+                has_token: false,
+                forwarded: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_broadcast_takes_n_rounds() {
+        // Node i first processes the token in round i, so the last node
+        // holds it only after the n-th step.
+        let mut engine = Engine::new(ring(8), 1);
+        let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
+        assert!(outcome.completed);
+        assert_eq!(outcome.rounds, 8);
+        // Every node forwarded exactly once; the last delivery closes the
+        // ring back to node 0.
+        assert_eq!(engine.metrics().total_messages(), 8);
+        assert_eq!(engine.metrics().total_pointers(), 8);
+    }
+
+    #[test]
+    fn completion_checked_before_first_round() {
+        let mut engine = Engine::new(ring(4), 1);
+        let outcome = engine.run_until(100, |_| true);
+        assert!(outcome.completed);
+        assert_eq!(outcome.rounds, 0);
+        assert_eq!(engine.metrics().round_count(), 0);
+    }
+
+    #[test]
+    fn round_budget_is_respected() {
+        let mut engine = Engine::new(ring(8), 1);
+        let outcome = engine.run_until(3, |_| false);
+        assert!(!outcome.completed);
+        assert_eq!(outcome.rounds, 3);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed| {
+            let mut e = Engine::new(ring(16), seed);
+            let o = e.run_until(64, |nodes| nodes.iter().all(|r| r.has_token));
+            (o, e.metrics().total_messages(), e.metrics().total_pointers())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn crashed_node_breaks_the_ring() {
+        let mut engine =
+            Engine::new(ring(8), 1).with_faults(FaultPlan::new().with_crashes([4]));
+        let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
+        assert!(!outcome.completed);
+        // Token reached nodes 1..4 then died at the crashed node.
+        let have: Vec<bool> = engine.nodes().iter().map(|r| r.has_token).collect();
+        assert_eq!(have, vec![true, true, true, true, false, false, false, false]);
+        assert_eq!(engine.metrics().total_dropped(), 1);
+    }
+
+    #[test]
+    fn drops_slow_but_are_accounted() {
+        // With a ring, a single drop halts the broadcast: use it to check
+        // drop accounting end-to-end at p close to 1.
+        let mut engine =
+            Engine::new(ring(4), 3).with_faults(FaultPlan::new().with_drop_probability(0.999));
+        let outcome = engine.run_until(10, |nodes| nodes.iter().all(|r| r.has_token));
+        assert!(!outcome.completed);
+        assert!(engine.metrics().total_dropped() >= 1);
+    }
+
+    #[test]
+    fn trace_records_sends() {
+        let mut engine = Engine::new(ring(4), 1).with_trace(100);
+        engine.run_until(10, |nodes| nodes.iter().all(|r| r.has_token));
+        let trace = engine.trace().unwrap();
+        assert_eq!(trace.events().len(), 4);
+        assert_eq!(trace.in_round(0).count(), 1);
+        assert_eq!(trace.events()[0].src, NodeId::new(0));
+        assert_eq!(trace.events()[0].dst, NodeId::new(1));
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        let mut engine = Engine::new(ring(5), 1);
+        let mut observed = Vec::new();
+        engine.run_observed(
+            100,
+            |nodes| nodes.iter().all(|r| r.has_token),
+            |round, nodes| {
+                observed.push((round, nodes.iter().filter(|r| r.has_token).count()))
+            },
+        );
+        assert_eq!(observed.len(), 5);
+        assert_eq!(observed.first(), Some(&(1, 1)));
+        assert_eq!(observed.last(), Some(&(5, 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn crashing_nonexistent_node_rejected() {
+        let _ = Engine::new(ring(2), 1).with_faults(FaultPlan::new().with_crashes([9]));
+    }
+
+    #[test]
+    fn dynamic_crash_kills_mid_run() {
+        // Node 4 dies at round 3: the token (which reaches it in round 4)
+        // is lost in flight.
+        let mut engine =
+            Engine::new(ring(8), 1).with_faults(FaultPlan::new().with_crash_at(4, 3));
+        let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
+        assert!(!outcome.completed);
+        let have: Vec<bool> = engine.nodes().iter().map(|r| r.has_token).collect();
+        assert_eq!(have, vec![true, true, true, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn dynamic_crash_after_passing_token_is_harmless() {
+        // Node 4 forwards the token in round 4 and dies at round 6: the
+        // broadcast still completes.
+        let mut engine =
+            Engine::new(ring(8), 1).with_faults(FaultPlan::new().with_crash_at(4, 6));
+        let outcome = engine.run_until(100, |nodes| {
+            nodes
+                .iter()
+                .enumerate()
+                .all(|(i, r)| i == 4 || r.has_token)
+        });
+        assert!(outcome.completed);
+    }
+
+    /// Probe used by detector tests: records the suspect reports it sees.
+    struct SuspectWatcher {
+        seen: Vec<(u64, Vec<NodeId>)>,
+    }
+    impl Node for SuspectWatcher {
+        type Msg = Ids;
+        fn on_round(&mut self, _inbox: Vec<Envelope<Ids>>, ctx: &mut RoundContext<'_, Ids>) {
+            self.seen.push((ctx.round(), ctx.suspects().to_vec()));
+        }
+    }
+
+    #[test]
+    fn detector_reports_each_crash_after_its_latency() {
+        let watchers = vec![
+            SuspectWatcher { seen: vec![] },
+            SuspectWatcher { seen: vec![] },
+            SuspectWatcher { seen: vec![] },
+        ];
+        let mut engine = Engine::new(watchers, 1).with_faults(
+            FaultPlan::new()
+                .with_crashes([1])
+                .with_crash_at(2, 4)
+                .with_crash_detection_after(3),
+        );
+        for _ in 0..10 {
+            engine.step();
+        }
+        let seen = &engine.nodes()[0].seen;
+        let at = |round: u64| -> &[NodeId] {
+            &seen.iter().find(|(r, _)| *r == round).unwrap().1
+        };
+        assert!(at(2).is_empty(), "node 1 reported before its latency");
+        assert_eq!(at(3), &[NodeId::new(1)]);
+        assert_eq!(at(6), &[NodeId::new(1)], "node 2 dies at 4, reported at 7");
+        assert_eq!(at(7), &[NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn receive_cap_defers_excess_messages() {
+        // Three senders target node 0 in round 0; with cap 1, node 0
+        // sees them one per round, oldest first.
+        struct Blaster {
+            got: Vec<NodeId>,
+        }
+        impl Node for Blaster {
+            type Msg = Ids;
+            fn on_round(&mut self, inbox: Vec<Envelope<Ids>>, ctx: &mut RoundContext<'_, Ids>) {
+                for env in inbox {
+                    self.got.push(env.src);
+                }
+                if ctx.round() == 0 && ctx.id() != NodeId::new(0) {
+                    ctx.send(NodeId::new(0), Ids(vec![]));
+                }
+            }
+        }
+        let nodes = (0..4).map(|_| Blaster { got: vec![] }).collect();
+        let mut engine = Engine::new(nodes, 1).with_receive_cap(1);
+        for _ in 0..5 {
+            engine.step();
+        }
+        assert_eq!(
+            engine.nodes()[0].got,
+            vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+        // Uncapped, all three arrive in round 1 together.
+        let nodes = (0..4).map(|_| Blaster { got: vec![] }).collect();
+        let mut engine = Engine::new(nodes, 1);
+        engine.step();
+        engine.step();
+        assert_eq!(engine.nodes()[0].got.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "never deliver")]
+    fn zero_receive_cap_rejected() {
+        let _ = Engine::new(ring(2), 1).with_receive_cap(0);
+    }
+
+    #[test]
+    fn async_delays_preserve_delivery_and_determinism() {
+        // The ring broadcast still completes under heavy jitter, just
+        // slower, and identically for identical seeds.
+        let run = |seed: u64| {
+            let mut e = Engine::new(ring(8), seed).with_max_extra_delay(4);
+            let o = e.run_until(200, |nodes| nodes.iter().all(|r| r.has_token));
+            (o, e.metrics().total_messages())
+        };
+        let (outcome, messages) = run(5);
+        assert!(outcome.completed);
+        assert_eq!(messages, 8, "no message may be lost to delay");
+        assert!(outcome.rounds >= 8, "jitter cannot beat the sync time");
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn zero_extra_delay_is_exactly_synchronous() {
+        let sync = {
+            let mut e = Engine::new(ring(8), 1);
+            e.run_until(100, |nodes| nodes.iter().all(|r| r.has_token))
+        };
+        let zero = {
+            let mut e = Engine::new(ring(8), 1).with_max_extra_delay(0);
+            e.run_until(100, |nodes| nodes.iter().all(|r| r.has_token))
+        };
+        assert_eq!(sync, zero);
+    }
+
+    #[test]
+    fn no_detector_means_no_reports() {
+        let watchers = vec![SuspectWatcher { seen: vec![] }, SuspectWatcher { seen: vec![] }];
+        let mut engine =
+            Engine::new(watchers, 1).with_faults(FaultPlan::new().with_crashes([1]));
+        for _ in 0..5 {
+            engine.step();
+        }
+        assert!(engine.nodes()[0].seen.iter().all(|(_, s)| s.is_empty()));
+    }
+}

@@ -1,0 +1,192 @@
+//! Fault injection: independent message drops, crash-stop failures
+//! (before or during the run), and an optional perfect failure detector.
+
+use std::collections::BTreeMap;
+
+/// A fault schedule applied by the engine.
+///
+/// * **Message drops** — every message is lost independently with
+///   probability [`drop_probability`](Self::drop_probability) (decided by
+///   the engine's deterministic fault stream). The sender is still
+///   charged for the message.
+/// * **Crash-stop failures** — each scheduled node stops executing and
+///   receiving at its crash round and never recovers; messages addressed
+///   to it from then on vanish (and count as drops).
+///   [`with_crashes`](Self::with_crashes) schedules crashes at round 0
+///   (machines dead before the protocol starts);
+///   [`with_crash_at`](Self::with_crash_at) kills a machine mid-run.
+/// * **Crash detection** — optionally, a perfect failure detector (in
+///   the spirit of failure-informer services such as Falcon/Albatross)
+///   reports each crash to every live node
+///   [`detection_delay`](Self::detection_delay) rounds after it happens.
+///   Protocols read the report through
+///   [`RoundContext::suspects`](crate::RoundContext::suspects); without
+///   a detector configured, the report stays empty forever.
+///
+/// # Example
+///
+/// ```
+/// use rd_sim::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .with_drop_probability(0.05)
+///     .with_crashes([3])
+///     .with_crash_at(9, 40)
+///     .with_crash_detection_after(20);
+/// assert!(plan.is_crashed(3) && plan.is_crashed(9));
+/// assert!(plan.is_crashed_at(3, 0));
+/// assert!(!plan.is_crashed_at(9, 39));
+/// assert!(plan.is_crashed_at(9, 40));
+/// assert_eq!(plan.detection_delay(), Some(20));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    drop_probability: f64,
+    crashes: BTreeMap<usize, u64>,
+    detection_delay: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the independent per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0` (with `p = 1.0` no protocol can
+    /// terminate, so it is rejected as a configuration error).
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability {p} outside [0, 1)"
+        );
+        self.drop_probability = p;
+        self
+    }
+
+    /// Marks the given node indices as crashed from round 0.
+    pub fn with_crashes(mut self, nodes: impl IntoIterator<Item = usize>) -> Self {
+        for node in nodes {
+            self.crashes.insert(node, 0);
+        }
+        self
+    }
+
+    /// Schedules `node` to crash at the start of `round` (it executes
+    /// rounds `0..round` normally, then stops forever). An earlier
+    /// schedule for the same node wins.
+    pub fn with_crash_at(mut self, node: usize, round: u64) -> Self {
+        let entry = self.crashes.entry(node).or_insert(round);
+        *entry = (*entry).min(round);
+        self
+    }
+
+    /// Enables the perfect failure detector: each crash is reported to
+    /// every live node `delay` rounds after it happens.
+    pub fn with_crash_detection_after(mut self, delay: u64) -> Self {
+        self.detection_delay = Some(delay);
+        self
+    }
+
+    /// The per-message drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Whether `node` crashes at any point of the run.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.crashes.contains_key(&node)
+    }
+
+    /// Whether `node` is dead during `round`.
+    pub fn is_crashed_at(&self, node: usize, round: u64) -> bool {
+        self.crashes.get(&node).is_some_and(|&r| round >= r)
+    }
+
+    /// The round at which `node` crashes, if scheduled.
+    pub fn crash_round(&self, node: usize) -> Option<u64> {
+        self.crashes.get(&node).copied()
+    }
+
+    /// All scheduled crashes as `(node, round)` pairs, by node index.
+    pub fn crash_schedule(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.crashes.iter().map(|(&n, &r)| (n, r))
+    }
+
+    /// The nodes that crash at any point of the run.
+    pub fn crashed_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.crashes.keys().copied()
+    }
+
+    /// The failure-detector latency, if a detector is configured.
+    pub fn detection_delay(&self) -> Option<u64> {
+        self.detection_delay
+    }
+
+    /// `true` when the plan injects no faults at all.
+    pub fn is_fault_free(&self) -> bool {
+        self.drop_probability == 0.0 && self.crashes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_fault_free() {
+        assert!(FaultPlan::new().is_fault_free());
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let p = FaultPlan::new()
+            .with_drop_probability(0.1)
+            .with_crashes([1])
+            .with_crashes([5, 1]);
+        assert_eq!(p.drop_probability(), 0.1);
+        assert_eq!(p.crashed_nodes().collect::<Vec<_>>(), vec![1, 5]);
+        assert!(!p.is_fault_free());
+    }
+
+    #[test]
+    fn dynamic_crashes_respect_their_round() {
+        let p = FaultPlan::new().with_crash_at(2, 10);
+        assert!(p.is_crashed(2));
+        assert!(!p.is_crashed_at(2, 9));
+        assert!(p.is_crashed_at(2, 10));
+        assert!(p.is_crashed_at(2, 99));
+        assert_eq!(p.crash_round(2), Some(10));
+        assert_eq!(p.crash_round(3), None);
+    }
+
+    #[test]
+    fn earliest_crash_round_wins() {
+        let p = FaultPlan::new().with_crash_at(2, 10).with_crash_at(2, 5);
+        assert_eq!(p.crash_round(2), Some(5));
+        let q = FaultPlan::new().with_crashes([2]).with_crash_at(2, 7);
+        assert_eq!(q.crash_round(2), Some(0));
+    }
+
+    #[test]
+    fn schedule_lists_all_crashes() {
+        let p = FaultPlan::new().with_crashes([4]).with_crash_at(1, 30);
+        let sched: Vec<_> = p.crash_schedule().collect();
+        assert_eq!(sched, vec![(1, 30), (4, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn full_drop_rejected() {
+        let _ = FaultPlan::new().with_drop_probability(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn negative_drop_rejected() {
+        let _ = FaultPlan::new().with_drop_probability(-0.5);
+    }
+}

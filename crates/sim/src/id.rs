@@ -1,0 +1,98 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// A globally unique machine identifier that doubles as a network
+/// address (the *direct addressing* assumption: any node that learns a
+/// `NodeId` may send to it).
+///
+/// Identifiers are dense indices `0..n` in the simulator, but protocols
+/// must treat them as opaque — the only operations the model grants are
+/// equality and an arbitrary total order (used for tie-breaking, e.g.
+/// leader election by maximum identifier).
+///
+/// # Example
+///
+/// ```
+/// use rd_sim::NodeId;
+///
+/// let a = NodeId::new(3);
+/// let b = NodeId::new(7);
+/// assert!(a < b);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Wraps a raw index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index, for simulator-side bookkeeping (mailbox routing,
+    /// metrics vectors). Protocol code should not need this.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> u32 {
+        id.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn roundtrip_conversions() {
+        let id = NodeId::from(9u32);
+        assert_eq!(u32::from(id), 9);
+        assert_eq!(id.index(), 9);
+    }
+
+    #[test]
+    fn hashable() {
+        let set: HashSet<NodeId> = [0, 1, 1, 2].into_iter().map(NodeId::new).collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn debug_and_display_nonempty() {
+        assert_eq!(format!("{}", NodeId::new(4)), "n4");
+        assert_eq!(format!("{:?}", NodeId::new(4)), "NodeId(4)");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! A deterministic synchronous message-passing simulator.
+//!
+//! This crate is the execution substrate for the resource-discovery
+//! reproduction. It models the classic synchronous *direct addressing*
+//! network of the resource-discovery literature (Harchol-Balter–Leighton–
+//! Lewin '99, Haeupler–Malkhi '14/'15):
+//!
+//! * computation proceeds in rounds; messages sent in round `t` are
+//!   delivered at the start of round `t + 1`;
+//! * a node may address a message to *any* node whose [`NodeId`] it has
+//!   learned (knowing an identifier is knowing an address);
+//! * message size is unbounded, but every message's cost is accounted in
+//!   *pointers* (identifiers carried) and *bits*, the complexity measures
+//!   the literature reports.
+//!
+//! The simulator is fully deterministic: node programs receive
+//! per-`(seed, node, round)` random generators, so a run is reproducible
+//! from `(protocol, topology, seed)` alone, independent of iteration
+//! order or platform.
+//!
+//! # Example: a two-node ping-pong protocol
+//!
+//! ```
+//! use rd_sim::{Engine, Envelope, MessageCost, Node, NodeId, RoundContext};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping;
+//! impl MessageCost for Ping {
+//!     fn pointers(&self) -> usize { 0 }
+//! }
+//!
+//! struct Player { peer: NodeId, hits: u32 }
+//! impl Node for Player {
+//!     type Msg = Ping;
+//!     fn on_round(
+//!         &mut self,
+//!         inbox: Vec<Envelope<Ping>>,
+//!         ctx: &mut RoundContext<'_, Ping>,
+//!     ) {
+//!         if ctx.round() == 0 && ctx.id() == NodeId::new(0) {
+//!             ctx.send(self.peer, Ping); // serve
+//!         }
+//!         for _ in inbox {
+//!             self.hits += 1;
+//!             if self.hits < 3 {
+//!                 ctx.send(self.peer, Ping); // return
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let players = vec![
+//!     Player { peer: NodeId::new(1), hits: 0 },
+//!     Player { peer: NodeId::new(0), hits: 0 },
+//! ];
+//! let mut engine = Engine::new(players, 42);
+//! let outcome = engine.run_until(20, |nodes| nodes.iter().all(|p| p.hits >= 2));
+//! assert!(outcome.completed);
+//! assert_eq!(outcome.rounds, 5);
+//! assert_eq!(engine.metrics().total_messages(), 5);
+//! ```
+
+pub mod engine;
+pub mod faults;
+pub mod id;
+pub mod message;
+pub mod metrics;
+pub mod node;
+pub mod rng;
+pub mod trace;
+
+pub use engine::{Engine, RunOutcome};
+pub use faults::FaultPlan;
+pub use id::NodeId;
+pub use message::{Envelope, MessageCost};
+pub use metrics::{RoundMetrics, RunMetrics};
+pub use node::{Node, RoundContext};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,196 @@
+//! Complexity accounting: rounds, messages, pointers, bits, and
+//! per-node maxima.
+
+use crate::message::HEADER_BITS;
+
+/// Communication volume of a single round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// Messages delivered (sent minus dropped) out of this round.
+    pub messages: u64,
+    /// Pointers carried by those messages.
+    pub pointers: u64,
+    /// Messages discarded by fault injection.
+    pub dropped: u64,
+}
+
+/// Cumulative complexity record of a run.
+///
+/// Tracks the per-round series (for figures such as F3) and per-node
+/// send/receive totals (for the per-node maxima the literature reports).
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    rounds: Vec<RoundMetrics>,
+    sent_messages: Vec<u64>,
+    sent_pointers: Vec<u64>,
+    recv_messages: Vec<u64>,
+    recv_pointers: Vec<u64>,
+}
+
+impl RunMetrics {
+    /// Creates an empty record for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        RunMetrics {
+            rounds: Vec::new(),
+            sent_messages: vec![0; n],
+            sent_pointers: vec![0; n],
+            recv_messages: vec![0; n],
+            recv_pointers: vec![0; n],
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn node_count(&self) -> usize {
+        self.sent_messages.len()
+    }
+
+    /// Opens accounting for a new round.
+    pub(crate) fn begin_round(&mut self) {
+        self.rounds.push(RoundMetrics::default());
+    }
+
+    /// Records one delivered message.
+    pub(crate) fn record_delivery(&mut self, src: usize, dst: usize, pointers: usize) {
+        let r = self.rounds.last_mut().expect("begin_round not called");
+        r.messages += 1;
+        r.pointers += pointers as u64;
+        self.sent_messages[src] += 1;
+        self.sent_pointers[src] += pointers as u64;
+        self.recv_messages[dst] += 1;
+        self.recv_pointers[dst] += pointers as u64;
+    }
+
+    /// Records one message discarded by fault injection (the sender still
+    /// pays for it; the receiver never sees it).
+    pub(crate) fn record_drop(&mut self, src: usize, pointers: usize) {
+        let r = self.rounds.last_mut().expect("begin_round not called");
+        r.dropped += 1;
+        self.sent_messages[src] += 1;
+        self.sent_pointers[src] += pointers as u64;
+    }
+
+    /// Number of rounds executed so far.
+    pub fn round_count(&self) -> u64 {
+        self.rounds.len() as u64
+    }
+
+    /// Per-round series.
+    pub fn rounds(&self) -> &[RoundMetrics] {
+        &self.rounds
+    }
+
+    /// Total messages sent across the run (delivered plus dropped).
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.messages + r.dropped).sum()
+    }
+
+    /// Total pointers carried by delivered messages.
+    pub fn total_pointers(&self) -> u64 {
+        self.rounds.iter().map(|r| r.pointers).sum()
+    }
+
+    /// Total messages lost to fault injection.
+    pub fn total_dropped(&self) -> u64 {
+        self.rounds.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Total bit complexity given an identifier width of
+    /// `⌈log₂ n⌉` bits (plus [`HEADER_BITS`] per message).
+    pub fn total_bits(&self) -> u64 {
+        let n = self.node_count().max(2) as u64;
+        let id_bits = 64 - (n - 1).leading_zeros() as u64;
+        self.total_pointers() * id_bits + self.total_messages() * HEADER_BITS
+    }
+
+    /// Maximum number of messages any single node sent.
+    pub fn max_sent_messages(&self) -> u64 {
+        self.sent_messages.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum number of messages any single node received.
+    pub fn max_recv_messages(&self) -> u64 {
+        self.recv_messages.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum number of pointers any single node sent.
+    pub fn max_sent_pointers(&self) -> u64 {
+        self.sent_pointers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum number of pointers any single node received.
+    pub fn max_recv_pointers(&self) -> u64 {
+        self.recv_pointers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean messages sent per node.
+    pub fn mean_messages_per_node(&self) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        self.total_messages() as f64 / self.node_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let m = RunMetrics::new(4);
+        assert_eq!(m.round_count(), 0);
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(m.total_pointers(), 0);
+        assert_eq!(m.max_sent_messages(), 0);
+    }
+
+    #[test]
+    fn deliveries_accumulate_per_round_and_per_node() {
+        let mut m = RunMetrics::new(3);
+        m.begin_round();
+        m.record_delivery(0, 1, 5);
+        m.record_delivery(0, 2, 2);
+        m.begin_round();
+        m.record_delivery(2, 0, 1);
+
+        assert_eq!(m.round_count(), 2);
+        assert_eq!(m.rounds()[0].messages, 2);
+        assert_eq!(m.rounds()[0].pointers, 7);
+        assert_eq!(m.rounds()[1].messages, 1);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_pointers(), 8);
+        assert_eq!(m.max_sent_messages(), 2);
+        assert_eq!(m.max_sent_pointers(), 7);
+        assert_eq!(m.max_recv_messages(), 1);
+        assert_eq!(m.max_recv_pointers(), 5);
+    }
+
+    #[test]
+    fn drops_charge_sender_only() {
+        let mut m = RunMetrics::new(2);
+        m.begin_round();
+        m.record_drop(0, 4);
+        assert_eq!(m.total_dropped(), 1);
+        assert_eq!(m.total_messages(), 1, "sender pays for dropped messages");
+        assert_eq!(m.total_pointers(), 0, "dropped pointers are not delivered");
+        assert_eq!(m.max_recv_messages(), 0);
+    }
+
+    #[test]
+    fn bit_complexity_uses_id_width() {
+        let mut m = RunMetrics::new(1024);
+        m.begin_round();
+        m.record_delivery(0, 1, 10);
+        // 10 pointers * 10 bits + 1 message * header.
+        assert_eq!(m.total_bits(), 100 + HEADER_BITS);
+    }
+
+    #[test]
+    fn mean_messages_per_node() {
+        let mut m = RunMetrics::new(4);
+        m.begin_round();
+        m.record_delivery(0, 1, 0);
+        m.record_delivery(1, 2, 0);
+        assert!((m.mean_messages_per_node() - 0.5).abs() < 1e-12);
+    }
+}

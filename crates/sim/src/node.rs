@@ -1,0 +1,149 @@
+//! The node-program trait and the per-round execution context.
+
+use crate::id::NodeId;
+use crate::message::Envelope;
+use rand::rngs::StdRng;
+
+/// A node program: the protocol logic one machine runs.
+///
+/// The engine calls [`Node::on_round`] once per round with the messages
+/// delivered to the node (those sent to it in the previous round). The
+/// program reads its inbox, updates local state, and queues outgoing
+/// messages through the [`RoundContext`].
+///
+/// Node programs must be *local*: all a node may use is its own state,
+/// its inbox, its identifier, and its private randomness. In particular
+/// they must not know the global node count — resource-discovery
+/// protocols have to detect completion from local evidence.
+pub trait Node {
+    /// Protocol message type.
+    type Msg: crate::message::MessageCost;
+
+    /// Executes one round.
+    fn on_round(&mut self, inbox: Vec<Envelope<Self::Msg>>, ctx: &mut RoundContext<'_, Self::Msg>);
+}
+
+/// Per-round execution context handed to a node program: who it is,
+/// which round it is, a private deterministic random generator, and the
+/// outbox.
+pub struct RoundContext<'a, M> {
+    id: NodeId,
+    round: u64,
+    rng: &'a mut StdRng,
+    outbox: &'a mut Vec<Envelope<M>>,
+    suspects: &'a [NodeId],
+}
+
+impl<'a, M> RoundContext<'a, M> {
+    pub(crate) fn new(
+        id: NodeId,
+        round: u64,
+        rng: &'a mut StdRng,
+        outbox: &'a mut Vec<Envelope<M>>,
+    ) -> Self {
+        RoundContext {
+            id,
+            round,
+            rng,
+            outbox,
+            suspects: &[],
+        }
+    }
+
+    pub(crate) fn with_suspects(mut self, suspects: &'a [NodeId]) -> Self {
+        self.suspects = suspects;
+        self
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The current round number (0-based).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// This node's private random generator for this round. Streams are
+    /// independent across `(seed, node, round)` triples, so protocol
+    /// randomness never couples nodes accidentally.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues `payload` for delivery to `dst` at the start of the next
+    /// round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is the sending node itself: self-messages are
+    /// free local computation in this model, and accounting them would
+    /// inflate message complexity.
+    pub fn send(&mut self, dst: NodeId, payload: M) {
+        assert_ne!(dst, self.id, "node {} attempted a self-send", self.id);
+        self.outbox.push(Envelope::new(self.id, dst, payload));
+    }
+
+    /// Number of messages queued so far this round (useful for tests and
+    /// for protocols that cap their own fan-out).
+    pub fn queued(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// The crash report of the perfect failure detector: the nodes known
+    /// to have crashed. Empty until the configured detection delay has
+    /// elapsed (and forever, when no detector is configured) — see
+    /// [`FaultPlan::with_crash_detection_after`](crate::FaultPlan::with_crash_detection_after).
+    pub fn suspects(&self) -> &[NodeId] {
+        self.suspects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::node_round_rng;
+    use rand::Rng;
+
+    #[test]
+    fn context_exposes_identity_and_round() {
+        let mut rng = node_round_rng(1, 2, 3);
+        let mut outbox = Vec::<Envelope<u32>>::new();
+        let ctx = RoundContext::new(NodeId::new(2), 3, &mut rng, &mut outbox);
+        assert_eq!(ctx.id(), NodeId::new(2));
+        assert_eq!(ctx.round(), 3);
+    }
+
+    #[test]
+    fn send_queues_envelopes_in_order() {
+        let mut rng = node_round_rng(1, 0, 0);
+        let mut outbox = Vec::new();
+        let mut ctx = RoundContext::new(NodeId::new(0), 0, &mut rng, &mut outbox);
+        ctx.send(NodeId::new(1), 10u32);
+        ctx.send(NodeId::new(2), 20u32);
+        assert_eq!(ctx.queued(), 2);
+        let _ = ctx;
+        assert_eq!(outbox[0].dst, NodeId::new(1));
+        assert_eq!(outbox[1].payload, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_rejected() {
+        let mut rng = node_round_rng(1, 0, 0);
+        let mut outbox = Vec::new();
+        let mut ctx = RoundContext::new(NodeId::new(0), 0, &mut rng, &mut outbox);
+        ctx.send(NodeId::new(0), 0u32);
+    }
+
+    #[test]
+    fn rng_is_usable_through_context() {
+        let mut rng = node_round_rng(1, 0, 0);
+        let mut outbox = Vec::<Envelope<u32>>::new();
+        let mut ctx = RoundContext::new(NodeId::new(0), 0, &mut rng, &mut outbox);
+        let x: u64 = ctx.rng().random();
+        let y: u64 = ctx.rng().random();
+        assert_ne!(x, y, "stream should advance");
+    }
+}

@@ -1,0 +1,87 @@
+//! Deterministic randomness derivation.
+//!
+//! Every `(run seed, node, round)` triple deterministically yields an
+//! independent random stream, so simulation results never depend on the
+//! order in which the engine happens to step nodes, and a run can be
+//! replayed bit-for-bit from its seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 — the standard 64-bit seed-scrambling finalizer. Used to
+/// derive well-separated sub-seeds from structured inputs whose raw bit
+/// patterns are highly correlated (consecutive node indices, consecutive
+/// round numbers).
+pub fn split_mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Combines a run seed with a domain label, a node index, and a round
+/// number into a single well-mixed sub-seed.
+pub fn derive_seed(run_seed: u64, domain: u64, node: u64, round: u64) -> u64 {
+    let mut s = split_mix64(run_seed ^ split_mix64(domain));
+    s = split_mix64(s ^ split_mix64(node.wrapping_mul(0xa24b_aed4_963e_e407)));
+    split_mix64(s ^ split_mix64(round.wrapping_mul(0x9fb2_1c65_1e98_df25)))
+}
+
+/// A random generator for one `(node, round)` step of a run.
+pub fn node_round_rng(run_seed: u64, node: usize, round: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(run_seed, 0x6e6f_6465, node as u64, round))
+}
+
+/// A random generator for the fault-injection layer of a run.
+pub fn fault_rng(run_seed: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(run_seed, 0x6661_756c, 0, 0))
+}
+
+/// A random generator for the asynchronous-delay layer of a run.
+pub fn delay_rng(run_seed: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(run_seed, 0x6465_6c61, 0, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_mix_is_deterministic_and_scrambles() {
+        assert_eq!(split_mix64(1), split_mix64(1));
+        assert_ne!(split_mix64(1), split_mix64(2));
+        // Low-entropy inputs map to well-spread outputs.
+        let outs: HashSet<u64> = (0..1000).map(split_mix64).collect();
+        assert_eq!(outs.len(), 1000);
+    }
+
+    #[test]
+    fn derived_seeds_separate_every_axis() {
+        let base = derive_seed(7, 1, 2, 3);
+        assert_ne!(base, derive_seed(8, 1, 2, 3), "run seed ignored");
+        assert_ne!(base, derive_seed(7, 2, 2, 3), "domain ignored");
+        assert_ne!(base, derive_seed(7, 1, 3, 3), "node ignored");
+        assert_ne!(base, derive_seed(7, 1, 2, 4), "round ignored");
+    }
+
+    #[test]
+    fn node_round_rng_replays_identically() {
+        let mut a = node_round_rng(99, 5, 17);
+        let mut b = node_round_rng(99, 5, 17);
+        for _ in 0..32 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn adjacent_nodes_get_distinct_streams() {
+        let mut a = node_round_rng(99, 5, 17);
+        let mut b = node_round_rng(99, 6, 17);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+}

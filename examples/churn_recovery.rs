@@ -1,0 +1,86 @@
+//! Churn: discovery despite crashed machines and a lossy network.
+//!
+//! A fraction of the machines crashed before discovery started, and the
+//! network drops 10% of all messages. The survivors must still find
+//! each other. Two scenarios:
+//!
+//! 1. **Without a failure detector** — the protocol keeps retrying dead
+//!    acquaintances forever, so the cluster never drains to quiescence
+//!    and the final roster broadcast never fires; the classic PODC '99
+//!    completion (some survivor knows all survivors and all survivors
+//!    know it) is still reached.
+//! 2. **With a failure detector** — a crash-reporting service (in the
+//!    spirit of Falcon/Albatross) tells the survivors who is dead after
+//!    a latency; dead work items are purged, quiescence returns, and
+//!    the survivors reach full everyone-knows-everyone completion.
+//!
+//! ```text
+//! cargo run --release --example churn_recovery
+//! ```
+
+use resource_discovery::prelude::*;
+
+fn main() {
+    let n = 512;
+    let seed = 21;
+    // A denser bootstrap overlay (k = 6) keeps the survivor subgraph
+    // weakly connected despite the crashes.
+    let topology = Topology::KOut { k: 6 };
+
+    // Every 13th machine is dead from the start.
+    let crashed: Vec<usize> = (0..n).filter(|i| i % 13 == 5).collect();
+    println!(
+        "{} machines, {} crashed before boot, 10% message loss\n",
+        n,
+        crashed.len()
+    );
+
+    // Scenario 1: no failure detector -> classic completion only.
+    let blind_faults = FaultPlan::new()
+        .with_drop_probability(0.10)
+        .with_crashes(crashed.iter().copied());
+    let blind = run(
+        AlgorithmKind::Hm(HmConfig::default()),
+        &RunConfig::new(topology, n, seed)
+            .with_faults(blind_faults)
+            .with_completion(Completion::LeaderKnowsAll)
+            .with_max_rounds(100_000),
+    );
+    assert!(blind.completed, "leader-completion failed without detector");
+    println!(
+        "without failure detector: leader-knows-all after {} rounds \
+         ({} messages, {} dropped)",
+        blind.rounds, blind.messages, blind.dropped
+    );
+
+    // Scenario 2: crash reports arrive after 30 rounds -> survivors
+    // purge dead work and reach full completion.
+    let informed_faults = FaultPlan::new()
+        .with_drop_probability(0.10)
+        .with_crashes(crashed.iter().copied())
+        .with_crash_detection_after(30);
+    let informed = run(
+        AlgorithmKind::Hm(HmConfig::default()),
+        &RunConfig::new(topology, n, seed)
+            .with_faults(informed_faults)
+            .with_max_rounds(100_000),
+    );
+    assert!(informed.completed, "survivors failed to fully converge");
+    assert!(informed.sound);
+    println!(
+        "with failure detector:    everyone-knows-everyone (among survivors) \
+         after {} rounds ({} messages, {} dropped)",
+        informed.rounds, informed.messages, informed.dropped
+    );
+
+    // Fault-free reference on the same instance.
+    let clean = run(
+        AlgorithmKind::Hm(HmConfig::default()),
+        &RunConfig::new(topology, n, seed),
+    );
+    println!(
+        "fault-free reference:     {} rounds — churn cost {:+} rounds",
+        clean.rounds,
+        informed.rounds as i64 - clean.rounds as i64
+    );
+}

@@ -1,0 +1,53 @@
+//! Peer-to-peer overlay formation: discovery, then a message-optimal
+//! broadcast over the discovered membership.
+//!
+//! A P2P network bootstraps from a preferential-attachment knowledge
+//! graph (new peers learn a couple of well-known peers). The overlay
+//! first runs resource discovery so every peer holds the full
+//! membership, then uses the discovered membership for a
+//! direct-addressing broadcast — the two primitives of the
+//! Haeupler–Malkhi line of work, composed.
+//!
+//! ```text
+//! cargo run --release --example p2p_overlay
+//! ```
+
+use resource_discovery::prelude::*;
+
+fn main() {
+    let peers = 4096;
+
+    // Phase 1 — discovery on the scale-free bootstrap graph.
+    let config = RunConfig::new(Topology::ScaleFree { m: 2 }, peers, 99);
+    let discovery = run(AlgorithmKind::Hm(HmConfig::default()), &config);
+    assert!(discovery.completed && discovery.sound);
+    println!(
+        "phase 1: {} peers discovered each other in {} rounds \
+         ({} messages, {} pointers)",
+        peers, discovery.rounds, discovery.messages, discovery.pointers
+    );
+
+    // Phase 2 — with the membership known, the overlay broadcasts a
+    // rumor with direct addressing: exactly n - 1 messages, ⌈log₂ n⌉
+    // hops, versus the Θ(n log n) messages of classic push-pull.
+    let split = run_gossip(GossipStrategy::AddressedSplit, peers, 99);
+    let pushpull = run_gossip(GossipStrategy::PushPull, peers, 99);
+    assert!(split.completed && pushpull.completed);
+    println!(
+        "phase 2: addressed-split broadcast: {} rounds, {} messages",
+        split.rounds, split.messages
+    );
+    println!(
+        "         random push-pull baseline: {} rounds, {} messages ({}x more)",
+        pushpull.rounds,
+        pushpull.messages,
+        pushpull.messages / split.messages.max(1)
+    );
+
+    // End-to-end: bootstrap to fully-informed overlay.
+    println!(
+        "\nend-to-end: a {peers}-peer overlay went from 2 known peers each to a \
+         broadcast-capable full-membership overlay in {} simulated rounds.",
+        discovery.rounds + split.rounds
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: run the sub-logarithmic discovery algorithm on a freshly
+//! bootstrapped overlay and print its complexity report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use resource_discovery::prelude::*;
+
+fn main() {
+    // 1024 machines; each starts knowing itself plus 3 uniformly random
+    // peers (a weakly connected bootstrap overlay).
+    let n = 1024;
+    let config = RunConfig::new(Topology::KOut { k: 3 }, n, 42);
+
+    println!("resource discovery over {n} machines (k-out overlay, k = 3)\n");
+    for kind in AlgorithmKind::contenders() {
+        let report = run(kind, &config);
+        assert!(report.completed && report.sound);
+        println!(
+            "{:<18} {:>4} rounds   {:>9} messages   {:>11} pointers   max {:>5} msgs/node",
+            report.algorithm,
+            report.rounds,
+            report.messages,
+            report.pointers,
+            report.max_sent_messages,
+        );
+    }
+
+    println!();
+    let hm = run(
+        AlgorithmKind::Hm(HmConfig::default()),
+        &RunConfig::new(Topology::KOut { k: 3 }, n, 42)
+            .with_completion(Completion::LeaderKnowsAll),
+    );
+    println!(
+        "HM reaches the PODC'99 completion notion (leader knows all, all know leader) \
+         in {} rounds.",
+        hm.rounds
+    );
+}

@@ -1,0 +1,54 @@
+//! The point of it all: discover the machines, then run a resource
+//! directory over them.
+//!
+//! Machines bootstrap from a sparse knowledge graph, discover the full
+//! membership with the HM algorithm, and then operate a coordination-
+//! free registry: every resource key has an owner every machine computes
+//! identically (rendezvous hashing), so publishing costs one message and
+//! lookup costs one round trip. Finally a machine is removed from the
+//! membership and we show the rendezvous property: only its keys move.
+//!
+//! ```text
+//! cargo run --release --example resource_registry
+//! ```
+
+use resource_discovery::prelude::*;
+use resource_discovery::registry::service::{run_pipeline, resource_key};
+use resource_discovery::registry::Directory;
+
+fn main() {
+    let n = 256;
+    let report = run_pipeline(Topology::KOut { k: 3 }, n, 11, 8, 4);
+    assert!(report.all_resolved);
+    println!(
+        "discovery: {} rounds / {} messages",
+        report.discovery_rounds, report.discovery_messages
+    );
+    println!(
+        "registry:  {} rounds / {} messages to publish {} resources and resolve {} lookups",
+        report.registry_rounds,
+        report.registry_messages,
+        n * 8,
+        n * 4
+    );
+
+    // Membership change: machine 100 is decommissioned. Rendezvous
+    // placement moves only the keys it owned.
+    let full = Directory::new((0..n as u32).map(NodeId::new));
+    let removed = NodeId::new(100);
+    let reduced = full.without(removed);
+    let all_keys: Vec<u64> = (0..n as u32)
+        .flat_map(|m| (0..8).map(move |s| resource_key(m, s)))
+        .collect();
+    let moved = reduced.moved_keys(&full, all_keys.iter().copied());
+    println!(
+        "\ndecommissioning one machine of {n}: {} of {} keys migrate ({:.2}%; the \
+         rendezvous minimum)",
+        moved.len(),
+        all_keys.len(),
+        100.0 * moved.len() as f64 / all_keys.len() as f64
+    );
+    assert!(moved
+        .iter()
+        .all(|&k| full.owner(k) == removed), "a key moved needlessly");
+}

@@ -1,0 +1,61 @@
+//! Scaling analysis: sweep, fit, and plot — the measurement pipeline in
+//! one sitting.
+//!
+//! Runs a small rounds-vs-n sweep for two algorithms, fits every
+//! candidate scaling law, and draws the curves as a terminal plot —
+//! exactly what the full benchmark harness does, at espresso scale.
+//!
+//! ```text
+//! cargo run --release --example scaling_analysis
+//! ```
+
+use resource_discovery::analysis::experiment::{sweep, SweepSpec};
+use resource_discovery::analysis::{best_fit, Plot};
+use resource_discovery::prelude::*;
+
+fn main() {
+    let ns = vec![64, 128, 256, 512, 1024, 2048];
+    let kinds = vec![
+        AlgorithmKind::Hm(HmConfig::default()),
+        AlgorithmKind::NameDropper,
+    ];
+    println!("sweeping {} sizes x {} algorithms x 3 seeds...", ns.len(), kinds.len());
+    let cells = sweep(&SweepSpec {
+        kinds: kinds.clone(),
+        topology: Topology::KOut { k: 3 },
+        ns: ns.clone(),
+        seeds: 0..3,
+        ..Default::default()
+    });
+
+    let mut plot = Plot::new(56, 12).with_log_x();
+    for kind in &kinds {
+        let name = kind.name();
+        let series: Vec<(f64, f64)> = cells
+            .iter()
+            .filter(|c| c.algorithm == name)
+            .map(|c| (c.n as f64, c.rounds.mean))
+            .collect();
+        let xs: Vec<f64> = series.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = series.iter().map(|&(_, y)| y).collect();
+        let ranked = best_fit(&xs, &ys);
+        println!("\n{name}:");
+        for fit in ranked.iter().take(2) {
+            println!("  {fit}");
+        }
+        let ci = cells
+            .iter()
+            .rev()
+            .find(|c| c.algorithm == name)
+            .map(|c| c.rounds.ci95())
+            .unwrap();
+        println!(
+            "  95% CI for the mean at n={}: [{:.1}, {:.1}]",
+            ns.last().unwrap(),
+            ci.0,
+            ci.1
+        );
+        plot.series(name, series);
+    }
+    println!("\nrounds vs n (log x):\n{plot}");
+}

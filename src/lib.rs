@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # resource-discovery
+//!
+//! A Rust reproduction of *"Distributed Resource Discovery in
+//! Sub-Logarithmic Time"* (Bernhard Haeupler & Dahlia Malkhi, ACM PODC
+//! 2015): the resource-discovery problem, a reconstructed
+//! cluster-merging algorithm with sub-logarithmic round complexity on
+//! low-diameter knowledge graphs, every classic baseline, a
+//! deterministic synchronous network simulator, and a benchmark harness
+//! that regenerates the full evaluation.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`graphs`] (`rd-graphs`) — knowledge-graph topologies and analysis,
+//! * [`sim`] (`rd-sim`) — the deterministic round-based simulator,
+//! * [`core`] (`rd-core`) — the discovery algorithms, verification, and
+//!   the one-call [`run`] entry point,
+//! * [`analysis`] (`rd-analysis`) — statistics, scaling-law fitting, and
+//!   the sweep driver.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use resource_discovery::prelude::*;
+//!
+//! // 256 machines, each initially knowing 3 random peers.
+//! let config = RunConfig::new(Topology::KOut { k: 3 }, 256, 42);
+//! let report = run(AlgorithmKind::Hm(Default::default()), &config);
+//!
+//! assert!(report.completed, "every machine discovered every other");
+//! assert!(report.sound);
+//! println!(
+//!     "discovered {} machines in {} rounds with {} messages",
+//!     report.n, report.rounds, report.messages
+//! );
+//! ```
+//!
+//! See `README.md` for the architecture tour, `DESIGN.md` for the
+//! reconstruction notes, and `EXPERIMENTS.md` for the measured
+//! evaluation. Runnable scenarios live in `examples/`.
+
+pub use rd_analysis as analysis;
+pub use rd_core as core;
+pub use rd_graphs as graphs;
+pub use rd_registry as registry;
+pub use rd_sim as sim;
+
+pub use rd_core::runner::run;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use rd_analysis::{summarize, Table};
+    pub use rd_core::algorithms::hm::{HmConfig, HmDiscovery, MergeRule};
+    pub use rd_core::gossip::{run_gossip, GossipStrategy};
+    pub use rd_core::runner::{run, AlgorithmKind, Completion, RunConfig, RunReport};
+    pub use rd_core::{problem, verify, DiscoveryAlgorithm, KnowledgeSet, KnowledgeView};
+    pub use rd_graphs::{connectivity, metrics, DiGraph, Topology};
+    pub use rd_sim::{Engine, FaultPlan, NodeId};
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: topology generation → simulation →
+//! discovery → verification, through the public API only.
+
+use resource_discovery::prelude::*;
+
+#[test]
+fn all_algorithms_agree_on_the_final_state() {
+    // Different algorithms, same instance: every one must converge to
+    // the identical (complete) knowledge state.
+    let config = RunConfig::new(Topology::ErdosRenyi { avg_degree: 4 }, 200, 11);
+    let reports: Vec<RunReport> = AlgorithmKind::contenders()
+        .into_iter()
+        .map(|kind| run(kind, &config))
+        .collect();
+    for report in &reports {
+        assert!(report.completed, "{} incomplete", report.algorithm);
+        assert!(report.sound, "{} unsound", report.algorithm);
+        assert_eq!(report.n, 200);
+    }
+    // They differ wildly in cost, though — that is the whole point.
+    let pointers: Vec<u64> = reports.iter().map(|r| r.pointers).collect();
+    assert!(pointers.iter().max() > pointers.iter().min());
+}
+
+#[test]
+fn hm_dominates_baselines_on_pointer_complexity() {
+    let config = RunConfig::new(Topology::KOut { k: 3 }, 512, 3);
+    let hm = run(AlgorithmKind::Hm(HmConfig::default()), &config);
+    for kind in [
+        AlgorithmKind::Flooding,
+        AlgorithmKind::NameDropper,
+        AlgorithmKind::PointerDoubling,
+    ] {
+        let baseline = run(kind, &config);
+        assert!(
+            hm.pointers * 3 < baseline.pointers,
+            "{}: hm {} vs baseline {}",
+            baseline.algorithm,
+            hm.pointers,
+            baseline.pointers
+        );
+    }
+}
+
+#[test]
+fn hm_round_count_is_flat_while_name_dropper_grows() {
+    let rounds = |kind, n| {
+        run(kind, &RunConfig::new(Topology::KOut { k: 3 }, n, 5)).rounds as f64
+    };
+    let hm_small = rounds(AlgorithmKind::Hm(HmConfig::default()), 128);
+    let hm_large = rounds(AlgorithmKind::Hm(HmConfig::default()), 2048);
+    let nd_small = rounds(AlgorithmKind::NameDropper, 128);
+    let nd_large = rounds(AlgorithmKind::NameDropper, 2048);
+    // 16x the machines: HM grows by at most two super-rounds, while
+    // Name-Dropper's growth is clearly visible.
+    assert!(hm_large <= hm_small + 12.0, "hm {hm_small} -> {hm_large}");
+    assert!(nd_large > nd_small, "nd {nd_small} -> {nd_large}");
+}
+
+#[test]
+fn every_topology_is_discoverable_end_to_end() {
+    for topology in Topology::survey() {
+        let report = run(
+            AlgorithmKind::Hm(HmConfig::default()),
+            &RunConfig::new(topology, 100, 7),
+        );
+        assert!(report.completed, "{topology} incomplete");
+        assert!(report.sound, "{topology} unsound");
+    }
+}
+
+#[test]
+fn reports_compose_with_the_analysis_toolkit() {
+    // The headline analysis path: sweep -> summarize -> fit.
+    use resource_discovery::analysis::experiment::{sweep, SweepSpec};
+    use resource_discovery::analysis::fit::best_fit;
+
+    let cells = sweep(&SweepSpec {
+        kinds: vec![AlgorithmKind::PointerDoubling],
+        topology: Topology::KOut { k: 3 },
+        ns: vec![64, 128, 256, 512, 1024],
+        seeds: 0..3,
+        ..Default::default()
+    });
+    let ns: Vec<f64> = cells.iter().map(|c| c.n as f64).collect();
+    let ys: Vec<f64> = cells.iter().map(|c| c.rounds.mean).collect();
+    let fits = best_fit(&ns, &ys);
+    assert!(!fits.is_empty());
+    assert!(fits[0].r2 >= fits.last().unwrap().r2, "ranking broken");
+}
+
+#[test]
+fn leader_completion_upgrade_costs_little() {
+    // EveryoneKnowsEveryone is one roster broadcast after LeaderKnowsAll.
+    let base = RunConfig::new(Topology::KOut { k: 3 }, 256, 9);
+    let leader = run(
+        AlgorithmKind::Hm(HmConfig::default()),
+        &base.clone().with_completion(Completion::LeaderKnowsAll),
+    );
+    let everyone = run(AlgorithmKind::Hm(HmConfig::default()), &base);
+    assert!(leader.completed && everyone.completed);
+    assert!(everyone.rounds >= leader.rounds);
+    assert!(
+        everyone.rounds <= leader.rounds + 12,
+        "upgrade cost too high: {} -> {}",
+        leader.rounds,
+        everyone.rounds
+    );
+}
+
+#[test]
+fn gossip_composes_with_discovery_membership() {
+    // After discovery the membership is complete, so gossip's complete-
+    // knowledge assumption holds; the optimal broadcast costs n - 1.
+    let n = 300;
+    let discovery = run(
+        AlgorithmKind::Hm(HmConfig::default()),
+        &RunConfig::new(Topology::RandomTree, n, 13),
+    );
+    assert!(discovery.completed);
+    let broadcast = run_gossip(GossipStrategy::AddressedSplit, n, 13);
+    assert!(broadcast.completed);
+    assert_eq!(broadcast.messages, (n - 1) as u64);
+}

@@ -1,0 +1,116 @@
+//! Workspace-level property tests through the umbrella crate's public
+//! API: complexity relationships that must hold on arbitrary instances.
+
+use proptest::prelude::*;
+use resource_discovery::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Cycle),
+        Just(Topology::RandomTree),
+        Just(Topology::Hypercube),
+        Just(Topology::Grid2d),
+        (2usize..5).prop_map(|k| Topology::KOut { k }),
+        (2usize..6).prop_map(|avg_degree| Topology::ErdosRenyi { avg_degree }),
+        (2usize..10).prop_map(|cliques| Topology::CliqueChain { cliques }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flooding is the round-complexity floor: no algorithm (with our
+    /// super-round constants) completes in fewer rounds than it, and
+    /// everything completes.
+    #[test]
+    fn flooding_is_the_round_floor(
+        topo in arb_topology(),
+        n in 8usize..120,
+        seed in any::<u64>(),
+    ) {
+        let cfg = RunConfig::new(topo, n, seed).with_max_rounds(60_000);
+        let flood = run(AlgorithmKind::Flooding, &cfg);
+        prop_assert!(flood.completed);
+        for kind in [AlgorithmKind::NameDropper, AlgorithmKind::Hm(HmConfig::default())] {
+            let other = run(kind, &cfg);
+            prop_assert!(other.completed);
+            prop_assert!(
+                other.rounds + 2 >= flood.rounds,
+                "{} ({} rounds) beat flooding ({} rounds)",
+                other.algorithm, other.rounds, flood.rounds
+            );
+        }
+    }
+
+    /// Every node whose initial knowledge is incomplete must receive at
+    /// least one message, so total messages are bounded below by the
+    /// number of such nodes; and bit complexity exceeds pointer
+    /// complexity whenever anything was sent.
+    #[test]
+    fn complexity_lower_bounds_hold(
+        topo in arb_topology(),
+        n in 2usize..100,
+        seed in any::<u64>(),
+    ) {
+        let g = topo.generate(n, seed);
+        let must_receive = (0..n).filter(|&u| g.out_degree(u) < n - 1).count() as u64;
+        for kind in AlgorithmKind::contenders() {
+            let report = run(kind, &RunConfig::new(topo, n, seed).with_max_rounds(60_000));
+            prop_assert!(report.completed);
+            prop_assert!(
+                report.messages >= must_receive,
+                "{}: {} messages < {} nodes with something to learn",
+                report.algorithm, report.messages, must_receive
+            );
+            prop_assert!(report.bits >= report.pointers);
+            prop_assert!(report.max_sent_messages <= report.messages);
+        }
+    }
+
+    /// Everyone-knows-everyone requires at least n·(n-1) pointer
+    /// receptions minus what the initial knowledge already provides —
+    /// every algorithm's pointer count respects the information bound.
+    #[test]
+    fn pointer_complexity_respects_information_bound(
+        topo in arb_topology(),
+        n in 4usize..80,
+        seed in any::<u64>(),
+    ) {
+        let g = topo.generate(n, seed);
+        let initial_pointers: u64 = g.edge_count() as u64;
+        let must_learn = (n * (n - 1)) as u64 - initial_pointers;
+        let report = run(
+            AlgorithmKind::Hm(HmConfig::default()),
+            &RunConfig::new(topo, n, seed).with_max_rounds(60_000),
+        );
+        prop_assert!(report.completed);
+        // Each delivered pointer teaches at most one (node, id) pair,
+        // and envelope sources teach one more per message.
+        prop_assert!(
+            report.pointers + report.messages >= must_learn,
+            "{} pointers + {} messages < {} required learnings",
+            report.pointers, report.messages, must_learn
+        );
+    }
+
+    /// The failure detector never hurts: enabling it on a fault-free run
+    /// changes nothing.
+    #[test]
+    fn detector_is_inert_without_crashes(
+        topo in arb_topology(),
+        n in 2usize..80,
+        seed in any::<u64>(),
+    ) {
+        let plain = run(
+            AlgorithmKind::Hm(HmConfig::default()),
+            &RunConfig::new(topo, n, seed).with_max_rounds(60_000),
+        );
+        let with_detector = run(
+            AlgorithmKind::Hm(HmConfig::default()),
+            &RunConfig::new(topo, n, seed)
+                .with_max_rounds(60_000)
+                .with_faults(FaultPlan::new().with_crash_detection_after(0)),
+        );
+        prop_assert_eq!(plain, with_detector);
+    }
+}
