@@ -2,7 +2,7 @@
 
 use crate::stats::{summarize, Summary};
 use parking_lot::Mutex;
-use rd_core::runner::{run, AlgorithmKind, Completion, RunConfig, RunReport};
+use rd_core::runner::{run, AlgorithmKind, Completion, EngineKind, RunConfig, RunReport};
 use rd_graphs::Topology;
 use rd_sim::FaultPlan;
 use std::ops::Range;
@@ -28,6 +28,12 @@ pub struct SweepSpec {
     pub max_rounds: u64,
     /// Worker threads (0 = all available cores).
     pub threads: usize,
+    /// Execution engine for every run of the sweep. With
+    /// `EngineKind::Sharded`, prefer `threads: 1` so the per-run workers
+    /// and the sweep driver don't oversubscribe the cores: run-level
+    /// parallelism suits many small runs, engine-level parallelism a few
+    /// huge ones.
+    pub engine: EngineKind,
 }
 
 impl Default for SweepSpec {
@@ -41,6 +47,7 @@ impl Default for SweepSpec {
             faults: FaultPlan::new(),
             max_rounds: 1_000_000,
             threads: 0,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -127,6 +134,7 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepCell> {
                     max_rounds: spec.max_rounds,
                     completion: spec.completion,
                     faults: spec.faults.clone(),
+                    engine: spec.engine,
                 };
                 let report = run(spec.kinds[job.kind_idx], &config);
                 results.lock()[job.kind_idx * spec.ns.len() + job.n_idx].push(report);
@@ -204,6 +212,21 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.rounds.mean, y.rounds.mean);
             assert_eq!(x.messages.mean, y.messages.mean);
+        }
+    }
+
+    #[test]
+    fn engine_choice_does_not_change_results() {
+        let sequential = sweep(&small_spec());
+        let mut spec = small_spec();
+        spec.engine = EngineKind::Sharded { workers: 2 };
+        spec.threads = 1;
+        let sharded = sweep(&spec);
+        for (x, y) in sequential.iter().zip(&sharded) {
+            assert_eq!(x.rounds.mean, y.rounds.mean);
+            assert_eq!(x.messages.mean, y.messages.mean);
+            assert_eq!(x.pointers.mean, y.pointers.mean);
+            assert_eq!(x.bits.mean, y.bits.mean);
         }
     }
 

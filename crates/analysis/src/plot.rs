@@ -36,7 +36,10 @@ impl Plot {
     ///
     /// Panics if either dimension is below 2.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width >= 2 && height >= 2, "plot too small: {width}x{height}");
+        assert!(
+            width >= 2 && height >= 2,
+            "plot too small: {width}x{height}"
+        );
         Plot {
             width,
             height,
@@ -100,15 +103,20 @@ impl fmt::Display for Plot {
         if all.is_empty() {
             return writeln!(f, "(empty plot)");
         }
-        let (mut min_x, mut max_x, mut min_y, mut max_y) =
-            (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
         for &(x, y) in &all {
             min_x = min_x.min(x);
             max_x = max_x.max(x);
             min_y = min_y.min(y);
             max_y = max_y.max(y);
         }
-        let span = |lo: f64, hi: f64| if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+        let span = |lo: f64, hi: f64| {
+            if (hi - lo).abs() < 1e-12 {
+                1.0
+            } else {
+                hi - lo
+            }
+        };
         let (sx, sy) = (span(min_x, max_x), span(min_y, max_y));
 
         let mut grid = vec![vec![' '; self.width]; self.height];
@@ -123,11 +131,21 @@ impl fmt::Display for Plot {
         }
 
         let unscale = |v: f64, log: bool| if log { 2f64.powf(v) } else { v };
-        writeln!(f, "{:>10.4} +{}", unscale(max_y, self.log_y), "-".repeat(self.width))?;
+        writeln!(
+            f,
+            "{:>10.4} +{}",
+            unscale(max_y, self.log_y),
+            "-".repeat(self.width)
+        )?;
         for row in &grid {
             writeln!(f, "{:>10} |{}", "", row.iter().collect::<String>())?;
         }
-        writeln!(f, "{:>10.4} +{}", unscale(min_y, self.log_y), "-".repeat(self.width))?;
+        writeln!(
+            f,
+            "{:>10.4} +{}",
+            unscale(min_y, self.log_y),
+            "-".repeat(self.width)
+        )?;
         writeln!(
             f,
             "{:>10} {:<.4}{}{:>.4}",

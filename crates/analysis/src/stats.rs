@@ -56,9 +56,9 @@ impl Summary {
 /// normal value — the error of that tail approximation is under 2%).
 fn t_critical_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -208,7 +208,10 @@ mod tests {
             max: 0.0,
             median: 0.0,
         };
-        let large = Summary { count: 100, ..small };
+        let large = Summary {
+            count: 100,
+            ..small
+        };
         assert!(large.ci95_half_width() < small.ci95_half_width());
     }
 }

@@ -12,18 +12,14 @@ fn bench_algorithms(c: &mut Criterion) {
     group.sample_size(10);
     for kind in AlgorithmKind::contenders() {
         for n in [128usize, 512] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &n,
-                |b, &n| {
-                    let cfg = RunConfig::new(Topology::KOut { k: 3 }, n, 7);
-                    b.iter(|| {
-                        let report = run(black_box(kind), black_box(&cfg));
-                        assert!(report.completed);
-                        report.rounds
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, &n| {
+                let cfg = RunConfig::new(Topology::KOut { k: 3 }, n, 7);
+                b.iter(|| {
+                    let report = run(black_box(kind), black_box(&cfg));
+                    assert!(report.completed);
+                    report.rounds
+                });
+            });
         }
     }
     group.finish();

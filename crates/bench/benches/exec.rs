@@ -1,0 +1,237 @@
+//! Wall-clock comparison of the two execution engines: the sequential
+//! `rd-sim` engine vs the sharded `rd-exec` engine at 1/2/4/8 workers,
+//! at n ∈ {2¹², 2¹⁴, 2¹⁶}.
+//!
+//! The workload is a bounded gossip protocol — every node merges its
+//! inbox into a capped knowledge set and pushes 64-identifier batches to
+//! two random contacts — chosen so per-node compute (set merging) is
+//! substantial relative to routing, the regime the sharded engine is
+//! built for. Both engines produce bit-identical runs (pinned by
+//! `tests/prop_engine_equivalence.rs`), so this bench measures pure
+//! wall-clock, not behaviour.
+//!
+//! Besides the usual criterion report, a `cargo bench` run writes
+//! machine-readable results — rounds/sec per configuration and speedup
+//! relative to the sequential engine — to `BENCH_exec.json` at the
+//! workspace root, including a note on the host parallelism the numbers
+//! were recorded under (speedup is bounded by physical cores; on a
+//! single-core host the sharded engine can at best tie).
+//!
+//! ```text
+//! cargo bench -p rd-bench --bench exec
+//! ```
+
+use criterion::{BenchmarkId, Criterion};
+use rand::Rng;
+use rd_core::problem;
+use rd_exec::ShardedEngine;
+use rd_graphs::Topology;
+use rd_sim::{Engine, Envelope, MessageCost, Node, NodeId, RoundContext};
+use std::time::Instant;
+
+const SEED: u64 = 7;
+/// Knowledge cap: keeps per-node state (and thus per-round compute)
+/// bounded so every round costs the same and samples are comparable.
+const KNOWLEDGE_CAP: usize = 256;
+/// Identifiers shipped per message — a gossip "MTU".
+const BATCH: usize = 64;
+/// `(log2 n, rounds timed per run)`: fewer rounds at larger n keeps the
+/// total bench budget flat across sizes.
+const SIZES: [(u32, u64); 3] = [(12, 10), (14, 8), (16, 4)];
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Clone, Debug)]
+struct Batch(Vec<NodeId>);
+
+impl MessageCost for Batch {
+    fn pointers(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Bounded push gossip: merge the inbox, keep the lowest
+/// `KNOWLEDGE_CAP` identifiers, share a batch with two random contacts.
+#[derive(Clone)]
+struct Gossip {
+    known: Vec<NodeId>,
+}
+
+impl Node for Gossip {
+    type Msg = Batch;
+
+    fn on_round(&mut self, inbox: Vec<Envelope<Batch>>, ctx: &mut RoundContext<'_, Batch>) {
+        for env in inbox {
+            self.known.extend(env.payload.0);
+        }
+        self.known.sort_unstable();
+        self.known.dedup();
+        self.known.truncate(KNOWLEDGE_CAP);
+        for _ in 0..2 {
+            let dst = self.known[ctx.rng().random_range(0..self.known.len())];
+            if dst != ctx.id() {
+                let share: Vec<NodeId> = self.known.iter().take(BATCH).copied().collect();
+                ctx.send(dst, Batch(share));
+            }
+        }
+    }
+}
+
+fn make_nodes(n: usize, seed: u64) -> Vec<Gossip> {
+    let graph = Topology::KOut { k: 3 }.generate(n, seed);
+    problem::initial_knowledge(&graph)
+        .into_iter()
+        .map(|known| Gossip { known })
+        .collect()
+}
+
+/// One run of `rounds` rounds on the chosen engine; `workers == 0`
+/// means the sequential `rd-sim` engine. The node population is cloned
+/// from a prebuilt prototype so instance construction (graph generation
+/// and initial knowledge) stays outside every timed region. Returns
+/// total messages (a checksum that also keeps the work observable) and
+/// the wall-clock of the stepping loop alone.
+fn run_rounds(proto: &[Gossip], rounds: u64, workers: usize) -> (u64, f64) {
+    if workers == 0 {
+        let mut engine = Engine::new(proto.to_vec(), SEED);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            engine.step();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        (engine.metrics().total_messages(), secs)
+    } else {
+        let mut engine = ShardedEngine::new(proto.to_vec(), SEED, workers);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            engine.step();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        (engine.metrics().total_messages(), secs)
+    }
+}
+
+fn engine_label(workers: usize) -> String {
+    if workers == 0 {
+        "sequential".to_string()
+    } else {
+        format!("sharded:{workers}")
+    }
+}
+
+/// The criterion-visible comparison at every size × engine config.
+/// (Engine construction from the cloned prototype is inside the sample,
+/// but it is O(n) against the rounds' O(rounds · messages) — noise.)
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec-round-throughput");
+    group.sample_size(3);
+    for &(log2_n, rounds) in &SIZES {
+        let n = 1usize << log2_n;
+        let proto = make_nodes(n, SEED);
+        for workers in std::iter::once(0).chain(WORKER_COUNTS) {
+            group.bench_with_input(
+                BenchmarkId::new(engine_label(workers), format!("2^{log2_n}")),
+                &proto,
+                |b, proto| b.iter(|| run_rounds(proto, rounds, workers)),
+            );
+        }
+    }
+    group.finish();
+}
+
+struct Measurement {
+    log2_n: u32,
+    rounds: u64,
+    workers: usize,
+    best_seconds: f64,
+}
+
+/// Times each configuration directly (best of `reps`) and writes the
+/// machine-readable summary to `BENCH_exec.json` at the workspace root.
+fn write_json_summary() {
+    let reps = 3;
+    let mut measurements = Vec::new();
+    for &(log2_n, rounds) in &SIZES {
+        let n = 1usize << log2_n;
+        let proto = make_nodes(n, SEED);
+        for workers in std::iter::once(0).chain(WORKER_COUNTS) {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let (msgs, secs) = run_rounds(&proto, rounds, workers);
+                std::hint::black_box(msgs);
+                best = best.min(secs);
+            }
+            eprintln!(
+                "[exec-bench] n=2^{log2_n} {:<12} best {:.3}s for {rounds} rounds",
+                engine_label(workers),
+                best
+            );
+            measurements.push(Measurement {
+                log2_n,
+                rounds,
+                workers,
+                best_seconds: best,
+            });
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"exec-round-throughput\",\n");
+    json.push_str(
+        "  \"workload\": \"bounded gossip (fan-out 2, 64-id batches, 256-id knowledge cap) on a 3-out random overlay\",\n",
+    );
+    json.push_str("  \"hardware\": {\n");
+    json.push_str(&format!("    \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!(
+        "    \"note\": \"recorded on a host with {cores} hardware thread(s); parallel speedup is bounded by physical cores, so on a single-core host the sharded engine can at best tie the sequential one and these numbers measure sharding overhead, not scaling — rerun on a multi-core host for speedup\"\n",
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"configs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let n = 1usize << m.log2_n;
+        let sequential = measurements
+            .iter()
+            .find(|s| s.log2_n == m.log2_n && s.workers == 0)
+            .expect("sequential baseline present");
+        let rounds_per_sec = m.rounds as f64 / m.best_seconds;
+        let speedup = sequential.best_seconds / m.best_seconds;
+        json.push_str(&format!(
+            "    {{\"n\": {n}, \"log2_n\": {}, \"rounds\": {}, \"engine\": \"{}\", \"workers\": {}, \"best_seconds\": {:.4}, \"rounds_per_sec\": {:.2}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+            m.log2_n,
+            m.rounds,
+            engine_label(m.workers),
+            m.workers,
+            m.best_seconds,
+            rounds_per_sec,
+            speedup,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    std::fs::write(path, &json).expect("write BENCH_exec.json");
+    eprintln!("[exec-bench] wrote {path}");
+}
+
+/// Smoke check for test runs: both engines agree on a small instance.
+fn smoke() {
+    let proto = make_nodes(256, SEED);
+    let (seq, _) = run_rounds(&proto, 3, 0);
+    let (par, _) = run_rounds(&proto, 3, 2);
+    assert_eq!(seq, par, "engines diverged on the bench workload");
+    eprintln!("[exec-bench] smoke ok: both engines sent {seq} messages");
+}
+
+fn main() {
+    // Cargo passes `--bench` when launched via `cargo bench`; under
+    // `cargo test` (or a bare run) stay fast and skip the timed pass.
+    if !std::env::args().any(|a| a == "--bench") {
+        smoke();
+        return;
+    }
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_engines(&mut criterion);
+    write_json_summary();
+}

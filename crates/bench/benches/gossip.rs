@@ -9,17 +9,13 @@ fn bench_gossip(c: &mut Criterion) {
     group.sample_size(20);
     for strategy in [GossipStrategy::AddressedSplit, GossipStrategy::PushPull] {
         for n in [1024usize, 8192] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), n),
-                &n,
-                |b, &n| {
-                    b.iter(|| {
-                        let r = run_gossip(black_box(strategy), black_box(n), 3);
-                        assert!(r.completed);
-                        r.messages
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), n), &n, |b, &n| {
+                b.iter(|| {
+                    let r = run_gossip(black_box(strategy), black_box(n), 3);
+                    assert!(r.completed);
+                    r.messages
+                });
+            });
         }
     }
     group.finish();

@@ -15,11 +15,9 @@ fn bench_topologies(c: &mut Criterion) {
         Topology::ScaleFree { m: 2 },
         Topology::CliqueChain { cliques: 16 },
     ] {
-        group.bench_with_input(
-            BenchmarkId::new(topo.name(), 8192),
-            &8192usize,
-            |b, &n| b.iter(|| topo.generate(black_box(n), 7).edge_count()),
-        );
+        group.bench_with_input(BenchmarkId::new(topo.name(), 8192), &8192usize, |b, &n| {
+            b.iter(|| topo.generate(black_box(n), 7).edge_count())
+        });
     }
     group.finish();
 }

@@ -1,12 +1,15 @@
 //! Regenerates every table and figure of the evaluation.
 //!
 //! ```text
-//! figures [--quick] [--csv] [ids...]
+//! figures [--quick] [--csv] [--engine=sharded:W] [ids...]
 //! ```
 //!
 //! With no ids, everything runs. Ids: `t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5
 //! t6 t7 t8 t9 t10` (case-insensitive). `--quick` uses the small profile, `--csv`
-//! additionally prints each table as CSV.
+//! additionally prints each table as CSV. `--engine=sharded:W` runs the
+//! engine-aware sweeps (T1/F1/T2/F2/F4 and F5) on the `rd-exec` sharded
+//! engine with `W` worker threads; results are bit-identical either way,
+//! only wall-clock changes.
 
 use rd_analysis::Table;
 use rd_bench::experiments::{
@@ -14,16 +17,32 @@ use rd_bench::experiments::{
     scaling, survey,
 };
 use rd_bench::Profile;
+use rd_core::runner::EngineKind;
 
 struct Options {
     profile: Profile,
     csv: bool,
+    engine: EngineKind,
     ids: Vec<String>,
+}
+
+fn parse_engine(spec: &str) -> EngineKind {
+    match spec {
+        "sequential" => EngineKind::Sequential,
+        _ => match spec.strip_prefix("sharded:").map(str::parse) {
+            Some(Ok(workers)) if workers > 0 => EngineKind::Sharded { workers },
+            _ => {
+                eprintln!("invalid engine {spec:?}; use 'sequential' or 'sharded:<workers>'");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 fn parse_args() -> Options {
     let mut profile = Profile::Full;
     let mut csv = false;
+    let mut engine = EngineKind::Sequential;
     let mut ids = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -31,13 +50,21 @@ fn parse_args() -> Options {
             "--full" => profile = Profile::Full,
             "--csv" => csv = true,
             "--help" | "-h" => {
-                eprintln!("usage: figures [--quick] [--csv] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t6 t7 t8 t9 t10]");
+                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t6 t7 t8 t9 t10]");
                 std::process::exit(0);
+            }
+            spec if spec.starts_with("--engine=") => {
+                engine = parse_engine(&spec["--engine=".len()..]);
             }
             id => ids.push(id.to_ascii_lowercase()),
         }
     }
-    Options { profile, csv, ids }
+    Options {
+        profile,
+        csv,
+        engine,
+        ids,
+    }
 }
 
 fn wanted(opts: &Options, id: &str) -> bool {
@@ -65,8 +92,12 @@ fn main() {
         .iter()
         .any(|id| wanted(&opts, id));
     if scaling_needed {
-        eprintln!("[figures] running scaling sweep ({})...", opts.profile.name());
-        let data = scaling::run(opts.profile);
+        eprintln!(
+            "[figures] running scaling sweep ({}, {} engine)...",
+            opts.profile.name(),
+            opts.engine.name()
+        );
+        let data = scaling::run_with(opts.profile, opts.engine);
         if wanted(&opts, "t1") {
             emit(
                 &opts,
@@ -150,8 +181,11 @@ fn main() {
     }
 
     if wanted(&opts, "f5") {
-        eprintln!("[figures] running diameter sweep...");
-        let (table, series) = diameter::run(opts.profile);
+        eprintln!(
+            "[figures] running diameter sweep ({} engine)...",
+            opts.engine.name()
+        );
+        let (table, series) = diameter::run_with(opts.profile, opts.engine);
         emit(
             &opts,
             "f5",

@@ -36,12 +36,7 @@ pub fn variants() -> Vec<HmConfig> {
 /// survey size.
 pub fn run(profile: Profile) -> Table {
     let n = profile.survey_n();
-    let mut t = Table::new([
-        "variant",
-        "rounds (mean ± std)",
-        "messages",
-        "completion",
-    ]);
+    let mut t = Table::new(["variant", "rounds (mean ± std)", "messages", "completion"]);
     for cfg in variants() {
         let cells = sweep(&SweepSpec {
             kinds: vec![AlgorithmKind::Hm(cfg)],

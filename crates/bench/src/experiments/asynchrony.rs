@@ -48,8 +48,12 @@ pub fn run(profile: Profile) -> Table {
         }
         t.row(row);
     };
-    add_row("hm", &|j| rounds_with_jitter(&HmDiscovery::default(), n, seed, j));
-    add_row("name-dropper", &|j| rounds_with_jitter(&NameDropper, n, seed, j));
+    add_row("hm", &|j| {
+        rounds_with_jitter(&HmDiscovery::default(), n, seed, j)
+    });
+    add_row("name-dropper", &|j| {
+        rounds_with_jitter(&NameDropper, n, seed, j)
+    });
     add_row("pointer-doubling", &|j| {
         rounds_with_jitter(&PointerDoubling, n, seed, j)
     });

@@ -9,12 +9,18 @@ use crate::profile::Profile;
 use rd_analysis::experiment::{sweep, SweepSpec};
 use rd_analysis::fit::{fit_model, ScalingModel};
 use rd_analysis::Table;
-use rd_core::runner::AlgorithmKind;
+use rd_core::runner::{AlgorithmKind, EngineKind};
 use rd_graphs::{metrics, topology, Topology};
 
-/// Runs HM and pointer doubling on clique chains of growing length.
-/// Returns the table and HM's `(diameter, rounds)` series for fitting.
+/// Runs HM and pointer doubling on clique chains of growing length,
+/// on the sequential engine. Returns the table and HM's
+/// `(diameter, rounds)` series for fitting.
 pub fn run(profile: Profile) -> (Table, Vec<(f64, f64)>) {
+    run_with(profile, EngineKind::Sequential)
+}
+
+/// Like [`run`], on the chosen execution engine.
+pub fn run_with(profile: Profile, engine: EngineKind) -> (Table, Vec<(f64, f64)>) {
     let (n, chain_lengths): (usize, Vec<usize>) = match profile {
         Profile::Quick => (256, vec![2, 4, 8, 16, 32]),
         Profile::Full => (4096, vec![2, 4, 8, 16, 32, 64, 128, 256, 512]),
@@ -37,6 +43,11 @@ pub fn run(profile: Profile) -> (Table, Vec<(f64, f64)>) {
                 topology: Topology::CliqueChain { cliques },
                 ns: vec![n],
                 seeds: profile.seeds(),
+                threads: match engine {
+                    EngineKind::Sequential => 0,
+                    EngineKind::Sharded { .. } => 1,
+                },
+                engine,
                 ..Default::default()
             });
             row.push(format!("{:.0}", cells[0].rounds.mean));

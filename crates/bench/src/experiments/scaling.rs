@@ -6,7 +6,7 @@ use crate::profile::Profile;
 use rd_analysis::experiment::{sweep, SweepCell, SweepSpec};
 use rd_analysis::fit::{best_fit, fit_model, ScalingModel};
 use rd_analysis::Table;
-use rd_core::runner::AlgorithmKind;
+use rd_core::runner::{AlgorithmKind, EngineKind};
 use rd_graphs::Topology;
 
 /// The workload every scaling experiment runs on: each machine initially
@@ -45,8 +45,15 @@ impl ScalingData {
     }
 }
 
-/// Runs the sweep for the given profile.
+/// Runs the sweep for the given profile on the sequential engine.
 pub fn run(profile: Profile) -> ScalingData {
+    run_with(profile, EngineKind::Sequential)
+}
+
+/// Runs the sweep for the given profile on the chosen execution engine.
+/// With [`EngineKind::Sharded`] the sweep driver stays single-threaded
+/// and each run parallelizes internally instead.
+pub fn run_with(profile: Profile, engine: EngineKind) -> ScalingData {
     let ns = profile.scaling_ns();
     let mut cells = Vec::new();
     for kind in AlgorithmKind::contenders() {
@@ -60,6 +67,11 @@ pub fn run(profile: Profile) -> ScalingData {
             topology: workload(),
             ns: capped,
             seeds: profile.seeds(),
+            threads: match engine {
+                EngineKind::Sequential => 0,
+                EngineKind::Sharded { .. } => 1,
+            },
+            engine,
             ..Default::default()
         };
         cells.extend(sweep(&spec));
@@ -80,7 +92,11 @@ fn metric_table(
         for &n in &data.ns {
             row.push(match data.cell(&alg, n) {
                 Some(c) if c.completion_rate == 1.0 => value(c),
-                Some(c) => format!("{} ({}% done)", value(c), (c.completion_rate * 100.0) as u32),
+                Some(c) => format!(
+                    "{} ({}% done)",
+                    value(c),
+                    (c.completion_rate * 100.0) as u32
+                ),
                 None => "—".into(),
             });
         }

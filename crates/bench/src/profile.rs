@@ -78,9 +78,7 @@ mod tests {
 
     #[test]
     fn quick_is_smaller_than_full() {
-        assert!(
-            Profile::Quick.scaling_ns().last() < Profile::Full.scaling_ns().last()
-        );
+        assert!(Profile::Quick.scaling_ns().last() < Profile::Full.scaling_ns().last());
         assert!(Profile::Quick.seeds().count() <= Profile::Full.seeds().count());
         assert!(Profile::Quick.survey_n() < Profile::Full.survey_n());
     }

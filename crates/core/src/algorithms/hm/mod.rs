@@ -127,11 +127,7 @@ mod tests {
         assert!(outcome.completed);
         // A handful of super-rounds (6 rounds each): log D + log log n
         // with small constants.
-        assert!(
-            outcome.rounds <= 12 * PHASES,
-            "rounds = {}",
-            outcome.rounds
-        );
+        assert!(outcome.rounds <= 12 * PHASES, "rounds = {}", outcome.rounds);
     }
 
     #[test]
@@ -165,15 +161,12 @@ mod tests {
         let nodes = HmDiscovery::default().make_nodes(&problem::initial_knowledge(&g));
         let mut engine = Engine::new(nodes, 9);
         let mut counts = vec![cluster_count(engine.nodes())];
-        let outcome = engine.run_observed(
-            100_000,
-            problem::everyone_knows_everyone,
-            |round, nodes| {
+        let outcome =
+            engine.run_observed(100_000, problem::everyone_knows_everyone, |round, nodes| {
                 if round % PHASES == 0 {
                     counts.push(cluster_count(nodes));
                 }
-            },
-        );
+            });
         assert!(outcome.completed);
         assert_eq!(counts[0], 256);
         // Knowledge can complete while the last Adopt messages are still
@@ -218,7 +211,11 @@ mod tests {
 
     #[test]
     fn all_merge_rules_complete() {
-        for rule in [MergeRule::MaxId, MergeRule::RandomAbove, MergeRule::MinAbove] {
+        for rule in [
+            MergeRule::MaxId,
+            MergeRule::RandomAbove,
+            MergeRule::MinAbove,
+        ] {
             let cfg = HmConfig {
                 merge_rule: rule,
                 ..Default::default()
@@ -334,10 +331,6 @@ mod tests {
         // super-rounds.
         let (outcome, _, _) = run_hm(Topology::Path, 256, 1);
         assert!(outcome.completed);
-        assert!(
-            outcome.rounds <= 40 * PHASES,
-            "rounds = {}",
-            outcome.rounds
-        );
+        assert!(outcome.rounds <= 40 * PHASES, "rounds = {}", outcome.rounds);
     }
 }

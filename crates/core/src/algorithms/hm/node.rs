@@ -185,9 +185,7 @@ impl HmNode {
         // queues: a single stale in-flight message naming it would
         // otherwise park it in `pending_invites` forever, blocking
         // quiescence — and with it the final roster.
-        if foreign == self.me
-            || self.members.contains(foreign)
-            || self.suspected.contains(foreign)
+        if foreign == self.me || self.members.contains(foreign) || self.suspected.contains(foreign)
         {
             return;
         }
@@ -258,7 +256,8 @@ impl HmNode {
                 }
                 if let Some((inflight_epoch, covered)) = self.inflight_report {
                     if inflight_epoch == epoch {
-                        self.pending_report.drain(..covered.min(self.pending_report.len()));
+                        self.pending_report
+                            .drain(..covered.min(self.pending_report.len()));
                         self.inflight_report = None;
                     }
                 }
@@ -468,7 +467,12 @@ impl HmNode {
         let roster: Vec<NodeId> = self.members.iter().collect();
         for m in self.members.iter() {
             if m != self.me {
-                ctx.send(m, HmMsg::Roster { ids: roster.clone() });
+                ctx.send(
+                    m,
+                    HmMsg::Roster {
+                        ids: roster.clone(),
+                    },
+                );
             }
         }
         self.got_roster = true;

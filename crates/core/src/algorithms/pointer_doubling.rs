@@ -230,6 +230,9 @@ mod tests {
         }
         let per_round = (engine.metrics().total_messages() - before) / 3;
         // Only queries to the maximum plus its replies remain: <= 2(n-1).
-        assert!(per_round <= 62, "steady-state traffic {per_round} per round");
+        assert!(
+            per_round <= 62,
+            "steady-state traffic {per_round} per round"
+        );
     }
 }

@@ -120,7 +120,10 @@ mod tests {
     use rd_sim::Engine;
 
     fn run_swamp(topo: Topology, n: usize, seed: u64) -> crate::RunReport {
-        run_algorithm(&Swamping, &RunConfig::new(topo, n, seed).with_max_rounds(5_000))
+        run_algorithm(
+            &Swamping,
+            &RunConfig::new(topo, n, seed).with_max_rounds(5_000),
+        )
     }
 
     #[test]
@@ -173,7 +176,11 @@ mod tests {
         }
         let before = engine.metrics().total_messages();
         engine.step();
-        assert_eq!(engine.metrics().total_messages(), before, "still chattering");
+        assert_eq!(
+            engine.metrics().total_messages(),
+            before,
+            "still chattering"
+        );
     }
 
     #[test]

@@ -6,16 +6,22 @@ use rd_sim::NodeId;
 /// The set of identifiers a node has learned, with freshness tracking.
 ///
 /// Resource-discovery protocols constantly ask three things of their
-/// knowledge state: *do I know this id?* (O(1)), *give me everything I
+/// knowledge state: *do I know this id?* (fast), *give me everything I
 /// learned since I last forwarded* (the freshness queue, drained by
 /// [`take_fresh`](Self::take_fresh)), and *pick a uniformly random known
 /// id* (Name-Dropper's only primitive). `KnowledgeSet` serves all three.
 ///
-/// Internally membership is a growable bitmap over raw identifier
-/// indices (identifiers are dense in the simulator), plus an insertion-
-/// order list for O(1) random sampling. This is a set *representation*
-/// choice only — protocols still treat identifiers as opaque and learn
-/// them exclusively through messages.
+/// Internally membership starts as a small **sorted index** (binary
+/// search) and spills into a **growable bitmap** over raw identifier
+/// indices once the set exceeds [`SPARSE_MAX`] entries, plus an
+/// insertion-order list for O(1) random sampling. The hybrid matters at
+/// scale: a bitmap alone costs `max_id / 8` bytes *per set*, which sums
+/// to Θ(n²) bytes across a million singleton clusters — the sparse tier
+/// keeps per-set memory proportional to what the set actually holds,
+/// while big sets (merged clusters, full rosters) still get O(1) bitmap
+/// lookups. This is a set *representation* choice only — protocols
+/// still treat identifiers as opaque and learn them exclusively through
+/// messages.
 ///
 /// # Example
 ///
@@ -33,9 +39,28 @@ use rd_sim::NodeId;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct KnowledgeSet {
-    bits: Vec<u64>,
+    membership: Membership,
     list: Vec<NodeId>,
     fresh: Vec<NodeId>,
+}
+
+/// Spill threshold: sets at or below this size stay sorted-vec (≤ 2 KiB,
+/// O(log s) lookups); beyond it the bitmap's `max_id / 8` bytes are
+/// amortised over enough members to be worth paying.
+const SPARSE_MAX: usize = 512;
+
+#[derive(Debug, Clone)]
+enum Membership {
+    /// Sorted raw indices — the small-set tier.
+    Sparse(Vec<u32>),
+    /// Bitmap over raw indices — the large-set tier.
+    Dense(Vec<u64>),
+}
+
+impl Default for Membership {
+    fn default() -> Self {
+        Membership::Sparse(Vec::new())
+    }
 }
 
 impl KnowledgeSet {
@@ -55,8 +80,13 @@ impl KnowledgeSet {
 
     /// `true` if `id` has been learned.
     pub fn contains(&self, id: NodeId) -> bool {
-        let (w, b) = Self::word_bit(id);
-        self.bits.get(w).is_some_and(|word| word & b != 0)
+        match &self.membership {
+            Membership::Sparse(sorted) => sorted.binary_search(&(id.index() as u32)).is_ok(),
+            Membership::Dense(bits) => {
+                let (w, b) = Self::word_bit(id);
+                bits.get(w).is_some_and(|word| word & b != 0)
+            }
+        }
     }
 
     /// Learns `id`, queuing it as fresh if new. Returns `true` if new.
@@ -70,16 +100,49 @@ impl KnowledgeSet {
     }
 
     fn insert_quiet(&mut self, id: NodeId) -> bool {
-        let (w, b) = Self::word_bit(id);
-        if w >= self.bits.len() {
-            self.bits.resize(w + 1, 0);
+        let added = match &mut self.membership {
+            Membership::Sparse(sorted) => {
+                let raw = id.index() as u32;
+                match sorted.binary_search(&raw) {
+                    Ok(_) => false,
+                    Err(pos) => {
+                        sorted.insert(pos, raw);
+                        true
+                    }
+                }
+            }
+            Membership::Dense(bits) => {
+                let (w, b) = Self::word_bit(id);
+                if w >= bits.len() {
+                    bits.resize(w + 1, 0);
+                }
+                if bits[w] & b != 0 {
+                    false
+                } else {
+                    bits[w] |= b;
+                    true
+                }
+            }
+        };
+        if added {
+            self.list.push(id);
+            self.maybe_spill();
         }
-        if self.bits[w] & b != 0 {
-            return false;
+        added
+    }
+
+    /// Converts sparse membership to the bitmap once past the threshold.
+    fn maybe_spill(&mut self) {
+        if let Membership::Sparse(sorted) = &self.membership {
+            if sorted.len() > SPARSE_MAX {
+                let max = *sorted.last().expect("non-empty past threshold") as usize;
+                let mut bits = vec![0u64; max / 64 + 1];
+                for &raw in sorted {
+                    bits[raw as usize / 64] |= 1 << (raw % 64);
+                }
+                self.membership = Membership::Dense(bits);
+            }
         }
-        self.bits[w] |= b;
-        self.list.push(id);
-        true
     }
 
     /// Learns every id in `ids`; returns how many were new.
@@ -246,12 +309,33 @@ mod tests {
     }
 
     #[test]
-    fn bitmap_grows_for_sparse_large_ids() {
+    fn huge_ids_in_small_sets_stay_sparse() {
+        // The scale-critical property: holding a few ids never costs
+        // O(max id) memory — a million-node simulation allocates
+        // per-node sets proportional to what each node knows.
         let mut k = KnowledgeSet::new(id(0));
-        k.insert(id(100_000));
-        assert!(k.contains(id(100_000)));
-        assert!(!k.contains(id(99_999)));
+        k.insert(id(1_000_000));
+        assert!(k.contains(id(1_000_000)));
+        assert!(!k.contains(id(999_999)));
         assert_eq!(k.len(), 2);
+        assert!(matches!(k.membership, Membership::Sparse(_)));
+    }
+
+    #[test]
+    fn spill_to_bitmap_preserves_membership() {
+        let mut k = KnowledgeSet::new(id(0));
+        for i in 0..2 * SPARSE_MAX as u32 {
+            k.insert(id(3 * i));
+        }
+        assert!(matches!(k.membership, Membership::Dense(_)));
+        assert_eq!(k.len(), 2 * SPARSE_MAX); // id(0) deduplicated
+        for i in 0..2 * SPARSE_MAX as u32 {
+            assert!(k.contains(id(3 * i)), "lost id {}", 3 * i);
+            assert!(!k.contains(id(3 * i + 1)));
+        }
+        // Dedup keeps working across the representation change.
+        assert!(!k.insert(id(3)));
+        assert!(k.insert(id(1)));
     }
 
     #[test]

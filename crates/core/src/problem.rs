@@ -40,10 +40,7 @@ pub fn everyone_knows_everyone<N: KnowledgeView>(nodes: &[N]) -> bool {
 pub fn leader_knows_all<N: KnowledgeView>(nodes: &[N]) -> bool {
     let n = nodes.len();
     nodes.iter().enumerate().any(|(i, node)| {
-        node.knows_count() == n
-            && nodes
-                .iter()
-                .all(|other| other.knows(NodeId::new(i as u32)))
+        node.knows_count() == n && nodes.iter().all(|other| other.knows(NodeId::new(i as u32)))
     })
 }
 

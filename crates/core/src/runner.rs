@@ -6,8 +6,9 @@ use crate::algorithms::{
     RandomPointerJump, Swamping,
 };
 use crate::{problem, verify};
+use rd_exec::ShardedEngine;
 use rd_graphs::Topology;
-use rd_sim::{Engine, FaultPlan, Node};
+use rd_sim::{Engine, FaultPlan, Node, RoundEngine};
 
 /// Which discovery algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +66,35 @@ impl AlgorithmKind {
     }
 }
 
+/// Which execution engine drives the run.
+///
+/// Both engines are bit-identical on the same configuration (the
+/// cross-engine equivalence property test enforces this), so the choice
+/// is purely about wall-clock: the sharded engine pays per-round thread
+/// fan-out to win parallel node stepping, which starts paying off for
+/// populations around 2¹⁴ and up on multicore hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The single-threaded lockstep engine in `rd-sim` (default).
+    #[default]
+    Sequential,
+    /// The sharded multi-threaded engine in `rd-exec`.
+    Sharded {
+        /// Worker-thread count (must be nonzero).
+        workers: usize,
+    },
+}
+
+impl EngineKind {
+    /// Display name for tables, e.g. `sequential` or `sharded:4`.
+    pub fn name(&self) -> String {
+        match self {
+            EngineKind::Sequential => "sequential".into(),
+            EngineKind::Sharded { workers } => format!("sharded:{workers}"),
+        }
+    }
+}
+
 /// When a run counts as finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Completion {
@@ -93,6 +123,8 @@ pub struct RunConfig {
     pub completion: Completion,
     /// Fault plan (drops, crashes).
     pub faults: FaultPlan,
+    /// Execution engine.
+    pub engine: EngineKind,
 }
 
 impl RunConfig {
@@ -106,7 +138,14 @@ impl RunConfig {
             max_rounds: 1_000_000,
             completion: Completion::default(),
             faults: FaultPlan::new(),
+            engine: EngineKind::default(),
         }
+    }
+
+    /// Selects the execution engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Overrides the completion predicate.
@@ -180,22 +219,50 @@ pub fn run(kind: AlgorithmKind, config: &RunConfig) -> RunReport {
     }
 }
 
-/// Runs any [`DiscoveryAlgorithm`] on the instance described by `config`.
+/// Runs any [`DiscoveryAlgorithm`] on the instance described by `config`,
+/// on the engine `config.engine` selects.
 pub fn run_algorithm<A: DiscoveryAlgorithm>(alg: &A, config: &RunConfig) -> RunReport
 where
-    A::NodeState: Node,
+    A::NodeState: Node + Send,
+    <A::NodeState as Node>::Msg: Send,
 {
     let graph = config.topology.generate(config.n, config.seed);
     let initial = problem::initial_knowledge(&graph);
     let nodes = alg.make_nodes(&initial);
-    let mut engine = Engine::new(nodes, config.seed).with_faults(config.faults.clone());
+    match config.engine {
+        EngineKind::Sequential => {
+            let engine = Engine::new(nodes, config.seed).with_faults(config.faults.clone());
+            drive(alg, config, &initial, engine)
+        }
+        EngineKind::Sharded { workers } => {
+            let engine =
+                ShardedEngine::new(nodes, config.seed, workers).with_faults(config.faults.clone());
+            drive(alg, config, &initial, engine)
+        }
+    }
+}
+
+/// Runs the completion loop and soundness verification on any engine.
+fn drive<A, E>(
+    alg: &A,
+    config: &RunConfig,
+    initial: &[Vec<rd_sim::NodeId>],
+    mut engine: E,
+) -> RunReport
+where
+    A: DiscoveryAlgorithm,
+    E: RoundEngine<A::NodeState>,
+{
     let completion = config.completion;
     // Crashed nodes are exempt from every completion requirement: they
     // neither learn nor need to be learned by the survivors.
-    let live: Vec<bool> = (0..config.n).map(|i| !config.faults.is_crashed(i)).collect();
+    let live: Vec<bool> = (0..config.n)
+        .map(|i| !config.faults.is_crashed(i))
+        .collect();
     let live_pred = live.clone();
-    let outcome = engine.run_until(config.max_rounds, move |nodes: &[A::NodeState]| {
-        match completion {
+    let outcome = engine.run_until(
+        config.max_rounds,
+        move |nodes: &[A::NodeState]| match completion {
             Completion::EveryoneKnowsEveryone => {
                 problem::everyone_knows_everyone_among(nodes, &live_pred)
             }
@@ -204,14 +271,14 @@ where
                 .iter()
                 .zip(&live_pred)
                 .all(|(n, &l)| !l || n.believes_done()),
-        }
-    });
+        },
+    );
 
     let nodes = engine.nodes();
     let mut sound = verify::no_fabricated_ids(nodes) && verify::knows_self(nodes);
     if config.faults.is_fault_free() {
         // Crashed nodes legitimately miss initial knowledge updates.
-        sound &= verify::retains_initial_knowledge(nodes, &initial);
+        sound &= verify::retains_initial_knowledge(nodes, initial);
     }
     if outcome.completed && completion == Completion::EveryoneKnowsEveryone {
         sound &= problem::everyone_knows_everyone_among(nodes, &live);

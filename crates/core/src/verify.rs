@@ -148,8 +148,14 @@ mod tests {
     #[test]
     fn initial_retention_detected() {
         let initial = vec![vec![NodeId::new(0), NodeId::new(1)], vec![NodeId::new(1)]];
-        assert!(retains_initial_knowledge(&[fake(&[0, 1]), fake(&[1])], &initial));
-        assert!(!retains_initial_knowledge(&[fake(&[0]), fake(&[1])], &initial));
+        assert!(retains_initial_knowledge(
+            &[fake(&[0, 1]), fake(&[1])],
+            &initial
+        ));
+        assert!(!retains_initial_knowledge(
+            &[fake(&[0]), fake(&[1])],
+            &initial
+        ));
     }
 
     #[test]

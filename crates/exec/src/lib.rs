@@ -1,0 +1,444 @@
+#![warn(missing_docs)]
+
+//! A sharded, multi-threaded execution engine for large discovery runs.
+//!
+//! [`ShardedEngine`] drives the same [`Node`] programs as the sequential
+//! [`rd_sim::Engine`], at the same [`RoundEngine`] interface, but steps
+//! nodes on several worker threads per round. The population is sharded
+//! *statically by `NodeId`* into contiguous blocks — one block of nodes
+//! and the matching block of mailboxes per worker — so workers need no
+//! locks: each owns its slice of nodes and inboxes for the duration of
+//! the stepping phase.
+//!
+//! # Determinism
+//!
+//! The engine is **bit-identical** to the sequential engine: same seed,
+//! same nodes, same faults ⇒ same `RunOutcome`, same `RunMetrics`, same
+//! trace, round for round. Three properties make this work:
+//!
+//! 1. *Node steps are order-independent.* Every node draws from a
+//!    private per-`(seed, node, round)` random stream
+//!    ([`rd_sim::rng::node_round_rng`]) and sees only its own inbox, so
+//!    stepping nodes concurrently cannot change what any node computes.
+//! 2. *Outboxes merge in canonical `(sender, sequence)` order.* Each
+//!    worker stages its shard's sends in node-index order (each node's
+//!    sends in send order). Because shards are contiguous index blocks,
+//!    concatenating the per-shard batches in shard order reproduces
+//!    exactly the global sender-index order the sequential engine
+//!    produces.
+//! 3. *Routing stays serial.* The fault and delay random streams are
+//!    consumed one message at a time, in the merged order, by the shared
+//!    [`EngineCore`] — the single accounting layer both engines use, so
+//!    metrics and fault semantics cannot drift between them.
+//!
+//! Phase 1 and 3 (round bookkeeping and routing) are inherited from
+//! [`EngineCore`]; only phase 2 — the embarrassingly parallel part,
+//! which dominates wall-clock for compute-heavy protocols at large `n`
+//! — is fanned out across `crossbeam` scoped threads.
+//!
+//! # Example
+//!
+//! ```
+//! use rd_exec::ShardedEngine;
+//! use rd_sim::{Engine, Envelope, MessageCost, Node, NodeId, RoundContext, RoundEngine};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping;
+//! impl MessageCost for Ping {
+//!     fn pointers(&self) -> usize { 0 }
+//! }
+//!
+//! #[derive(Clone)]
+//! struct Player { peer: NodeId, hits: u32 }
+//! impl Node for Player {
+//!     type Msg = Ping;
+//!     fn on_round(
+//!         &mut self,
+//!         inbox: Vec<Envelope<Ping>>,
+//!         ctx: &mut RoundContext<'_, Ping>,
+//!     ) {
+//!         if ctx.round() == 0 && ctx.id() == NodeId::new(0) {
+//!             ctx.send(self.peer, Ping);
+//!         }
+//!         for _ in inbox {
+//!             self.hits += 1;
+//!             if self.hits < 3 { ctx.send(self.peer, Ping); }
+//!         }
+//!     }
+//! }
+//!
+//! let players = vec![
+//!     Player { peer: NodeId::new(1), hits: 0 },
+//!     Player { peer: NodeId::new(0), hits: 0 },
+//! ];
+//! let done = |nodes: &[Player]| nodes.iter().all(|p| p.hits >= 2);
+//!
+//! let mut sharded = ShardedEngine::new(players.clone(), 42, 2);
+//! let mut sequential = Engine::new(players, 42);
+//! assert_eq!(
+//!     sharded.run_until(20, done),
+//!     sequential.run_until(20, done),
+//! );
+//! assert_eq!(sharded.metrics(), sequential.metrics());
+//! ```
+
+use rd_sim::engine_core::{step_node, take_capped, EngineCore};
+use rd_sim::{Envelope, FaultPlan, Node, RoundEngine, RunMetrics, RunOutcome, Trace};
+
+/// A round engine that steps nodes on `workers` threads.
+///
+/// Construction and the builder knobs mirror [`rd_sim::Engine`]; see the
+/// [crate docs](crate) for the sharding scheme and the determinism
+/// argument.
+pub struct ShardedEngine<N: Node> {
+    nodes: Vec<N>,
+    core: EngineCore<N::Msg>,
+    workers: usize,
+}
+
+impl<N> ShardedEngine<N>
+where
+    N: Node + Send,
+    N::Msg: Send,
+{
+    /// Creates an engine over `nodes` with the given worker-thread
+    /// count, where node `i` has identifier `NodeId::new(i)`. `seed`
+    /// determines all protocol and fault randomness, exactly as in the
+    /// sequential engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(nodes: Vec<N>, seed: u64, workers: usize) -> Self {
+        assert!(workers > 0, "a sharded engine needs at least one worker");
+        let core = EngineCore::new(nodes.len(), seed);
+        ShardedEngine {
+            nodes,
+            core,
+            workers,
+        }
+    }
+
+    /// Installs a fault plan (drops, crashes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan crashes a node index that does not exist.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.core.set_faults(faults);
+        self
+    }
+
+    /// Enables message tracing with the given event capacity.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.core.enable_trace(capacity);
+        self
+    }
+
+    /// Caps deliveries at `cap` messages per node per round; excess
+    /// messages queue (in arrival order) for later rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn with_receive_cap(mut self, cap: usize) -> Self {
+        self.core.set_receive_cap(cap);
+        self
+    }
+
+    /// Makes delivery asynchronous: every message independently takes
+    /// `1 + U{0..=max_extra}` rounds to arrive instead of exactly one.
+    pub fn with_max_extra_delay(mut self, max_extra: u64) -> Self {
+        self.core.set_max_extra_delay(max_extra);
+        self
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configured worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Read access to the node programs.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.core.round()
+    }
+
+    /// The complexity record.
+    pub fn metrics(&self) -> &RunMetrics {
+        self.core.metrics()
+    }
+
+    /// The message trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.core.trace()
+    }
+
+    /// Executes one synchronous round; see the [crate docs](crate) for
+    /// the three phases and which of them run in parallel.
+    pub fn step(&mut self) {
+        let round = self.core.begin_round();
+        let suspects = self.core.suspects().to_vec();
+        let n = self.nodes.len();
+        // Contiguous blocks of ⌈n / workers⌉ nodes; the final shard may
+        // be short. A worker without nodes is never spawned.
+        let workers = self.workers.min(n).max(1);
+        let shard_len = n.div_ceil(workers).max(1);
+        let state = self.core.step_state();
+
+        let staged: Vec<Envelope<N::Msg>> = if workers == 1 {
+            // One worker degenerates to the sequential loop; skip the
+            // thread machinery (and its overhead) entirely.
+            let mut staged = Vec::new();
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                let inbox = take_capped(&mut state.inboxes[i], state.receive_cap);
+                if state.faults.is_crashed_at(i, round) {
+                    continue; // crashed nodes neither run nor receive
+                }
+                step_node(node, i, round, state.seed, &suspects, inbox, &mut staged);
+            }
+            staged
+        } else {
+            let faults = state.faults;
+            let seed = state.seed;
+            let cap = state.receive_cap;
+            let suspects = &suspects[..];
+            let node_shards = self.nodes.chunks_mut(shard_len);
+            let inbox_shards = state.inboxes.chunks_mut(shard_len);
+            let batches = crossbeam::thread::scope(move |scope| {
+                let handles: Vec<_> = node_shards
+                    .zip(inbox_shards)
+                    .enumerate()
+                    .map(|(shard, (nodes, inboxes))| {
+                        scope.spawn(move |_| {
+                            let mut staged = Vec::new();
+                            for (offset, node) in nodes.iter_mut().enumerate() {
+                                let i = shard * shard_len + offset;
+                                let inbox = take_capped(&mut inboxes[offset], cap);
+                                if faults.is_crashed_at(i, round) {
+                                    continue;
+                                }
+                                step_node(node, i, round, seed, suspects, inbox, &mut staged);
+                            }
+                            staged
+                        })
+                    })
+                    .collect();
+                // Join in shard order: concatenating the per-shard
+                // batches yields global (sender, sequence) order. A
+                // panicking node program panics the engine, exactly as
+                // in the sequential engine.
+                let mut staged = Vec::new();
+                for handle in handles {
+                    match handle.join() {
+                        Ok(mut batch) => staged.append(&mut batch),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                staged
+            });
+            match batches {
+                Ok(staged) => staged,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        };
+
+        for env in staged {
+            self.core.route(env);
+        }
+        self.core.finish_round();
+    }
+
+    /// Runs until `done(nodes)` holds (checked before the first round and
+    /// after every round) or `max_rounds` have executed.
+    pub fn run_until(&mut self, max_rounds: u64, done: impl FnMut(&[N]) -> bool) -> RunOutcome {
+        RoundEngine::run_until(self, max_rounds, done)
+    }
+
+    /// Like [`run_until`](Self::run_until), additionally invoking
+    /// `observe(round, nodes)` after every round.
+    pub fn run_observed(
+        &mut self,
+        max_rounds: u64,
+        done: impl FnMut(&[N]) -> bool,
+        observe: impl FnMut(u64, &[N]),
+    ) -> RunOutcome {
+        RoundEngine::run_observed(self, max_rounds, done, observe)
+    }
+}
+
+impl<N> RoundEngine<N> for ShardedEngine<N>
+where
+    N: Node + Send,
+    N::Msg: Send,
+{
+    fn step(&mut self) {
+        ShardedEngine::step(self)
+    }
+
+    fn nodes(&self) -> &[N] {
+        ShardedEngine::nodes(self)
+    }
+
+    fn round(&self) -> u64 {
+        ShardedEngine::round(self)
+    }
+
+    fn metrics(&self) -> &RunMetrics {
+        ShardedEngine::metrics(self)
+    }
+
+    fn trace(&self) -> Option<&Trace> {
+        ShardedEngine::trace(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_sim::{Engine, MessageCost, NodeId, RoundContext};
+
+    /// Gossip probe exercising every determinism-sensitive surface:
+    /// randomness, fan-out, and inbox contents.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Gossiper {
+        n: u32,
+        heard: Vec<NodeId>,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Rumor(Vec<NodeId>);
+    impl MessageCost for Rumor {
+        fn pointers(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    impl Node for Gossiper {
+        type Msg = Rumor;
+        fn on_round(&mut self, inbox: Vec<Envelope<Rumor>>, ctx: &mut RoundContext<'_, Rumor>) {
+            use rand::Rng;
+            for env in inbox {
+                self.heard.push(env.src);
+                self.heard.extend(env.payload.0);
+            }
+            // Two random contacts per round, avoiding self-sends.
+            for _ in 0..2 {
+                let dst = NodeId::new(ctx.rng().random_range(0..self.n));
+                if dst != ctx.id() {
+                    ctx.send(dst, Rumor(self.heard.clone()));
+                }
+            }
+            self.heard.truncate(8);
+        }
+    }
+
+    fn gossipers(n: u32) -> Vec<Gossiper> {
+        (0..n)
+            .map(|_| Gossiper {
+                n,
+                heard: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn states(nodes: &[Gossiper]) -> Vec<Gossiper> {
+        nodes.to_vec()
+    }
+
+    /// Runs both engines for `rounds` rounds under the same plan and
+    /// asserts identical nodes, metrics, and traces.
+    fn assert_engines_agree(
+        n: u32,
+        seed: u64,
+        workers: usize,
+        rounds: u64,
+        configure: impl Fn(Engine<Gossiper>) -> Engine<Gossiper>,
+        configure_sharded: impl Fn(ShardedEngine<Gossiper>) -> ShardedEngine<Gossiper>,
+    ) {
+        let mut seq = configure(Engine::new(gossipers(n), seed).with_trace(1 << 14));
+        let mut par =
+            configure_sharded(ShardedEngine::new(gossipers(n), seed, workers).with_trace(1 << 14));
+        for _ in 0..rounds {
+            seq.step();
+            par.step();
+        }
+        assert_eq!(states(seq.nodes()), states(par.nodes()));
+        assert_eq!(seq.metrics(), par.metrics());
+        assert_eq!(seq.trace().unwrap().events(), par.trace().unwrap().events());
+    }
+
+    #[test]
+    fn matches_sequential_engine_exactly() {
+        for workers in [1, 2, 3, 8] {
+            assert_engines_agree(23, 7, workers, 12, |e| e, |e| e);
+        }
+    }
+
+    #[test]
+    fn matches_under_faults_and_detection() {
+        let plan = || {
+            FaultPlan::new()
+                .with_crashes([3])
+                .with_crash_at(11, 4)
+                .with_drop_probability(0.2)
+                .with_crash_detection_after(2)
+        };
+        assert_engines_agree(
+            19,
+            5,
+            4,
+            15,
+            |e| e.with_faults(plan()),
+            |e| e.with_faults(plan()),
+        );
+    }
+
+    #[test]
+    fn matches_under_receive_cap_and_delay() {
+        assert_engines_agree(
+            17,
+            9,
+            3,
+            15,
+            |e| e.with_receive_cap(2).with_max_extra_delay(3),
+            |e| e.with_receive_cap(2).with_max_extra_delay(3),
+        );
+    }
+
+    #[test]
+    fn more_workers_than_nodes_is_fine() {
+        assert_engines_agree(3, 1, 16, 6, |e| e, |e| e);
+    }
+
+    #[test]
+    fn run_until_agrees_on_outcome() {
+        let done = |nodes: &[Gossiper]| nodes.iter().all(|g| !g.heard.is_empty());
+        let mut seq = Engine::new(gossipers(32), 2);
+        let mut par = ShardedEngine::new(gossipers(32), 2, 4);
+        assert_eq!(seq.run_until(64, done), par.run_until(64, done));
+        assert_eq!(seq.metrics(), par.metrics());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ShardedEngine::new(gossipers(4), 1, 0);
+    }
+
+    #[test]
+    fn empty_population_steps_harmlessly() {
+        let mut engine = ShardedEngine::new(Vec::<Gossiper>::new(), 1, 4);
+        engine.step();
+        assert_eq!(engine.round(), 1);
+    }
+}

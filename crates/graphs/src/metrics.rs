@@ -128,10 +128,7 @@ mod tests {
     fn bfs_on_path_counts_hops() {
         let g = path(5);
         assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
-        assert_eq!(
-            bfs_distances(&g, 2),
-            vec![u32::MAX, u32::MAX, 0, 1, 2]
-        );
+        assert_eq!(bfs_distances(&g, 2), vec![u32::MAX, u32::MAX, 0, 1, 2]);
     }
 
     #[test]

@@ -112,7 +112,10 @@ mod tests {
         for key in 0..2000 {
             let before = owner(key, &small);
             let after = owner(key, &grown);
-            assert!(after == before || after == newcomer, "key {key} hopped sideways");
+            assert!(
+                after == before || after == newcomer,
+                "key {key} hopped sideways"
+            );
         }
     }
 

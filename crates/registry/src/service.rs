@@ -100,7 +100,11 @@ impl RegistryNode {
 impl Node for RegistryNode {
     type Msg = RegistryMsg;
 
-    fn on_round(&mut self, inbox: Vec<Envelope<RegistryMsg>>, ctx: &mut RoundContext<'_, RegistryMsg>) {
+    fn on_round(
+        &mut self,
+        inbox: Vec<Envelope<RegistryMsg>>,
+        ctx: &mut RoundContext<'_, RegistryMsg>,
+    ) {
         let me = ctx.id();
         for env in inbox {
             match env.payload {

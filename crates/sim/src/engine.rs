@@ -1,15 +1,13 @@
 //! The synchronous round engine.
 
+use crate::engine_core::{step_node, take_capped, EngineCore};
 use crate::faults::FaultPlan;
-use crate::message::{Envelope, MessageCost};
+use crate::message::Envelope;
 use crate::metrics::RunMetrics;
-use crate::node::{Node, RoundContext};
-use crate::rng;
-use crate::trace::{Trace, TraceEvent};
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::node::Node;
+use crate::trace::Trace;
 
-/// Result of [`Engine::run_until`].
+/// Result of [`RoundEngine::run_until`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOutcome {
     /// Whether the completion predicate became true within the round
@@ -17,6 +15,80 @@ pub struct RunOutcome {
     pub completed: bool,
     /// Rounds executed when the run stopped.
     pub rounds: u64,
+}
+
+/// The driving interface every execution engine exposes: step rounds,
+/// observe nodes, read the clock and the complexity record.
+///
+/// [`Engine`] (sequential, this crate) and the sharded engine in
+/// `rd-exec` both implement it, so runners, experiments, and completion
+/// predicates are engine-agnostic. The provided [`run_until`] and
+/// [`run_observed`] loops — including the per-round progress callback —
+/// are therefore shared, not re-implemented per engine.
+///
+/// [`run_until`]: RoundEngine::run_until
+/// [`run_observed`]: RoundEngine::run_observed
+pub trait RoundEngine<N: Node> {
+    /// Executes one synchronous round: delivers current inboxes, runs
+    /// every live node, and routes outboxes through the fault layer.
+    fn step(&mut self);
+
+    /// Read access to the node programs (for completion predicates,
+    /// verification, and white-box observations such as cluster counts).
+    fn nodes(&self) -> &[N];
+
+    /// Rounds executed so far.
+    fn round(&self) -> u64;
+
+    /// The complexity record.
+    fn metrics(&self) -> &RunMetrics;
+
+    /// The message trace, if enabled.
+    fn trace(&self) -> Option<&Trace>;
+
+    /// Runs until `done(nodes)` holds (checked before the first round and
+    /// after every round) or `max_rounds` have executed.
+    fn run_until(&mut self, max_rounds: u64, mut done: impl FnMut(&[N]) -> bool) -> RunOutcome
+    where
+        Self: Sized,
+    {
+        self.run_observed(max_rounds, &mut done, |_, _| {})
+    }
+
+    /// Like [`run_until`](Self::run_until), additionally invoking
+    /// `observe(round, nodes)` after every round — the per-round progress
+    /// hook white-box experiments (e.g. cluster-count evolution, figure
+    /// F3) and long-run progress reporting use.
+    fn run_observed(
+        &mut self,
+        max_rounds: u64,
+        mut done: impl FnMut(&[N]) -> bool,
+        mut observe: impl FnMut(u64, &[N]),
+    ) -> RunOutcome
+    where
+        Self: Sized,
+    {
+        if done(self.nodes()) {
+            return RunOutcome {
+                completed: true,
+                rounds: self.round(),
+            };
+        }
+        while self.round() < max_rounds {
+            self.step();
+            observe(self.round(), self.nodes());
+            if done(self.nodes()) {
+                return RunOutcome {
+                    completed: true,
+                    rounds: self.round(),
+                };
+            }
+        }
+        RunOutcome {
+            completed: false,
+            rounds: self.round(),
+        }
+    }
 }
 
 /// Drives a population of [`Node`] programs through synchronous rounds.
@@ -30,25 +102,7 @@ pub struct RunOutcome {
 /// See the crate-level documentation for a complete example.
 pub struct Engine<N: Node> {
     nodes: Vec<N>,
-    inboxes: Vec<Vec<Envelope<N::Msg>>>,
-    round: u64,
-    seed: u64,
-    metrics: RunMetrics,
-    faults: FaultPlan,
-    fault_rng: StdRng,
-    trace: Option<Trace>,
-    /// Crash-detection schedule `(report round, node)`, report-time order.
-    detect_schedule: Vec<(u64, crate::NodeId)>,
-    /// Crashes already reported to the nodes.
-    active_suspects: Vec<crate::NodeId>,
-    next_detection: usize,
-    /// Per-node per-round delivery cap (`None` = unbounded).
-    receive_cap: Option<usize>,
-    /// Maximum extra delivery delay in rounds (0 = synchronous).
-    max_extra_delay: u64,
-    /// Messages awaiting a later delivery round, keyed by that round.
-    delayed: std::collections::BTreeMap<u64, Vec<Envelope<N::Msg>>>,
-    delay_rng: StdRng,
+    core: EngineCore<N::Msg>,
 }
 
 impl<N: Node> Engine<N> {
@@ -56,24 +110,8 @@ impl<N: Node> Engine<N> {
     /// `NodeId::new(i)`. `seed` determines all protocol and fault
     /// randomness.
     pub fn new(nodes: Vec<N>, seed: u64) -> Self {
-        let n = nodes.len();
-        Engine {
-            nodes,
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
-            round: 0,
-            seed,
-            metrics: RunMetrics::new(n),
-            faults: FaultPlan::new(),
-            fault_rng: rng::fault_rng(seed),
-            trace: None,
-            detect_schedule: Vec::new(),
-            active_suspects: Vec::new(),
-            next_detection: 0,
-            receive_cap: None,
-            max_extra_delay: 0,
-            delayed: std::collections::BTreeMap::new(),
-            delay_rng: rng::delay_rng(seed),
-        }
+        let core = EngineCore::new(nodes.len(), seed);
+        Engine { nodes, core }
     }
 
     /// Installs a fault plan (drops, crashes).
@@ -82,23 +120,13 @@ impl<N: Node> Engine<N> {
     ///
     /// Panics if the plan crashes a node index that does not exist.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        for c in faults.crashed_nodes() {
-            assert!(c < self.nodes.len(), "crash target {c} out of range");
-        }
-        if let Some(delay) = faults.detection_delay() {
-            self.detect_schedule = faults
-                .crash_schedule()
-                .map(|(node, round)| (round.saturating_add(delay), crate::NodeId::new(node as u32)))
-                .collect();
-            self.detect_schedule.sort_unstable();
-        }
-        self.faults = faults;
+        self.core.set_faults(faults);
         self
     }
 
     /// Enables message tracing with the given event capacity.
     pub fn with_trace(mut self, capacity: usize) -> Self {
-        self.trace = Some(Trace::with_capacity(capacity));
+        self.core.enable_trace(capacity);
         self
     }
 
@@ -112,8 +140,7 @@ impl<N: Node> Engine<N> {
     ///
     /// Panics if `cap == 0` (nothing could ever be delivered).
     pub fn with_receive_cap(mut self, cap: usize) -> Self {
-        assert!(cap > 0, "a receive cap of 0 can never deliver anything");
-        self.receive_cap = Some(cap);
+        self.core.set_receive_cap(cap);
         self
     }
 
@@ -123,7 +150,7 @@ impl<N: Node> Engine<N> {
     /// synchronized phase structure of round-based protocols is
     /// deliberately scrambled — the robustness-to-asynchrony experiment.
     pub fn with_max_extra_delay(mut self, max_extra: u64) -> Self {
-        self.max_extra_delay = max_extra;
+        self.core.set_max_extra_delay(max_extra);
         self
     }
 
@@ -140,150 +167,49 @@ impl<N: Node> Engine<N> {
 
     /// Rounds executed so far.
     pub fn round(&self) -> u64 {
-        self.round
+        self.core.round()
     }
 
     /// The complexity record.
     pub fn metrics(&self) -> &RunMetrics {
-        &self.metrics
+        self.core.metrics()
     }
 
     /// The message trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.core.trace()
     }
 
     /// Executes one synchronous round: delivers current inboxes, runs
     /// every live node, and routes outboxes through the fault layer.
     pub fn step(&mut self) {
-        self.metrics.begin_round();
-        let round = self.round;
-        let mut outbox: Vec<Envelope<N::Msg>> = Vec::new();
-        let mut staged: Vec<Envelope<N::Msg>> = Vec::new();
-        // The perfect failure detector reports each crash once its
-        // per-crash latency has elapsed.
-        while self
-            .detect_schedule
-            .get(self.next_detection)
-            .is_some_and(|&(at, _)| at <= round)
-        {
-            self.active_suspects
-                .push(self.detect_schedule[self.next_detection].1);
-            self.next_detection += 1;
-        }
+        let round = self.core.begin_round();
         // Cloned so the report can be lent to nodes while the engine
         // mutates them (the list is tiny: one entry per crash).
-        let suspects = self.active_suspects.clone();
+        let suspects = self.core.suspects().to_vec();
+        let mut outbox: Vec<Envelope<N::Msg>> = Vec::new();
+        let mut staged: Vec<Envelope<N::Msg>> = Vec::new();
 
-        // Deliver messages whose (asynchronous) delay expires this round.
-        while self
-            .delayed
-            .first_key_value()
-            .is_some_and(|(&at, _)| at <= round)
-        {
-            let (_, batch) = self.delayed.pop_first().expect("nonempty");
-            for env in batch {
-                self.inboxes[env.dst.index()].push(env);
-            }
-        }
-
-        for i in 0..self.nodes.len() {
-            let inbox = match self.receive_cap {
-                Some(cap) if self.inboxes[i].len() > cap => {
-                    // Deliver the oldest `cap` messages; the rest wait.
-                    let rest = self.inboxes[i].split_off(cap);
-                    std::mem::replace(&mut self.inboxes[i], rest)
-                }
-                _ => std::mem::take(&mut self.inboxes[i]),
-            };
-            if self.faults.is_crashed_at(i, round) {
+        let state = self.core.step_state();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let inbox = take_capped(&mut state.inboxes[i], state.receive_cap);
+            if state.faults.is_crashed_at(i, round) {
                 continue; // crashed nodes neither run nor receive
             }
-            let mut node_rng = rng::node_round_rng(self.seed, i, round);
-            let mut ctx = RoundContext::new(
-                crate::NodeId::new(i as u32),
-                round,
-                &mut node_rng,
-                &mut outbox,
-            )
-            .with_suspects(&suspects);
-            self.nodes[i].on_round(inbox, &mut ctx);
+            step_node(node, i, round, state.seed, &suspects, inbox, &mut outbox);
             staged.append(&mut outbox);
         }
 
         for env in staged {
-            self.route(env, round);
+            self.core.route(env);
         }
-        self.round += 1;
-    }
-
-    fn route(&mut self, env: Envelope<N::Msg>, round: u64) {
-        let src = env.src.index();
-        let dst = env.dst.index();
-        assert!(
-            dst < self.nodes.len(),
-            "message to unknown node {} from {}",
-            env.dst,
-            env.src
-        );
-        let pointers = env.payload.pointers();
-        // Delivery happens at the start of the next round; a node dead
-        // by then never sees the message.
-        let dropped = self.faults.is_crashed_at(dst, round + 1)
-            || (self.faults.drop_probability() > 0.0
-                && self.fault_rng.random_bool(self.faults.drop_probability()));
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEvent {
-                round,
-                src: env.src,
-                dst: env.dst,
-                pointers,
-                dropped,
-            });
-        }
-        if dropped {
-            self.metrics.record_drop(src, pointers);
-        } else {
-            self.metrics.record_delivery(src, dst, pointers);
-            let extra = if self.max_extra_delay > 0 {
-                self.delay_rng.random_range(0..=self.max_extra_delay)
-            } else {
-                0
-            };
-            if extra == 0 {
-                self.inboxes[dst].push(env);
-            } else {
-                self.delayed.entry(round + 1 + extra).or_default().push(env);
-            }
-        }
+        self.core.finish_round();
     }
 
     /// Runs until `done(nodes)` holds (checked before the first round and
     /// after every round) or `max_rounds` have executed.
-    pub fn run_until(
-        &mut self,
-        max_rounds: u64,
-        mut done: impl FnMut(&[N]) -> bool,
-    ) -> RunOutcome {
-        if done(&self.nodes) {
-            return RunOutcome {
-                completed: true,
-                rounds: self.round,
-            };
-        }
-        while self.round < max_rounds {
-            self.step();
-            if done(&self.nodes) {
-                return RunOutcome {
-                    completed: true,
-                    rounds: self.round,
-                };
-            }
-        }
-        RunOutcome {
-            completed: false,
-            rounds: self.round,
-        }
+    pub fn run_until(&mut self, max_rounds: u64, done: impl FnMut(&[N]) -> bool) -> RunOutcome {
+        RoundEngine::run_until(self, max_rounds, done)
     }
 
     /// Like [`run_until`](Self::run_until), additionally invoking
@@ -292,29 +218,32 @@ impl<N: Node> Engine<N> {
     pub fn run_observed(
         &mut self,
         max_rounds: u64,
-        mut done: impl FnMut(&[N]) -> bool,
-        mut observe: impl FnMut(u64, &[N]),
+        done: impl FnMut(&[N]) -> bool,
+        observe: impl FnMut(u64, &[N]),
     ) -> RunOutcome {
-        if done(&self.nodes) {
-            return RunOutcome {
-                completed: true,
-                rounds: self.round,
-            };
-        }
-        while self.round < max_rounds {
-            self.step();
-            observe(self.round, &self.nodes);
-            if done(&self.nodes) {
-                return RunOutcome {
-                    completed: true,
-                    rounds: self.round,
-                };
-            }
-        }
-        RunOutcome {
-            completed: false,
-            rounds: self.round,
-        }
+        RoundEngine::run_observed(self, max_rounds, done, observe)
+    }
+}
+
+impl<N: Node> RoundEngine<N> for Engine<N> {
+    fn step(&mut self) {
+        Engine::step(self)
+    }
+
+    fn nodes(&self) -> &[N] {
+        Engine::nodes(self)
+    }
+
+    fn round(&self) -> u64 {
+        Engine::round(self)
+    }
+
+    fn metrics(&self) -> &RunMetrics {
+        Engine::metrics(self)
+    }
+
+    fn trace(&self) -> Option<&Trace> {
+        Engine::trace(self)
     }
 }
 
@@ -322,6 +251,8 @@ impl<N: Node> Engine<N> {
 mod tests {
     use super::*;
     use crate::id::NodeId;
+    use crate::message::MessageCost;
+    use crate::node::RoundContext;
 
     /// Test payload: a bag of ids.
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -405,20 +336,26 @@ mod tests {
         let run = |seed| {
             let mut e = Engine::new(ring(16), seed);
             let o = e.run_until(64, |nodes| nodes.iter().all(|r| r.has_token));
-            (o, e.metrics().total_messages(), e.metrics().total_pointers())
+            (
+                o,
+                e.metrics().total_messages(),
+                e.metrics().total_pointers(),
+            )
         };
         assert_eq!(run(7), run(7));
     }
 
     #[test]
     fn crashed_node_breaks_the_ring() {
-        let mut engine =
-            Engine::new(ring(8), 1).with_faults(FaultPlan::new().with_crashes([4]));
+        let mut engine = Engine::new(ring(8), 1).with_faults(FaultPlan::new().with_crashes([4]));
         let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
         assert!(!outcome.completed);
         // Token reached nodes 1..4 then died at the crashed node.
         let have: Vec<bool> = engine.nodes().iter().map(|r| r.has_token).collect();
-        assert_eq!(have, vec![true, true, true, true, false, false, false, false]);
+        assert_eq!(
+            have,
+            vec![true, true, true, true, false, false, false, false]
+        );
         assert_eq!(engine.metrics().total_dropped(), 1);
     }
 
@@ -451,9 +388,7 @@ mod tests {
         engine.run_observed(
             100,
             |nodes| nodes.iter().all(|r| r.has_token),
-            |round, nodes| {
-                observed.push((round, nodes.iter().filter(|r| r.has_token).count()))
-            },
+            |round, nodes| observed.push((round, nodes.iter().filter(|r| r.has_token).count())),
         );
         assert_eq!(observed.len(), 5);
         assert_eq!(observed.first(), Some(&(1, 1)));
@@ -470,25 +405,23 @@ mod tests {
     fn dynamic_crash_kills_mid_run() {
         // Node 4 dies at round 3: the token (which reaches it in round 4)
         // is lost in flight.
-        let mut engine =
-            Engine::new(ring(8), 1).with_faults(FaultPlan::new().with_crash_at(4, 3));
+        let mut engine = Engine::new(ring(8), 1).with_faults(FaultPlan::new().with_crash_at(4, 3));
         let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
         assert!(!outcome.completed);
         let have: Vec<bool> = engine.nodes().iter().map(|r| r.has_token).collect();
-        assert_eq!(have, vec![true, true, true, true, false, false, false, false]);
+        assert_eq!(
+            have,
+            vec![true, true, true, true, false, false, false, false]
+        );
     }
 
     #[test]
     fn dynamic_crash_after_passing_token_is_harmless() {
         // Node 4 forwards the token in round 4 and dies at round 6: the
         // broadcast still completes.
-        let mut engine =
-            Engine::new(ring(8), 1).with_faults(FaultPlan::new().with_crash_at(4, 6));
+        let mut engine = Engine::new(ring(8), 1).with_faults(FaultPlan::new().with_crash_at(4, 6));
         let outcome = engine.run_until(100, |nodes| {
-            nodes
-                .iter()
-                .enumerate()
-                .all(|(i, r)| i == 4 || r.has_token)
+            nodes.iter().enumerate().all(|(i, r)| i == 4 || r.has_token)
         });
         assert!(outcome.completed);
     }
@@ -521,9 +454,7 @@ mod tests {
             engine.step();
         }
         let seen = &engine.nodes()[0].seen;
-        let at = |round: u64| -> &[NodeId] {
-            &seen.iter().find(|(r, _)| *r == round).unwrap().1
-        };
+        let at = |round: u64| -> &[NodeId] { &seen.iter().find(|(r, _)| *r == round).unwrap().1 };
         assert!(at(2).is_empty(), "node 1 reported before its latency");
         assert_eq!(at(3), &[NodeId::new(1)]);
         assert_eq!(at(6), &[NodeId::new(1)], "node 2 dies at 4, reported at 7");
@@ -602,9 +533,11 @@ mod tests {
 
     #[test]
     fn no_detector_means_no_reports() {
-        let watchers = vec![SuspectWatcher { seen: vec![] }, SuspectWatcher { seen: vec![] }];
-        let mut engine =
-            Engine::new(watchers, 1).with_faults(FaultPlan::new().with_crashes([1]));
+        let watchers = vec![
+            SuspectWatcher { seen: vec![] },
+            SuspectWatcher { seen: vec![] },
+        ];
+        let mut engine = Engine::new(watchers, 1).with_faults(FaultPlan::new().with_crashes([1]));
         for _ in 0..5 {
             engine.step();
         }

@@ -1,0 +1,381 @@
+//! The engine-agnostic round machinery shared by every execution engine.
+//!
+//! [`EngineCore`] owns everything about a run *except* the node programs:
+//! mailboxes, the round counter, metrics, the fault layer and its random
+//! streams, tracing, the failure-detector schedule, receive caps, and
+//! delay jitter. The sequential [`Engine`](crate::Engine) in this crate
+//! and the sharded engine in `rd-exec` are both thin drivers over this
+//! core, so accounting and fault semantics cannot drift between them.
+//!
+//! A round splits into three phases every engine performs identically:
+//!
+//! 1. [`EngineCore::begin_round`] — metrics, detector reports, and
+//!    delivery of delay-expired messages;
+//! 2. node stepping — the engine takes each live node's inbox (via
+//!    [`take_capped`]) and runs it with [`step_node`]; node steps are
+//!    order-independent because each draws from a private
+//!    per-`(seed, node, round)` random stream, which is what makes
+//!    parallel stepping bit-identical to sequential stepping;
+//! 3. routing — staged envelopes, in `(sender, send-sequence)` order,
+//!    pass one at a time through [`EngineCore::route`] (the *only*
+//!    consumer of the fault and delay random streams, so it must stay
+//!    serial), and [`EngineCore::finish_round`] advances the clock.
+
+use crate::faults::FaultPlan;
+use crate::id::NodeId;
+use crate::message::{Envelope, MessageCost};
+use crate::metrics::RunMetrics;
+use crate::node::{Node, RoundContext};
+use crate::rng;
+use crate::trace::{Trace, TraceEvent};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The non-node state of a run: mailboxes, clock, metrics, faults,
+/// tracing, and delivery policy. See the [module docs](self) for the
+/// round protocol engines drive it with.
+pub struct EngineCore<M: MessageCost> {
+    inboxes: Vec<Vec<Envelope<M>>>,
+    round: u64,
+    seed: u64,
+    metrics: RunMetrics,
+    faults: FaultPlan,
+    fault_rng: StdRng,
+    trace: Option<Trace>,
+    /// Crash-detection schedule `(report round, node)`, report-time order.
+    detect_schedule: Vec<(u64, NodeId)>,
+    /// Crashes already reported to the nodes.
+    active_suspects: Vec<NodeId>,
+    next_detection: usize,
+    /// Per-node per-round delivery cap (`None` = unbounded).
+    receive_cap: Option<usize>,
+    /// Maximum extra delivery delay in rounds (0 = synchronous).
+    max_extra_delay: u64,
+    /// Messages awaiting a later delivery round, keyed by that round.
+    delayed: std::collections::BTreeMap<u64, Vec<Envelope<M>>>,
+    delay_rng: StdRng,
+}
+
+/// The slice of [`EngineCore`] state an engine needs while stepping
+/// nodes: mailboxes plus the read-only delivery policy. Borrowing it
+/// (via [`EngineCore::step_state`]) leaves the routing state untouched,
+/// and the mailbox slice can be split per worker shard.
+pub struct StepState<'a, M: MessageCost> {
+    /// One mailbox per node, holding this round's deliveries.
+    pub inboxes: &'a mut [Vec<Envelope<M>>],
+    /// The fault plan (for the crashed-node check before stepping).
+    pub faults: &'a FaultPlan,
+    /// The run seed (for per-node round randomness).
+    pub seed: u64,
+    /// Per-node per-round delivery cap (`None` = unbounded).
+    pub receive_cap: Option<usize>,
+}
+
+impl<M: MessageCost> EngineCore<M> {
+    /// Creates the core for a population of `n` nodes. `seed` determines
+    /// all protocol and fault randomness.
+    pub fn new(n: usize, seed: u64) -> Self {
+        EngineCore {
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            round: 0,
+            seed,
+            metrics: RunMetrics::new(n),
+            faults: FaultPlan::new(),
+            fault_rng: rng::fault_rng(seed),
+            trace: None,
+            detect_schedule: Vec::new(),
+            active_suspects: Vec::new(),
+            next_detection: 0,
+            receive_cap: None,
+            max_extra_delay: 0,
+            delayed: std::collections::BTreeMap::new(),
+            delay_rng: rng::delay_rng(seed),
+        }
+    }
+
+    /// Installs a fault plan (drops, crashes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan crashes a node index that does not exist.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        for c in faults.crashed_nodes() {
+            assert!(c < self.inboxes.len(), "crash target {c} out of range");
+        }
+        if let Some(delay) = faults.detection_delay() {
+            self.detect_schedule = faults
+                .crash_schedule()
+                .map(|(node, round)| (round.saturating_add(delay), NodeId::new(node as u32)))
+                .collect();
+            self.detect_schedule.sort_unstable();
+        }
+        self.faults = faults;
+    }
+
+    /// Enables message tracing with the given event capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::with_capacity(capacity));
+    }
+
+    /// Caps deliveries at `cap` messages per node per round; excess
+    /// messages queue (in arrival order) for later rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` (nothing could ever be delivered).
+    pub fn set_receive_cap(&mut self, cap: usize) {
+        assert!(cap > 0, "a receive cap of 0 can never deliver anything");
+        self.receive_cap = Some(cap);
+    }
+
+    /// Makes delivery asynchronous: every message independently takes
+    /// `1 + U{0..=max_extra}` rounds to arrive instead of exactly one.
+    pub fn set_max_extra_delay(&mut self, max_extra: u64) {
+        self.max_extra_delay = max_extra;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// The run seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The complexity record.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The message trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Opens a round: starts its metrics row, folds newly reportable
+    /// crashes into the suspect list, and moves messages whose
+    /// asynchronous delay expires this round into the mailboxes.
+    /// Returns the round number being executed.
+    pub fn begin_round(&mut self) -> u64 {
+        self.metrics.begin_round();
+        let round = self.round;
+        // The perfect failure detector reports each crash once its
+        // per-crash latency has elapsed.
+        while self
+            .detect_schedule
+            .get(self.next_detection)
+            .is_some_and(|&(at, _)| at <= round)
+        {
+            self.active_suspects
+                .push(self.detect_schedule[self.next_detection].1);
+            self.next_detection += 1;
+        }
+        while self
+            .delayed
+            .first_key_value()
+            .is_some_and(|(&at, _)| at <= round)
+        {
+            let (_, batch) = self.delayed.pop_first().expect("nonempty");
+            for env in batch {
+                self.inboxes[env.dst.index()].push(env);
+            }
+        }
+        round
+    }
+
+    /// The failure detector's current crash report. Engines clone it
+    /// (it is one entry per crash) and lend it to every node stepped
+    /// this round.
+    pub fn suspects(&self) -> &[NodeId] {
+        &self.active_suspects
+    }
+
+    /// Borrows the state needed to step nodes; see [`StepState`].
+    pub fn step_state(&mut self) -> StepState<'_, M> {
+        StepState {
+            inboxes: &mut self.inboxes,
+            faults: &self.faults,
+            seed: self.seed,
+            receive_cap: self.receive_cap,
+        }
+    }
+
+    /// Routes one staged envelope through the fault layer into its
+    /// next-round mailbox (or the delay queue), accounting it in the
+    /// metrics and the trace.
+    ///
+    /// Engines must call this serially, in `(sender, send-sequence)`
+    /// order over the whole round: it is the only consumer of the fault
+    /// and delay random streams, and stream position is part of the
+    /// deterministic contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination node does not exist.
+    pub fn route(&mut self, env: Envelope<M>) {
+        let round = self.round;
+        let src = env.src.index();
+        let dst = env.dst.index();
+        assert!(
+            dst < self.inboxes.len(),
+            "message to unknown node {} from {}",
+            env.dst,
+            env.src
+        );
+        let pointers = env.payload.pointers();
+        // Delivery happens at the start of the next round; a node dead
+        // by then never sees the message.
+        let dropped = self.faults.is_crashed_at(dst, round + 1)
+            || (self.faults.drop_probability() > 0.0
+                && self.fault_rng.random_bool(self.faults.drop_probability()));
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                round,
+                src: env.src,
+                dst: env.dst,
+                pointers,
+                dropped,
+            });
+        }
+        if dropped {
+            self.metrics.record_drop(src, pointers);
+        } else {
+            self.metrics.record_delivery(src, dst, pointers);
+            let extra = if self.max_extra_delay > 0 {
+                self.delay_rng.random_range(0..=self.max_extra_delay)
+            } else {
+                0
+            };
+            if extra == 0 {
+                self.inboxes[dst].push(env);
+            } else {
+                self.delayed.entry(round + 1 + extra).or_default().push(env);
+            }
+        }
+    }
+
+    /// Closes the round: advances the clock.
+    pub fn finish_round(&mut self) {
+        self.round += 1;
+    }
+}
+
+/// Takes a node's deliverable inbox for this round: the whole mailbox,
+/// or — under a receive cap — the oldest `cap` messages, leaving the
+/// rest queued for later rounds.
+///
+/// Engines call this for *every* node before checking for crashes: a
+/// crashed node's deliveries are consumed (and lost) either way, which
+/// keeps mailbox state identical across engines.
+pub fn take_capped<M>(inbox: &mut Vec<Envelope<M>>, cap: Option<usize>) -> Vec<Envelope<M>> {
+    match cap {
+        Some(cap) if inbox.len() > cap => {
+            // Deliver the oldest `cap` messages; the rest wait.
+            let rest = inbox.split_off(cap);
+            std::mem::replace(inbox, rest)
+        }
+        _ => std::mem::take(inbox),
+    }
+}
+
+/// Runs one node for one round: builds its private
+/// per-`(seed, node, round)` random stream and its [`RoundContext`],
+/// and hands it `inbox`. Sends are appended to `outbox` in send order.
+///
+/// This is the single entry point through which every engine executes
+/// protocol logic, so context construction (and thus the randomness a
+/// node observes) cannot differ between engines.
+pub fn step_node<N: Node>(
+    node: &mut N,
+    index: usize,
+    round: u64,
+    seed: u64,
+    suspects: &[NodeId],
+    inbox: Vec<Envelope<N::Msg>>,
+    outbox: &mut Vec<Envelope<N::Msg>>,
+) {
+    let mut node_rng = rng::node_round_rng(seed, index, round);
+    let mut ctx = RoundContext::new(NodeId::new(index as u32), round, &mut node_rng, outbox)
+        .with_suspects(suspects);
+    node.on_round(inbox, &mut ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl MessageCost for u32 {
+        fn pointers(&self) -> usize {
+            1
+        }
+    }
+
+    fn env(src: u32, dst: u32, payload: u32) -> Envelope<u32> {
+        Envelope::new(NodeId::new(src), NodeId::new(dst), payload)
+    }
+
+    #[test]
+    fn take_capped_full_and_split() {
+        let mut inbox = vec![env(1, 0, 10), env(2, 0, 20), env(3, 0, 30)];
+        let got = take_capped(&mut inbox, Some(2));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, 10);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].payload, 30);
+
+        let got = take_capped(&mut inbox, None);
+        assert_eq!(got.len(), 1);
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn route_delivers_into_next_round_mailbox() {
+        let mut core: EngineCore<u32> = EngineCore::new(3, 1);
+        assert_eq!(core.begin_round(), 0);
+        core.route(env(0, 2, 7));
+        core.finish_round();
+        assert_eq!(core.round(), 1);
+        assert_eq!(core.metrics().total_messages(), 1);
+        let state = core.step_state();
+        assert_eq!(state.inboxes[2].len(), 1);
+        assert!(state.inboxes[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn route_rejects_unknown_destination() {
+        let mut core: EngineCore<u32> = EngineCore::new(2, 1);
+        core.begin_round();
+        core.route(env(0, 5, 1));
+    }
+
+    #[test]
+    fn detector_feeds_suspects_in_report_order() {
+        let mut core: EngineCore<u32> = EngineCore::new(4, 1);
+        core.set_faults(
+            FaultPlan::new()
+                .with_crashes([2])
+                .with_crash_at(1, 3)
+                .with_crash_detection_after(2),
+        );
+        for expect in [
+            &[][..],
+            &[][..],
+            &[NodeId::new(2)][..],
+            &[NodeId::new(2)][..],
+            &[NodeId::new(2)][..],
+            &[NodeId::new(2), NodeId::new(1)][..],
+        ] {
+            core.begin_round();
+            assert_eq!(core.suspects(), expect, "round {}", core.round());
+            core.finish_round();
+        }
+    }
+}

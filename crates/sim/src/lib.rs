@@ -63,6 +63,7 @@
 //! ```
 
 pub mod engine;
+pub mod engine_core;
 pub mod faults;
 pub mod id;
 pub mod message;
@@ -71,7 +72,8 @@ pub mod node;
 pub mod rng;
 pub mod trace;
 
-pub use engine::{Engine, RunOutcome};
+pub use engine::{Engine, RoundEngine, RunOutcome};
+pub use engine_core::{step_node, take_capped, EngineCore, StepState};
 pub use faults::FaultPlan;
 pub use id::NodeId;
 pub use message::{Envelope, MessageCost};

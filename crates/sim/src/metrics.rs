@@ -18,7 +18,7 @@ pub struct RoundMetrics {
 ///
 /// Tracks the per-round series (for figures such as F3) and per-node
 /// send/receive totals (for the per-node maxima the literature reports).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunMetrics {
     rounds: Vec<RoundMetrics>,
     sent_messages: Vec<u64>,

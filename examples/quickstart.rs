@@ -30,8 +30,7 @@ fn main() {
     println!();
     let hm = run(
         AlgorithmKind::Hm(HmConfig::default()),
-        &RunConfig::new(Topology::KOut { k: 3 }, n, 42)
-            .with_completion(Completion::LeaderKnowsAll),
+        &RunConfig::new(Topology::KOut { k: 3 }, n, 42).with_completion(Completion::LeaderKnowsAll),
     );
     println!(
         "HM reaches the PODC'99 completion notion (leader knows all, all know leader) \

@@ -13,7 +13,7 @@
 //! ```
 
 use resource_discovery::prelude::*;
-use resource_discovery::registry::service::{run_pipeline, resource_key};
+use resource_discovery::registry::service::{resource_key, run_pipeline};
 use resource_discovery::registry::Directory;
 
 fn main() {
@@ -48,7 +48,8 @@ fn main() {
         all_keys.len(),
         100.0 * moved.len() as f64 / all_keys.len() as f64
     );
-    assert!(moved
-        .iter()
-        .all(|&k| full.owner(k) == removed), "a key moved needlessly");
+    assert!(
+        moved.iter().all(|&k| full.owner(k) == removed),
+        "a key moved needlessly"
+    );
 }

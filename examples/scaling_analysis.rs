@@ -8,18 +8,99 @@
 //! ```text
 //! cargo run --release --example scaling_analysis
 //! ```
+//!
+//! With `--big [log2_n] [workers]` it instead pushes a single HM run to
+//! production scale — n = 2²⁰ machines by default — on the `rd-exec`
+//! sharded engine:
+//!
+//! ```text
+//! cargo run --release --example scaling_analysis -- --big        # n = 2^20
+//! cargo run --release --example scaling_analysis -- --big 16 4   # n = 2^16, 4 workers
+//! ```
+//!
+//! The big run uses the classic PODC '99 leader-knows-all completion
+//! notion: at this scale *everyone-knows-everyone* is not a sensible
+//! target (it needs Ω(n²) pointer transfers — terabytes of identifier
+//! traffic at n = 2²⁰), while leader completion stays near-linear.
 
 use resource_discovery::analysis::experiment::{sweep, SweepSpec};
 use resource_discovery::analysis::{best_fit, Plot};
+use resource_discovery::core::algorithms::hm::{cluster_count, HmDiscovery, PHASES};
 use resource_discovery::prelude::*;
+use std::time::Instant;
+
+fn big_run(log2_n: u32, workers: usize) {
+    let n = 1usize << log2_n;
+    println!(
+        "big run: HM on a 3-out random overlay, n = 2^{log2_n} = {n}, \
+         sharded engine with {workers} workers"
+    );
+    let seed = 42;
+    let start = Instant::now();
+    let graph = Topology::KOut { k: 3 }.generate(n, seed);
+    let initial = problem::initial_knowledge(&graph);
+    let nodes = HmDiscovery::new(HmConfig::default()).make_nodes(&initial);
+    println!("  built {n}-node instance in {:.1?}", start.elapsed());
+
+    let mut engine = ShardedEngine::new(nodes, seed, workers);
+    let start = Instant::now();
+    let outcome = engine.run_observed(1_000_000, problem::leader_knows_all, |round, nodes| {
+        if round % (4 * PHASES) == 0 {
+            println!(
+                "  round {round:5}: {} clusters, {:.1?} elapsed",
+                cluster_count(nodes),
+                start.elapsed()
+            );
+        }
+    });
+    let elapsed = start.elapsed();
+
+    assert!(outcome.completed, "HM failed to complete within the budget");
+    let m = engine.metrics();
+    let per_round = elapsed.as_secs_f64() / outcome.rounds.max(1) as f64;
+    println!(
+        "\ncompleted (leader knows all) in {} rounds",
+        outcome.rounds
+    );
+    println!(
+        "  wall-clock        {elapsed:.1?}  ({:.0} ms/round)",
+        per_round * 1e3
+    );
+    println!("  total messages    {}", m.total_messages());
+    println!("  total pointers    {}", m.total_pointers());
+    println!("  max sent per node {}", m.max_sent_messages());
+    println!(
+        "  rounds vs bounds: log2 n = {log2_n}, log2 log2 n = {:.1}",
+        (log2_n as f64).log2()
+    );
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--big") {
+        let log2_n: u32 = args.get(1).map_or(20, |a| a.parse().expect("log2 n"));
+        let workers: usize = args.get(2).map_or_else(
+            || {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            },
+            |a| a.parse().expect("worker count"),
+        );
+        big_run(log2_n, workers);
+        return;
+    }
+
     let ns = vec![64, 128, 256, 512, 1024, 2048];
     let kinds = vec![
         AlgorithmKind::Hm(HmConfig::default()),
         AlgorithmKind::NameDropper,
     ];
-    println!("sweeping {} sizes x {} algorithms x 3 seeds...", ns.len(), kinds.len());
+    println!(
+        "sweeping {} sizes x {} algorithms x 3 seeds...",
+        ns.len(),
+        kinds.len()
+    );
     let cells = sweep(&SweepSpec {
         kinds: kinds.clone(),
         topology: Topology::KOut { k: 3 },

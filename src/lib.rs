@@ -42,6 +42,7 @@
 
 pub use rd_analysis as analysis;
 pub use rd_core as core;
+pub use rd_exec as exec;
 pub use rd_graphs as graphs;
 pub use rd_registry as registry;
 pub use rd_sim as sim;
@@ -53,8 +54,9 @@ pub mod prelude {
     pub use rd_analysis::{summarize, Table};
     pub use rd_core::algorithms::hm::{HmConfig, HmDiscovery, MergeRule};
     pub use rd_core::gossip::{run_gossip, GossipStrategy};
-    pub use rd_core::runner::{run, AlgorithmKind, Completion, RunConfig, RunReport};
+    pub use rd_core::runner::{run, AlgorithmKind, Completion, EngineKind, RunConfig, RunReport};
     pub use rd_core::{problem, verify, DiscoveryAlgorithm, KnowledgeSet, KnowledgeView};
+    pub use rd_exec::ShardedEngine;
     pub use rd_graphs::{connectivity, metrics, DiGraph, Topology};
-    pub use rd_sim::{Engine, FaultPlan, NodeId};
+    pub use rd_sim::{Engine, FaultPlan, NodeId, RoundEngine};
 }

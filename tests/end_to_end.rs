@@ -44,9 +44,7 @@ fn hm_dominates_baselines_on_pointer_complexity() {
 
 #[test]
 fn hm_round_count_is_flat_while_name_dropper_grows() {
-    let rounds = |kind, n| {
-        run(kind, &RunConfig::new(Topology::KOut { k: 3 }, n, 5)).rounds as f64
-    };
+    let rounds = |kind, n| run(kind, &RunConfig::new(Topology::KOut { k: 3 }, n, 5)).rounds as f64;
     let hm_small = rounds(AlgorithmKind::Hm(HmConfig::default()), 128);
     let hm_large = rounds(AlgorithmKind::Hm(HmConfig::default()), 2048);
     let nd_small = rounds(AlgorithmKind::NameDropper, 128);

@@ -9,12 +9,12 @@
 //! two-node cycle hanging off a sink, mutual edges, an isolated
 //! in-degree-zero source — cannot hide here.
 
-use resource_discovery::core::problem;
-use resource_discovery::core::runner::RunReport;
 use resource_discovery::core::algorithms::hm::{HmConfig, MergeRule};
 use resource_discovery::core::algorithms::{
     DiscoveryAlgorithm, Flooding, HmDiscovery, NameDropper, PointerDoubling, Swamping,
 };
+use resource_discovery::core::problem;
+use resource_discovery::core::runner::RunReport;
 use resource_discovery::graphs::{connectivity, DiGraph};
 use resource_discovery::sim::{Engine, NodeId};
 
@@ -65,8 +65,7 @@ where
     let n = g.node_count();
     let sound = nodes.iter().enumerate().all(|(i, node)| {
         use resource_discovery::core::KnowledgeView;
-        node.knows(NodeId::new(i as u32))
-            && node.known_ids().iter().all(|id| id.index() < n)
+        node.knows(NodeId::new(i as u32)) && node.known_ids().iter().all(|id| id.index() < n)
     });
     RunReport {
         algorithm: alg.name(),
@@ -101,7 +100,11 @@ where
             report.algorithm,
             g.iter_edges().collect::<Vec<_>>()
         );
-        assert!(report.sound, "{} unsound on graph #{i} of n={n}", report.algorithm);
+        assert!(
+            report.sound,
+            "{} unsound on graph #{i} of n={n}",
+            report.algorithm
+        );
     }
 }
 
@@ -111,9 +114,19 @@ fn three_node_space_is_fully_covered() {
     // exactly the weakly connected ones survive the filter, and both
     // extremes are present.
     let graphs = weakly_connected_graphs(3);
-    assert!(graphs.iter().any(|g| g.edge_count() == 2), "spanning trees present");
-    assert!(graphs.iter().any(|g| g.edge_count() == 6), "complete graph present");
-    assert!(graphs.len() > 30 && graphs.len() < 64, "{} graphs", graphs.len());
+    assert!(
+        graphs.iter().any(|g| g.edge_count() == 2),
+        "spanning trees present"
+    );
+    assert!(
+        graphs.iter().any(|g| g.edge_count() == 6),
+        "complete graph present"
+    );
+    assert!(
+        graphs.len() > 30 && graphs.len() < 64,
+        "{} graphs",
+        graphs.len()
+    );
 }
 
 #[test]

@@ -32,7 +32,10 @@ fn drop_storms_slow_hm_down_monotonically_ish() {
     };
     let clean = rounds(0.0);
     let stormy = rounds(0.30);
-    assert!(stormy > clean, "drops should cost rounds: {clean} vs {stormy}");
+    assert!(
+        stormy > clean,
+        "drops should cost rounds: {clean} vs {stormy}"
+    );
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Cross-engine equivalence: on any instance — random topology, seed,
+//! fault plan, delivery knobs — the sharded `rd-exec` engine must be
+//! **bit-identical** to the sequential `rd-sim` engine for every
+//! algorithm in the suite: same `RunOutcome`, same full per-round
+//! `RunMetrics`, same message trace, same final knowledge.
+//!
+//! This is the load-bearing test for the parallel substrate: it pins the
+//! determinism contract (per-`(seed, node, round)` node randomness,
+//! canonical `(sender, sequence)` routing order, serial fault/delay
+//! streams) that lets every experiment opt into the sharded engine
+//! without changing a single measured number.
+
+use proptest::prelude::*;
+use resource_discovery::core::algorithms::hm::HmConfig;
+use resource_discovery::core::algorithms::{
+    Flooding, HmDiscovery, NameDropper, PointerDoubling, RandomPointerJump, Swamping,
+};
+use resource_discovery::core::{problem, DiscoveryAlgorithm, KnowledgeView};
+use resource_discovery::exec::ShardedEngine;
+use resource_discovery::prelude::*;
+use resource_discovery::sim::Node;
+
+/// One random engine-facing configuration.
+#[derive(Debug, Clone)]
+struct Instance {
+    topo: Topology,
+    n: usize,
+    seed: u64,
+    faults: FaultPlan,
+    receive_cap: Option<usize>,
+    max_extra_delay: u64,
+    workers: usize,
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Cycle),
+        Just(Topology::Path),
+        Just(Topology::RandomTree),
+        (2usize..5).prop_map(|k| Topology::KOut { k }),
+        (2usize..6).prop_map(|avg_degree| Topology::ErdosRenyi { avg_degree }),
+        (2usize..6).prop_map(|cliques| Topology::CliqueChain { cliques }),
+    ]
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        arb_topology(),
+        8usize..40,
+        any::<u64>(),
+        (0u32..3, 0usize..3, 0u64..16, 0u64..2),
+        (0usize..3, 0u64..3, 2usize..9),
+    )
+        .prop_map(
+            |(topo, n, seed, (drop_decipct, crashes, crash_at, detect), (cap, delay, workers))| {
+                let mut faults = FaultPlan::new().with_drop_probability(drop_decipct as f64 / 10.0);
+                for c in 0..crashes {
+                    // Dependent draw: fold the free-range crash seed onto
+                    // valid node indices, spread across the population.
+                    let node = (seed.rotate_left(c as u32 * 7) as usize + c * 5) % n;
+                    faults = faults.with_crash_at(node, crash_at + c as u64);
+                }
+                if detect == 1 && crashes > 0 {
+                    faults = faults.with_crash_detection_after(3);
+                }
+                Instance {
+                    topo,
+                    n,
+                    seed,
+                    faults,
+                    receive_cap: (cap > 0).then_some(cap * 2),
+                    max_extra_delay: delay,
+                    workers,
+                }
+            },
+        )
+}
+
+/// Runs one algorithm on both engines and asserts bit-identical results.
+fn assert_equivalent<A>(alg: &A, inst: &Instance) -> Result<(), TestCaseError>
+where
+    A: DiscoveryAlgorithm,
+    A::NodeState: Node + KnowledgeView + Send,
+    <A::NodeState as Node>::Msg: Send,
+{
+    const MAX_ROUNDS: u64 = 1_200;
+    let graph = inst.topo.generate(inst.n, inst.seed);
+    let initial = problem::initial_knowledge(&graph);
+
+    let configure_seq = |mut e: Engine<A::NodeState>| {
+        e = e.with_faults(inst.faults.clone()).with_trace(1 << 13);
+        if let Some(cap) = inst.receive_cap {
+            e = e.with_receive_cap(cap);
+        }
+        e.with_max_extra_delay(inst.max_extra_delay)
+    };
+    let configure_par = |mut e: ShardedEngine<A::NodeState>| {
+        e = e.with_faults(inst.faults.clone()).with_trace(1 << 13);
+        if let Some(cap) = inst.receive_cap {
+            e = e.with_receive_cap(cap);
+        }
+        e.with_max_extra_delay(inst.max_extra_delay)
+    };
+
+    let mut seq = configure_seq(Engine::new(alg.make_nodes(&initial), inst.seed));
+    let mut par = configure_par(ShardedEngine::new(
+        alg.make_nodes(&initial),
+        inst.seed,
+        inst.workers,
+    ));
+
+    let seq_outcome = seq.run_until(MAX_ROUNDS, problem::everyone_knows_everyone);
+    let par_outcome = par.run_until(MAX_ROUNDS, problem::everyone_knows_everyone);
+
+    prop_assert_eq!(seq_outcome, par_outcome, "{}: outcome diverged", alg.name());
+    prop_assert_eq!(
+        seq.metrics(),
+        par.metrics(),
+        "{}: metrics diverged",
+        alg.name()
+    );
+    prop_assert_eq!(
+        seq.trace().unwrap().events(),
+        par.trace().unwrap().events(),
+        "{}: trace diverged",
+        alg.name()
+    );
+    for (i, (s, p)) in seq.nodes().iter().zip(par.nodes()).enumerate() {
+        prop_assert_eq!(
+            s.known_ids(),
+            p.known_ids(),
+            "{}: node {} knowledge diverged",
+            alg.name(),
+            i
+        );
+        prop_assert_eq!(
+            s.believes_done(),
+            p.believes_done(),
+            "{}: node {} termination belief diverged",
+            alg.name(),
+            i
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every algorithm of the historical suite, on both engines, on the
+    /// same random instance: identical outcome, metrics, trace, and
+    /// final knowledge.
+    #[test]
+    fn engines_are_bit_identical_for_every_algorithm(inst in arb_instance()) {
+        assert_equivalent(&Flooding, &inst)?;
+        assert_equivalent(&Swamping, &inst)?;
+        assert_equivalent(&RandomPointerJump, &inst)?;
+        assert_equivalent(&NameDropper, &inst)?;
+        assert_equivalent(&PointerDoubling, &inst)?;
+        assert_equivalent(&HmDiscovery::new(HmConfig::default()), &inst)?;
+    }
+
+    /// The worker count is a pure performance knob: any two worker
+    /// counts give identical runs (not merely sequential-vs-parallel).
+    #[test]
+    fn worker_count_never_changes_results(
+        topo in arb_topology(),
+        n in 8usize..48,
+        seed in any::<u64>(),
+        w1 in 2usize..9,
+        w2 in 2usize..9,
+    ) {
+        let graph = topo.generate(n, seed);
+        let initial = problem::initial_knowledge(&graph);
+        let alg = HmDiscovery::new(HmConfig::default());
+        let mut a = ShardedEngine::new(alg.make_nodes(&initial), seed, w1);
+        let mut b = ShardedEngine::new(alg.make_nodes(&initial), seed, w2);
+        let oa = a.run_until(1_200, problem::everyone_knows_everyone);
+        let ob = b.run_until(1_200, problem::everyone_knows_everyone);
+        prop_assert_eq!(oa, ob);
+        prop_assert_eq!(a.metrics(), b.metrics());
+    }
+
+    /// The engine knob in the runner reports identical `RunReport`s —
+    /// the API every sweep and figure goes through.
+    #[test]
+    fn runner_engine_knob_is_transparent(
+        topo in arb_topology(),
+        n in 8usize..48,
+        seed in any::<u64>(),
+        workers in 2usize..9,
+    ) {
+        for kind in [AlgorithmKind::NameDropper, AlgorithmKind::Hm(HmConfig::default())] {
+            let base = RunConfig::new(topo, n, seed).with_max_rounds(1_200);
+            let seq = run(kind, &base.clone());
+            let par = run(
+                kind,
+                &base.with_engine(EngineKind::Sharded { workers }),
+            );
+            prop_assert_eq!(seq, par);
+        }
+    }
+}
