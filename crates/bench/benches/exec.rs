@@ -59,8 +59,8 @@ struct Gossip {
 impl Node for Gossip {
     type Msg = Batch;
 
-    fn on_round(&mut self, inbox: Vec<Envelope<Batch>>, ctx: &mut RoundContext<'_, Batch>) {
-        for env in inbox {
+    fn on_round(&mut self, inbox: &mut Vec<Envelope<Batch>>, ctx: &mut RoundContext<'_, Batch>) {
+        for env in inbox.drain(..) {
             self.known.extend(env.payload.0);
         }
         self.known.sort_unstable();
@@ -219,7 +219,7 @@ fn write_json_summary() {
 fn smoke() {
     let proto = make_nodes(256, SEED);
     let (seq, _) = run_rounds(&proto, 3, 0);
-    let (par, _) = run_rounds(&proto, 3, 2);
+    let (par, _) = run_rounds(&proto, 3, 4);
     assert_eq!(seq, par, "engines diverged on the bench workload");
     eprintln!("[exec-bench] smoke ok: both engines sent {seq} messages");
 }

@@ -58,7 +58,7 @@ struct RingPinger {
 }
 impl Node for RingPinger {
     type Msg = Tick;
-    fn on_round(&mut self, inbox: Vec<Envelope<Tick>>, ctx: &mut RoundContext<'_, Tick>) {
+    fn on_round(&mut self, inbox: &mut Vec<Envelope<Tick>>, ctx: &mut RoundContext<'_, Tick>) {
         black_box(inbox.len());
         ctx.send(self.next, Tick);
     }

@@ -10,7 +10,7 @@
 
 use crate::algorithms::{DiscoveryAlgorithm, KnowledgeView};
 use crate::knowledge::KnowledgeSet;
-use rd_sim::{Envelope, MessageCost, Node, NodeId, RoundContext};
+use rd_sim::{Envelope, MessageCost, Node, NodeId, PointerList, RoundContext};
 
 /// Factory for the flooding baseline.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,7 +20,7 @@ pub struct Flooding;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FloodMsg {
     /// Identifiers being disseminated.
-    pub ids: Vec<NodeId>,
+    pub ids: PointerList,
 }
 
 impl MessageCost for FloodMsg {
@@ -39,8 +39,12 @@ pub struct FloodingNode {
 impl Node for FloodingNode {
     type Msg = FloodMsg;
 
-    fn on_round(&mut self, inbox: Vec<Envelope<FloodMsg>>, ctx: &mut RoundContext<'_, FloodMsg>) {
-        for env in inbox {
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<Envelope<FloodMsg>>,
+        ctx: &mut RoundContext<'_, FloodMsg>,
+    ) {
+        for env in inbox.drain(..) {
             self.knowledge.insert(env.src);
             self.knowledge.extend(env.payload.ids);
         }
@@ -55,7 +59,12 @@ impl Node for FloodingNode {
             // every initially known node.
             self.started = true;
             for &dst in &full {
-                ctx.send(dst, FloodMsg { ids: full.clone() });
+                ctx.send(
+                    dst,
+                    FloodMsg {
+                        ids: full.as_slice().into(),
+                    },
+                );
             }
             return;
         }
@@ -66,10 +75,10 @@ impl Node for FloodingNode {
             if dst == me {
                 continue;
             }
-            let payload = if fresh_set.contains(dst) {
-                full.clone()
+            let payload: PointerList = if fresh_set.contains(dst) {
+                full.as_slice().into()
             } else {
-                fresh.clone()
+                fresh.as_slice().into()
             };
             ctx.send(dst, FloodMsg { ids: payload });
         }

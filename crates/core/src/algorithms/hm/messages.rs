@@ -1,6 +1,6 @@
 //! Wire messages of the cluster-merge protocol.
 
-use rd_sim::{MessageCost, NodeId};
+use rd_sim::{MessageCost, NodeId, PointerList};
 
 /// Protocol messages of the reconstructed Haeupler–Malkhi algorithm.
 ///
@@ -24,7 +24,7 @@ pub enum HmMsg {
         /// Retransmission epoch, unique per originating member.
         epoch: u64,
         /// Fresh identifiers.
-        ids: Vec<NodeId>,
+        ids: PointerList,
     },
     /// Leader → reporting member: the report with this epoch was merged.
     ReportAck {
@@ -58,10 +58,10 @@ pub enum HmMsg {
     /// Smaller leader → larger leader: "absorb my whole cluster".
     Join {
         /// Every member of the joining cluster (its leader included).
-        members: Vec<NodeId>,
+        members: PointerList,
         /// The joining cluster's unexplored pointers, handed over so no
         /// discovery lead is ever lost in a merge.
-        frontier: Vec<NodeId>,
+        frontier: PointerList,
     },
     /// Larger leader → smaller leader: "you should join me" (sent when
     /// the discovery was one-sided in the wrong direction).
@@ -79,7 +79,7 @@ pub enum HmMsg {
     /// `EveryoneKnowsEveryone`).
     Roster {
         /// All known identifiers.
-        ids: Vec<NodeId>,
+        ids: PointerList,
     },
 }
 
@@ -111,7 +111,7 @@ mod tests {
             HmMsg::Report {
                 from: id(0),
                 epoch: 1,
-                ids: vec![id(1), id(2)]
+                ids: vec![id(1), id(2)].into()
             }
             .pointers(),
             3
@@ -129,13 +129,19 @@ mod tests {
         );
         assert_eq!(
             HmMsg::Join {
-                members: vec![id(1), id(2), id(3)],
-                frontier: vec![id(9)]
+                members: vec![id(1), id(2), id(3)].into(),
+                frontier: vec![id(9)].into()
             }
             .pointers(),
             4
         );
         assert_eq!(HmMsg::Invite { leader: id(5) }.pointers(), 1);
-        assert_eq!(HmMsg::Roster { ids: vec![] }.pointers(), 0);
+        assert_eq!(
+            HmMsg::Roster {
+                ids: PointerList::default()
+            }
+            .pointers(),
+            0
+        );
     }
 }

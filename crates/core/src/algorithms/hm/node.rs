@@ -5,7 +5,7 @@ use super::messages::HmMsg;
 use crate::algorithms::KnowledgeView;
 use crate::knowledge::KnowledgeSet;
 use rand::Rng;
-use rd_sim::{Envelope, Node, NodeId, RoundContext};
+use rd_sim::{Envelope, Node, NodeId, PointerList, RoundContext};
 use std::collections::VecDeque;
 
 /// Rounds per super-round. Phase 0 reports, phase 1 assigns, phase 2
@@ -203,8 +203,8 @@ impl HmNode {
 
     fn absorb_join(
         &mut self,
-        members: Vec<NodeId>,
-        frontier: Vec<NodeId>,
+        members: PointerList,
+        frontier: PointerList,
         ctx: &mut RoundContext<'_, HmMsg>,
     ) {
         for m in members {
@@ -401,7 +401,7 @@ impl HmNode {
             HmMsg::Report {
                 from: self.me,
                 epoch: self.report_epoch,
-                ids: self.pending_report.clone(),
+                ids: self.pending_report.as_slice().into(),
             },
         );
     }
@@ -470,7 +470,7 @@ impl HmNode {
                 ctx.send(
                     m,
                     HmMsg::Roster {
-                        ids: roster.clone(),
+                        ids: roster.as_slice().into(),
                     },
                 );
             }
@@ -494,8 +494,8 @@ impl HmNode {
         if let Some((members, frontier)) = &self.pending_join {
             debug_assert!(!self.is_leader());
             let msg = HmMsg::Join {
-                members: members.clone(),
-                frontier: frontier.clone(),
+                members: members.as_slice().into(),
+                frontier: frontier.as_slice().into(),
             };
             ctx.send(self.leader, msg);
             return;
@@ -543,8 +543,8 @@ impl HmNode {
         ctx.send(
             target,
             HmMsg::Join {
-                members: members.clone(),
-                frontier: handover.clone(),
+                members: members.as_slice().into(),
+                frontier: handover.as_slice().into(),
             },
         );
         self.leader = target;
@@ -556,12 +556,12 @@ impl HmNode {
 impl Node for HmNode {
     type Msg = HmMsg;
 
-    fn on_round(&mut self, inbox: Vec<Envelope<HmMsg>>, ctx: &mut RoundContext<'_, HmMsg>) {
+    fn on_round(&mut self, inbox: &mut Vec<Envelope<HmMsg>>, ctx: &mut RoundContext<'_, HmMsg>) {
         if !ctx.suspects().is_empty() {
             let report: Vec<NodeId> = ctx.suspects().to_vec();
             self.digest_suspects(&report);
         }
-        for env in inbox {
+        for env in inbox.drain(..) {
             self.handle_message(env, ctx);
         }
         // Checked every round (not just on fresh reports): a stale Adopt

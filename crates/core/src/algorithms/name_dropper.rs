@@ -15,7 +15,7 @@
 
 use crate::algorithms::{DiscoveryAlgorithm, KnowledgeView};
 use crate::knowledge::KnowledgeSet;
-use rd_sim::{Envelope, MessageCost, Node, NodeId, RoundContext};
+use rd_sim::{Envelope, MessageCost, Node, NodeId, PointerList, RoundContext};
 
 /// Factory for the Name-Dropper baseline.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,7 +25,7 @@ pub struct NameDropper;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransferMsg {
     /// Every identifier the sender knew when it sent.
-    pub ids: Vec<NodeId>,
+    pub ids: PointerList,
 }
 
 impl MessageCost for TransferMsg {
@@ -45,10 +45,10 @@ impl Node for NameDropperNode {
 
     fn on_round(
         &mut self,
-        inbox: Vec<Envelope<TransferMsg>>,
+        inbox: &mut Vec<Envelope<TransferMsg>>,
         ctx: &mut RoundContext<'_, TransferMsg>,
     ) {
-        for env in inbox {
+        for env in inbox.drain(..) {
             self.knowledge.insert(env.src); // reverse pointer
             self.knowledge.extend(env.payload.ids);
         }
@@ -57,7 +57,7 @@ impl Node for NameDropperNode {
             let rng = ctx.rng();
             self.knowledge.sample_other(rng, me)
         } {
-            let ids: Vec<NodeId> = self.knowledge.iter().filter(|&v| v != target).collect();
+            let ids: PointerList = self.knowledge.iter().filter(|&v| v != target).collect();
             ctx.send(target, TransferMsg { ids });
         }
     }

@@ -60,10 +60,10 @@ pub struct PointerDoublingNode {
 impl Node for PointerDoublingNode {
     type Msg = PdMsg;
 
-    fn on_round(&mut self, inbox: Vec<Envelope<PdMsg>>, ctx: &mut RoundContext<'_, PdMsg>) {
+    fn on_round(&mut self, inbox: &mut Vec<Envelope<PdMsg>>, ctx: &mut RoundContext<'_, PdMsg>) {
         let me = ctx.id();
         let mut queriers: Vec<NodeId> = Vec::new();
-        for env in inbox {
+        for env in inbox.drain(..) {
             self.knowledge.insert(env.src);
             match env.payload {
                 PdMsg::Query { ids } => {

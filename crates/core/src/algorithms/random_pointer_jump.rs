@@ -53,10 +53,10 @@ pub struct RandomPointerJumpNode {
 impl Node for RandomPointerJumpNode {
     type Msg = RpjMsg;
 
-    fn on_round(&mut self, inbox: Vec<Envelope<RpjMsg>>, ctx: &mut RoundContext<'_, RpjMsg>) {
+    fn on_round(&mut self, inbox: &mut Vec<Envelope<RpjMsg>>, ctx: &mut RoundContext<'_, RpjMsg>) {
         let me = ctx.id();
         let mut pullers: Vec<NodeId> = Vec::new();
-        for env in inbox {
+        for env in inbox.drain(..) {
             match env.payload {
                 // Deliberately *not* learning env.src here: that reverse
                 // edge is Name-Dropper's fix, not this algorithm.

@@ -15,7 +15,7 @@
 
 use crate::algorithms::{DiscoveryAlgorithm, KnowledgeView};
 use crate::knowledge::KnowledgeSet;
-use rd_sim::{Envelope, MessageCost, Node, NodeId, RoundContext};
+use rd_sim::{Envelope, MessageCost, Node, NodeId, PointerList, RoundContext};
 
 /// Factory for the swamping baseline.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,7 +25,7 @@ pub struct Swamping;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwampMsg {
     /// Every identifier the sender knows.
-    pub ids: Vec<NodeId>,
+    pub ids: PointerList,
 }
 
 impl MessageCost for SwampMsg {
@@ -48,9 +48,13 @@ pub struct SwampingNode {
 impl Node for SwampingNode {
     type Msg = SwampMsg;
 
-    fn on_round(&mut self, inbox: Vec<Envelope<SwampMsg>>, ctx: &mut RoundContext<'_, SwampMsg>) {
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<Envelope<SwampMsg>>,
+        ctx: &mut RoundContext<'_, SwampMsg>,
+    ) {
         let mut learned = false;
-        for env in inbox {
+        for env in inbox.drain(..) {
             learned |= self.knowledge.insert(env.src);
             learned |= self.knowledge.extend(env.payload.ids) > 0;
         }
@@ -69,7 +73,7 @@ impl Node for SwampingNode {
         let me = ctx.id();
         let all: Vec<NodeId> = self.knowledge.iter().filter(|&v| v != me).collect();
         for &dst in &all {
-            let ids: Vec<NodeId> = self.knowledge.iter().filter(|&v| v != dst).collect();
+            let ids: PointerList = self.knowledge.iter().filter(|&v| v != dst).collect();
             ctx.send(dst, SwampMsg { ids });
         }
     }

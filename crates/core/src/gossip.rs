@@ -101,8 +101,12 @@ impl GossipNode {
 impl Node for GossipNode {
     type Msg = GossipMsg;
 
-    fn on_round(&mut self, inbox: Vec<Envelope<GossipMsg>>, ctx: &mut RoundContext<'_, GossipMsg>) {
-        for env in inbox {
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<Envelope<GossipMsg>>,
+        ctx: &mut RoundContext<'_, GossipMsg>,
+    ) {
+        for env in inbox.drain(..) {
             match env.payload {
                 GossipMsg::Push => self.informed = true,
                 GossipMsg::PullReq => self.pull_requesters.push(env.src),

@@ -71,8 +71,11 @@ impl AlgorithmKind {
 /// Both engines are bit-identical on the same configuration (the
 /// cross-engine equivalence property test enforces this), so the choice
 /// is purely about wall-clock: the sharded engine pays per-round thread
-/// fan-out to win parallel node stepping, which starts paying off for
-/// populations around 2¹⁴ and up on multicore hosts.
+/// fan-out to win parallel node stepping *and* parallel routing —
+/// message fates are counter-derived per `(seed, sender, round,
+/// sequence)`, so the routing phase shards as cleanly as the stepping
+/// phase — which starts paying off for populations around 2¹⁴ and up
+/// on multicore hosts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// The single-threaded lockstep engine in `rd-sim` (default).

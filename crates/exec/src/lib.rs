@@ -20,21 +20,27 @@
 //!    private per-`(seed, node, round)` random stream
 //!    ([`rd_sim::rng::node_round_rng`]) and sees only its own inbox, so
 //!    stepping nodes concurrently cannot change what any node computes.
-//! 2. *Outboxes merge in canonical `(sender, sequence)` order.* Each
-//!    worker stages its shard's sends in node-index order (each node's
-//!    sends in send order). Because shards are contiguous index blocks,
-//!    concatenating the per-shard batches in shard order reproduces
-//!    exactly the global sender-index order the sequential engine
+//! 2. *Message fates are order-independent.* Drop and delay coins are a
+//!    pure function of `(seed, sender, round, send-sequence)`
+//!    ([`rd_sim::route_fate`]): routing one envelope never advances any
+//!    stream another envelope reads, so routing order — and therefore
+//!    worker count — cannot change any coin.
+//! 3. *Deliveries merge in canonical `(sender, sequence)` order.* Each
+//!    worker stages and routes its shard's sends in node-index order
+//!    (each node's sends in send order) into per-destination-shard
+//!    buckets; the merge phase processes, for every destination shard,
+//!    the workers' buckets in worker (= sender shard) order. Because
+//!    shards are contiguous index blocks, every mailbox receives its
+//!    messages in exactly the global sender order the sequential engine
 //!    produces.
-//! 3. *Routing stays serial.* The fault and delay random streams are
-//!    consumed one message at a time, in the merged order, by the shared
-//!    [`EngineCore`] — the single accounting layer both engines use, so
-//!    metrics and fault semantics cannot drift between them.
 //!
-//! Phase 1 and 3 (round bookkeeping and routing) are inherited from
-//! [`EngineCore`]; only phase 2 — the embarrassingly parallel part,
-//! which dominates wall-clock for compute-heavy protocols at large `n`
-//! — is fanned out across `crossbeam` scoped threads.
+//! Round bookkeeping and the routing/accounting primitives are
+//! inherited from [`EngineCore`] — the single accounting layer both
+//! engines use, so metrics and fault semantics cannot drift between
+//! them. Both the node-stepping phase and the routing phase are fanned
+//! out across `crossbeam` scoped threads; shard-local routing results
+//! ([`rd_sim::engine_core::RouteDelta`]) fold associatively back into
+//! the core's metrics, trace, and delay queue.
 //!
 //! # Example
 //!
@@ -54,13 +60,13 @@
 //!     type Msg = Ping;
 //!     fn on_round(
 //!         &mut self,
-//!         inbox: Vec<Envelope<Ping>>,
+//!         inbox: &mut Vec<Envelope<Ping>>,
 //!         ctx: &mut RoundContext<'_, Ping>,
 //!     ) {
 //!         if ctx.round() == 0 && ctx.id() == NodeId::new(0) {
 //!             ctx.send(self.peer, Ping);
 //!         }
-//!         for _ in inbox {
+//!         for _ in inbox.drain(..) {
 //!             self.hits += 1;
 //!             if self.hits < 3 { ctx.send(self.peer, Ping); }
 //!         }
@@ -82,8 +88,27 @@
 //! assert_eq!(sharded.metrics(), sequential.metrics());
 //! ```
 
-use rd_sim::engine_core::{step_node, take_capped, EngineCore};
-use rd_sim::{Envelope, FaultPlan, Node, RoundEngine, RunMetrics, RunOutcome, Trace};
+use rd_sim::engine_core::{
+    merge_dest_shard, route_shard, step_node, take_capped, EngineCore, RouteDelta, RouteParams,
+};
+use rd_sim::{
+    BufferPool, Envelope, FaultPlan, MessageCost, Node, RoundEngine, RunMetrics, RunOutcome, Trace,
+};
+
+/// Below this many staged messages per round, the per-destination merge
+/// runs on the calling thread: spawning merge workers costs more than
+/// the merge itself. (The *routing* fan-out has no such threshold — the
+/// route workers exist anyway, and running every configuration through
+/// the sharded route path keeps it continuously exercised by the
+/// equivalence tests.)
+const PARALLEL_MERGE_MIN_MESSAGES: usize = 4096;
+
+/// The staged/scratch buffer pair one stepping worker owns for a round.
+type ShardBufs<M> = (Vec<Envelope<M>>, Vec<Envelope<M>>);
+
+/// Deliverable messages tagged with their extra delay, one bucket per
+/// destination shard.
+type RoutedBuckets<M> = Vec<Vec<(u64, Envelope<M>)>>;
 
 /// A round engine that steps nodes on `workers` threads.
 ///
@@ -94,6 +119,10 @@ pub struct ShardedEngine<N: Node> {
     nodes: Vec<N>,
     core: EngineCore<N::Msg>,
     workers: usize,
+    /// Recycled staging/scratch buffers for the stepping phase.
+    env_pool: BufferPool<Envelope<N::Msg>>,
+    /// Recycled bucket/delay buffers for the routing phase.
+    routed_pool: BufferPool<(u64, Envelope<N::Msg>)>,
 }
 
 impl<N> ShardedEngine<N>
@@ -116,6 +145,8 @@ where
             nodes,
             core,
             workers,
+            env_pool: BufferPool::new(),
+            routed_pool: BufferPool::new(),
         }
     }
 
@@ -193,67 +224,89 @@ where
         // be short. A worker without nodes is never spawned.
         let workers = self.workers.min(n).max(1);
         let shard_len = n.div_ceil(workers).max(1);
-        let state = self.core.step_state();
 
-        let staged: Vec<Envelope<N::Msg>> = if workers == 1 {
+        if workers == 1 {
             // One worker degenerates to the sequential loop; skip the
             // thread machinery (and its overhead) entirely.
-            let mut staged = Vec::new();
+            let mut staged = self.env_pool.take();
+            let mut scratch = self.env_pool.take();
+            let state = self.core.step_state();
             for (i, node) in self.nodes.iter_mut().enumerate() {
-                let inbox = take_capped(&mut state.inboxes[i], state.receive_cap);
                 if state.faults.is_crashed_at(i, round) {
-                    continue; // crashed nodes neither run nor receive
+                    // Crashed nodes neither run nor receive; their
+                    // pending deliveries are consumed and lost.
+                    state.inboxes[i].clear();
+                    continue;
                 }
+                let inbox = take_capped(&mut state.inboxes[i], &mut scratch, state.receive_cap);
                 step_node(node, i, round, state.seed, &suspects, inbox, &mut staged);
             }
-            staged
-        } else {
+            self.core.route_batch(&mut staged);
+            self.env_pool.put(staged);
+            self.env_pool.put(scratch);
+            self.core.finish_round();
+            return;
+        }
+
+        let shard_count = n.div_ceil(shard_len);
+        let mut bufs: Vec<ShardBufs<N::Msg>> = (0..shard_count)
+            .map(|_| (self.env_pool.take(), self.env_pool.take()))
+            .collect();
+
+        let state = self.core.step_state();
+        {
             let faults = state.faults;
             let seed = state.seed;
             let cap = state.receive_cap;
             let suspects = &suspects[..];
             let node_shards = self.nodes.chunks_mut(shard_len);
             let inbox_shards = state.inboxes.chunks_mut(shard_len);
-            let batches = crossbeam::thread::scope(move |scope| {
+            let stepped = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = node_shards
                     .zip(inbox_shards)
+                    .zip(bufs.iter_mut())
                     .enumerate()
-                    .map(|(shard, (nodes, inboxes))| {
+                    .map(|(shard, ((nodes, inboxes), (staged, scratch)))| {
                         scope.spawn(move |_| {
-                            let mut staged = Vec::new();
                             for (offset, node) in nodes.iter_mut().enumerate() {
                                 let i = shard * shard_len + offset;
-                                let inbox = take_capped(&mut inboxes[offset], cap);
                                 if faults.is_crashed_at(i, round) {
+                                    inboxes[offset].clear();
                                     continue;
                                 }
-                                step_node(node, i, round, seed, suspects, inbox, &mut staged);
+                                let inbox = take_capped(&mut inboxes[offset], scratch, cap);
+                                step_node(node, i, round, seed, suspects, inbox, staged);
                             }
-                            staged
                         })
                     })
                     .collect();
-                // Join in shard order: concatenating the per-shard
-                // batches yields global (sender, sequence) order. A
-                // panicking node program panics the engine, exactly as
-                // in the sequential engine.
-                let mut staged = Vec::new();
+                // Join in shard order. A panicking node program panics
+                // the engine, exactly as in the sequential engine.
                 for handle in handles {
-                    match handle.join() {
-                        Ok(mut batch) => staged.append(&mut batch),
-                        Err(payload) => std::panic::resume_unwind(payload),
+                    if let Err(payload) = handle.join() {
+                        std::panic::resume_unwind(payload);
                     }
                 }
-                staged
             });
-            match batches {
-                Ok(staged) => staged,
-                Err(payload) => std::panic::resume_unwind(payload),
+            if let Err(payload) = stepped {
+                std::panic::resume_unwind(payload);
             }
-        };
+        }
 
-        for env in staged {
-            self.core.route(env);
+        let mut staged_shards: Vec<Vec<Envelope<N::Msg>>> = Vec::with_capacity(shard_count);
+        for (staged, scratch) in bufs {
+            self.env_pool.put(scratch);
+            staged_shards.push(staged);
+        }
+
+        route_staged(
+            &mut self.core,
+            &mut staged_shards,
+            shard_len,
+            &mut self.routed_pool,
+        );
+        for staged in staged_shards {
+            self.env_pool.put(staged);
         }
         self.core.finish_round();
     }
@@ -273,6 +326,178 @@ where
         observe: impl FnMut(u64, &[N]),
     ) -> RunOutcome {
         RoundEngine::run_observed(self, max_rounds, done, observe)
+    }
+}
+
+/// Routes one round's staged envelopes — one buffer per sender shard,
+/// shard order, each in canonical `(sender, send-sequence)` order —
+/// through the parallel shard/route/merge pipeline into `core`.
+///
+/// With a single shard this degenerates to the serial
+/// [`EngineCore::route_batch`]. Otherwise every sender shard is routed
+/// on its own thread into per-destination-shard buckets
+/// ([`route_shard`]), the buckets are merged per destination shard
+/// ([`merge_dest_shard`] — in parallel too, once the round carries
+/// enough messages to pay for the spawns), and the shard-local deltas
+/// fold back into the core. Bit-identical to the serial path for every
+/// shard count; the staged buffers are drained and left empty for
+/// reuse.
+///
+/// Public so the routing micro-benchmark can drive the exact pipeline
+/// the engine uses.
+///
+/// # Panics
+///
+/// Panics if any envelope addresses a node that does not exist.
+pub fn route_staged<M: MessageCost + Send>(
+    core: &mut EngineCore<M>,
+    staged_shards: &mut [Vec<Envelope<M>>],
+    shard_len: usize,
+    routed_pool: &mut BufferPool<(u64, Envelope<M>)>,
+) {
+    if staged_shards.len() <= 1 {
+        if let Some(staged) = staged_shards.first_mut() {
+            core.route_batch(staged);
+        }
+        return;
+    }
+    let shard_count = staged_shards.len();
+    let total_messages: usize = staged_shards.iter().map(Vec::len).sum();
+    let mut bucket_sets: Vec<RoutedBuckets<M>> = (0..shard_count)
+        .map(|_| (0..shard_count).map(|_| routed_pool.take()).collect())
+        .collect();
+    let mut delayed_lists: Vec<Vec<(u64, Envelope<M>)>> =
+        (0..shard_count).map(|_| routed_pool.take()).collect();
+
+    let parts = core.parallel_parts();
+    let params = RouteParams {
+        seed: parts.seed,
+        round: parts.round,
+        faults: parts.faults,
+        max_extra_delay: parts.max_extra_delay,
+        trace_capacity: parts.trace_capacity,
+        node_count: parts.inboxes.len(),
+        shard_len,
+    };
+    let round = params.round;
+
+    // Route phase: one worker per sender shard, each writing only its
+    // own shard's sent-tally lanes and its own destination buckets.
+    let mut deltas: Vec<RouteDelta<M>> = {
+        let sent_lanes = parts
+            .sent_messages
+            .chunks_mut(shard_len)
+            .zip(parts.sent_pointers.chunks_mut(shard_len));
+        let routed = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = staged_shards
+                .iter_mut()
+                .zip(sent_lanes)
+                .zip(bucket_sets.drain(..))
+                .enumerate()
+                .map(|(w, ((staged, (sent_messages, sent_pointers)), buckets))| {
+                    scope.spawn(move |_| {
+                        route_shard(
+                            params,
+                            staged,
+                            w * shard_len,
+                            sent_messages,
+                            sent_pointers,
+                            buckets,
+                        )
+                    })
+                })
+                .collect();
+            let mut deltas = Vec::with_capacity(handles.len());
+            for handle in handles {
+                match handle.join() {
+                    Ok(delta) => deltas.push(delta),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            deltas
+        });
+        match routed {
+            Ok(d) => d,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    };
+
+    // Transpose: per destination shard, the per-worker bucket parts in
+    // worker (= sender shard) order.
+    let mut per_dest: Vec<RoutedBuckets<M>> = (0..shard_count)
+        .map(|_| Vec::with_capacity(shard_count))
+        .collect();
+    for delta in &mut deltas {
+        for (d, bucket) in delta.buckets.drain(..).enumerate() {
+            per_dest[d].push(bucket);
+        }
+    }
+
+    // Merge phase: one job per destination shard, each owning its
+    // shard's mailboxes and recv-tally lanes.
+    {
+        let merge_jobs = parts
+            .inboxes
+            .chunks_mut(shard_len)
+            .zip(
+                parts
+                    .recv_messages
+                    .chunks_mut(shard_len)
+                    .zip(parts.recv_pointers.chunks_mut(shard_len)),
+            )
+            .zip(per_dest.iter_mut().zip(delayed_lists.iter_mut()))
+            .enumerate();
+        if total_messages >= PARALLEL_MERGE_MIN_MESSAGES {
+            let merged = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = merge_jobs
+                    .map(
+                        |(d, ((inboxes, (recv_messages, recv_pointers)), (parts_d, delayed)))| {
+                            scope.spawn(move |_| {
+                                merge_dest_shard(
+                                    round,
+                                    d * shard_len,
+                                    parts_d,
+                                    inboxes,
+                                    recv_messages,
+                                    recv_pointers,
+                                    delayed,
+                                )
+                            })
+                        },
+                    )
+                    .collect();
+                for handle in handles {
+                    if let Err(payload) = handle.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+            if let Err(payload) = merged {
+                std::panic::resume_unwind(payload);
+            }
+        } else {
+            for (d, ((inboxes, (recv_messages, recv_pointers)), (parts_d, delayed))) in merge_jobs {
+                merge_dest_shard(
+                    round,
+                    d * shard_len,
+                    parts_d,
+                    inboxes,
+                    recv_messages,
+                    recv_pointers,
+                    delayed,
+                );
+            }
+        }
+    }
+
+    core.apply_route_deltas(&mut deltas, &mut delayed_lists);
+    for set in per_dest {
+        for bucket in set {
+            routed_pool.put(bucket);
+        }
+    }
+    for list in delayed_lists {
+        routed_pool.put(list);
     }
 }
 
@@ -325,9 +550,13 @@ mod tests {
 
     impl Node for Gossiper {
         type Msg = Rumor;
-        fn on_round(&mut self, inbox: Vec<Envelope<Rumor>>, ctx: &mut RoundContext<'_, Rumor>) {
+        fn on_round(
+            &mut self,
+            inbox: &mut Vec<Envelope<Rumor>>,
+            ctx: &mut RoundContext<'_, Rumor>,
+        ) {
             use rand::Rng;
-            for env in inbox {
+            for env in inbox.drain(..) {
                 self.heard.push(env.src);
                 self.heard.extend(env.payload.0);
             }
@@ -418,6 +647,69 @@ mod tests {
     #[test]
     fn more_workers_than_nodes_is_fine() {
         assert_engines_agree(3, 1, 16, 6, |e| e, |e| e);
+    }
+
+    /// High-fan-out probe: enough traffic per round to cross
+    /// `PARALLEL_MERGE_MIN_MESSAGES`, so the threaded merge path (not
+    /// just its serial fallback) is pinned against the sequential
+    /// engine — including delayed deliveries and drops.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Spammer {
+        n: u32,
+        received: u64,
+    }
+
+    impl Node for Spammer {
+        type Msg = Rumor;
+        fn on_round(
+            &mut self,
+            inbox: &mut Vec<Envelope<Rumor>>,
+            ctx: &mut RoundContext<'_, Rumor>,
+        ) {
+            self.received += inbox.len() as u64;
+            inbox.clear();
+            let me = u32::from(ctx.id());
+            for k in 0..200u32 {
+                let dst = NodeId::new((me + 1 + k % (self.n - 1)) % self.n);
+                if dst != ctx.id() {
+                    ctx.send(dst, Rumor(vec![ctx.id()]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_merge_is_bit_identical_above_threshold() {
+        let n = 32u32;
+        let spammers = || -> Vec<Spammer> { (0..n).map(|_| Spammer { n, received: 0 }).collect() };
+        assert!(
+            (n as usize) * 200 >= super::PARALLEL_MERGE_MIN_MESSAGES,
+            "workload must cross the parallel-merge threshold"
+        );
+        let plan = || {
+            FaultPlan::new()
+                .with_drop_probability(0.1)
+                .with_crash_at(5, 2)
+        };
+        let mut seq = Engine::new(spammers(), 11)
+            .with_faults(plan())
+            .with_max_extra_delay(2)
+            .with_trace(1 << 12);
+        let mut par = ShardedEngine::new(spammers(), 11, 4)
+            .with_faults(plan())
+            .with_max_extra_delay(2)
+            .with_trace(1 << 12);
+        for _ in 0..6 {
+            seq.step();
+            par.step();
+        }
+        assert_eq!(seq.nodes().to_vec(), par.nodes().to_vec());
+        assert_eq!(seq.metrics(), par.metrics());
+        assert_eq!(seq.trace().unwrap().events(), par.trace().unwrap().events());
+        assert_eq!(
+            seq.trace().unwrap().overflow(),
+            par.trace().unwrap().overflow()
+        );
     }
 
     #[test]

@@ -102,11 +102,11 @@ impl Node for RegistryNode {
 
     fn on_round(
         &mut self,
-        inbox: Vec<Envelope<RegistryMsg>>,
+        inbox: &mut Vec<Envelope<RegistryMsg>>,
         ctx: &mut RoundContext<'_, RegistryMsg>,
     ) {
         let me = ctx.id();
-        for env in inbox {
+        for env in inbox.drain(..) {
             match env.payload {
                 RegistryMsg::Publish { key } => {
                     self.store.insert(key, env.src);

@@ -103,6 +103,11 @@ pub trait RoundEngine<N: Node> {
 pub struct Engine<N: Node> {
     nodes: Vec<N>,
     core: EngineCore<N::Msg>,
+    /// Round-persistent staging buffer for outgoing envelopes; drained
+    /// by routing, so its allocation is reused every round.
+    staged: Vec<Envelope<N::Msg>>,
+    /// Round-persistent scratch buffer for capped inbox delivery.
+    scratch: Vec<Envelope<N::Msg>>,
 }
 
 impl<N: Node> Engine<N> {
@@ -111,7 +116,12 @@ impl<N: Node> Engine<N> {
     /// randomness.
     pub fn new(nodes: Vec<N>, seed: u64) -> Self {
         let core = EngineCore::new(nodes.len(), seed);
-        Engine { nodes, core }
+        Engine {
+            nodes,
+            core,
+            staged: Vec::new(),
+            scratch: Vec::new(),
+        }
     }
 
     /// Installs a fault plan (drops, crashes).
@@ -187,22 +197,28 @@ impl<N: Node> Engine<N> {
         // Cloned so the report can be lent to nodes while the engine
         // mutates them (the list is tiny: one entry per crash).
         let suspects = self.core.suspects().to_vec();
-        let mut outbox: Vec<Envelope<N::Msg>> = Vec::new();
-        let mut staged: Vec<Envelope<N::Msg>> = Vec::new();
 
         let state = self.core.step_state();
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            let inbox = take_capped(&mut state.inboxes[i], state.receive_cap);
             if state.faults.is_crashed_at(i, round) {
-                continue; // crashed nodes neither run nor receive
+                // Crashed nodes neither run nor receive; their pending
+                // deliveries are consumed and lost.
+                state.inboxes[i].clear();
+                continue;
             }
-            step_node(node, i, round, state.seed, &suspects, inbox, &mut outbox);
-            staged.append(&mut outbox);
+            let inbox = take_capped(&mut state.inboxes[i], &mut self.scratch, state.receive_cap);
+            step_node(
+                node,
+                i,
+                round,
+                state.seed,
+                &suspects,
+                inbox,
+                &mut self.staged,
+            );
         }
 
-        for env in staged {
-            self.core.route(env);
-        }
+        self.core.route_batch(&mut self.staged);
         self.core.finish_round();
     }
 
@@ -273,11 +289,11 @@ mod tests {
 
     impl Node for RingRelay {
         type Msg = Ids;
-        fn on_round(&mut self, inbox: Vec<Envelope<Ids>>, ctx: &mut RoundContext<'_, Ids>) {
+        fn on_round(&mut self, inbox: &mut Vec<Envelope<Ids>>, ctx: &mut RoundContext<'_, Ids>) {
             if ctx.round() == 0 && ctx.id() == NodeId::new(0) {
                 self.has_token = true;
             }
-            for env in inbox {
+            for env in inbox.drain(..) {
                 assert_eq!(env.dst, ctx.id());
                 self.has_token = true;
             }
@@ -432,7 +448,7 @@ mod tests {
     }
     impl Node for SuspectWatcher {
         type Msg = Ids;
-        fn on_round(&mut self, _inbox: Vec<Envelope<Ids>>, ctx: &mut RoundContext<'_, Ids>) {
+        fn on_round(&mut self, _inbox: &mut Vec<Envelope<Ids>>, ctx: &mut RoundContext<'_, Ids>) {
             self.seen.push((ctx.round(), ctx.suspects().to_vec()));
         }
     }
@@ -470,8 +486,12 @@ mod tests {
         }
         impl Node for Blaster {
             type Msg = Ids;
-            fn on_round(&mut self, inbox: Vec<Envelope<Ids>>, ctx: &mut RoundContext<'_, Ids>) {
-                for env in inbox {
+            fn on_round(
+                &mut self,
+                inbox: &mut Vec<Envelope<Ids>>,
+                ctx: &mut RoundContext<'_, Ids>,
+            ) {
+                for env in inbox.drain(..) {
                     self.got.push(env.src);
                 }
                 if ctx.round() == 0 && ctx.id() != NodeId::new(0) {

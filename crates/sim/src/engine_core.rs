@@ -1,11 +1,11 @@
 //! The engine-agnostic round machinery shared by every execution engine.
 //!
 //! [`EngineCore`] owns everything about a run *except* the node programs:
-//! mailboxes, the round counter, metrics, the fault layer and its random
-//! streams, tracing, the failure-detector schedule, receive caps, and
-//! delay jitter. The sequential [`Engine`](crate::Engine) in this crate
-//! and the sharded engine in `rd-exec` are both thin drivers over this
-//! core, so accounting and fault semantics cannot drift between them.
+//! mailboxes, the round counter, metrics, the fault layer, tracing, the
+//! failure-detector schedule, receive caps, and delay jitter. The
+//! sequential [`Engine`](crate::Engine) in this crate and the sharded
+//! engine in `rd-exec` are both thin drivers over this core, so
+//! accounting and fault semantics cannot drift between them.
 //!
 //! A round splits into three phases every engine performs identically:
 //!
@@ -17,18 +17,35 @@
 //!    per-`(seed, node, round)` random stream, which is what makes
 //!    parallel stepping bit-identical to sequential stepping;
 //! 3. routing — staged envelopes, in `(sender, send-sequence)` order,
-//!    pass one at a time through [`EngineCore::route`] (the *only*
-//!    consumer of the fault and delay random streams, so it must stay
-//!    serial), and [`EngineCore::finish_round`] advances the clock.
+//!    pass through the fault layer and into next-round mailboxes, and
+//!    [`EngineCore::finish_round`] advances the clock.
+//!
+//! # Order-independent routing
+//!
+//! Routing used to be inherently serial: drop and delay coins were drawn
+//! from two shared random streams, so stream *position* — and therefore
+//! global routing order — was part of the deterministic contract. Now
+//! every message's fate is a pure function of
+//! `(seed, sender, round, send-sequence)` ([`route_fate`], backed by
+//! [`rng::message_route_rng`]): routing one envelope never advances any
+//! state another envelope reads. That makes the phase embarrassingly
+//! parallel. A sequential engine calls [`EngineCore::route_batch`] over
+//! the canonically ordered staging buffer; a parallel engine splits the
+//! same buffer by sender shard, routes each shard with [`route_shard`]
+//! into per-destination-shard buckets, merges the buckets per
+//! destination with [`merge_dest_shard`], and folds the shard-local
+//! [`RouteDelta`]s back with [`EngineCore::apply_route_deltas`]. Both
+//! paths evaluate `route_fate` on identical `(sender, sequence)` pairs,
+//! so they are bit-identical by construction.
 
 use crate::faults::FaultPlan;
 use crate::id::NodeId;
 use crate::message::{Envelope, MessageCost};
-use crate::metrics::RunMetrics;
+use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::node::{Node, RoundContext};
+use crate::pool::BufferPool;
 use crate::rng;
 use crate::trace::{Trace, TraceEvent};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// The non-node state of a run: mailboxes, clock, metrics, faults,
@@ -40,7 +57,6 @@ pub struct EngineCore<M: MessageCost> {
     seed: u64,
     metrics: RunMetrics,
     faults: FaultPlan,
-    fault_rng: StdRng,
     trace: Option<Trace>,
     /// Crash-detection schedule `(report round, node)`, report-time order.
     detect_schedule: Vec<(u64, NodeId)>,
@@ -53,7 +69,8 @@ pub struct EngineCore<M: MessageCost> {
     max_extra_delay: u64,
     /// Messages awaiting a later delivery round, keyed by that round.
     delayed: std::collections::BTreeMap<u64, Vec<Envelope<M>>>,
-    delay_rng: StdRng,
+    /// Recycled batch buffers for the delay queue.
+    pool: BufferPool<Envelope<M>>,
 }
 
 /// The slice of [`EngineCore`] state an engine needs while stepping
@@ -71,6 +88,251 @@ pub struct StepState<'a, M: MessageCost> {
     pub receive_cap: Option<usize>,
 }
 
+/// What the fault layer decided for one message: dropped, or delivered
+/// with `extra_delay` additional rounds of latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteFate {
+    /// Whether fault injection (or a crashed destination) discarded the
+    /// message.
+    pub dropped: bool,
+    /// Extra delivery latency in rounds beyond the synchronous one
+    /// (always 0 for dropped messages and synchronous runs).
+    pub extra_delay: u64,
+}
+
+impl RouteFate {
+    const DELIVER: RouteFate = RouteFate {
+        dropped: false,
+        extra_delay: 0,
+    };
+    const DROP: RouteFate = RouteFate {
+        dropped: true,
+        extra_delay: 0,
+    };
+}
+
+/// Decides the fate of one message: a pure function of
+/// `(seed, round, sender, send-sequence)` plus the delivery policy.
+///
+/// This is the *single* source of routing randomness for every engine
+/// (and for test oracles that recompute fates independently). A message
+/// to a crashed destination is dropped without consuming any
+/// randomness; a message under a fault-free, synchronous policy is
+/// delivered without even constructing a generator — the common case
+/// stays coin-free.
+pub fn route_fate(
+    seed: u64,
+    round: u64,
+    src: usize,
+    sequence: u64,
+    crashed_dst: bool,
+    drop_probability: f64,
+    max_extra_delay: u64,
+) -> RouteFate {
+    if crashed_dst {
+        return RouteFate::DROP;
+    }
+    if drop_probability <= 0.0 && max_extra_delay == 0 {
+        return RouteFate::DELIVER;
+    }
+    let mut rng = rng::message_route_rng(seed, src, round, sequence);
+    let dropped = drop_probability > 0.0 && rng.random_bool(drop_probability);
+    let extra_delay = if !dropped && max_extra_delay > 0 {
+        rng.random_range(0..=max_extra_delay)
+    } else {
+        0
+    };
+    RouteFate {
+        dropped,
+        extra_delay,
+    }
+}
+
+/// The read-only routing parameters one round shares across every
+/// routing worker.
+#[derive(Clone, Copy)]
+pub struct RouteParams<'a> {
+    /// The run seed.
+    pub seed: u64,
+    /// The round being routed.
+    pub round: u64,
+    /// The fault plan.
+    pub faults: &'a FaultPlan,
+    /// Maximum extra delivery delay in rounds (0 = synchronous).
+    pub max_extra_delay: u64,
+    /// Trace event capacity, when tracing is enabled.
+    pub trace_capacity: Option<usize>,
+    /// Total number of nodes (for the unknown-destination check).
+    pub node_count: usize,
+    /// Nodes per shard (destination shard of node `i` is
+    /// `i / shard_len`).
+    pub shard_len: usize,
+}
+
+/// The shard-local output of routing one sender shard's staged
+/// envelopes: a metrics row, a trace fragment, and per-destination-shard
+/// buckets of deliverable messages. Deltas fold associatively into the
+/// core's `RunMetrics`/`Trace`/delay queue (via
+/// [`EngineCore::apply_route_deltas`]), which is what lets routing run
+/// on independent workers without locks.
+pub struct RouteDelta<M> {
+    /// Messages/pointers/drops routed by this shard.
+    pub row: RoundMetrics,
+    /// Trace events recorded by this shard (canonical order, bounded by
+    /// the trace capacity).
+    pub trace_events: Vec<TraceEvent>,
+    /// Events this shard observed beyond its local capacity.
+    pub trace_overflow: u64,
+    /// Deliverable messages per destination shard, each tagged with its
+    /// extra delivery delay (0 = next round).
+    pub buckets: Vec<Vec<(u64, Envelope<M>)>>,
+}
+
+/// Routes one sender shard's staged envelopes (canonical
+/// `(sender, send-sequence)` order, senders contiguous) into
+/// per-destination-shard buckets, recording sender-side tallies into
+/// this shard's `sent_*` lanes (sliced from the run metrics;
+/// `sent_base` is the shard's first node index).
+///
+/// `buckets` must hold one (empty) bucket per destination shard; they
+/// are returned inside the [`RouteDelta`].
+///
+/// # Panics
+///
+/// Panics if any envelope addresses a node index `>= params.node_count`.
+pub fn route_shard<M: MessageCost>(
+    params: RouteParams<'_>,
+    staged: &mut Vec<Envelope<M>>,
+    sent_base: usize,
+    sent_messages: &mut [u64],
+    sent_pointers: &mut [u64],
+    mut buckets: Vec<Vec<(u64, Envelope<M>)>>,
+) -> RouteDelta<M> {
+    let mut delta = RouteDelta {
+        row: RoundMetrics::default(),
+        trace_events: Vec::new(),
+        trace_overflow: 0,
+        buckets: Vec::new(),
+    };
+    let drop_p = params.faults.drop_probability();
+    let has_crashes = params.faults.has_crashes();
+    let round = params.round;
+    let mut prev_src = usize::MAX;
+    let mut seq = 0u64;
+    for env in staged.drain(..) {
+        let src = env.src.index();
+        if src != prev_src {
+            prev_src = src;
+            seq = 0;
+        }
+        let sequence = seq;
+        seq += 1;
+        let dst = env.dst.index();
+        assert!(
+            dst < params.node_count,
+            "message to unknown node {} from {}",
+            env.dst,
+            env.src
+        );
+        let pointers = env.payload.pointers();
+        // Delivery happens at the start of the next round at the
+        // earliest; a node dead by then never sees the message.
+        let crashed_dst = has_crashes && params.faults.is_crashed_at(dst, round + 1);
+        let fate = route_fate(
+            params.seed,
+            round,
+            src,
+            sequence,
+            crashed_dst,
+            drop_p,
+            params.max_extra_delay,
+        );
+        if let Some(capacity) = params.trace_capacity {
+            if delta.trace_events.len() < capacity {
+                delta.trace_events.push(TraceEvent {
+                    round,
+                    src: env.src,
+                    dst: env.dst,
+                    pointers,
+                    dropped: fate.dropped,
+                });
+            } else {
+                delta.trace_overflow += 1;
+            }
+        }
+        sent_messages[src - sent_base] += 1;
+        sent_pointers[src - sent_base] += pointers as u64;
+        if fate.dropped {
+            delta.row.dropped += 1;
+        } else {
+            delta.row.messages += 1;
+            delta.row.pointers += pointers as u64;
+            buckets[dst / params.shard_len].push((fate.extra_delay, env));
+        }
+    }
+    delta.buckets = buckets;
+    delta
+}
+
+/// Merges one destination shard's buckets — one per routing worker, in
+/// worker (= sender shard) order — into that shard's mailboxes and
+/// `recv_*` lanes (`base` is the shard's first node index). Messages
+/// with a nonzero delay are appended to `delayed_out` as
+/// `(arrival round, envelope)` instead of delivered.
+///
+/// Processing workers in order preserves, for every destination, the
+/// canonical sender order of its deliveries — the same order the
+/// sequential [`EngineCore::route_batch`] produces.
+pub fn merge_dest_shard<M: MessageCost>(
+    round: u64,
+    base: usize,
+    bucket_parts: &mut [Vec<(u64, Envelope<M>)>],
+    inboxes: &mut [Vec<Envelope<M>>],
+    recv_messages: &mut [u64],
+    recv_pointers: &mut [u64],
+    delayed_out: &mut Vec<(u64, Envelope<M>)>,
+) {
+    for part in bucket_parts {
+        for (extra, env) in part.drain(..) {
+            let slot = env.dst.index() - base;
+            recv_messages[slot] += 1;
+            recv_pointers[slot] += env.payload.pointers() as u64;
+            if extra == 0 {
+                inboxes[slot].push(env);
+            } else {
+                delayed_out.push((round + 1 + extra, env));
+            }
+        }
+    }
+}
+
+/// Disjoint borrows of everything a parallel router needs from the
+/// core: the routing parameters, the mailboxes, and the four per-node
+/// metric lanes, each independently sliceable per shard. Obtained via
+/// [`EngineCore::parallel_parts`].
+pub struct ParallelParts<'a, M: MessageCost> {
+    /// The run seed.
+    pub seed: u64,
+    /// The round being routed.
+    pub round: u64,
+    /// The fault plan.
+    pub faults: &'a FaultPlan,
+    /// Maximum extra delivery delay in rounds (0 = synchronous).
+    pub max_extra_delay: u64,
+    /// Trace event capacity, when tracing is enabled.
+    pub trace_capacity: Option<usize>,
+    /// One mailbox per node.
+    pub inboxes: &'a mut [Vec<Envelope<M>>],
+    /// Per-node sent-message tallies.
+    pub sent_messages: &'a mut [u64],
+    /// Per-node sent-pointer tallies.
+    pub sent_pointers: &'a mut [u64],
+    /// Per-node received-message tallies.
+    pub recv_messages: &'a mut [u64],
+    /// Per-node received-pointer tallies.
+    pub recv_pointers: &'a mut [u64],
+}
+
 impl<M: MessageCost> EngineCore<M> {
     /// Creates the core for a population of `n` nodes. `seed` determines
     /// all protocol and fault randomness.
@@ -81,7 +343,6 @@ impl<M: MessageCost> EngineCore<M> {
             seed,
             metrics: RunMetrics::new(n),
             faults: FaultPlan::new(),
-            fault_rng: rng::fault_rng(seed),
             trace: None,
             detect_schedule: Vec::new(),
             active_suspects: Vec::new(),
@@ -89,7 +350,7 @@ impl<M: MessageCost> EngineCore<M> {
             receive_cap: None,
             max_extra_delay: 0,
             delayed: std::collections::BTreeMap::new(),
-            delay_rng: rng::delay_rng(seed),
+            pool: BufferPool::new(),
         }
     }
 
@@ -182,10 +443,11 @@ impl<M: MessageCost> EngineCore<M> {
             .first_key_value()
             .is_some_and(|(&at, _)| at <= round)
         {
-            let (_, batch) = self.delayed.pop_first().expect("nonempty");
-            for env in batch {
+            let (_, mut batch) = self.delayed.pop_first().expect("nonempty");
+            for env in batch.drain(..) {
                 self.inboxes[env.dst.index()].push(env);
             }
+            self.pool.put(batch);
         }
         round
     }
@@ -207,56 +469,166 @@ impl<M: MessageCost> EngineCore<M> {
         }
     }
 
-    /// Routes one staged envelope through the fault layer into its
-    /// next-round mailbox (or the delay queue), accounting it in the
-    /// metrics and the trace.
+    /// Routes a round's staged envelopes — canonical
+    /// `(sender, send-sequence)` order, senders contiguous — through the
+    /// fault layer into next-round mailboxes (or the delay queue),
+    /// accounting every message in the metrics and the trace. The buffer
+    /// is drained and left empty for reuse.
     ///
-    /// Engines must call this serially, in `(sender, send-sequence)`
-    /// order over the whole round: it is the only consumer of the fault
-    /// and delay random streams, and stream position is part of the
-    /// deterministic contract.
+    /// Because message fates are counter-based ([`route_fate`]), calling
+    /// this once over a whole round or once per sender shard (in shard
+    /// order) is observationally identical — and both are bit-identical
+    /// to the parallel shard/merge path.
     ///
     /// # Panics
     ///
-    /// Panics if the destination node does not exist.
-    pub fn route(&mut self, env: Envelope<M>) {
+    /// Panics if any envelope addresses a node that does not exist.
+    pub fn route_batch(&mut self, staged: &mut Vec<Envelope<M>>) {
         let round = self.round;
-        let src = env.src.index();
-        let dst = env.dst.index();
-        assert!(
-            dst < self.inboxes.len(),
-            "message to unknown node {} from {}",
-            env.dst,
-            env.src
-        );
-        let pointers = env.payload.pointers();
-        // Delivery happens at the start of the next round; a node dead
-        // by then never sees the message.
-        let dropped = self.faults.is_crashed_at(dst, round + 1)
-            || (self.faults.drop_probability() > 0.0
-                && self.fault_rng.random_bool(self.faults.drop_probability()));
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEvent {
-                round,
-                src: env.src,
-                dst: env.dst,
-                pointers,
-                dropped,
-            });
-        }
-        if dropped {
-            self.metrics.record_drop(src, pointers);
-        } else {
-            self.metrics.record_delivery(src, dst, pointers);
-            let extra = if self.max_extra_delay > 0 {
-                self.delay_rng.random_range(0..=self.max_extra_delay)
-            } else {
-                0
-            };
-            if extra == 0 {
+        let n = self.inboxes.len();
+        if self.trace.is_none() && self.max_extra_delay == 0 && self.faults.is_fault_free() {
+            // Fault-free, synchronous, untraced: every message is a
+            // straight-line tally-and-push — no coins, no branches on
+            // per-message state, no map lookups.
+            let lanes = self.metrics.lanes();
+            for env in staged.drain(..) {
+                let src = env.src.index();
+                let dst = env.dst.index();
+                assert!(
+                    dst < n,
+                    "message to unknown node {} from {}",
+                    env.dst,
+                    env.src
+                );
+                let pointers = env.payload.pointers() as u64;
+                lanes.row.messages += 1;
+                lanes.row.pointers += pointers;
+                lanes.sent_messages[src] += 1;
+                lanes.sent_pointers[src] += pointers;
+                lanes.recv_messages[dst] += 1;
+                lanes.recv_pointers[dst] += pointers;
                 self.inboxes[dst].push(env);
+            }
+            return;
+        }
+
+        let seed = self.seed;
+        let max_extra = self.max_extra_delay;
+        let drop_p = self.faults.drop_probability();
+        let has_crashes = self.faults.has_crashes();
+        let faults = &self.faults;
+        let trace = &mut self.trace;
+        let delayed = &mut self.delayed;
+        let pool = &mut self.pool;
+        let inboxes = &mut self.inboxes;
+        let lanes = self.metrics.lanes();
+        let mut prev_src = usize::MAX;
+        let mut seq = 0u64;
+        for env in staged.drain(..) {
+            let src = env.src.index();
+            if src != prev_src {
+                prev_src = src;
+                seq = 0;
+            }
+            let sequence = seq;
+            seq += 1;
+            let dst = env.dst.index();
+            assert!(
+                dst < n,
+                "message to unknown node {} from {}",
+                env.dst,
+                env.src
+            );
+            let pointers = env.payload.pointers();
+            // Delivery happens at the start of the next round at the
+            // earliest; a node dead by then never sees the message.
+            let crashed_dst = has_crashes && faults.is_crashed_at(dst, round + 1);
+            let fate = route_fate(seed, round, src, sequence, crashed_dst, drop_p, max_extra);
+            if let Some(trace) = trace.as_mut() {
+                trace.record(TraceEvent {
+                    round,
+                    src: env.src,
+                    dst: env.dst,
+                    pointers,
+                    dropped: fate.dropped,
+                });
+            }
+            lanes.sent_messages[src] += 1;
+            lanes.sent_pointers[src] += pointers as u64;
+            if fate.dropped {
+                lanes.row.dropped += 1;
             } else {
-                self.delayed.entry(round + 1 + extra).or_default().push(env);
+                lanes.row.messages += 1;
+                lanes.row.pointers += pointers as u64;
+                lanes.recv_messages[dst] += 1;
+                lanes.recv_pointers[dst] += pointers as u64;
+                if fate.extra_delay == 0 {
+                    inboxes[dst].push(env);
+                } else {
+                    delayed
+                        .entry(round + 1 + fate.extra_delay)
+                        .or_insert_with(|| pool.take())
+                        .push(env);
+                }
+            }
+        }
+    }
+
+    /// Borrows the state a parallel router needs; see [`ParallelParts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is open (`begin_round` not called).
+    pub fn parallel_parts(&mut self) -> ParallelParts<'_, M> {
+        let lanes = self.metrics.lanes();
+        ParallelParts {
+            seed: self.seed,
+            round: self.round,
+            faults: &self.faults,
+            max_extra_delay: self.max_extra_delay,
+            trace_capacity: self.trace.as_ref().map(Trace::capacity),
+            inboxes: &mut self.inboxes,
+            sent_messages: lanes.sent_messages,
+            sent_pointers: lanes.sent_pointers,
+            recv_messages: lanes.recv_messages,
+            recv_pointers: lanes.recv_pointers,
+        }
+    }
+
+    /// Folds per-shard routing results back into the core: metric rows
+    /// and trace fragments from `deltas` (in shard order) and delayed
+    /// deliveries from the merge phase (as `(arrival round, envelope)`,
+    /// one list per destination shard, in shard order).
+    ///
+    /// Trace fragments concatenate to the canonical global order, so
+    /// re-recording them through the capacity-bounded [`Trace`] stores
+    /// exactly the events the sequential path would have stored. Delayed
+    /// lists are keyed into the delay queue; only per-destination
+    /// relative order is observable at delivery time, and that order
+    /// (canonical sender order per destination) is already fixed by the
+    /// merge phase.
+    pub fn apply_route_deltas(
+        &mut self,
+        deltas: &mut [RouteDelta<M>],
+        delayed_lists: &mut [Vec<(u64, Envelope<M>)>],
+    ) {
+        let lanes = self.metrics.lanes();
+        for delta in deltas.iter_mut() {
+            lanes.row.messages += delta.row.messages;
+            lanes.row.pointers += delta.row.pointers;
+            lanes.row.dropped += delta.row.dropped;
+            if let Some(trace) = self.trace.as_mut() {
+                for event in delta.trace_events.drain(..) {
+                    trace.record(event);
+                }
+                trace.add_overflow(delta.trace_overflow);
+            }
+        }
+        let delayed = &mut self.delayed;
+        let pool = &mut self.pool;
+        for list in delayed_lists.iter_mut() {
+            for (at, env) in list.drain(..) {
+                delayed.entry(at).or_insert_with(|| pool.take()).push(env);
             }
         }
     }
@@ -268,26 +640,31 @@ impl<M: MessageCost> EngineCore<M> {
 }
 
 /// Takes a node's deliverable inbox for this round: the whole mailbox,
-/// or — under a receive cap — the oldest `cap` messages, leaving the
-/// rest queued for later rounds.
-///
-/// Engines call this for *every* node before checking for crashes: a
-/// crashed node's deliveries are consumed (and lost) either way, which
-/// keeps mailbox state identical across engines.
-pub fn take_capped<M>(inbox: &mut Vec<Envelope<M>>, cap: Option<usize>) -> Vec<Envelope<M>> {
+/// or — under a receive cap — the oldest `cap` messages (moved into
+/// `scratch`, which is overwritten), leaving the rest queued for later
+/// rounds. Either way the returned buffer is the one to hand to
+/// [`step_node`], which clears it after the node runs, so mailbox
+/// capacity is recycled across rounds instead of reallocated.
+pub fn take_capped<'a, M>(
+    inbox: &'a mut Vec<Envelope<M>>,
+    scratch: &'a mut Vec<Envelope<M>>,
+    cap: Option<usize>,
+) -> &'a mut Vec<Envelope<M>> {
     match cap {
         Some(cap) if inbox.len() > cap => {
             // Deliver the oldest `cap` messages; the rest wait.
-            let rest = inbox.split_off(cap);
-            std::mem::replace(inbox, rest)
+            scratch.clear();
+            scratch.extend(inbox.drain(..cap));
+            scratch
         }
-        _ => std::mem::take(inbox),
+        _ => inbox,
     }
 }
 
 /// Runs one node for one round: builds its private
 /// per-`(seed, node, round)` random stream and its [`RoundContext`],
-/// and hands it `inbox`. Sends are appended to `outbox` in send order.
+/// and hands it `inbox` (cleared afterwards, so the buffer can be
+/// reused). Sends are appended to `outbox` in send order.
 ///
 /// This is the single entry point through which every engine executes
 /// protocol logic, so context construction (and thus the randomness a
@@ -298,13 +675,14 @@ pub fn step_node<N: Node>(
     round: u64,
     seed: u64,
     suspects: &[NodeId],
-    inbox: Vec<Envelope<N::Msg>>,
+    inbox: &mut Vec<Envelope<N::Msg>>,
     outbox: &mut Vec<Envelope<N::Msg>>,
 ) {
     let mut node_rng = rng::node_round_rng(seed, index, round);
     let mut ctx = RoundContext::new(NodeId::new(index as u32), round, &mut node_rng, outbox)
         .with_suspects(suspects);
     node.on_round(inbox, &mut ctx);
+    inbox.clear();
 }
 
 #[cfg(test)]
@@ -324,22 +702,25 @@ mod tests {
     #[test]
     fn take_capped_full_and_split() {
         let mut inbox = vec![env(1, 0, 10), env(2, 0, 20), env(3, 0, 30)];
-        let got = take_capped(&mut inbox, Some(2));
-        assert_eq!(got.len(), 2);
-        assert_eq!(got[0].payload, 10);
+        let mut scratch = Vec::new();
+        {
+            let got = take_capped(&mut inbox, &mut scratch, Some(2));
+            assert_eq!(got.len(), 2);
+            assert_eq!(got[0].payload, 10);
+        }
         assert_eq!(inbox.len(), 1);
         assert_eq!(inbox[0].payload, 30);
 
-        let got = take_capped(&mut inbox, None);
+        let got = take_capped(&mut inbox, &mut scratch, None);
         assert_eq!(got.len(), 1);
-        assert!(inbox.is_empty());
+        assert_eq!(got[0].payload, 30);
     }
 
     #[test]
-    fn route_delivers_into_next_round_mailbox() {
+    fn route_batch_delivers_into_next_round_mailbox() {
         let mut core: EngineCore<u32> = EngineCore::new(3, 1);
         assert_eq!(core.begin_round(), 0);
-        core.route(env(0, 2, 7));
+        core.route_batch(&mut vec![env(0, 2, 7)]);
         core.finish_round();
         assert_eq!(core.round(), 1);
         assert_eq!(core.metrics().total_messages(), 1);
@@ -350,10 +731,169 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "unknown node")]
-    fn route_rejects_unknown_destination() {
+    fn route_batch_rejects_unknown_destination() {
         let mut core: EngineCore<u32> = EngineCore::new(2, 1);
         core.begin_round();
-        core.route(env(0, 5, 1));
+        core.route_batch(&mut vec![env(0, 5, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn route_shard_rejects_unknown_destination() {
+        let params = RouteParams {
+            seed: 1,
+            round: 0,
+            faults: &FaultPlan::new(),
+            max_extra_delay: 0,
+            trace_capacity: None,
+            node_count: 2,
+            shard_len: 2,
+        };
+        route_shard(
+            params,
+            &mut vec![env(0, 5, 1)],
+            0,
+            &mut [0, 0],
+            &mut [0, 0],
+            vec![Vec::new()],
+        );
+    }
+
+    #[test]
+    fn route_fate_is_a_pure_function_of_its_inputs() {
+        let fate = |seq| route_fate(9, 3, 1, seq, false, 0.5, 4);
+        assert_eq!(fate(0), fate(0));
+        assert_eq!(fate(7), fate(7));
+        // A fault-free synchronous policy never drops or delays.
+        assert_eq!(route_fate(9, 3, 1, 0, false, 0.0, 0), RouteFate::DELIVER);
+        // A crashed destination always drops, without consuming coins.
+        assert_eq!(route_fate(9, 3, 1, 0, true, 0.0, 0), RouteFate::DROP);
+        // Fates vary across the sequence axis (statistically: across
+        // 128 sequence numbers at p = 0.5, both outcomes must occur).
+        let drops = (0..128).filter(|&s| fate(s).dropped).count();
+        assert!(drops > 0 && drops < 128, "sequence axis ignored: {drops}");
+    }
+
+    #[test]
+    fn batch_and_shard_routing_agree_under_faults_and_delay() {
+        // The serial batch path and the shard/merge path must produce
+        // identical mailboxes, delay queues, metrics, and traces.
+        let staged = || -> Vec<Envelope<u32>> {
+            let mut v = Vec::new();
+            for src in 0..4u32 {
+                for k in 0..5u32 {
+                    v.push(env(src, (src + k + 1) % 6, src * 10 + k));
+                }
+            }
+            v
+        };
+        let plan = || {
+            FaultPlan::new()
+                .with_drop_probability(0.3)
+                .with_crashes([5])
+        };
+
+        let mut serial: EngineCore<u32> = EngineCore::new(6, 42);
+        serial.set_faults(plan());
+        serial.set_max_extra_delay(2);
+        serial.enable_trace(1 << 10);
+        serial.begin_round();
+        serial.route_batch(&mut staged());
+
+        let mut sharded: EngineCore<u32> = EngineCore::new(6, 42);
+        sharded.set_faults(plan());
+        sharded.set_max_extra_delay(2);
+        sharded.enable_trace(1 << 10);
+        sharded.begin_round();
+        let shard_len = 2;
+        {
+            let parts = sharded.parallel_parts();
+            let params = RouteParams {
+                seed: parts.seed,
+                round: parts.round,
+                faults: parts.faults,
+                max_extra_delay: parts.max_extra_delay,
+                trace_capacity: parts.trace_capacity,
+                node_count: 6,
+                shard_len,
+            };
+            let all = staged();
+            let mut deltas = Vec::new();
+            for w in 0..3 {
+                // Sender shard w: envelopes whose src is in the shard.
+                let mut mine: Vec<_> = all
+                    .iter()
+                    .filter(|e| e.src.index() / shard_len == w)
+                    .cloned()
+                    .collect();
+                let lo = w * shard_len;
+                let hi = lo + shard_len;
+                deltas.push(route_shard(
+                    params,
+                    &mut mine,
+                    lo,
+                    &mut parts.sent_messages[lo..hi],
+                    &mut parts.sent_pointers[lo..hi],
+                    (0..3).map(|_| Vec::new()).collect(),
+                ));
+            }
+            let mut delayed_lists: Vec<Vec<(u64, Envelope<u32>)>> =
+                (0..3).map(|_| Vec::new()).collect();
+            for (d, delayed) in delayed_lists.iter_mut().enumerate() {
+                let mut parts_d: Vec<Vec<(u64, Envelope<u32>)>> = deltas
+                    .iter_mut()
+                    .map(|delta| std::mem::take(&mut delta.buckets[d]))
+                    .collect();
+                let lo = d * shard_len;
+                let hi = lo + shard_len;
+                merge_dest_shard(
+                    params.round,
+                    lo,
+                    &mut parts_d,
+                    &mut parts.inboxes[lo..hi],
+                    &mut parts.recv_messages[lo..hi],
+                    &mut parts.recv_pointers[lo..hi],
+                    delayed,
+                );
+            }
+            sharded.apply_route_deltas(&mut deltas, &mut delayed_lists);
+        }
+
+        assert_eq!(serial.metrics(), sharded.metrics());
+        assert_eq!(
+            serial.trace().unwrap().events(),
+            sharded.trace().unwrap().events()
+        );
+        // Mailbox contents agree exactly.
+        for i in 0..6 {
+            assert_eq!(
+                serial.step_state().inboxes[i],
+                sharded.step_state().inboxes[i],
+                "mailbox {i} diverged"
+            );
+        }
+        // Delay queues agree on arrival rounds and, per destination, on
+        // the exact delivery sequence. (Cross-destination interleaving
+        // inside a batch is unobservable: `begin_round` splits every
+        // batch into per-node mailboxes.)
+        let keys = |c: &EngineCore<u32>| c.delayed.keys().copied().collect::<Vec<_>>();
+        assert_eq!(keys(&serial), keys(&sharded));
+        for (at, batch) in &serial.delayed {
+            let other = &sharded.delayed[at];
+            for dst in 0..6u32 {
+                let per_dst = |b: &[Envelope<u32>]| {
+                    b.iter()
+                        .filter(|e| e.dst == NodeId::new(dst))
+                        .map(|e| e.payload)
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(
+                    per_dst(batch),
+                    per_dst(other),
+                    "delayed to {dst} at {at} diverged"
+                );
+            }
+        }
     }
 
     #[test]

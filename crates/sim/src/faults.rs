@@ -126,6 +126,13 @@ impl FaultPlan {
         self.detection_delay
     }
 
+    /// `true` when the plan schedules at least one crash (a cheap guard
+    /// that lets the router skip the per-message crash lookup entirely
+    /// on crash-free plans).
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
     /// `true` when the plan injects no faults at all.
     pub fn is_fault_free(&self) -> bool {
         self.drop_probability == 0.0 && self.crashes.is_empty()

@@ -36,13 +36,13 @@
 //!     type Msg = Ping;
 //!     fn on_round(
 //!         &mut self,
-//!         inbox: Vec<Envelope<Ping>>,
+//!         inbox: &mut Vec<Envelope<Ping>>,
 //!         ctx: &mut RoundContext<'_, Ping>,
 //!     ) {
 //!         if ctx.round() == 0 && ctx.id() == NodeId::new(0) {
 //!             ctx.send(self.peer, Ping); // serve
 //!         }
-//!         for _ in inbox {
+//!         for _ in inbox.drain(..) {
 //!             self.hits += 1;
 //!             if self.hits < 3 {
 //!                 ctx.send(self.peer, Ping); // return
@@ -69,14 +69,16 @@ pub mod id;
 pub mod message;
 pub mod metrics;
 pub mod node;
+pub mod pool;
 pub mod rng;
 pub mod trace;
 
 pub use engine::{Engine, RoundEngine, RunOutcome};
-pub use engine_core::{step_node, take_capped, EngineCore, StepState};
+pub use engine_core::{route_fate, step_node, take_capped, EngineCore, RouteFate, StepState};
 pub use faults::FaultPlan;
 pub use id::NodeId;
-pub use message::{Envelope, MessageCost};
+pub use message::{Envelope, MessageCost, PointerList};
 pub use metrics::{RoundMetrics, RunMetrics};
 pub use node::{Node, RoundContext};
+pub use pool::BufferPool;
 pub use trace::{Trace, TraceEvent};

@@ -1,6 +1,7 @@
-//! Message envelopes and cost accounting.
+//! Message envelopes, pointer payloads, and cost accounting.
 
 use crate::id::NodeId;
+use std::fmt;
 
 /// Number of header bits charged to every message regardless of payload
 /// (source, destination, and a small type tag) when converting pointer
@@ -36,6 +37,204 @@ impl<M> Envelope<M> {
     }
 }
 
+/// Identifiers an inline list holds before spilling to the heap.
+const INLINE_POINTERS: usize = 4;
+
+/// A list of node identifiers with a small-payload inline
+/// representation.
+///
+/// Resource-discovery messages overwhelmingly carry *short* pointer
+/// lists — a single learned identifier, a two-element frontier — yet a
+/// `Vec<NodeId>` payload heap-allocates for every one of them, so the
+/// routing hot path pays an allocator round-trip per message.
+/// `PointerList` stores up to four identifiers inline in the envelope
+/// and only spills to a heap `Vec` beyond that, which removes the
+/// per-message allocation for bounded-gossip traffic entirely.
+///
+/// The type behaves like a read-mostly `Vec<NodeId>`: build it with
+/// [`push`](Self::push), [`collect`](Iterator::collect), or a
+/// `From<Vec<NodeId>>` / `From<&[NodeId]>` conversion, and read it as a
+/// slice (it derefs to `[NodeId]`) or by value iteration.
+#[derive(Clone)]
+pub struct PointerList(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        ids: [NodeId; INLINE_POINTERS],
+    },
+    Heap(Vec<NodeId>),
+}
+
+impl PointerList {
+    /// An empty list (inline, no allocation).
+    pub fn new() -> Self {
+        PointerList(Repr::Inline {
+            len: 0,
+            ids: [NodeId::new(0); INLINE_POINTERS],
+        })
+    }
+
+    /// Appends an identifier, spilling to the heap past the inline
+    /// capacity.
+    pub fn push(&mut self, id: NodeId) {
+        match &mut self.0 {
+            Repr::Inline { len, ids } => {
+                if (*len as usize) < INLINE_POINTERS {
+                    ids[*len as usize] = id;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(INLINE_POINTERS * 2);
+                    spilled.extend_from_slice(&ids[..]);
+                    spilled.push(id);
+                    self.0 = Repr::Heap(spilled);
+                }
+            }
+            Repr::Heap(v) => v.push(id),
+        }
+    }
+
+    /// Number of identifiers.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// `true` when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The identifiers as a slice.
+    pub fn as_slice(&self) -> &[NodeId] {
+        match &self.0 {
+            Repr::Inline { len, ids } => &ids[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Iterates the identifiers by value.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl Default for PointerList {
+    fn default() -> Self {
+        PointerList::new()
+    }
+}
+
+impl std::ops::Deref for PointerList {
+    type Target = [NodeId];
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for PointerList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for PointerList {
+    fn eq(&self, other: &Self) -> bool {
+        // Representation (inline vs heap) is invisible to equality.
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PointerList {}
+
+impl From<&[NodeId]> for PointerList {
+    fn from(ids: &[NodeId]) -> Self {
+        if ids.len() <= INLINE_POINTERS {
+            let mut inline = [NodeId::new(0); INLINE_POINTERS];
+            inline[..ids.len()].copy_from_slice(ids);
+            PointerList(Repr::Inline {
+                len: ids.len() as u8,
+                ids: inline,
+            })
+        } else {
+            PointerList(Repr::Heap(ids.to_vec()))
+        }
+    }
+}
+
+impl From<Vec<NodeId>> for PointerList {
+    fn from(ids: Vec<NodeId>) -> Self {
+        if ids.len() <= INLINE_POINTERS {
+            PointerList::from(ids.as_slice())
+        } else {
+            PointerList(Repr::Heap(ids))
+        }
+    }
+}
+
+impl FromIterator<NodeId> for PointerList {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut list = PointerList::new();
+        for id in iter {
+            list.push(id);
+        }
+        list
+    }
+}
+
+impl Extend<NodeId> for PointerList {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.push(id);
+        }
+    }
+}
+
+/// By-value iterator over a [`PointerList`].
+pub struct PointerListIter {
+    list: PointerList,
+    pos: usize,
+}
+
+impl Iterator for PointerListIter {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.list.as_slice().get(self.pos).copied()?;
+        self.pos += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.list.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl IntoIterator for PointerList {
+    type Item = NodeId;
+    type IntoIter = PointerListIter;
+    fn into_iter(self) -> PointerListIter {
+        PointerListIter { list: self, pos: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &'a PointerList {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl MessageCost for PointerList {
+    fn pointers(&self) -> usize {
+        self.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +260,57 @@ mod tests {
         let ids: Vec<NodeId> = (0..7).map(NodeId::new).collect();
         assert_eq!(Ids(ids).pointers(), 7);
         assert_eq!(Ids(vec![]).pointers(), 0);
+    }
+
+    fn nid(xs: impl IntoIterator<Item = u32>) -> Vec<NodeId> {
+        xs.into_iter().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn pointer_list_stays_inline_up_to_four() {
+        let mut list = PointerList::new();
+        assert!(list.is_empty());
+        for i in 0..4 {
+            list.push(NodeId::new(i));
+        }
+        assert!(matches!(list.0, Repr::Inline { len: 4, .. }));
+        assert_eq!(list.as_slice(), nid(0..4).as_slice());
+        list.push(NodeId::new(4));
+        assert!(matches!(list.0, Repr::Heap(_)));
+        assert_eq!(list.as_slice(), nid(0..5).as_slice());
+        assert_eq!(list.pointers(), 5);
+    }
+
+    #[test]
+    fn pointer_list_conversions_pick_the_representation() {
+        let short = PointerList::from(nid(0..3));
+        assert!(matches!(short.0, Repr::Inline { len: 3, .. }));
+        let long = PointerList::from(nid(0..9));
+        assert!(matches!(long.0, Repr::Heap(_)));
+        let collected: PointerList = (0..3).map(NodeId::new).collect();
+        assert_eq!(collected, short);
+    }
+
+    #[test]
+    fn pointer_list_equality_ignores_representation() {
+        let inline = PointerList::from(nid(0..3));
+        let heap = PointerList(Repr::Heap(nid(0..3)));
+        assert_eq!(inline, heap);
+        assert_ne!(inline, PointerList::from(nid(0..4)));
+    }
+
+    #[test]
+    fn pointer_list_iterates_by_value_and_by_ref() {
+        let list = PointerList::from(nid(0..6));
+        let by_ref: Vec<NodeId> = (&list).into_iter().collect();
+        assert_eq!(by_ref, nid(0..6));
+        let by_val: Vec<NodeId> = list.into_iter().collect();
+        assert_eq!(by_val, nid(0..6));
+    }
+
+    #[test]
+    fn pointer_list_debug_prints_ids() {
+        let list = PointerList::from(nid([2]));
+        assert_eq!(format!("{list:?}"), "[NodeId(2)]");
     }
 }

@@ -49,24 +49,23 @@ impl RunMetrics {
         self.rounds.push(RoundMetrics::default());
     }
 
-    /// Records one delivered message.
-    pub(crate) fn record_delivery(&mut self, src: usize, dst: usize, pointers: usize) {
-        let r = self.rounds.last_mut().expect("begin_round not called");
-        r.messages += 1;
-        r.pointers += pointers as u64;
-        self.sent_messages[src] += 1;
-        self.sent_pointers[src] += pointers as u64;
-        self.recv_messages[dst] += 1;
-        self.recv_pointers[dst] += pointers as u64;
-    }
-
-    /// Records one message discarded by fault injection (the sender still
-    /// pays for it; the receiver never sees it).
-    pub(crate) fn record_drop(&mut self, src: usize, pointers: usize) {
-        let r = self.rounds.last_mut().expect("begin_round not called");
-        r.dropped += 1;
-        self.sent_messages[src] += 1;
-        self.sent_pointers[src] += pointers as u64;
+    /// Splits the record into independently borrowable lanes for the
+    /// routing hot path: the current round's row plus the four per-node
+    /// tally vectors. Hoists the `rounds.last_mut()` lookup out of the
+    /// per-message loop and lets the parallel router hand disjoint
+    /// per-shard slices of each lane to its workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is open (`begin_round` not called).
+    pub(crate) fn lanes(&mut self) -> MetricsLanes<'_> {
+        MetricsLanes {
+            row: self.rounds.last_mut().expect("begin_round not called"),
+            sent_messages: &mut self.sent_messages,
+            sent_pointers: &mut self.sent_pointers,
+            recv_messages: &mut self.recv_messages,
+            recv_pointers: &mut self.recv_pointers,
+        }
     }
 
     /// Number of rounds executed so far.
@@ -131,9 +130,44 @@ impl RunMetrics {
     }
 }
 
+/// Split borrows of a [`RunMetrics`] for the routing hot path; see
+/// [`RunMetrics::lanes`].
+pub(crate) struct MetricsLanes<'a> {
+    /// The open round's row.
+    pub row: &'a mut RoundMetrics,
+    /// Per-node sent-message tallies.
+    pub sent_messages: &'a mut [u64],
+    /// Per-node sent-pointer tallies.
+    pub sent_pointers: &'a mut [u64],
+    /// Per-node received-message tallies.
+    pub recv_messages: &'a mut [u64],
+    /// Per-node received-pointer tallies.
+    pub recv_pointers: &'a mut [u64],
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test shorthand for what routing does per delivered message.
+    fn deliver(m: &mut RunMetrics, src: usize, dst: usize, pointers: u64) {
+        let lanes = m.lanes();
+        lanes.row.messages += 1;
+        lanes.row.pointers += pointers;
+        lanes.sent_messages[src] += 1;
+        lanes.sent_pointers[src] += pointers;
+        lanes.recv_messages[dst] += 1;
+        lanes.recv_pointers[dst] += pointers;
+    }
+
+    /// Test shorthand for what routing does per dropped message (the
+    /// sender still pays for it; the receiver never sees it).
+    fn drop_one(m: &mut RunMetrics, src: usize, pointers: u64) {
+        let lanes = m.lanes();
+        lanes.row.dropped += 1;
+        lanes.sent_messages[src] += 1;
+        lanes.sent_pointers[src] += pointers;
+    }
 
     #[test]
     fn empty_run_is_all_zero() {
@@ -148,10 +182,10 @@ mod tests {
     fn deliveries_accumulate_per_round_and_per_node() {
         let mut m = RunMetrics::new(3);
         m.begin_round();
-        m.record_delivery(0, 1, 5);
-        m.record_delivery(0, 2, 2);
+        deliver(&mut m, 0, 1, 5);
+        deliver(&mut m, 0, 2, 2);
         m.begin_round();
-        m.record_delivery(2, 0, 1);
+        deliver(&mut m, 2, 0, 1);
 
         assert_eq!(m.round_count(), 2);
         assert_eq!(m.rounds()[0].messages, 2);
@@ -169,7 +203,7 @@ mod tests {
     fn drops_charge_sender_only() {
         let mut m = RunMetrics::new(2);
         m.begin_round();
-        m.record_drop(0, 4);
+        drop_one(&mut m, 0, 4);
         assert_eq!(m.total_dropped(), 1);
         assert_eq!(m.total_messages(), 1, "sender pays for dropped messages");
         assert_eq!(m.total_pointers(), 0, "dropped pointers are not delivered");
@@ -180,7 +214,7 @@ mod tests {
     fn bit_complexity_uses_id_width() {
         let mut m = RunMetrics::new(1024);
         m.begin_round();
-        m.record_delivery(0, 1, 10);
+        deliver(&mut m, 0, 1, 10);
         // 10 pointers * 10 bits + 1 message * header.
         assert_eq!(m.total_bits(), 100 + HEADER_BITS);
     }
@@ -189,8 +223,8 @@ mod tests {
     fn mean_messages_per_node() {
         let mut m = RunMetrics::new(4);
         m.begin_round();
-        m.record_delivery(0, 1, 0);
-        m.record_delivery(1, 2, 0);
+        deliver(&mut m, 0, 1, 0);
+        deliver(&mut m, 1, 2, 0);
         assert!((m.mean_messages_per_node() - 0.5).abs() < 1e-12);
     }
 }

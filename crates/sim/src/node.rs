@@ -7,9 +7,12 @@ use rand::rngs::StdRng;
 /// A node program: the protocol logic one machine runs.
 ///
 /// The engine calls [`Node::on_round`] once per round with the messages
-/// delivered to the node (those sent to it in the previous round). The
-/// program reads its inbox, updates local state, and queues outgoing
-/// messages through the [`RoundContext`].
+/// delivered to the node (those sent to it in the previous round), in
+/// arrival order. The program reads its inbox — typically with
+/// `inbox.drain(..)` to take the envelopes by value — updates local
+/// state, and queues outgoing messages through the [`RoundContext`].
+/// The engine clears the inbox after the call and reuses its buffer, so
+/// anything left behind is discarded, not redelivered.
 ///
 /// Node programs must be *local*: all a node may use is its own state,
 /// its inbox, its identifier, and its private randomness. In particular
@@ -20,7 +23,11 @@ pub trait Node {
     type Msg: crate::message::MessageCost;
 
     /// Executes one round.
-    fn on_round(&mut self, inbox: Vec<Envelope<Self::Msg>>, ctx: &mut RoundContext<'_, Self::Msg>);
+    fn on_round(
+        &mut self,
+        inbox: &mut Vec<Envelope<Self::Msg>>,
+        ctx: &mut RoundContext<'_, Self::Msg>,
+    );
 }
 
 /// Per-round execution context handed to a node program: who it is,

@@ -1,0 +1,90 @@
+//! A free list of reusable `Vec` buffers.
+//!
+//! The round loop of both engines churns through short-lived vectors —
+//! staging buffers, routing buckets, delay batches — whose sizes repeat
+//! round after round. [`BufferPool`] keeps the allocations alive across
+//! rounds: [`take`](BufferPool::take) hands out a cleared buffer with
+//! its old capacity intact, [`put`](BufferPool::put) returns it. After a
+//! couple of warm-up rounds the hot path stops allocating entirely.
+
+/// A bounded free list of `Vec<T>` buffers.
+///
+/// Returned buffers are cleared (length 0) but keep their capacity. The
+/// pool holds a bounded number of spares so a one-off burst of buffers
+/// cannot pin memory forever.
+#[derive(Debug)]
+pub struct BufferPool<T> {
+    spares: Vec<Vec<T>>,
+}
+
+/// Spares kept beyond this are dropped instead of pooled.
+const MAX_SPARES: usize = 64;
+
+impl<T> BufferPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufferPool { spares: Vec::new() }
+    }
+
+    /// Hands out an empty buffer, reusing a pooled allocation when one
+    /// is available.
+    pub fn take(&mut self) -> Vec<T> {
+        self.spares.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool. Its contents are dropped; its
+    /// allocation is kept for the next [`take`](Self::take) (unless the
+    /// pool is full or the buffer never allocated).
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() > 0 && self.spares.len() < MAX_SPARES {
+            self.spares.push(buf);
+        }
+    }
+
+    /// Number of pooled spare buffers.
+    pub fn spares(&self) -> usize {
+        self.spares.len()
+    }
+}
+
+impl<T> Default for BufferPool<T> {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_capacity() {
+        let mut pool: BufferPool<u32> = BufferPool::new();
+        let mut buf = pool.take();
+        buf.extend(0..100);
+        let ptr = buf.as_ptr();
+        pool.put(buf);
+
+        let buf = pool.take();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 100);
+        assert_eq!(buf.as_ptr(), ptr, "allocation should be reused");
+    }
+
+    #[test]
+    fn capacityless_buffers_are_not_pooled() {
+        let mut pool: BufferPool<u32> = BufferPool::new();
+        pool.put(Vec::new());
+        assert_eq!(pool.spares(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool: BufferPool<u32> = BufferPool::new();
+        for _ in 0..200 {
+            pool.put(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.spares(), MAX_SPARES);
+    }
+}

@@ -49,6 +49,17 @@ impl Trace {
         }
     }
 
+    /// Adds events that were observed but not stored (used when folding
+    /// per-worker trace fragments whose local buffers overflowed).
+    pub(crate) fn add_overflow(&mut self, count: u64) {
+        self.overflow += count;
+    }
+
+    /// The configured event capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// The recorded events, in send order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events

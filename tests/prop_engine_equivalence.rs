@@ -6,9 +6,15 @@
 //!
 //! This is the load-bearing test for the parallel substrate: it pins the
 //! determinism contract (per-`(seed, node, round)` node randomness,
-//! canonical `(sender, sequence)` routing order, serial fault/delay
-//! streams) that lets every experiment opt into the sharded engine
-//! without changing a single measured number.
+//! counter-based per-`(seed, src, round, sequence)` message fates,
+//! canonical `(sender, sequence)` delivery order) that lets every
+//! experiment opt into the sharded engine without changing a single
+//! measured number.
+//!
+//! A second, oracle-backed property pins the *delivery policy* itself:
+//! with a receive cap and delay jitter active together, every message's
+//! fate is recomputed independently via [`route_fate`], and the capped
+//! backlog must drain in arrival order with nothing lost or duplicated.
 
 use proptest::prelude::*;
 use resource_discovery::core::algorithms::hm::HmConfig;
@@ -19,6 +25,64 @@ use resource_discovery::core::{problem, DiscoveryAlgorithm, KnowledgeView};
 use resource_discovery::exec::ShardedEngine;
 use resource_discovery::prelude::*;
 use resource_discovery::sim::Node;
+use resource_discovery::sim::{route_fate, Envelope, MessageCost, NodeId, RoundContext};
+use std::collections::HashMap;
+
+/// Rounds during which [`Chatter`] nodes transmit.
+const SEND_ROUNDS: u64 = 4;
+/// Messages each live node sends per transmitting round.
+const FAN_OUT: u64 = 3;
+
+/// Unique tag of the `k`-th message node `src` sends in `round`.
+fn chatter_tag(src: usize, round: u64, k: u64) -> u64 {
+    ((src as u64) << 32) | (round << 8) | k
+}
+
+/// Zero-pointer payload carrying only its identifying tag.
+#[derive(Clone, Debug)]
+struct Tag(u64);
+
+impl MessageCost for Tag {
+    fn pointers(&self) -> usize {
+        0
+    }
+}
+
+/// Deterministic chatter node for the delivery-policy oracle: sends a
+/// fixed fan-out of uniquely tagged messages for the first
+/// [`SEND_ROUNDS`] rounds and records every receipt together with the
+/// round in which it was processed.
+#[derive(Clone)]
+struct Chatter {
+    me: usize,
+    n: usize,
+    cap: usize,
+    /// `(round processed, tag)` in processing order.
+    receipts: Vec<(u64, u64)>,
+}
+
+impl Node for Chatter {
+    type Msg = Tag;
+
+    fn on_round(&mut self, inbox: &mut Vec<Envelope<Tag>>, ctx: &mut RoundContext<'_, Tag>) {
+        assert!(
+            inbox.len() <= self.cap,
+            "receive cap violated: {} > {}",
+            inbox.len(),
+            self.cap
+        );
+        let round = ctx.round();
+        for env in inbox.drain(..) {
+            self.receipts.push((round, env.payload.0));
+        }
+        if round < SEND_ROUNDS && self.n > 1 {
+            for k in 0..FAN_OUT {
+                let dst = (self.me + 1 + ((round + k) as usize % (self.n - 1))) % self.n;
+                ctx.send(NodeId::new(dst as u32), Tag(chatter_tag(self.me, round, k)));
+            }
+        }
+    }
+}
 
 /// One random engine-facing configuration.
 #[derive(Debug, Clone)]
@@ -198,6 +262,96 @@ proptest! {
                 &base.with_engine(EngineKind::Sharded { workers }),
             );
             prop_assert_eq!(seq, par);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Delivery-policy oracle: with a receive cap and delay jitter
+    /// active *together*, recompute every message's fate independently
+    /// via [`route_fate`] and check that the capped backlog drains in
+    /// arrival order — nothing delivered early, nothing lost, nothing
+    /// duplicated — and that both engines agree receipt-for-receipt.
+    #[test]
+    fn capped_delayed_deliveries_drain_in_arrival_order(
+        n in 4usize..10,
+        seed in any::<u64>(),
+        drop_decipct in 0u32..4,
+        cap in 1usize..4,
+        delay in 1u64..4,
+        workers in 2usize..7,
+    ) {
+        let drop_p = drop_decipct as f64 / 10.0;
+        let make = || -> Vec<Chatter> {
+            (0..n)
+                .map(|i| Chatter { me: i, n, cap, receipts: Vec::new() })
+                .collect()
+        };
+        let faults = FaultPlan::new().with_drop_probability(drop_p);
+        let mut seq = Engine::new(make(), seed)
+            .with_faults(faults.clone())
+            .with_receive_cap(cap)
+            .with_max_extra_delay(delay);
+        let mut par = ShardedEngine::new(make(), seed, workers)
+            .with_faults(faults)
+            .with_receive_cap(cap)
+            .with_max_extra_delay(delay);
+        // Enough rounds to land every jittered message and drain the
+        // worst-case capped backlog at one message per round.
+        let total_rounds = SEND_ROUNDS + delay + (n as u64 * SEND_ROUNDS * FAN_OUT) + 2;
+        for _ in 0..total_rounds {
+            seq.step();
+            RoundEngine::step(&mut par);
+        }
+
+        // Both engines agree receipt-for-receipt.
+        for (i, (s, p)) in seq.nodes().iter().zip(par.nodes()).enumerate() {
+            prop_assert_eq!(&s.receipts, &p.receipts, "node {} receipts diverged", i);
+        }
+        prop_assert_eq!(seq.metrics(), par.metrics());
+
+        // Oracle: every message's fate, recomputed from first principles.
+        let mut expected: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n]; // per dst: (arrival, tag)
+        for round in 0..SEND_ROUNDS {
+            for src in 0..n {
+                for k in 0..FAN_OUT {
+                    let dst = (src + 1 + ((round + k) as usize % (n - 1))) % n;
+                    let fate = route_fate(seed, round, src, k, false, drop_p, delay);
+                    if !fate.dropped {
+                        expected[dst].push((round + 1 + fate.extra_delay, chatter_tag(src, round, k)));
+                    }
+                }
+            }
+        }
+        for (dst, node) in seq.nodes().iter().enumerate() {
+            // Nothing lost, nothing duplicated: sorted tag multisets match.
+            let mut got: Vec<u64> = node.receipts.iter().map(|&(_, t)| t).collect();
+            let mut want: Vec<u64> = expected[dst].iter().map(|&(_, t)| t).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "node {} lost or duplicated messages", dst);
+            // Processed no earlier than arrival, and the capped backlog
+            // drains FIFO: arrival rounds never decrease in processing
+            // order.
+            let arrival: HashMap<u64, u64> =
+                expected[dst].iter().map(|&(a, t)| (t, a)).collect();
+            let mut prev_arrival = 0u64;
+            for &(processed, t) in &node.receipts {
+                let a = arrival[&t];
+                prop_assert!(
+                    processed >= a,
+                    "node {} processed tag {:#x} in round {} before its arrival round {}",
+                    dst, t, processed, a
+                );
+                prop_assert!(
+                    a >= prev_arrival,
+                    "node {} drained out of arrival order (arrival {} after {})",
+                    dst, a, prev_arrival
+                );
+                prev_arrival = a;
+            }
         }
     }
 }
