@@ -2,9 +2,11 @@
 
 use crate::stats::{summarize, Summary};
 use parking_lot::Mutex;
-use rd_core::runner::{run, AlgorithmKind, Completion, EngineKind, RunConfig, RunReport};
+use rd_core::runner::{
+    run, AlgorithmKind, Completion, EngineKind, RunConfig, RunReport, RunVerdict,
+};
 use rd_graphs::Topology;
-use rd_sim::FaultPlan;
+use rd_sim::{FaultPlan, RetryPolicy};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -34,6 +36,10 @@ pub struct SweepSpec {
     /// parallelism suits many small runs, engine-level parallelism a few
     /// huge ones.
     pub engine: EngineKind,
+    /// Convergence watchdog window for every run (`None` disables it).
+    pub stall_window: Option<u64>,
+    /// Opt-in reliable-delivery policy for every run.
+    pub reliable: Option<RetryPolicy>,
 }
 
 impl Default for SweepSpec {
@@ -48,6 +54,8 @@ impl Default for SweepSpec {
             max_rounds: 1_000_000,
             threads: 0,
             engine: EngineKind::default(),
+            stall_window: None,
+            reliable: None,
         }
     }
 }
@@ -74,8 +82,18 @@ pub struct SweepCell {
     pub max_sent_messages: Summary,
     /// Per-run mean messages per node.
     pub mean_messages_per_node: Summary,
+    /// Messages lost to fault injection (all causes), across seeds.
+    pub dropped: Summary,
+    /// Retransmission attempts by the reliable-delivery layer, across
+    /// seeds.
+    pub retransmissions: Summary,
     /// Fraction of seeds that completed within the budget.
     pub completion_rate: f64,
+    /// Fraction of seeds that completed only in degraded mode (over the
+    /// survivors of at least one permanent crash).
+    pub degraded_rate: f64,
+    /// Fraction of seeds terminated by the convergence watchdog.
+    pub stall_rate: f64,
     /// Whether every run passed the soundness checks.
     pub all_sound: bool,
 }
@@ -135,6 +153,8 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepCell> {
                     completion: spec.completion,
                     faults: spec.faults.clone(),
                     engine: spec.engine,
+                    stall_window: spec.stall_window,
+                    reliable: spec.reliable,
                 };
                 let report = run(spec.kinds[job.kind_idx], &config);
                 results.lock()[job.kind_idx * spec.ns.len() + job.n_idx].push(report);
@@ -161,7 +181,19 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepCell> {
                 bits: field(|r| r.bits as f64),
                 max_sent_messages: field(|r| r.max_sent_messages as f64),
                 mean_messages_per_node: field(|r| r.mean_messages_per_node),
+                dropped: field(|r| r.dropped as f64),
+                retransmissions: field(|r| r.retransmissions as f64),
                 completion_rate: reports.iter().filter(|r| r.completed).count() as f64
+                    / reports.len() as f64,
+                degraded_rate: reports
+                    .iter()
+                    .filter(|r| r.verdict == RunVerdict::DegradedComplete)
+                    .count() as f64
+                    / reports.len() as f64,
+                stall_rate: reports
+                    .iter()
+                    .filter(|r| r.verdict == RunVerdict::Stalled)
+                    .count() as f64
                     / reports.len() as f64,
                 all_sound: reports.iter().all(|r| r.sound),
             });

@@ -5,7 +5,7 @@
 //! ```
 //!
 //! With no ids, everything runs. Ids: `t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5
-//! t6 t7 t8 t9 t10` (case-insensitive). `--quick` uses the small profile, `--csv`
+//! t5b t6 t7 t8 t9 t10` (case-insensitive). `--quick` uses the small profile, `--csv`
 //! additionally prints each table as CSV. `--engine=sharded:W` runs the
 //! engine-aware sweeps (T1/F1/T2/F2/F4 and F5) on the `rd-exec` sharded
 //! engine with `W` worker threads; results are bit-identical either way,
@@ -50,7 +50,7 @@ fn parse_args() -> Options {
             "--full" => profile = Profile::Full,
             "--csv" => csv = true,
             "--help" | "-h" => {
-                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t6 t7 t8 t9 t10]");
+                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t5b t6 t7 t8 t9 t10]");
                 std::process::exit(0);
             }
             spec if spec.starts_with("--engine=") => {
@@ -212,6 +212,16 @@ fn main() {
             "t5",
             "completion under independent message drops",
             &faults::run(opts.profile),
+        );
+    }
+
+    if wanted(&opts, "t5b") {
+        eprintln!("[figures] running churn sweep...");
+        emit(
+            &opts,
+            "t5b",
+            "churn: crash/recovery waves, partitions, reliable delivery",
+            &faults::run_churn(opts.profile),
         );
     }
 

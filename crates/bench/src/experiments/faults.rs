@@ -11,7 +11,7 @@ use rd_analysis::experiment::{sweep, SweepSpec};
 use rd_analysis::Table;
 use rd_core::runner::AlgorithmKind;
 use rd_graphs::Topology;
-use rd_sim::FaultPlan;
+use rd_sim::{FaultPlan, RetryPolicy};
 
 /// Drop probabilities measured.
 pub fn drop_rates() -> Vec<f64> {
@@ -47,6 +47,93 @@ pub fn run(profile: Profile) -> Table {
             row.push(format!("{}%", (cells[0].completion_rate * 100.0) as u32));
         }
         t.row(row);
+    }
+    t
+}
+
+/// **T5b** — churn: a 5% crash wave, then recoveries, a mid-run
+/// partition, and coin drops stacked one on top of the other, with
+/// reliable delivery and the convergence watchdog armed. Reports the
+/// per-cause drop counters and the retransmission bill next to the
+/// completion mix.
+pub fn run_churn(profile: Profile) -> Table {
+    let n = profile.survey_n().min(1024);
+    let crash_wave = || {
+        let mut f = FaultPlan::new().with_crash_detection_after(5);
+        for node in (10..n).step_by(20) {
+            f = f.with_crash_at(node, 5);
+        }
+        f
+    };
+    let with_recoveries = |mut f: FaultPlan| {
+        for (i, node) in (10..n).step_by(20).enumerate() {
+            if i % 2 == 0 {
+                f = f.with_recovery_at(node, 15);
+            }
+        }
+        f
+    };
+    let with_partition = |f: FaultPlan| {
+        let cut = n / 2;
+        f.with_partition(
+            [(0..cut).collect::<Vec<_>>(), (cut..n).collect::<Vec<_>>()],
+            12,
+            18,
+        )
+    };
+    let scenarios: Vec<(&str, FaultPlan, Option<RetryPolicy>)> = vec![
+        ("5% crashes", crash_wave(), None),
+        (
+            "+ half recover",
+            with_recoveries(crash_wave()),
+            Some(RetryPolicy::default()),
+        ),
+        (
+            "+ partition 12..18",
+            with_partition(with_recoveries(crash_wave())),
+            Some(RetryPolicy::default()),
+        ),
+        (
+            "+ 1% drops",
+            with_partition(with_recoveries(crash_wave())).with_drop_probability(0.01),
+            Some(RetryPolicy::default()),
+        ),
+    ];
+    let mut t = Table::new(
+        [
+            "churn",
+            "rounds",
+            "complete",
+            "degraded",
+            "stalled",
+            "dropped",
+            "retransmitted",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for (label, faults, reliable) in scenarios {
+        let cells = sweep(&SweepSpec {
+            kinds: vec![AlgorithmKind::Hm(Default::default())],
+            topology: Topology::KOut { k: 3 },
+            ns: vec![n],
+            seeds: profile.seeds(),
+            faults,
+            reliable,
+            stall_window: Some(300),
+            max_rounds: 100_000,
+            ..Default::default()
+        });
+        let c = &cells[0];
+        t.row(vec![
+            label.to_string(),
+            c.rounds.mean_pm_std(1),
+            format!("{}%", (c.completion_rate * 100.0) as u32),
+            format!("{}%", (c.degraded_rate * 100.0) as u32),
+            format!("{}%", (c.stall_rate * 100.0) as u32),
+            format!("{:.0}", c.dropped.mean),
+            format!("{:.0}", c.retransmissions.mean),
+        ]);
     }
     t
 }

@@ -137,19 +137,50 @@ impl HmNode {
             .all(|id| self.members.contains(id) || self.suspected.contains(id))
     }
 
-    /// Digests the failure detector's report: crashed nodes are purged
-    /// from every work queue so the cluster can drain to quiescence, and
-    /// a member whose leader died fails over to leading again.
+    /// Digests the failure detector's report: newly crashed nodes are
+    /// purged from every work queue so the cluster can drain to
+    /// quiescence, a member whose leader died fails over to leading
+    /// again, and a *retracted* suspicion (the node recovered) readmits
+    /// the survivor to the exploration pipeline.
     fn digest_suspects(&mut self, report: &[NodeId]) {
-        for &s in report {
-            if !self.suspected.insert(s) {
-                continue;
-            }
+        let newly: Vec<NodeId> = report
+            .iter()
+            .copied()
+            .filter(|&s| !self.suspected.contains(s))
+            .collect();
+        let revived: Vec<NodeId> = self
+            .suspected
+            .iter()
+            .filter(|s| !report.contains(s))
+            .collect();
+        if newly.is_empty() && revived.is_empty() {
+            return;
+        }
+        // The report is the detector's full current view, so rebuilding
+        // handles suspicions and retractions in one shot.
+        self.suspected = report.iter().copied().collect();
+        for &s in &newly {
             self.frontier.retain(|&t| t != s);
             self.outstanding.retain(|&t| t != s);
             self.pending_invites.retain(|&t| t != s);
             self.discovered.retain(|&t| t != s);
             self.pending_probes.retain(|&t| t != s);
+        }
+        for r in revived {
+            // The recovered node must be re-integrated before the run
+            // can complete: it is a discovery target again. `seen` may
+            // already hold it from before the crash, so the frontier
+            // re-entry is forced rather than going through
+            // `enqueue_external`.
+            self.knowledge.insert(r);
+            self.seen.insert(r);
+            if self.is_leader()
+                && !self.members.contains(r)
+                && !self.frontier.contains(&r)
+                && !self.outstanding.contains(&r)
+            {
+                self.frontier.push_back(r);
+            }
         }
     }
 
@@ -557,7 +588,9 @@ impl Node for HmNode {
     type Msg = HmMsg;
 
     fn on_round(&mut self, inbox: &mut Vec<Envelope<HmMsg>>, ctx: &mut RoundContext<'_, HmMsg>) {
-        if !ctx.suspects().is_empty() {
+        // Called even on an empty report: the previous round's suspects
+        // may all have been retracted, and that shrink must be digested.
+        if !ctx.suspects().is_empty() || !self.suspected.is_empty() {
             let report: Vec<NodeId> = ctx.suspects().to_vec();
             self.digest_suspects(&report);
         }

@@ -52,4 +52,4 @@ pub mod verify;
 
 pub use algorithms::{DiscoveryAlgorithm, KnowledgeView};
 pub use knowledge::KnowledgeSet;
-pub use runner::{run, AlgorithmKind, Completion, EngineKind, RunConfig, RunReport};
+pub use runner::{run, AlgorithmKind, Completion, EngineKind, RunConfig, RunReport, RunVerdict};

@@ -54,12 +54,17 @@ pub fn leader_knows_all<N: KnowledgeView>(nodes: &[N]) -> bool {
 /// Panics if `live.len() != nodes.len()`.
 pub fn everyone_knows_everyone_among<N: KnowledgeView>(nodes: &[N], live: &[bool]) -> bool {
     assert_eq!(nodes.len(), live.len(), "live mask size mismatch");
+    // A node knowing fewer ids than there are live nodes cannot know
+    // them all — the O(1) count check prunes the O(n) membership scan,
+    // which matters because the harness evaluates this every round.
+    let live_count = live.iter().filter(|&&l| l).count();
     nodes.iter().enumerate().all(|(i, node)| {
         !live[i]
-            || live
-                .iter()
-                .enumerate()
-                .all(|(j, &lj)| !lj || node.knows(NodeId::new(j as u32)))
+            || (node.knows_count() >= live_count
+                && live
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &lj)| !lj || node.knows(NodeId::new(j as u32))))
     })
 }
 
@@ -71,8 +76,11 @@ pub fn everyone_knows_everyone_among<N: KnowledgeView>(nodes: &[N], live: &[bool
 /// Panics if `live.len() != nodes.len()`.
 pub fn leader_knows_all_among<N: KnowledgeView>(nodes: &[N], live: &[bool]) -> bool {
     assert_eq!(nodes.len(), live.len(), "live mask size mismatch");
+    // Same count-based prune as `everyone_knows_everyone_among`.
+    let live_count = live.iter().filter(|&&l| l).count();
     nodes.iter().enumerate().any(|(i, node)| {
         live[i]
+            && node.knows_count() >= live_count
             && live
                 .iter()
                 .enumerate()

@@ -8,7 +8,8 @@ use crate::algorithms::{
 use crate::{problem, verify};
 use rd_exec::ShardedEngine;
 use rd_graphs::Topology;
-use rd_sim::{Engine, FaultPlan, Node, RoundEngine};
+use rd_sim::{Engine, FaultPlan, Node, RetryPolicy, RoundEngine};
+use std::cell::Cell;
 
 /// Which discovery algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,6 +112,36 @@ pub enum Completion {
     AllBelieveDone,
 }
 
+/// How a run ended — the watchdog-aware refinement of the plain
+/// `completed` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunVerdict {
+    /// The completion predicate was reached with every machine live.
+    Complete,
+    /// The completion predicate was reached, but only among survivors:
+    /// at least one machine is permanently crashed, so the run converged
+    /// on a strict subset of the population.
+    DegradedComplete,
+    /// The convergence watchdog fired: no live node learned anything for
+    /// a full stall window, so waiting longer cannot help.
+    Stalled,
+    /// The round budget ran out before completion (and before any stall
+    /// window elapsed, if a watchdog was armed).
+    BudgetExhausted,
+}
+
+impl RunVerdict {
+    /// Display name for tables and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunVerdict::Complete => "complete",
+            RunVerdict::DegradedComplete => "degraded-complete",
+            RunVerdict::Stalled => "stalled",
+            RunVerdict::BudgetExhausted => "budget-exhausted",
+        }
+    }
+}
+
 /// Configuration of a single discovery run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -124,10 +155,16 @@ pub struct RunConfig {
     pub max_rounds: u64,
     /// Completion predicate.
     pub completion: Completion,
-    /// Fault plan (drops, crashes).
+    /// Fault plan (drops, crashes, partitions).
     pub faults: FaultPlan,
     /// Execution engine.
     pub engine: EngineKind,
+    /// Convergence watchdog: terminate with [`RunVerdict::Stalled`] after
+    /// this many consecutive rounds without any live node learning a new
+    /// identifier. `None` disables the watchdog.
+    pub stall_window: Option<u64>,
+    /// Opt-in reliable delivery (ack/retransmit) policy.
+    pub reliable: Option<RetryPolicy>,
 }
 
 impl RunConfig {
@@ -142,6 +179,8 @@ impl RunConfig {
             completion: Completion::default(),
             faults: FaultPlan::new(),
             engine: EngineKind::default(),
+            stall_window: None,
+            reliable: None,
         }
     }
 
@@ -168,6 +207,26 @@ impl RunConfig {
         self.faults = faults;
         self
     }
+
+    /// Arms the convergence watchdog: the run terminates with
+    /// [`RunVerdict::Stalled`] once no live node has learned anything
+    /// for `window` consecutive rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_stall_window(mut self, window: u64) -> Self {
+        assert!(window > 0, "a stall window of 0 rounds fires immediately");
+        self.stall_window = Some(window);
+        self
+    }
+
+    /// Enables reliable delivery: fault-dropped messages are
+    /// retransmitted under `policy`.
+    pub fn with_reliable_delivery(mut self, policy: RetryPolicy) -> Self {
+        self.reliable = Some(policy);
+        self
+    }
 }
 
 /// Complexity report of one discovery run.
@@ -183,6 +242,8 @@ pub struct RunReport {
     pub seed: u64,
     /// Whether the completion predicate was reached within the budget.
     pub completed: bool,
+    /// How the run ended (refines `completed` under faults).
+    pub verdict: RunVerdict,
     /// Rounds until completion (or the budget, if incomplete).
     pub rounds: u64,
     /// Total messages sent.
@@ -191,8 +252,18 @@ pub struct RunReport {
     pub pointers: u64,
     /// Total bit complexity.
     pub bits: u64,
-    /// Messages lost to fault injection.
+    /// Messages lost to fault injection (all causes).
     pub dropped: u64,
+    /// Messages lost to the drop-probability coin.
+    pub dropped_coin: u64,
+    /// Messages lost because the destination was crashed.
+    pub dropped_crash: u64,
+    /// Messages lost to an active partition.
+    pub dropped_partition: u64,
+    /// Retransmission attempts made by the reliable-delivery layer.
+    pub retransmissions: u64,
+    /// Suspicions retracted by the failure detector after recoveries.
+    pub detector_retractions: u64,
     /// Maximum messages any single node sent.
     pub max_sent_messages: u64,
     /// Maximum messages any single node received.
@@ -224,22 +295,37 @@ pub fn run(kind: AlgorithmKind, config: &RunConfig) -> RunReport {
 
 /// Runs any [`DiscoveryAlgorithm`] on the instance described by `config`,
 /// on the engine `config.engine` selects.
+///
+/// # Panics
+///
+/// Panics if `config.faults` is inconsistent with the instance — a
+/// crash, recovery, or partition naming a node `>= n` or scheduled past
+/// `max_rounds` (see [`FaultPlan::validate`]).
 pub fn run_algorithm<A: DiscoveryAlgorithm>(alg: &A, config: &RunConfig) -> RunReport
 where
     A::NodeState: Node + Send,
     <A::NodeState as Node>::Msg: Send,
 {
+    if let Err(err) = config.faults.validate(config.n, config.max_rounds) {
+        panic!("invalid fault plan: {err}");
+    }
     let graph = config.topology.generate(config.n, config.seed);
     let initial = problem::initial_knowledge(&graph);
     let nodes = alg.make_nodes(&initial);
     match config.engine {
         EngineKind::Sequential => {
-            let engine = Engine::new(nodes, config.seed).with_faults(config.faults.clone());
+            let mut engine = Engine::new(nodes, config.seed).with_faults(config.faults.clone());
+            if let Some(policy) = config.reliable {
+                engine = engine.with_reliable_delivery(policy);
+            }
             drive(alg, config, &initial, engine)
         }
         EngineKind::Sharded { workers } => {
-            let engine =
+            let mut engine =
                 ShardedEngine::new(nodes, config.seed, workers).with_faults(config.faults.clone());
+            if let Some(policy) = config.reliable {
+                engine = engine.with_reliable_delivery(policy);
+            }
             drive(alg, config, &initial, engine)
         }
     }
@@ -257,15 +343,24 @@ where
     E: RoundEngine<A::NodeState>,
 {
     let completion = config.completion;
-    // Crashed nodes are exempt from every completion requirement: they
-    // neither learn nor need to be learned by the survivors.
+    // Permanently crashed nodes are exempt from every completion
+    // requirement: they neither learn nor need to be learned by the
+    // survivors. Nodes scheduled to recover are NOT exempt — the run
+    // must wait for them to rejoin and catch up.
     let live: Vec<bool> = (0..config.n)
-        .map(|i| !config.faults.is_crashed(i))
+        .map(|i| !config.faults.is_permanently_crashed(i))
         .collect();
     let live_pred = live.clone();
-    let outcome = engine.run_until(
-        config.max_rounds,
-        move |nodes: &[A::NodeState]| match completion {
+    // The watchdog and the completion predicate share the `done` hook:
+    // a fired watchdog terminates the run early, and the flag lets us
+    // tell the two exits apart afterwards.
+    let stalled = Cell::new(false);
+    let stalled_flag = &stalled;
+    let stall_window = config.stall_window;
+    let mut last_knowledge: Option<usize> = None;
+    let mut stagnant_rounds: u64 = 0;
+    let outcome = engine.run_until(config.max_rounds, move |nodes: &[A::NodeState]| {
+        let done = match completion {
             Completion::EveryoneKnowsEveryone => {
                 problem::everyone_knows_everyone_among(nodes, &live_pred)
             }
@@ -274,8 +369,35 @@ where
                 .iter()
                 .zip(&live_pred)
                 .all(|(n, &l)| !l || n.believes_done()),
-        },
-    );
+        };
+        if done {
+            return true;
+        }
+        if let Some(window) = stall_window {
+            // Knowledge is monotone, so the live population's total
+            // knowledge is a convergence potential: a full window
+            // without growth means waiting longer cannot help.
+            let total: usize = nodes
+                .iter()
+                .zip(&live_pred)
+                .filter(|(_, &l)| l)
+                .map(|(n, _)| n.knows_count())
+                .sum();
+            if last_knowledge == Some(total) {
+                stagnant_rounds += 1;
+                if stagnant_rounds >= window {
+                    stalled_flag.set(true);
+                    return true;
+                }
+            } else {
+                stagnant_rounds = 0;
+                last_knowledge = Some(total);
+            }
+        }
+        false
+    });
+    let stalled = stalled.get();
+    let completed = outcome.completed && !stalled;
 
     let nodes = engine.nodes();
     let mut sound = verify::no_fabricated_ids(nodes) && verify::knows_self(nodes);
@@ -283,9 +405,25 @@ where
         // Crashed nodes legitimately miss initial knowledge updates.
         sound &= verify::retains_initial_knowledge(nodes, initial);
     }
-    if outcome.completed && completion == Completion::EveryoneKnowsEveryone {
+    if completed && completion == Completion::EveryoneKnowsEveryone {
         sound &= problem::everyone_knows_everyone_among(nodes, &live);
+        // Redundant given the predicate above, but it exercises the
+        // fault-aware check the churn property tests rely on.
+        sound &= verify::live_component_complete(nodes, initial, &live);
     }
+
+    let degraded = (0..config.n).any(|i| config.faults.is_permanently_crashed(i));
+    let verdict = if completed {
+        if degraded {
+            RunVerdict::DegradedComplete
+        } else {
+            RunVerdict::Complete
+        }
+    } else if stalled {
+        RunVerdict::Stalled
+    } else {
+        RunVerdict::BudgetExhausted
+    };
 
     let m = engine.metrics();
     RunReport {
@@ -293,12 +431,18 @@ where
         topology: config.topology.name(),
         n: config.n,
         seed: config.seed,
-        completed: outcome.completed,
+        completed,
+        verdict,
         rounds: outcome.rounds,
         messages: m.total_messages(),
         pointers: m.total_pointers(),
         bits: m.total_bits(),
         dropped: m.total_dropped(),
+        dropped_coin: m.total_dropped_coin(),
+        dropped_crash: m.total_dropped_crash(),
+        dropped_partition: m.total_dropped_partition(),
+        retransmissions: m.total_retransmissions(),
+        detector_retractions: m.detector_retractions(),
         max_sent_messages: m.max_sent_messages(),
         max_recv_messages: m.max_recv_messages(),
         mean_messages_per_node: m.mean_messages_per_node(),
@@ -376,6 +520,99 @@ mod tests {
         );
         assert!(report.completed, "survivors did not complete");
         assert!(report.sound);
+        assert_eq!(report.verdict, RunVerdict::DegradedComplete);
+        assert!(report.dropped_crash > 0);
+    }
+
+    #[test]
+    fn fault_free_completion_is_a_plain_complete_verdict() {
+        let report = run(
+            AlgorithmKind::Flooding,
+            &RunConfig::new(Topology::KOut { k: 3 }, 64, 1).with_stall_window(50),
+        );
+        assert_eq!(report.verdict, RunVerdict::Complete);
+        assert_eq!(report.retransmissions, 0);
+        assert_eq!(report.detector_retractions, 0);
+    }
+
+    #[test]
+    fn watchdog_reports_stall_on_a_dead_cut() {
+        // Node 8 is the only bridge of the path; crashing it for good
+        // splits the live population, so full completion is impossible
+        // and knowledge saturates quickly. The watchdog must fire well
+        // before the round budget.
+        let faults = FaultPlan::new().with_crashes([8]);
+        let report = run(
+            AlgorithmKind::Flooding,
+            &RunConfig::new(Topology::Path, 16, 3)
+                .with_faults(faults)
+                .with_max_rounds(10_000)
+                .with_stall_window(25),
+        );
+        assert!(!report.completed);
+        assert_eq!(report.verdict, RunVerdict::Stalled);
+        assert!(report.rounds < 10_000, "watchdog never fired");
+    }
+
+    #[test]
+    fn budget_exhaustion_verdict_without_watchdog() {
+        let report = run(
+            AlgorithmKind::NameDropper,
+            &RunConfig::new(Topology::Path, 128, 3).with_max_rounds(2),
+        );
+        assert_eq!(report.verdict, RunVerdict::BudgetExhausted);
+    }
+
+    #[test]
+    fn recovered_nodes_rejoin_and_the_run_completes_undegraded() {
+        // Node 5 is down for rounds 1..4; messages it misses come back
+        // through the retransmit layer, and since it recovers it is NOT
+        // exempt from completion — the verdict must be a plain Complete.
+        let faults = FaultPlan::new().with_crash_at(5, 1).with_recovery_at(5, 4);
+        let report = run(
+            AlgorithmKind::Flooding,
+            &RunConfig::new(Topology::KOut { k: 3 }, 32, 7)
+                .with_faults(faults)
+                .with_reliable_delivery(rd_sim::RetryPolicy::default())
+                .with_max_rounds(500),
+        );
+        assert!(report.completed, "recovered node never caught up");
+        assert_eq!(report.verdict, RunVerdict::Complete);
+        assert!(report.retransmissions > 0);
+        assert!(report.sound);
+    }
+
+    #[test]
+    fn hm_reintegrates_a_recovered_suspect() {
+        // Node 9 is down for rounds 5..20 with a 2-round detection
+        // delay: survivors suspect it at 7 and purge it; the retraction
+        // at 22 readmits it, and the run must still reach FULL
+        // completion (node 9 is live at the end, so it is not exempt).
+        let faults = FaultPlan::new()
+            .with_crash_at(9, 5)
+            .with_recovery_at(9, 20)
+            .with_crash_detection_after(2);
+        let report = run(
+            AlgorithmKind::Hm(HmConfig::default()),
+            &RunConfig::new(Topology::KOut { k: 3 }, 48, 11)
+                .with_faults(faults)
+                .with_reliable_delivery(rd_sim::RetryPolicy::default())
+                .with_max_rounds(50_000),
+        );
+        assert!(report.completed, "recovered suspect never re-integrated");
+        assert_eq!(report.verdict, RunVerdict::Complete);
+        assert!(report.detector_retractions > 0);
+        assert!(report.sound);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn out_of_range_fault_plans_are_rejected() {
+        let faults = FaultPlan::new().with_crashes([99]);
+        run(
+            AlgorithmKind::Flooding,
+            &RunConfig::new(Topology::Cycle, 8, 0).with_faults(faults),
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! harness over the node population; protocols cannot see them.
 
 use crate::algorithms::KnowledgeView;
+use rd_graphs::{connectivity, DiGraph};
 use rd_sim::NodeId;
 
 /// Checks that every identifier known by any node actually names one of
@@ -33,6 +34,63 @@ pub fn knows_self<N: KnowledgeView>(nodes: &[N]) -> bool {
         .iter()
         .enumerate()
         .all(|(i, node)| node.knows(NodeId::new(i as u32)))
+}
+
+/// Fault-aware convergence check: every live node knows every live node
+/// in its weakly-connected component of the *live* initial-knowledge
+/// graph (the initial graph restricted to live endpoints).
+///
+/// This is the strongest completeness claim a run under permanent
+/// crashes can make: knowledge cannot cross a cut consisting entirely
+/// of dead machines, so each surviving component can at best converge
+/// on itself. A live node may additionally know dead identifiers, or
+/// identifiers from other components learned through machines that
+/// died later — knowledge is monotone, so such over-approximation is
+/// legitimate; pair this check with [`no_fabricated_ids`] to bound the
+/// other side.
+///
+/// # Panics
+///
+/// Panics if `initial` or `live` disagree with `nodes` on length.
+pub fn live_component_complete<N: KnowledgeView>(
+    nodes: &[N],
+    initial: &[Vec<NodeId>],
+    live: &[bool],
+) -> bool {
+    assert_eq!(
+        nodes.len(),
+        initial.len(),
+        "initial knowledge size mismatch"
+    );
+    assert_eq!(nodes.len(), live.len(), "live mask size mismatch");
+    let n = nodes.len();
+    let mut edges = Vec::new();
+    for (u, init) in initial.iter().enumerate() {
+        if !live[u] {
+            continue;
+        }
+        for &v in init {
+            let v = v.index();
+            if v != u && live[v] {
+                edges.push((u, v));
+            }
+        }
+    }
+    let labels = connectivity::weak_components(&DiGraph::from_edges(n, edges));
+    let mut members: std::collections::HashMap<usize, Vec<NodeId>> =
+        std::collections::HashMap::new();
+    for (i, &label) in labels.iter().enumerate() {
+        if live[i] {
+            members
+                .entry(label)
+                .or_default()
+                .push(NodeId::new(i as u32));
+        }
+    }
+    (0..n).filter(|&i| live[i]).all(|i| {
+        let component = &members[&labels[i]];
+        nodes[i].knows_count() >= component.len() && component.iter().all(|&id| nodes[i].knows(id))
+    })
 }
 
 /// Round-over-round monotonicity checker: feed it the node population
@@ -162,6 +220,45 @@ mod tests {
     fn self_knowledge_detected() {
         assert!(knows_self(&[fake(&[0]), fake(&[1, 0])]));
         assert!(!knows_self(&[fake(&[1]), fake(&[1])]));
+    }
+
+    #[test]
+    fn live_component_complete_splits_on_dead_cut() {
+        // Path 0 - 1 - 2 - 3 where node 2 is dead: live components are
+        // {0, 1} and {3}.
+        let initial = vec![
+            vec![NodeId::new(0), NodeId::new(1)],
+            vec![NodeId::new(1), NodeId::new(2)],
+            vec![NodeId::new(2), NodeId::new(3)],
+            vec![NodeId::new(3)],
+        ];
+        let live = vec![true, true, false, true];
+        // 0 and 1 know each other, 3 knows itself: complete.
+        let ok = [fake(&[0, 1]), fake(&[0, 1]), fake(&[2]), fake(&[3])];
+        assert!(live_component_complete(&ok, &initial, &live));
+        // Extra knowledge of the dead node or the far component is fine.
+        let over = [fake(&[0, 1, 2, 3]), fake(&[0, 1]), fake(&[2]), fake(&[3])];
+        assert!(live_component_complete(&over, &initial, &live));
+        // Node 1 missing its live neighbour 0: incomplete.
+        let bad = [fake(&[0, 1]), fake(&[1, 2]), fake(&[2]), fake(&[3])];
+        assert!(!live_component_complete(&bad, &initial, &live));
+        // Dead nodes are never required to know anything.
+        let dead_ignorant = [fake(&[0, 1]), fake(&[0, 1]), fake(&[]), fake(&[3])];
+        assert!(live_component_complete(&dead_ignorant, &initial, &live));
+    }
+
+    #[test]
+    fn live_component_complete_all_live_is_full_convergence() {
+        let initial = vec![
+            vec![NodeId::new(0), NodeId::new(1)],
+            vec![NodeId::new(1), NodeId::new(2)],
+            vec![NodeId::new(2), NodeId::new(0)],
+        ];
+        let live = vec![true, true, true];
+        let full = [fake(&[0, 1, 2]), fake(&[0, 1, 2]), fake(&[0, 1, 2])];
+        assert!(live_component_complete(&full, &initial, &live));
+        let partial = [fake(&[0, 1, 2]), fake(&[0, 1, 2]), fake(&[2, 0])];
+        assert!(!live_component_complete(&partial, &initial, &live));
     }
 
     #[test]

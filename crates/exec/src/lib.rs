@@ -92,7 +92,8 @@ use rd_sim::engine_core::{
     merge_dest_shard, route_shard, step_node, take_capped, EngineCore, RouteDelta, RouteParams,
 };
 use rd_sim::{
-    BufferPool, Envelope, FaultPlan, MessageCost, Node, RoundEngine, RunMetrics, RunOutcome, Trace,
+    BufferPool, Envelope, FaultPlan, MessageCost, Node, RetryPolicy, RoundEngine, RunMetrics,
+    RunOutcome, Trace,
 };
 
 /// Below this many staged messages per round, the per-destination merge
@@ -181,6 +182,19 @@ where
     /// `1 + U{0..=max_extra}` rounds to arrive instead of exactly one.
     pub fn with_max_extra_delay(mut self, max_extra: u64) -> Self {
         self.core.set_max_extra_delay(max_extra);
+        self
+    }
+
+    /// Enables reliable delivery: every dropped message is
+    /// retransmitted under `policy`, exactly as in the sequential
+    /// engine (retransmissions are processed serially at round close,
+    /// so they stay bit-identical across worker counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's timeout or retry budget is 0.
+    pub fn with_reliable_delivery(mut self, policy: RetryPolicy) -> Self {
+        self.core.set_reliable(policy);
         self
     }
 
@@ -376,6 +390,7 @@ pub fn route_staged<M: MessageCost + Send>(
         faults: parts.faults,
         max_extra_delay: parts.max_extra_delay,
         trace_capacity: parts.trace_capacity,
+        reliable: parts.reliable,
         node_count: parts.inboxes.len(),
         shard_len,
     };
@@ -630,6 +645,37 @@ mod tests {
             |e| e.with_faults(plan()),
             |e| e.with_faults(plan()),
         );
+    }
+
+    #[test]
+    fn matches_under_churn_with_reliable_delivery() {
+        // Crash-recovery, a partition window, drops, detection, and the
+        // retransmission layer all at once — the full adversarial
+        // schedule must stay bit-identical across worker counts.
+        let plan = || {
+            FaultPlan::new()
+                .with_crash_at(3, 2)
+                .with_recovery_at(3, 7)
+                .with_crashes([14])
+                .with_drop_probability(0.15)
+                .with_partition([vec![0, 1, 2, 3, 4], vec![10, 11, 12]], 3, 8)
+                .with_crash_detection_after(2)
+        };
+        let policy = RetryPolicy {
+            timeout: 1,
+            max_retries: 4,
+            max_backoff: 4,
+        };
+        for workers in [2, 5] {
+            assert_engines_agree(
+                19,
+                13,
+                workers,
+                18,
+                |e| e.with_faults(plan()).with_reliable_delivery(policy),
+                |e| e.with_faults(plan()).with_reliable_delivery(policy),
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::hash::mix2;
 use rd_core::algorithms::hm::HmDiscovery;
 use rd_core::{problem, DiscoveryAlgorithm, KnowledgeView};
 use rd_graphs::Topology;
-use rd_sim::{Engine, Envelope, MessageCost, Node, NodeId, RoundContext};
+use rd_sim::{Engine, Envelope, FaultPlan, MessageCost, Node, NodeId, RoundContext};
 use std::collections::HashMap;
 
 /// The resource key a machine holds, by machine index and slot
@@ -67,6 +67,8 @@ pub struct RegistryNode {
     store: HashMap<u64, NodeId>,
     /// Resolved lookups: key → holder.
     resolved: HashMap<u64, NodeId>,
+    /// The failure detector's current suspect set (owner failover).
+    suspects: Vec<NodeId>,
 }
 
 impl RegistryNode {
@@ -78,6 +80,30 @@ impl RegistryNode {
             queries,
             store: HashMap::new(),
             resolved: HashMap::new(),
+            suspects: Vec::new(),
+        }
+    }
+
+    /// The first live owner of `key`: the placement's primary unless the
+    /// failure detector reports it crashed, in which case ownership
+    /// falls through the replica chain to the next live machine.
+    fn live_owner(&self, key: u64) -> NodeId {
+        self.directory
+            .replicas(key, self.directory.len())
+            .into_iter()
+            .find(|o| !self.suspects.contains(o))
+            .unwrap_or_else(|| self.directory.owner(key))
+    }
+
+    /// Publishes every local resource to its current live owner.
+    fn publish_all(&mut self, me: NodeId, ctx: &mut RoundContext<'_, RegistryMsg>) {
+        for &key in &self.resources.clone() {
+            let owner = self.live_owner(key);
+            if owner == me {
+                self.store.insert(key, me);
+            } else {
+                ctx.send(owner, RegistryMsg::Publish { key });
+            }
         }
     }
 
@@ -106,6 +132,14 @@ impl Node for RegistryNode {
         ctx: &mut RoundContext<'_, RegistryMsg>,
     ) {
         let me = ctx.id();
+        // Owner failover: when the detector's report changes, keys whose
+        // primary died have a new live owner — republish local resources
+        // so the fallback owners hold them, and let the lookup retry
+        // loop below re-aim at the survivors.
+        if ctx.suspects() != self.suspects.as_slice() {
+            self.suspects = ctx.suspects().to_vec();
+            self.publish_all(me, ctx);
+        }
         for env in inbox.drain(..) {
             match env.payload {
                 RegistryMsg::Publish { key } => {
@@ -126,14 +160,7 @@ impl Node for RegistryNode {
         match ctx.round() {
             0 => {
                 // Publish local resources to their owners.
-                for &key in &self.resources.clone() {
-                    let owner = self.directory.owner(key);
-                    if owner == me {
-                        self.store.insert(key, me);
-                    } else {
-                        ctx.send(owner, RegistryMsg::Publish { key });
-                    }
-                }
+                self.publish_all(me, ctx);
             }
             r if r >= 2 && r % 2 == 0 => {
                 // Issue (and re-issue) unresolved lookups; publishes from
@@ -143,7 +170,7 @@ impl Node for RegistryNode {
                     if self.resolved.contains_key(&key) {
                         continue;
                     }
-                    let owner = self.directory.owner(key);
+                    let owner = self.live_owner(key);
                     if owner == me {
                         if let Some(&h) = self.store.get(&key) {
                             self.resolved.insert(key, h);
@@ -188,7 +215,39 @@ pub fn run_pipeline(
     resources_per_node: u32,
     queries_per_node: u32,
 ) -> PipelineReport {
+    run_pipeline_faulted(
+        topology,
+        n,
+        seed,
+        resources_per_node,
+        queries_per_node,
+        FaultPlan::new(),
+    )
+}
+
+/// [`run_pipeline`] with a fault plan applied to the *registry* phase
+/// (discovery runs fault-free; churn during discovery is covered by the
+/// discovery tests themselves). Machines that are crashed during the
+/// registry phase are exempt from resolving their queries; everyone
+/// else must resolve every query whose owner chain has a live machine —
+/// lookups to a crashed owner fail over to the next live owner once the
+/// failure detector reports it.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the fault plan is inconsistent with `n`.
+pub fn run_pipeline_faulted(
+    topology: Topology,
+    n: usize,
+    seed: u64,
+    resources_per_node: u32,
+    queries_per_node: u32,
+    faults: FaultPlan,
+) -> PipelineReport {
     assert!(n > 0);
+    if let Err(err) = faults.validate(n, 1_000) {
+        panic!("invalid fault plan: {err}");
+    }
     // Phase one: discovery.
     let g = topology.generate(n, seed);
     let nodes = HmDiscovery::default().make_nodes(&problem::initial_knowledge(&g));
@@ -210,17 +269,25 @@ pub fn run_pipeline(
             RegistryNode::new(membership, resources, queries)
         })
         .collect();
-    let mut registry = Engine::new(registry_nodes, seed ^ 0xfeed);
-    let reg_outcome = registry.run_until(1_000, |nodes: &[RegistryNode]| {
-        nodes.iter().all(|r| r.all_resolved())
+    let live: Vec<bool> = (0..n).map(|i| !faults.is_permanently_crashed(i)).collect();
+    let mut registry = Engine::new(registry_nodes, seed ^ 0xfeed).with_faults(faults);
+    let live_pred = live.clone();
+    let reg_outcome = registry.run_until(1_000, move |nodes: &[RegistryNode]| {
+        nodes
+            .iter()
+            .zip(&live_pred)
+            .all(|(r, &l)| !l || r.all_resolved())
     });
 
-    // Verify every resolution names the true publisher.
+    // Verify every live machine's resolution names the true publisher
+    // (which may itself have died after publishing — the registry
+    // answers "who published it", not "is it still reachable").
     let correct = registry.nodes().iter().enumerate().all(|(i, node)| {
-        (1..=queries_per_node as usize).all(|q| {
-            let key = resource_key(((i + q) % n) as u32, q as u32 % resources_per_node.max(1));
-            node.holder_of(key) == Some(NodeId::new(((i + q) % n) as u32))
-        })
+        !live[i]
+            || (1..=queries_per_node as usize).all(|q| {
+                let key = resource_key(((i + q) % n) as u32, q as u32 % resources_per_node.max(1));
+                node.holder_of(key) == Some(NodeId::new(((i + q) % n) as u32))
+            })
     });
 
     PipelineReport {
@@ -264,6 +331,26 @@ mod tests {
             let report = run_pipeline(topo, 48, 3, 2, 2);
             assert!(report.all_resolved, "{topo}");
         }
+    }
+
+    #[test]
+    fn lookups_fail_over_to_the_next_live_owner() {
+        // Machine 5 dies at round 2 — after the round-0 publishes have
+        // landed — and the detector reports it two rounds later. Keys
+        // it owned are republished by their holders to the fallback
+        // owner in the replica chain, and every live machine must still
+        // resolve every query; the dead machine's own queries are
+        // exempt.
+        let faults = FaultPlan::new()
+            .with_crash_at(5, 2)
+            .with_crash_detection_after(2);
+        let fault_free = run_pipeline(Topology::KOut { k: 3 }, 48, 7, 4, 2);
+        let report = run_pipeline_faulted(Topology::KOut { k: 3 }, 48, 7, 4, 2, faults);
+        assert!(report.all_resolved, "failover lookup never resolved");
+        assert!(
+            report.registry_rounds >= fault_free.registry_rounds,
+            "failover cannot be faster than the fault-free run"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The synchronous round engine.
 
-use crate::engine_core::{step_node, take_capped, EngineCore};
+use crate::engine_core::{step_node, take_capped, EngineCore, RetryPolicy};
 use crate::faults::FaultPlan;
 use crate::message::Envelope;
 use crate::metrics::RunMetrics;
@@ -161,6 +161,19 @@ impl<N: Node> Engine<N> {
     /// deliberately scrambled — the robustness-to-asynchrony experiment.
     pub fn with_max_extra_delay(mut self, max_extra: u64) -> Self {
         self.core.set_max_extra_delay(max_extra);
+        self
+    }
+
+    /// Enables reliable delivery: every dropped message is
+    /// retransmitted under `policy` (per-message timeout, capped
+    /// exponential backoff, bounded retry budget), with every attempt
+    /// charged against the message-complexity metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's timeout or retry budget is 0.
+    pub fn with_reliable_delivery(mut self, policy: RetryPolicy) -> Self {
+        self.core.set_reliable(policy);
         self
     }
 
@@ -475,6 +488,54 @@ mod tests {
         assert_eq!(at(3), &[NodeId::new(1)]);
         assert_eq!(at(6), &[NodeId::new(1)], "node 2 dies at 4, reported at 7");
         assert_eq!(at(7), &[NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn recovery_plus_reliable_delivery_completes_the_ring() {
+        // Node 4 is dead for rounds 2..8, exactly when the token would
+        // reach it. Reliable delivery keeps retrying the in-flight hop
+        // until node 4 recovers, and the broadcast completes.
+        let mut engine = Engine::new(ring(8), 1)
+            .with_faults(FaultPlan::new().with_crash_at(4, 2).with_recovery_at(4, 8))
+            .with_reliable_delivery(RetryPolicy {
+                timeout: 1,
+                max_retries: 8,
+                max_backoff: 2,
+            });
+        let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
+        assert!(outcome.completed);
+        assert!(engine.metrics().total_retransmissions() >= 1);
+        assert!(engine.metrics().total_dropped_crash() >= 1);
+    }
+
+    #[test]
+    fn partition_blocks_the_boundary_until_it_heals() {
+        let split = || FaultPlan::new().with_partition([vec![0, 1, 2, 3], vec![4, 5, 6, 7]], 0, 6);
+        // Best-effort: the 3→4 hop is inside the window and the token
+        // dies at the boundary.
+        let mut engine = Engine::new(ring(8), 1).with_faults(split());
+        let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
+        assert!(!outcome.completed);
+        assert_eq!(engine.metrics().total_dropped_partition(), 1);
+        // Reliable delivery: a retransmission crosses after the heal.
+        let mut engine = Engine::new(ring(8), 1)
+            .with_faults(split())
+            .with_reliable_delivery(RetryPolicy::default());
+        let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
+        assert!(outcome.completed);
+        assert!(engine.metrics().total_retransmissions() >= 1);
+    }
+
+    #[test]
+    fn recovered_node_resumes_with_its_pre_crash_state() {
+        // Node 4 forwards the token in round 4, dies at 5, recovers at
+        // 9: the broadcast already completed through it, and its own
+        // has_token state survives the outage.
+        let mut engine = Engine::new(ring(8), 1)
+            .with_faults(FaultPlan::new().with_crash_at(4, 5).with_recovery_at(4, 9));
+        let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
+        assert!(outcome.completed);
+        assert!(engine.nodes()[4].has_token);
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! paths evaluate `route_fate` on identical `(sender, sequence)` pairs,
 //! so they are bit-identical by construction.
 
-use crate::faults::FaultPlan;
+use crate::faults::{DropCause, FaultPlan};
 use crate::id::NodeId;
 use crate::message::{Envelope, MessageCost};
 use crate::metrics::{RoundMetrics, RunMetrics};
@@ -47,6 +47,15 @@ use crate::pool::BufferPool;
 use crate::rng;
 use crate::trace::{Trace, TraceEvent};
 use rand::Rng;
+
+/// What the failure detector does at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum DetectorAction {
+    /// Report a crash to every live node.
+    Suspect,
+    /// Withdraw an earlier report after the node recovered.
+    Retract,
+}
 
 /// The non-node state of a run: mailboxes, clock, metrics, faults,
 /// tracing, and delivery policy. See the [module docs](self) for the
@@ -58,9 +67,9 @@ pub struct EngineCore<M: MessageCost> {
     metrics: RunMetrics,
     faults: FaultPlan,
     trace: Option<Trace>,
-    /// Crash-detection schedule `(report round, node)`, report-time order.
-    detect_schedule: Vec<(u64, NodeId)>,
-    /// Crashes already reported to the nodes.
+    /// Detector schedule `(round, node, action)`, report-time order.
+    detect_schedule: Vec<(u64, NodeId, DetectorAction)>,
+    /// Crashes currently reported to the nodes.
     active_suspects: Vec<NodeId>,
     next_detection: usize,
     /// Per-node per-round delivery cap (`None` = unbounded).
@@ -71,6 +80,63 @@ pub struct EngineCore<M: MessageCost> {
     delayed: std::collections::BTreeMap<u64, Vec<Envelope<M>>>,
     /// Recycled batch buffers for the delay queue.
     pool: BufferPool<Envelope<M>>,
+    /// Retransmission policy (`None` = best-effort delivery).
+    reliable: Option<RetryPolicy>,
+    /// Dropped messages awaiting retransmission, keyed by resend round.
+    retransmit_queue: std::collections::BTreeMap<u64, Vec<RetryEnvelope<M>>>,
+}
+
+/// The opt-in reliable-delivery policy: every dropped message is
+/// retransmitted after a per-message timeout with capped exponential
+/// backoff, up to a retry budget. Retransmissions are charged against
+/// the message-complexity metrics like any other send (and tallied in
+/// [`RoundMetrics::retransmissions`]), and their fates come from a
+/// dedicated counter-based stream ([`retry_fate`]), so enabling the
+/// layer never perturbs first-attempt coins and stays bit-identical
+/// across engines and worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Rounds to wait before the first retransmission (≥ 1).
+    pub timeout: u64,
+    /// Maximum number of retransmission attempts per message (≥ 1).
+    pub max_retries: u32,
+    /// Cap on the exponential backoff interval, in rounds.
+    pub max_backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: 2,
+            max_retries: 5,
+            max_backoff: 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Rounds to wait before the next retransmission, after `attempts`
+    /// retransmissions have already been made: `timeout · 2^attempts`,
+    /// capped at `max_backoff` and floored at one round.
+    fn delay_after(&self, attempts: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempts).unwrap_or(u64::MAX);
+        self.timeout
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+            .max(1)
+    }
+}
+
+/// A dropped message parked for retransmission. Carries the identity of
+/// its *original* send (`orig_round`, `orig_seq`) so every attempt's
+/// fate is derivable from the counter-based retry stream alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryEnvelope<M> {
+    env: Envelope<M>,
+    orig_round: u64,
+    orig_seq: u64,
+    /// Retransmission attempts already made (0 for a fresh drop).
+    attempts: u32,
 }
 
 /// The slice of [`EngineCore`] state an engine needs while stepping
@@ -88,27 +154,36 @@ pub struct StepState<'a, M: MessageCost> {
     pub receive_cap: Option<usize>,
 }
 
-/// What the fault layer decided for one message: dropped, or delivered
-/// with `extra_delay` additional rounds of latency.
+/// What the fault layer decided for one message: dropped (with a
+/// cause), or delivered with `extra_delay` additional rounds of latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteFate {
-    /// Whether fault injection (or a crashed destination) discarded the
-    /// message.
-    pub dropped: bool,
+    /// Why the message was discarded (`None` = delivered).
+    pub dropped: Option<DropCause>,
     /// Extra delivery latency in rounds beyond the synchronous one
     /// (always 0 for dropped messages and synchronous runs).
     pub extra_delay: u64,
 }
 
 impl RouteFate {
-    const DELIVER: RouteFate = RouteFate {
-        dropped: false,
+    /// A synchronous delivery.
+    pub const DELIVER: RouteFate = RouteFate {
+        dropped: None,
         extra_delay: 0,
     };
-    const DROP: RouteFate = RouteFate {
-        dropped: true,
-        extra_delay: 0,
-    };
+
+    /// A drop with the given cause.
+    pub const fn drop(cause: DropCause) -> RouteFate {
+        RouteFate {
+            dropped: Some(cause),
+            extra_delay: 0,
+        }
+    }
+
+    /// Whether the message was discarded.
+    pub fn is_dropped(&self) -> bool {
+        self.dropped.is_some()
+    }
 }
 
 /// Decides the fate of one message: a pure function of
@@ -116,21 +191,28 @@ impl RouteFate {
 ///
 /// This is the *single* source of routing randomness for every engine
 /// (and for test oracles that recompute fates independently). A message
-/// to a crashed destination is dropped without consuming any
-/// randomness; a message under a fault-free, synchronous policy is
+/// to a crashed destination, or one blocked by an active partition, is
+/// dropped without consuming any randomness — so scheduling crashes,
+/// recoveries, or partitions never shifts the coins of any unaffected
+/// message. A message under a fault-free, synchronous policy is
 /// delivered without even constructing a generator — the common case
 /// stays coin-free.
+#[allow(clippy::too_many_arguments)]
 pub fn route_fate(
     seed: u64,
     round: u64,
     src: usize,
     sequence: u64,
     crashed_dst: bool,
+    partitioned: bool,
     drop_probability: f64,
     max_extra_delay: u64,
 ) -> RouteFate {
     if crashed_dst {
-        return RouteFate::DROP;
+        return RouteFate::drop(DropCause::Crash);
+    }
+    if partitioned {
+        return RouteFate::drop(DropCause::Partition);
     }
     if drop_probability <= 0.0 && max_extra_delay == 0 {
         return RouteFate::DELIVER;
@@ -143,8 +225,59 @@ pub fn route_fate(
         0
     };
     RouteFate {
-        dropped,
+        dropped: dropped.then_some(DropCause::Coin),
         extra_delay,
+    }
+}
+
+/// Decides the fate of one *retransmission attempt*: the retry analogue
+/// of [`route_fate`], drawing from the independent counter-based retry
+/// stream ([`rng::message_retry_rng`]) keyed by the message's original
+/// `(sender, round, send-sequence)` identity and the attempt number.
+/// Crash and partition checks use the state of the network at the
+/// attempt's own send round, so a retransmission outlives the fault that
+/// killed the original copy.
+#[allow(clippy::too_many_arguments)]
+pub fn retry_fate(
+    seed: u64,
+    src: usize,
+    orig_round: u64,
+    orig_seq: u64,
+    attempt: u32,
+    crashed_dst: bool,
+    partitioned: bool,
+    drop_probability: f64,
+    max_extra_delay: u64,
+) -> RouteFate {
+    if crashed_dst {
+        return RouteFate::drop(DropCause::Crash);
+    }
+    if partitioned {
+        return RouteFate::drop(DropCause::Partition);
+    }
+    if drop_probability <= 0.0 && max_extra_delay == 0 {
+        return RouteFate::DELIVER;
+    }
+    let mut rng = rng::message_retry_rng(seed, src, orig_round, orig_seq, attempt);
+    let dropped = drop_probability > 0.0 && rng.random_bool(drop_probability);
+    let extra_delay = if !dropped && max_extra_delay > 0 {
+        rng.random_range(0..=max_extra_delay)
+    } else {
+        0
+    };
+    RouteFate {
+        dropped: dropped.then_some(DropCause::Coin),
+        extra_delay,
+    }
+}
+
+/// Tallies one drop into a metrics row, split by cause.
+fn tally_drop(row: &mut RoundMetrics, cause: DropCause) {
+    row.dropped += 1;
+    match cause {
+        DropCause::Coin => row.dropped_coin += 1,
+        DropCause::Crash => row.dropped_crash += 1,
+        DropCause::Partition => row.dropped_partition += 1,
     }
 }
 
@@ -162,6 +295,8 @@ pub struct RouteParams<'a> {
     pub max_extra_delay: u64,
     /// Trace event capacity, when tracing is enabled.
     pub trace_capacity: Option<usize>,
+    /// Retransmission policy (`None` = best-effort delivery).
+    pub reliable: Option<RetryPolicy>,
     /// Total number of nodes (for the unknown-destination check).
     pub node_count: usize,
     /// Nodes per shard (destination shard of node `i` is
@@ -186,6 +321,9 @@ pub struct RouteDelta<M> {
     /// Deliverable messages per destination shard, each tagged with its
     /// extra delivery delay (0 = next round).
     pub buckets: Vec<Vec<(u64, Envelope<M>)>>,
+    /// Dropped messages parked for retransmission (canonical order;
+    /// empty unless reliable delivery is enabled).
+    pub retries: Vec<RetryEnvelope<M>>,
 }
 
 /// Routes one sender shard's staged envelopes (canonical
@@ -213,9 +351,11 @@ pub fn route_shard<M: MessageCost>(
         trace_events: Vec::new(),
         trace_overflow: 0,
         buckets: Vec::new(),
+        retries: Vec::new(),
     };
     let drop_p = params.faults.drop_probability();
     let has_crashes = params.faults.has_crashes();
+    let has_partitions = params.faults.has_partitions();
     let round = params.round;
     let mut prev_src = usize::MAX;
     let mut seq = 0u64;
@@ -238,12 +378,15 @@ pub fn route_shard<M: MessageCost>(
         // Delivery happens at the start of the next round at the
         // earliest; a node dead by then never sees the message.
         let crashed_dst = has_crashes && params.faults.is_crashed_at(dst, round + 1);
+        let partitioned =
+            !crashed_dst && has_partitions && params.faults.partition_blocks(src, dst, round);
         let fate = route_fate(
             params.seed,
             round,
             src,
             sequence,
             crashed_dst,
+            partitioned,
             drop_p,
             params.max_extra_delay,
         );
@@ -262,8 +405,16 @@ pub fn route_shard<M: MessageCost>(
         }
         sent_messages[src - sent_base] += 1;
         sent_pointers[src - sent_base] += pointers as u64;
-        if fate.dropped {
-            delta.row.dropped += 1;
+        if let Some(cause) = fate.dropped {
+            tally_drop(&mut delta.row, cause);
+            if params.reliable.is_some() {
+                delta.retries.push(RetryEnvelope {
+                    env,
+                    orig_round: round,
+                    orig_seq: sequence,
+                    attempts: 0,
+                });
+            }
         } else {
             delta.row.messages += 1;
             delta.row.pointers += pointers as u64;
@@ -321,6 +472,8 @@ pub struct ParallelParts<'a, M: MessageCost> {
     pub max_extra_delay: u64,
     /// Trace event capacity, when tracing is enabled.
     pub trace_capacity: Option<usize>,
+    /// Retransmission policy (`None` = best-effort delivery).
+    pub reliable: Option<RetryPolicy>,
     /// One mailbox per node.
     pub inboxes: &'a mut [Vec<Envelope<M>>],
     /// Per-node sent-message tallies.
@@ -351,10 +504,12 @@ impl<M: MessageCost> EngineCore<M> {
             max_extra_delay: 0,
             delayed: std::collections::BTreeMap::new(),
             pool: BufferPool::new(),
+            reliable: None,
+            retransmit_queue: std::collections::BTreeMap::new(),
         }
     }
 
-    /// Installs a fault plan (drops, crashes).
+    /// Installs a fault plan (drops, crashes, recoveries, partitions).
     ///
     /// # Panics
     ///
@@ -364,13 +519,48 @@ impl<M: MessageCost> EngineCore<M> {
             assert!(c < self.inboxes.len(), "crash target {c} out of range");
         }
         if let Some(delay) = faults.detection_delay() {
-            self.detect_schedule = faults
-                .crash_schedule()
-                .map(|(node, round)| (round.saturating_add(delay), NodeId::new(node as u32)))
-                .collect();
-            self.detect_schedule.sort_unstable();
+            let mut schedule = Vec::new();
+            for (node, crash) in faults.crash_schedule() {
+                let report = crash.saturating_add(delay);
+                let id = NodeId::new(node as u32);
+                match faults.recovery_round(node) {
+                    // Recovered before the detector would have reported
+                    // it: the crash goes entirely unnoticed.
+                    Some(recovery) if recovery <= report => {}
+                    Some(recovery) => {
+                        schedule.push((report, id, DetectorAction::Suspect));
+                        schedule.push((
+                            recovery.saturating_add(delay),
+                            id,
+                            DetectorAction::Retract,
+                        ));
+                    }
+                    None => schedule.push((report, id, DetectorAction::Suspect)),
+                }
+            }
+            schedule.sort_unstable();
+            self.detect_schedule = schedule;
         }
         self.faults = faults;
+    }
+
+    /// Enables reliable delivery under the given retransmission policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's timeout is 0 (a retransmission cannot
+    /// happen in the round that dropped it) or its retry budget is 0
+    /// (the layer would park messages and never resend them).
+    pub fn set_reliable(&mut self, policy: RetryPolicy) {
+        assert!(
+            policy.timeout >= 1,
+            "a retransmit timeout of 0 cannot resend within the dropping round"
+        );
+        assert!(
+            policy.max_retries >= 1,
+            "a reliable policy with a retry budget of 0 does nothing"
+        );
+        self.reliable = Some(policy);
     }
 
     /// Enables message tracing with the given event capacity.
@@ -428,14 +618,19 @@ impl<M: MessageCost> EngineCore<M> {
         self.metrics.begin_round();
         let round = self.round;
         // The perfect failure detector reports each crash once its
-        // per-crash latency has elapsed.
-        while self
-            .detect_schedule
-            .get(self.next_detection)
-            .is_some_and(|&(at, _)| at <= round)
-        {
-            self.active_suspects
-                .push(self.detect_schedule[self.next_detection].1);
+        // per-crash latency has elapsed, and retracts the report the
+        // same latency after a recovery.
+        while let Some(&(at, node, action)) = self.detect_schedule.get(self.next_detection) {
+            if at > round {
+                break;
+            }
+            match action {
+                DetectorAction::Suspect => self.active_suspects.push(node),
+                DetectorAction::Retract => {
+                    self.active_suspects.retain(|&s| s != node);
+                    self.metrics.record_retraction();
+                }
+            }
             self.next_detection += 1;
         }
         while self
@@ -516,11 +711,14 @@ impl<M: MessageCost> EngineCore<M> {
         let max_extra = self.max_extra_delay;
         let drop_p = self.faults.drop_probability();
         let has_crashes = self.faults.has_crashes();
+        let has_partitions = self.faults.has_partitions();
+        let reliable = self.reliable;
         let faults = &self.faults;
         let trace = &mut self.trace;
         let delayed = &mut self.delayed;
         let pool = &mut self.pool;
         let inboxes = &mut self.inboxes;
+        let queue = &mut self.retransmit_queue;
         let lanes = self.metrics.lanes();
         let mut prev_src = usize::MAX;
         let mut seq = 0u64;
@@ -543,7 +741,18 @@ impl<M: MessageCost> EngineCore<M> {
             // Delivery happens at the start of the next round at the
             // earliest; a node dead by then never sees the message.
             let crashed_dst = has_crashes && faults.is_crashed_at(dst, round + 1);
-            let fate = route_fate(seed, round, src, sequence, crashed_dst, drop_p, max_extra);
+            let partitioned =
+                !crashed_dst && has_partitions && faults.partition_blocks(src, dst, round);
+            let fate = route_fate(
+                seed,
+                round,
+                src,
+                sequence,
+                crashed_dst,
+                partitioned,
+                drop_p,
+                max_extra,
+            );
             if let Some(trace) = trace.as_mut() {
                 trace.record(TraceEvent {
                     round,
@@ -555,8 +764,19 @@ impl<M: MessageCost> EngineCore<M> {
             }
             lanes.sent_messages[src] += 1;
             lanes.sent_pointers[src] += pointers as u64;
-            if fate.dropped {
-                lanes.row.dropped += 1;
+            if let Some(cause) = fate.dropped {
+                tally_drop(lanes.row, cause);
+                if let Some(policy) = reliable {
+                    queue
+                        .entry(round + policy.timeout)
+                        .or_default()
+                        .push(RetryEnvelope {
+                            env,
+                            orig_round: round,
+                            orig_seq: sequence,
+                            attempts: 0,
+                        });
+                }
             } else {
                 lanes.row.messages += 1;
                 lanes.row.pointers += pointers as u64;
@@ -587,6 +807,7 @@ impl<M: MessageCost> EngineCore<M> {
             faults: &self.faults,
             max_extra_delay: self.max_extra_delay,
             trace_capacity: self.trace.as_ref().map(Trace::capacity),
+            reliable: self.reliable,
             inboxes: &mut self.inboxes,
             sent_messages: lanes.sent_messages,
             sent_pointers: lanes.sent_pointers,
@@ -612,16 +833,33 @@ impl<M: MessageCost> EngineCore<M> {
         deltas: &mut [RouteDelta<M>],
         delayed_lists: &mut [Vec<(u64, Envelope<M>)>],
     ) {
+        let reliable = self.reliable;
+        let round = self.round;
+        let queue = &mut self.retransmit_queue;
         let lanes = self.metrics.lanes();
         for delta in deltas.iter_mut() {
             lanes.row.messages += delta.row.messages;
             lanes.row.pointers += delta.row.pointers;
             lanes.row.dropped += delta.row.dropped;
+            lanes.row.dropped_coin += delta.row.dropped_coin;
+            lanes.row.dropped_crash += delta.row.dropped_crash;
+            lanes.row.dropped_partition += delta.row.dropped_partition;
+            lanes.row.retransmissions += delta.row.retransmissions;
             if let Some(trace) = self.trace.as_mut() {
                 for event in delta.trace_events.drain(..) {
                     trace.record(event);
                 }
                 trace.add_overflow(delta.trace_overflow);
+            }
+            if let Some(policy) = reliable {
+                if !delta.retries.is_empty() {
+                    // Shard order = canonical sender order, so the queue
+                    // batch matches what the serial path builds.
+                    queue
+                        .entry(round + policy.timeout)
+                        .or_default()
+                        .append(&mut delta.retries);
+                }
             }
         }
         let delayed = &mut self.delayed;
@@ -633,9 +871,95 @@ impl<M: MessageCost> EngineCore<M> {
         }
     }
 
-    /// Closes the round: advances the clock.
+    /// Closes the round: makes any due retransmission attempts (when
+    /// reliable delivery is enabled), then advances the clock.
     pub fn finish_round(&mut self) {
+        if self.reliable.is_some() {
+            self.process_retransmissions();
+        }
         self.round += 1;
+    }
+
+    /// Makes every retransmission attempt due by the current round.
+    ///
+    /// Runs serially (after routing) in every engine, draining the
+    /// resend queue in `(resend round, canonical drop order)` order, so
+    /// the sequential and sharded engines replay attempts identically.
+    /// Attempts are charged like fresh sends (plus the
+    /// `retransmissions` tally) but are not traced — the trace records
+    /// the protocol's own sends. A still-failing attempt re-parks the
+    /// message with exponentially backed-off delay until the retry
+    /// budget runs out; because crash and partition checks use the
+    /// attempt's own round, a retransmission can land after its
+    /// destination recovers or the partition heals.
+    fn process_retransmissions(&mut self) {
+        let policy = self.reliable.expect("reliable delivery enabled");
+        let round = self.round;
+        let seed = self.seed;
+        let max_extra = self.max_extra_delay;
+        let drop_p = self.faults.drop_probability();
+        let has_crashes = self.faults.has_crashes();
+        let has_partitions = self.faults.has_partitions();
+        let faults = &self.faults;
+        let inboxes = &mut self.inboxes;
+        let delayed = &mut self.delayed;
+        let pool = &mut self.pool;
+        let queue = &mut self.retransmit_queue;
+        let lanes = self.metrics.lanes();
+        while queue.first_key_value().is_some_and(|(&at, _)| at <= round) {
+            let (_, batch) = queue.pop_first().expect("nonempty");
+            for retry in batch {
+                let src = retry.env.src.index();
+                let dst = retry.env.dst.index();
+                let attempt = retry.attempts + 1;
+                let crashed_dst = has_crashes && faults.is_crashed_at(dst, round + 1);
+                let partitioned =
+                    !crashed_dst && has_partitions && faults.partition_blocks(src, dst, round);
+                let fate = retry_fate(
+                    seed,
+                    src,
+                    retry.orig_round,
+                    retry.orig_seq,
+                    attempt,
+                    crashed_dst,
+                    partitioned,
+                    drop_p,
+                    max_extra,
+                );
+                let pointers = retry.env.payload.pointers() as u64;
+                lanes.row.retransmissions += 1;
+                lanes.sent_messages[src] += 1;
+                lanes.sent_pointers[src] += pointers;
+                if let Some(cause) = fate.dropped {
+                    tally_drop(lanes.row, cause);
+                    if attempt < policy.max_retries {
+                        // Backoff delays are ≥ 1, so the new slot is
+                        // strictly in the future and never re-drained
+                        // by this loop.
+                        queue
+                            .entry(round + policy.delay_after(attempt))
+                            .or_default()
+                            .push(RetryEnvelope {
+                                attempts: attempt,
+                                ..retry
+                            });
+                    }
+                } else {
+                    lanes.row.messages += 1;
+                    lanes.row.pointers += pointers;
+                    lanes.recv_messages[dst] += 1;
+                    lanes.recv_pointers[dst] += pointers;
+                    if fate.extra_delay == 0 {
+                        inboxes[dst].push(retry.env);
+                    } else {
+                        delayed
+                            .entry(round + 1 + fate.extra_delay)
+                            .or_insert_with(|| pool.take())
+                            .push(retry.env);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -746,6 +1070,7 @@ mod tests {
             faults: &FaultPlan::new(),
             max_extra_delay: 0,
             trace_capacity: None,
+            reliable: None,
             node_count: 2,
             shard_len: 2,
         };
@@ -761,17 +1086,74 @@ mod tests {
 
     #[test]
     fn route_fate_is_a_pure_function_of_its_inputs() {
-        let fate = |seq| route_fate(9, 3, 1, seq, false, 0.5, 4);
+        let fate = |seq| route_fate(9, 3, 1, seq, false, false, 0.5, 4);
         assert_eq!(fate(0), fate(0));
         assert_eq!(fate(7), fate(7));
         // A fault-free synchronous policy never drops or delays.
-        assert_eq!(route_fate(9, 3, 1, 0, false, 0.0, 0), RouteFate::DELIVER);
+        assert_eq!(
+            route_fate(9, 3, 1, 0, false, false, 0.0, 0),
+            RouteFate::DELIVER
+        );
         // A crashed destination always drops, without consuming coins.
-        assert_eq!(route_fate(9, 3, 1, 0, true, 0.0, 0), RouteFate::DROP);
+        assert_eq!(
+            route_fate(9, 3, 1, 0, true, false, 0.0, 0),
+            RouteFate::drop(DropCause::Crash)
+        );
+        // So does a partition, and a crashed destination wins the tie.
+        assert_eq!(
+            route_fate(9, 3, 1, 0, false, true, 0.0, 0),
+            RouteFate::drop(DropCause::Partition)
+        );
+        assert_eq!(
+            route_fate(9, 3, 1, 0, true, true, 0.0, 0),
+            RouteFate::drop(DropCause::Crash)
+        );
         // Fates vary across the sequence axis (statistically: across
         // 128 sequence numbers at p = 0.5, both outcomes must occur).
-        let drops = (0..128).filter(|&s| fate(s).dropped).count();
+        let drops = (0..128).filter(|&s| fate(s).is_dropped()).count();
         assert!(drops > 0 && drops < 128, "sequence axis ignored: {drops}");
+    }
+
+    #[test]
+    fn retry_fate_is_pure_and_independent_of_the_route_stream() {
+        let fate = |attempt| retry_fate(9, 1, 3, 0, attempt, false, false, 0.5, 0);
+        assert_eq!(fate(1), fate(1));
+        // Attempts draw independent coins (statistically: across 128
+        // attempts at p = 0.5, both outcomes must occur).
+        let drops = (1..=128).filter(|&a| fate(a).is_dropped()).count();
+        assert!(drops > 0 && drops < 128, "attempt axis ignored: {drops}");
+        assert_eq!(
+            retry_fate(9, 1, 3, 0, 1, true, false, 0.0, 0),
+            RouteFate::drop(DropCause::Crash)
+        );
+        assert_eq!(
+            retry_fate(9, 1, 3, 0, 1, false, true, 0.0, 0),
+            RouteFate::drop(DropCause::Partition)
+        );
+        assert_eq!(
+            retry_fate(9, 1, 3, 0, 1, false, false, 0.0, 0),
+            RouteFate::DELIVER
+        );
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let policy = RetryPolicy {
+            timeout: 2,
+            max_retries: 8,
+            max_backoff: 12,
+        };
+        assert_eq!(policy.delay_after(0), 2);
+        assert_eq!(policy.delay_after(1), 4);
+        assert_eq!(policy.delay_after(2), 8);
+        assert_eq!(policy.delay_after(3), 12, "capped");
+        assert_eq!(policy.delay_after(63), 12, "no overflow");
+        let min = RetryPolicy {
+            timeout: 1,
+            max_retries: 1,
+            max_backoff: 0,
+        };
+        assert_eq!(min.delay_after(5), 1, "floored at one round");
     }
 
     #[test]
@@ -791,12 +1173,14 @@ mod tests {
             FaultPlan::new()
                 .with_drop_probability(0.3)
                 .with_crashes([5])
+                .with_partition([vec![0, 1, 2], vec![3, 4]], 0, 2)
         };
 
         let mut serial: EngineCore<u32> = EngineCore::new(6, 42);
         serial.set_faults(plan());
         serial.set_max_extra_delay(2);
         serial.enable_trace(1 << 10);
+        serial.set_reliable(RetryPolicy::default());
         serial.begin_round();
         serial.route_batch(&mut staged());
 
@@ -804,6 +1188,7 @@ mod tests {
         sharded.set_faults(plan());
         sharded.set_max_extra_delay(2);
         sharded.enable_trace(1 << 10);
+        sharded.set_reliable(RetryPolicy::default());
         sharded.begin_round();
         let shard_len = 2;
         {
@@ -814,6 +1199,7 @@ mod tests {
                 faults: parts.faults,
                 max_extra_delay: parts.max_extra_delay,
                 trace_capacity: parts.trace_capacity,
+                reliable: parts.reliable,
                 node_count: 6,
                 shard_len,
             };
@@ -860,9 +1246,20 @@ mod tests {
         }
 
         assert_eq!(serial.metrics(), sharded.metrics());
+        assert!(serial.metrics().total_dropped_partition() > 0);
         assert_eq!(
             serial.trace().unwrap().events(),
             sharded.trace().unwrap().events()
+        );
+        // Every drop was parked for retransmission, in the same order.
+        assert_eq!(serial.retransmit_queue, sharded.retransmit_queue);
+        assert_eq!(
+            serial
+                .retransmit_queue
+                .values()
+                .map(Vec::len)
+                .sum::<usize>() as u64,
+            serial.metrics().total_dropped()
         );
         // Mailbox contents agree exactly.
         for i in 0..6 {
@@ -917,5 +1314,138 @@ mod tests {
             assert_eq!(core.suspects(), expect, "round {}", core.round());
             core.finish_round();
         }
+    }
+
+    #[test]
+    fn detector_retracts_suspicion_after_recovery() {
+        // Node 1 dead rounds 2..5, detector latency 2: suspected at 4,
+        // retracted at 7. Node 2 dead 0..3 but its recovery (3) lands
+        // before its report (2 + 2 = 4)? No — report would be at 2,
+        // recovery at 3 is after it, so it is suspected then retracted.
+        let mut core: EngineCore<u32> = EngineCore::new(4, 1);
+        core.set_faults(
+            FaultPlan::new()
+                .with_crash_at(1, 2)
+                .with_recovery_at(1, 5)
+                .with_crashes([2])
+                .with_recovery_at(2, 3)
+                .with_crash_detection_after(2),
+        );
+        for (round, expect) in [
+            (0u64, &[][..]),
+            (1, &[][..]),
+            (2, &[NodeId::new(2)][..]),
+            (3, &[NodeId::new(2)][..]),
+            (4, &[NodeId::new(2), NodeId::new(1)][..]),
+            (5, &[NodeId::new(1)][..]), // node 2's retraction at 3+2
+            (6, &[NodeId::new(1)][..]),
+            (7, &[][..]), // node 1's retraction at 5+2
+            (8, &[][..]),
+        ] {
+            core.begin_round();
+            assert_eq!(core.suspects(), expect, "round {round}");
+            core.finish_round();
+        }
+        assert_eq!(core.metrics().detector_retractions(), 2);
+    }
+
+    #[test]
+    fn fast_recovery_is_never_suspected() {
+        // Recovery at 3 beats the would-be report at 0 + 4 = 4.
+        let mut core: EngineCore<u32> = EngineCore::new(4, 1);
+        core.set_faults(
+            FaultPlan::new()
+                .with_crashes([2])
+                .with_recovery_at(2, 3)
+                .with_crash_detection_after(4),
+        );
+        for _ in 0..8 {
+            core.begin_round();
+            assert_eq!(core.suspects(), &[][..]);
+            core.finish_round();
+        }
+        assert_eq!(core.metrics().detector_retractions(), 0);
+    }
+
+    #[test]
+    fn reliable_delivery_retries_through_a_crash_window() {
+        // Node 1 is dead for rounds 1..4. A message sent to it in round
+        // 0 is dropped, parked, and retried (timeout 1, backoff 1-2-4…)
+        // until an attempt lands after the recovery.
+        let mut core: EngineCore<u32> = EngineCore::new(2, 7);
+        core.set_faults(FaultPlan::new().with_crash_at(1, 1).with_recovery_at(1, 4));
+        core.set_reliable(RetryPolicy {
+            timeout: 1,
+            max_retries: 5,
+            max_backoff: 8,
+        });
+        core.begin_round();
+        core.route_batch(&mut vec![env(0, 1, 99)]);
+        core.finish_round();
+        for _ in 0..5 {
+            core.begin_round();
+            core.route_batch(&mut Vec::new());
+            core.finish_round();
+        }
+        let delivered = core.step_state().inboxes[1].iter().any(|e| e.payload == 99);
+        assert!(delivered, "retransmission never landed");
+        let m = core.metrics();
+        assert_eq!(m.total_retransmissions(), 2, "attempts at rounds 1 and 3");
+        assert_eq!(m.total_dropped(), 2, "original send plus first retry");
+        assert_eq!(m.total_dropped_crash(), 2);
+        assert_eq!(
+            m.total_messages(),
+            3,
+            "one original send plus two retransmissions"
+        );
+    }
+
+    #[test]
+    fn reliable_delivery_gives_up_after_its_retry_budget() {
+        // Node 1 never recovers; the retry budget (2) runs out and the
+        // queue drains without delivering.
+        let mut core: EngineCore<u32> = EngineCore::new(2, 7);
+        core.set_faults(FaultPlan::new().with_crash_at(1, 1));
+        core.set_reliable(RetryPolicy {
+            timeout: 1,
+            max_retries: 2,
+            max_backoff: 8,
+        });
+        core.begin_round();
+        core.route_batch(&mut vec![env(0, 1, 99)]);
+        core.finish_round();
+        for _ in 0..8 {
+            core.begin_round();
+            core.route_batch(&mut Vec::new());
+            core.finish_round();
+        }
+        assert!(core.step_state().inboxes[1].is_empty());
+        assert!(core.retransmit_queue.is_empty(), "budget exhausted");
+        assert_eq!(core.metrics().total_retransmissions(), 2);
+        assert_eq!(core.metrics().total_dropped(), 3);
+    }
+
+    #[test]
+    fn reliable_delivery_retries_across_a_partition_heal() {
+        let mut core: EngineCore<u32> = EngineCore::new(4, 7);
+        core.set_faults(FaultPlan::new().with_partition([vec![0, 1], vec![2, 3]], 0, 2));
+        core.set_reliable(RetryPolicy {
+            timeout: 2,
+            max_retries: 3,
+            max_backoff: 8,
+        });
+        core.begin_round();
+        core.route_batch(&mut vec![env(0, 2, 55)]);
+        core.finish_round();
+        for _ in 0..4 {
+            core.begin_round();
+            core.route_batch(&mut Vec::new());
+            core.finish_round();
+        }
+        // Dropped at round 0 (partition), retried at round 2 (healed).
+        assert!(core.step_state().inboxes[2].iter().any(|e| e.payload == 55));
+        let m = core.metrics();
+        assert_eq!(m.total_dropped_partition(), 1);
+        assert_eq!(m.total_retransmissions(), 1);
     }
 }

@@ -1,7 +1,50 @@
-//! Fault injection: independent message drops, crash-stop failures
-//! (before or during the run), and an optional perfect failure detector.
+//! Fault injection: independent message drops, crash-stop and
+//! crash-recovery failures, network partitions, and an optional perfect
+//! failure detector.
 
 use std::collections::BTreeMap;
+
+/// Why the fault layer discarded a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropCause {
+    /// Lost to the independent per-message drop coin.
+    Coin,
+    /// Addressed to a node that is dead at delivery time.
+    Crash,
+    /// Blocked by an active network partition.
+    Partition,
+}
+
+/// One scheduled crash: the round the node dies and, optionally, the
+/// round it comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CrashWindow {
+    crash: u64,
+    recovery: Option<u64>,
+}
+
+/// One partition window: between `start` (inclusive) and `end`
+/// (exclusive), messages *sent* across group boundaries are dropped.
+/// Nodes not named in any group share one implicit "rest" group.
+#[derive(Debug, Clone, PartialEq)]
+struct PartitionWindow {
+    start: u64,
+    end: u64,
+    group_of: BTreeMap<usize, u32>,
+}
+
+/// The implicit group of nodes not named by a partition.
+const REST_GROUP: u32 = u32::MAX;
+
+impl PartitionWindow {
+    fn blocks(&self, src: usize, dst: usize, round: u64) -> bool {
+        if round < self.start || round >= self.end {
+            return false;
+        }
+        let group = |node| self.group_of.get(&node).copied().unwrap_or(REST_GROUP);
+        group(src) != group(dst)
+    }
+}
 
 /// A fault schedule applied by the engine.
 ///
@@ -9,16 +52,22 @@ use std::collections::BTreeMap;
 ///   probability [`drop_probability`](Self::drop_probability) (decided by
 ///   the engine's deterministic fault stream). The sender is still
 ///   charged for the message.
-/// * **Crash-stop failures** — each scheduled node stops executing and
-///   receiving at its crash round and never recovers; messages addressed
-///   to it from then on vanish (and count as drops).
-///   [`with_crashes`](Self::with_crashes) schedules crashes at round 0
-///   (machines dead before the protocol starts);
-///   [`with_crash_at`](Self::with_crash_at) kills a machine mid-run.
+/// * **Crash failures** — each scheduled node stops executing and
+///   receiving at its crash round; messages addressed to it while dead
+///   vanish (and count as drops). [`with_crashes`](Self::with_crashes)
+///   schedules crashes at round 0 (machines dead before the protocol
+///   starts); [`with_crash_at`](Self::with_crash_at) kills a machine
+///   mid-run; [`with_recovery_at`](Self::with_recovery_at) brings a
+///   crashed machine back with its pre-crash state intact.
+/// * **Partitions** — [`with_partition`](Self::with_partition) splits
+///   the network into groups for a round window; messages sent across a
+///   group boundary inside the window are dropped (cause
+///   [`DropCause::Partition`]), and the split heals at the window's end.
 /// * **Crash detection** — optionally, a perfect failure detector (in
 ///   the spirit of failure-informer services such as Falcon/Albatross)
 ///   reports each crash to every live node
-///   [`detection_delay`](Self::detection_delay) rounds after it happens.
+///   [`detection_delay`](Self::detection_delay) rounds after it happens,
+///   and *retracts* the report the same delay after a recovery.
 ///   Protocols read the report through
 ///   [`RoundContext::suspects`](crate::RoundContext::suspects); without
 ///   a detector configured, the report stays empty forever.
@@ -32,17 +81,23 @@ use std::collections::BTreeMap;
 ///     .with_drop_probability(0.05)
 ///     .with_crashes([3])
 ///     .with_crash_at(9, 40)
+///     .with_recovery_at(9, 60)
+///     .with_partition([vec![0, 1], vec![2, 3]], 10, 20)
 ///     .with_crash_detection_after(20);
 /// assert!(plan.is_crashed(3) && plan.is_crashed(9));
 /// assert!(plan.is_crashed_at(3, 0));
 /// assert!(!plan.is_crashed_at(9, 39));
 /// assert!(plan.is_crashed_at(9, 40));
+/// assert!(!plan.is_crashed_at(9, 60), "node 9 recovered");
+/// assert!(plan.partition_blocks(0, 2, 10));
+/// assert!(!plan.partition_blocks(0, 2, 20), "partition healed");
 /// assert_eq!(plan.detection_delay(), Some(20));
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     drop_probability: f64,
-    crashes: BTreeMap<usize, u64>,
+    crashes: BTreeMap<usize, CrashWindow>,
+    partitions: Vec<PartitionWindow>,
     detection_delay: Option<u64>,
 }
 
@@ -70,22 +125,94 @@ impl FaultPlan {
     /// Marks the given node indices as crashed from round 0.
     pub fn with_crashes(mut self, nodes: impl IntoIterator<Item = usize>) -> Self {
         for node in nodes {
-            self.crashes.insert(node, 0);
+            let entry = self.crashes.entry(node).or_insert(CrashWindow {
+                crash: 0,
+                recovery: None,
+            });
+            entry.crash = 0;
         }
         self
     }
 
     /// Schedules `node` to crash at the start of `round` (it executes
-    /// rounds `0..round` normally, then stops forever). An earlier
-    /// schedule for the same node wins.
+    /// rounds `0..round` normally, then stops). An earlier schedule for
+    /// the same node wins; a recovery already scheduled is kept.
     pub fn with_crash_at(mut self, node: usize, round: u64) -> Self {
-        let entry = self.crashes.entry(node).or_insert(round);
-        *entry = (*entry).min(round);
+        let entry = self.crashes.entry(node).or_insert(CrashWindow {
+            crash: round,
+            recovery: None,
+        });
+        entry.crash = entry.crash.min(round);
+        self
+    }
+
+    /// Schedules `node` — which must already have a crash scheduled — to
+    /// recover at the start of `round`: from then on it executes and
+    /// receives again, resuming from its pre-crash state. The last
+    /// recovery scheduled for a node wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has no crash scheduled, or if `round` is not
+    /// strictly after its crash round.
+    pub fn with_recovery_at(mut self, node: usize, round: u64) -> Self {
+        let entry = self
+            .crashes
+            .get_mut(&node)
+            .unwrap_or_else(|| panic!("recovery for node {node} without a scheduled crash"));
+        assert!(
+            round > entry.crash,
+            "recovery of node {node} at round {round} not after its crash at {}",
+            entry.crash
+        );
+        entry.recovery = Some(round);
+        self
+    }
+
+    /// Splits the network into the given `groups` from round `start`
+    /// (inclusive) to round `end` (exclusive): messages *sent* in that
+    /// window between nodes of different groups are dropped. Nodes not
+    /// named in any group form one implicit extra group. The partition
+    /// heals at `end`; multiple (even overlapping) windows may be
+    /// scheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or a node appears in more than one
+    /// group of this window.
+    pub fn with_partition(
+        mut self,
+        groups: impl IntoIterator<Item = impl IntoIterator<Item = usize>>,
+        start: u64,
+        end: u64,
+    ) -> Self {
+        assert!(
+            start < end,
+            "partition window [{start}, {end}) is empty or inverted"
+        );
+        let mut group_of = BTreeMap::new();
+        for (g, group) in groups.into_iter().enumerate() {
+            for node in group {
+                let prev = group_of.insert(node, g as u32);
+                assert!(
+                    prev.is_none(),
+                    "node {node} appears in more than one partition group"
+                );
+            }
+        }
+        self.partitions.push(PartitionWindow {
+            start,
+            end,
+            group_of,
+        });
         self
     }
 
     /// Enables the perfect failure detector: each crash is reported to
-    /// every live node `delay` rounds after it happens.
+    /// every live node `delay` rounds after it happens, and each
+    /// recovery retracts its report `delay` rounds after the node
+    /// rejoins. A node whose recovery precedes its would-be report is
+    /// never suspected at all.
     pub fn with_crash_detection_after(mut self, delay: u64) -> Self {
         self.detection_delay = Some(delay);
         self
@@ -101,19 +228,34 @@ impl FaultPlan {
         self.crashes.contains_key(&node)
     }
 
+    /// Whether `node` crashes and never recovers.
+    pub fn is_permanently_crashed(&self, node: usize) -> bool {
+        self.crashes
+            .get(&node)
+            .is_some_and(|w| w.recovery.is_none())
+    }
+
     /// Whether `node` is dead during `round`.
     pub fn is_crashed_at(&self, node: usize, round: u64) -> bool {
-        self.crashes.get(&node).is_some_and(|&r| round >= r)
+        self.crashes
+            .get(&node)
+            .is_some_and(|w| round >= w.crash && w.recovery.is_none_or(|r| round < r))
     }
 
     /// The round at which `node` crashes, if scheduled.
     pub fn crash_round(&self, node: usize) -> Option<u64> {
-        self.crashes.get(&node).copied()
+        self.crashes.get(&node).map(|w| w.crash)
     }
 
-    /// All scheduled crashes as `(node, round)` pairs, by node index.
+    /// The round at which `node` recovers, if scheduled.
+    pub fn recovery_round(&self, node: usize) -> Option<u64> {
+        self.crashes.get(&node).and_then(|w| w.recovery)
+    }
+
+    /// All scheduled crashes as `(node, crash round)` pairs, by node
+    /// index.
     pub fn crash_schedule(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.crashes.iter().map(|(&n, &r)| (n, r))
+        self.crashes.iter().map(|(&n, w)| (n, w.crash))
     }
 
     /// The nodes that crash at any point of the run.
@@ -133,9 +275,67 @@ impl FaultPlan {
         !self.crashes.is_empty()
     }
 
+    /// `true` when the plan schedules at least one partition window
+    /// (the router's cheap guard around the per-message group lookup).
+    pub fn has_partitions(&self) -> bool {
+        !self.partitions.is_empty()
+    }
+
+    /// Whether a message sent from `src` to `dst` in `round` crosses an
+    /// active partition boundary (and is therefore dropped). The check
+    /// is made at the *send* round: a message sent inside the window is
+    /// lost even if its delivery would land after the heal.
+    pub fn partition_blocks(&self, src: usize, dst: usize, round: u64) -> bool {
+        self.partitions.iter().any(|w| w.blocks(src, dst, round))
+    }
+
     /// `true` when the plan injects no faults at all.
     pub fn is_fault_free(&self) -> bool {
-        self.drop_probability == 0.0 && self.crashes.is_empty()
+        self.drop_probability == 0.0 && self.crashes.is_empty() && self.partitions.is_empty()
+    }
+
+    /// Checks the plan against a concrete run shape: every crash,
+    /// recovery, and partition must name node indices below `n` and
+    /// rounds within `max_rounds` — a schedule past the budget (or past
+    /// the population) would silently never fire, so it is rejected as
+    /// a configuration error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self, n: usize, max_rounds: u64) -> Result<(), String> {
+        for (&node, w) in &self.crashes {
+            if node >= n {
+                return Err(format!("crash target {node} out of range for n={n}"));
+            }
+            if w.crash > max_rounds {
+                return Err(format!(
+                    "crash of node {node} at round {} past max_rounds {max_rounds}",
+                    w.crash
+                ));
+            }
+            if let Some(recovery) = w.recovery {
+                if recovery > max_rounds {
+                    return Err(format!(
+                        "recovery of node {node} at round {recovery} past max_rounds {max_rounds}"
+                    ));
+                }
+            }
+        }
+        for w in &self.partitions {
+            if w.end > max_rounds {
+                return Err(format!(
+                    "partition window [{}, {}) past max_rounds {max_rounds}",
+                    w.start, w.end
+                ));
+            }
+            if let Some((&node, _)) = w.group_of.iter().next_back() {
+                if node >= n {
+                    return Err(format!("partition member {node} out of range for n={n}"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -183,6 +383,122 @@ mod tests {
         let p = FaultPlan::new().with_crashes([4]).with_crash_at(1, 30);
         let sched: Vec<_> = p.crash_schedule().collect();
         assert_eq!(sched, vec![(1, 30), (4, 0)]);
+    }
+
+    #[test]
+    fn recovery_bounds_the_crash_window() {
+        let p = FaultPlan::new()
+            .with_crash_at(2, 10)
+            .with_recovery_at(2, 15);
+        assert!(p.is_crashed(2));
+        assert!(!p.is_permanently_crashed(2));
+        assert!(!p.is_crashed_at(2, 9));
+        assert!(p.is_crashed_at(2, 10));
+        assert!(p.is_crashed_at(2, 14));
+        assert!(!p.is_crashed_at(2, 15));
+        assert_eq!(p.recovery_round(2), Some(15));
+        assert_eq!(p.recovery_round(3), None);
+        let q = FaultPlan::new().with_crash_at(3, 5);
+        assert!(q.is_permanently_crashed(3));
+    }
+
+    #[test]
+    fn recovery_survives_a_lowered_crash_round() {
+        let p = FaultPlan::new()
+            .with_crash_at(2, 10)
+            .with_recovery_at(2, 15)
+            .with_crash_at(2, 4);
+        assert_eq!(p.crash_round(2), Some(4));
+        assert_eq!(p.recovery_round(2), Some(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a scheduled crash")]
+    fn recovery_without_crash_rejected() {
+        let _ = FaultPlan::new().with_recovery_at(2, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "not after its crash")]
+    fn recovery_before_crash_rejected() {
+        let _ = FaultPlan::new()
+            .with_crash_at(2, 10)
+            .with_recovery_at(2, 10);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_sends_inside_the_window() {
+        let p = FaultPlan::new().with_partition([vec![0, 1], vec![2]], 5, 8);
+        assert!(!p.is_fault_free());
+        assert!(p.has_partitions());
+        // Inside the window: cross-group blocked, intra-group open.
+        assert!(p.partition_blocks(0, 2, 5));
+        assert!(p.partition_blocks(2, 1, 7));
+        assert!(!p.partition_blocks(0, 1, 6));
+        // Unlisted nodes share the implicit rest group.
+        assert!(!p.partition_blocks(7, 9, 6));
+        assert!(p.partition_blocks(0, 9, 6));
+        // Outside the window: everything flows.
+        assert!(!p.partition_blocks(0, 2, 4));
+        assert!(!p.partition_blocks(0, 2, 8));
+    }
+
+    #[test]
+    fn overlapping_partition_windows_all_apply() {
+        let p = FaultPlan::new()
+            .with_partition([vec![0], vec![1]], 0, 4)
+            .with_partition([vec![1], vec![2]], 2, 6);
+        assert!(p.partition_blocks(0, 1, 1));
+        assert!(p.partition_blocks(1, 2, 5));
+        assert!(p.partition_blocks(0, 1, 3), "both windows active");
+        // After the first window heals, 0 sits in the second window's
+        // rest group: still split from 1, but not from fellow-rest 3.
+        assert!(p.partition_blocks(0, 1, 5));
+        assert!(!p.partition_blocks(0, 3, 5), "rest group is open");
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one partition group")]
+    fn duplicate_partition_member_rejected() {
+        let _ = FaultPlan::new().with_partition([vec![0, 1], vec![1]], 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted")]
+    fn empty_partition_window_rejected() {
+        let _ = FaultPlan::new().with_partition([vec![0], vec![1]], 4, 4);
+    }
+
+    #[test]
+    fn validate_checks_rounds_and_indices() {
+        let ok = FaultPlan::new()
+            .with_crash_at(2, 10)
+            .with_recovery_at(2, 20)
+            .with_partition([vec![0], vec![3]], 5, 30);
+        assert_eq!(ok.validate(4, 100), Ok(()));
+
+        let late_crash = FaultPlan::new().with_crash_at(1, 200);
+        assert!(late_crash.validate(4, 100).unwrap_err().contains("crash"));
+
+        let late_recovery = FaultPlan::new()
+            .with_crash_at(1, 10)
+            .with_recovery_at(1, 200);
+        assert!(late_recovery
+            .validate(4, 100)
+            .unwrap_err()
+            .contains("recovery"));
+
+        let late_partition = FaultPlan::new().with_partition([vec![0], vec![1]], 50, 200);
+        assert!(late_partition
+            .validate(4, 100)
+            .unwrap_err()
+            .contains("partition window"));
+
+        let bad_node = FaultPlan::new().with_crashes([9]);
+        assert!(bad_node.validate(4, 100).unwrap_err().contains("range"));
+
+        let bad_member = FaultPlan::new().with_partition([vec![0], vec![9]], 0, 10);
+        assert!(bad_member.validate(4, 100).unwrap_err().contains("range"));
     }
 
     #[test]

@@ -74,8 +74,10 @@ pub mod rng;
 pub mod trace;
 
 pub use engine::{Engine, RoundEngine, RunOutcome};
-pub use engine_core::{route_fate, step_node, take_capped, EngineCore, RouteFate, StepState};
-pub use faults::FaultPlan;
+pub use engine_core::{
+    retry_fate, route_fate, step_node, take_capped, EngineCore, RetryPolicy, RouteFate, StepState,
+};
+pub use faults::{DropCause, FaultPlan};
 pub use id::NodeId;
 pub use message::{Envelope, MessageCost, PointerList};
 pub use metrics::{RoundMetrics, RunMetrics};

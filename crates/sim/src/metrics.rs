@@ -12,6 +12,15 @@ pub struct RoundMetrics {
     pub pointers: u64,
     /// Messages discarded by fault injection.
     pub dropped: u64,
+    /// Of `dropped`: losses to the independent drop coin.
+    pub dropped_coin: u64,
+    /// Of `dropped`: messages addressed to a dead node.
+    pub dropped_crash: u64,
+    /// Of `dropped`: messages blocked by an active partition.
+    pub dropped_partition: u64,
+    /// Retransmission attempts charged to this round (reliable delivery
+    /// only; each is also counted in `messages` or `dropped`).
+    pub retransmissions: u64,
 }
 
 /// Cumulative complexity record of a run.
@@ -25,6 +34,7 @@ pub struct RunMetrics {
     sent_pointers: Vec<u64>,
     recv_messages: Vec<u64>,
     recv_pointers: Vec<u64>,
+    detector_retractions: u64,
 }
 
 impl RunMetrics {
@@ -36,6 +46,7 @@ impl RunMetrics {
             sent_pointers: vec![0; n],
             recv_messages: vec![0; n],
             recv_pointers: vec![0; n],
+            detector_retractions: 0,
         }
     }
 
@@ -91,6 +102,38 @@ impl RunMetrics {
     /// Total messages lost to fault injection.
     pub fn total_dropped(&self) -> u64 {
         self.rounds.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Total messages lost to the independent drop coin.
+    pub fn total_dropped_coin(&self) -> u64 {
+        self.rounds.iter().map(|r| r.dropped_coin).sum()
+    }
+
+    /// Total messages lost because the addressee was dead.
+    pub fn total_dropped_crash(&self) -> u64 {
+        self.rounds.iter().map(|r| r.dropped_crash).sum()
+    }
+
+    /// Total messages blocked by partitions.
+    pub fn total_dropped_partition(&self) -> u64 {
+        self.rounds.iter().map(|r| r.dropped_partition).sum()
+    }
+
+    /// Total retransmission attempts made by the reliable-delivery
+    /// layer (each also appears in `total_messages`).
+    pub fn total_retransmissions(&self) -> u64 {
+        self.rounds.iter().map(|r| r.retransmissions).sum()
+    }
+
+    /// Number of suspicions the failure detector retracted after a
+    /// node's recovery.
+    pub fn detector_retractions(&self) -> u64 {
+        self.detector_retractions
+    }
+
+    /// Records one retracted suspicion.
+    pub(crate) fn record_retraction(&mut self) {
+        self.detector_retractions += 1;
     }
 
     /// Total bit complexity given an identifier width of
@@ -165,6 +208,7 @@ mod tests {
     fn drop_one(m: &mut RunMetrics, src: usize, pointers: u64) {
         let lanes = m.lanes();
         lanes.row.dropped += 1;
+        lanes.row.dropped_coin += 1;
         lanes.sent_messages[src] += 1;
         lanes.sent_pointers[src] += pointers;
     }
@@ -208,6 +252,27 @@ mod tests {
         assert_eq!(m.total_messages(), 1, "sender pays for dropped messages");
         assert_eq!(m.total_pointers(), 0, "dropped pointers are not delivered");
         assert_eq!(m.max_recv_messages(), 0);
+    }
+
+    #[test]
+    fn drops_split_by_cause_and_retractions_tally() {
+        let mut m = RunMetrics::new(4);
+        m.begin_round();
+        drop_one(&mut m, 0, 1);
+        {
+            let lanes = m.lanes();
+            lanes.row.dropped += 2;
+            lanes.row.dropped_crash += 1;
+            lanes.row.dropped_partition += 1;
+            lanes.row.retransmissions += 3;
+        }
+        m.record_retraction();
+        assert_eq!(m.total_dropped(), 3);
+        assert_eq!(m.total_dropped_coin(), 1);
+        assert_eq!(m.total_dropped_crash(), 1);
+        assert_eq!(m.total_dropped_partition(), 1);
+        assert_eq!(m.total_retransmissions(), 3);
+        assert_eq!(m.detector_retractions(), 1);
     }
 
     #[test]

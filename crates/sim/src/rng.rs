@@ -50,6 +50,30 @@ pub fn message_route_rng(run_seed: u64, src: usize, round: u64, sequence: u64) -
     ))
 }
 
+/// A random generator for one *retransmission attempt* of a message,
+/// derived from the run seed, the original sender, the round the message
+/// was first sent in, its send-sequence number within that round, and
+/// the attempt counter (1 for the first retransmission, 2 for the
+/// second, …).
+///
+/// A separate domain keeps retry coins independent of the original
+/// routing coins: enabling reliable delivery never perturbs the fate of
+/// any first-attempt message, and each attempt's fate is a pure function
+/// of `(seed, src, round, sequence, attempt)` — independent of engine
+/// kind, worker count, or how many other messages are in flight.
+pub fn message_retry_rng(
+    run_seed: u64,
+    src: usize,
+    round: u64,
+    sequence: u64,
+    attempt: u32,
+) -> StdRng {
+    let s = derive_seed(run_seed, 0x7265_7472, src as u64, round);
+    let seq = split_mix64(sequence.wrapping_mul(0xd6e8_feb8_6659_fd93));
+    let att = split_mix64((attempt as u64).wrapping_mul(0xbea2_25f9_eb34_556d));
+    StdRng::seed_from_u64(split_mix64(s ^ seq ^ att))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +137,35 @@ mod tests {
             first(message_route_rng(9, 4, 2, 1)),
             "sequence ignored"
         );
+    }
+
+    #[test]
+    fn message_retry_rng_separates_every_axis() {
+        let first = |mut r: StdRng| r.random::<u64>();
+        let base = first(message_retry_rng(9, 4, 2, 0, 1));
+        assert_ne!(
+            base,
+            first(message_retry_rng(8, 4, 2, 0, 1)),
+            "seed ignored"
+        );
+        assert_ne!(base, first(message_retry_rng(9, 5, 2, 0, 1)), "src ignored");
+        assert_ne!(
+            base,
+            first(message_retry_rng(9, 4, 3, 0, 1)),
+            "round ignored"
+        );
+        assert_ne!(
+            base,
+            first(message_retry_rng(9, 4, 2, 1, 1)),
+            "sequence ignored"
+        );
+        assert_ne!(
+            base,
+            first(message_retry_rng(9, 4, 2, 0, 2)),
+            "attempt ignored"
+        );
+        // And the retry domain is distinct from the route domain.
+        assert_ne!(base, first(message_route_rng(9, 4, 2, 0)));
     }
 
     #[test]

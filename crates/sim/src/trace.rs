@@ -1,5 +1,6 @@
 //! Optional message tracing for debugging and white-box tests.
 
+use crate::faults::DropCause;
 use crate::id::NodeId;
 
 /// One traced message delivery (or drop).
@@ -13,8 +14,15 @@ pub struct TraceEvent {
     pub dst: NodeId,
     /// Pointers carried.
     pub pointers: usize,
+    /// Why fault injection discarded the message (`None` = delivered).
+    pub dropped: Option<DropCause>,
+}
+
+impl TraceEvent {
     /// Whether fault injection discarded the message.
-    pub dropped: bool,
+    pub fn is_dropped(&self) -> bool {
+        self.dropped.is_some()
+    }
 }
 
 /// A bounded in-memory message trace.
@@ -86,7 +94,7 @@ mod tests {
             src: NodeId::new(0),
             dst: NodeId::new(1),
             pointers: 0,
-            dropped: false,
+            dropped: None,
         }
     }
 

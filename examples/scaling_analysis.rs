@@ -22,6 +22,18 @@
 //! notion: at this scale *everyone-knows-everyone* is not a sensible
 //! target (it needs Ω(n²) pointer transfers — terabytes of identifier
 //! traffic at n = 2²⁰), while leader completion stays near-linear.
+//!
+//! With `--churn [log2_n] [workers]` it runs the churn demo instead: HM
+//! at n = 2¹⁴ (by default) through 1% message drops, a 5% crash wave
+//! with half the casualties recovering, and a mid-run network
+//! partition, with reliable delivery and the convergence watchdog
+//! armed. The fault counters and the retransmission overhead go to
+//! `BENCH_faults.json` at the workspace root:
+//!
+//! ```text
+//! cargo run --release --example scaling_analysis -- --churn      # n = 2^14
+//! cargo run --release --example scaling_analysis -- --churn 12 4
+//! ```
 
 use resource_discovery::analysis::experiment::{sweep, SweepSpec};
 use resource_discovery::analysis::{best_fit, Plot};
@@ -75,8 +87,130 @@ fn big_run(log2_n: u32, workers: usize) {
     );
 }
 
+/// The churn demo: HM through drops, a crash/recovery wave, and a
+/// mid-run partition, with reliable delivery and the watchdog armed.
+fn churn_run(log2_n: u32, workers: usize) {
+    let n = 1usize << log2_n;
+    let seed = 42;
+    // 5% of the machines crash in a wave over rounds 5..13; the even
+    // casualties recover ten rounds after going down. Node 0 is spared
+    // so the count below stays exact.
+    let mut faults = FaultPlan::new()
+        .with_drop_probability(0.01)
+        .with_crash_detection_after(5);
+    let stride = 20; // 1/20 = 5%
+    let mut crashed = 0u64;
+    let mut recovering = 0u64;
+    for (i, node) in (0..n).skip(stride / 2).step_by(stride).enumerate() {
+        let crash = 5 + (i as u64 % 8);
+        faults = faults.with_crash_at(node, crash);
+        crashed += 1;
+        if i % 2 == 0 {
+            faults = faults.with_recovery_at(node, crash + 10);
+            recovering += 1;
+        }
+    }
+    // A clean bisection for six rounds in the thick of the crash wave.
+    let cut = n / 2;
+    faults = faults.with_partition(
+        [(0..cut).collect::<Vec<_>>(), (cut..n).collect::<Vec<_>>()],
+        12,
+        18,
+    );
+    println!(
+        "churn run: HM on a 3-out overlay, n = 2^{log2_n} = {n}, {workers} workers\n\
+           1% drops, {crashed} crashes ({recovering} recover), partition rounds 12..18,\n\
+           detector delay 5, reliable delivery, watchdog window 200"
+    );
+
+    let config = RunConfig::new(Topology::KOut { k: 3 }, n, seed)
+        .with_engine(EngineKind::Sharded { workers })
+        .with_completion(Completion::LeaderKnowsAll)
+        .with_faults(faults)
+        .with_reliable_delivery(RetryPolicy::default())
+        .with_stall_window(200)
+        .with_max_rounds(100_000);
+    let start = Instant::now();
+    let report = run(AlgorithmKind::Hm(HmConfig::default()), &config);
+    let elapsed = start.elapsed();
+
+    let overhead = report.retransmissions as f64 / report.messages.max(1) as f64;
+    println!(
+        "\nverdict: {} in {} rounds ({elapsed:.1?})",
+        report.verdict.name(),
+        report.rounds
+    );
+    println!("  messages          {}", report.messages);
+    println!(
+        "  dropped           {} (coin {}, crash {}, partition {})",
+        report.dropped, report.dropped_coin, report.dropped_crash, report.dropped_partition
+    );
+    println!(
+        "  retransmissions   {} ({:.2}% of messages)",
+        report.retransmissions,
+        overhead * 100.0
+    );
+    println!("  retractions       {}", report.detector_retractions);
+    println!("  sound             {}", report.sound);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"hm-under-churn\",\n");
+    json.push_str(&format!("  \"n\": {n},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"faults\": {\n");
+    json.push_str("    \"drop_probability\": 0.01,\n");
+    json.push_str(&format!("    \"crashes\": {crashed},\n"));
+    json.push_str(&format!("    \"recoveries\": {recovering},\n"));
+    json.push_str("    \"partition_rounds\": [12, 18],\n");
+    json.push_str("    \"detection_delay\": 5\n");
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"verdict\": \"{}\",\n", report.verdict.name()));
+    json.push_str(&format!("  \"completed\": {},\n", report.completed));
+    json.push_str(&format!("  \"sound\": {},\n", report.sound));
+    json.push_str(&format!("  \"rounds\": {},\n", report.rounds));
+    json.push_str(&format!("  \"messages\": {},\n", report.messages));
+    json.push_str(&format!("  \"dropped_coin\": {},\n", report.dropped_coin));
+    json.push_str(&format!("  \"dropped_crash\": {},\n", report.dropped_crash));
+    json.push_str(&format!(
+        "  \"dropped_partition\": {},\n",
+        report.dropped_partition
+    ));
+    json.push_str(&format!(
+        "  \"retransmissions\": {},\n",
+        report.retransmissions
+    ));
+    json.push_str(&format!("  \"retransmission_overhead\": {overhead:.6},\n"));
+    json.push_str(&format!(
+        "  \"detector_retractions\": {},\n",
+        report.detector_retractions
+    ));
+    json.push_str(&format!(
+        "  \"wall_clock_seconds\": {:.3}\n",
+        elapsed.as_secs_f64()
+    ));
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_faults.json");
+    std::fs::write(path, &json).expect("write BENCH_faults.json");
+    println!("\nwrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--churn") {
+        let log2_n: u32 = args.get(1).map_or(14, |a| a.parse().expect("log2 n"));
+        let workers: usize = args.get(2).map_or_else(
+            || {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            },
+            |a| a.parse().expect("worker count"),
+        );
+        churn_run(log2_n, workers);
+        return;
+    }
     if args.first().map(String::as_str) == Some("--big") {
         let log2_n: u32 = args.get(1).map_or(20, |a| a.parse().expect("log2 n"));
         let workers: usize = args.get(2).map_or_else(

@@ -54,9 +54,11 @@ pub mod prelude {
     pub use rd_analysis::{summarize, Table};
     pub use rd_core::algorithms::hm::{HmConfig, HmDiscovery, MergeRule};
     pub use rd_core::gossip::{run_gossip, GossipStrategy};
-    pub use rd_core::runner::{run, AlgorithmKind, Completion, EngineKind, RunConfig, RunReport};
+    pub use rd_core::runner::{
+        run, AlgorithmKind, Completion, EngineKind, RunConfig, RunReport, RunVerdict,
+    };
     pub use rd_core::{problem, verify, DiscoveryAlgorithm, KnowledgeSet, KnowledgeView};
     pub use rd_exec::ShardedEngine;
     pub use rd_graphs::{connectivity, metrics, DiGraph, Topology};
-    pub use rd_sim::{Engine, FaultPlan, NodeId, RoundEngine};
+    pub use rd_sim::{DropCause, Engine, FaultPlan, NodeId, RetryPolicy, RoundEngine};
 }

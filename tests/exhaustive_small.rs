@@ -73,11 +73,21 @@ where
         n,
         seed,
         completed: outcome.completed,
+        verdict: if outcome.completed {
+            resource_discovery::core::runner::RunVerdict::Complete
+        } else {
+            resource_discovery::core::runner::RunVerdict::BudgetExhausted
+        },
         rounds: outcome.rounds,
         messages: engine.metrics().total_messages(),
         pointers: engine.metrics().total_pointers(),
         bits: engine.metrics().total_bits(),
         dropped: 0,
+        dropped_coin: 0,
+        dropped_crash: 0,
+        dropped_partition: 0,
+        retransmissions: 0,
+        detector_retractions: 0,
         max_sent_messages: engine.metrics().max_sent_messages(),
         max_recv_messages: engine.metrics().max_recv_messages(),
         mean_messages_per_node: engine.metrics().mean_messages_per_node(),

@@ -108,7 +108,11 @@ fn crashed_nodes_never_participate() {
     for event in engine.trace().unwrap().events() {
         assert_ne!(event.src, crashed_id, "a crashed node sent a message");
         if event.dst == crashed_id {
-            assert!(event.dropped, "delivery to a crashed node");
+            assert_eq!(
+                event.dropped,
+                Some(DropCause::Crash),
+                "delivery to a crashed node"
+            );
         }
     }
 }

@@ -1,0 +1,227 @@
+//! Churn property tests: every algorithm of the suite, under random
+//! combinations of coin drops, crashes, crash-recoveries, partitions,
+//! detection delays, and reliable delivery, must preserve the safety
+//! invariants — no fabricated identifiers, self-knowledge, round-over-
+//! round monotonicity — and, when it completes, converge on exactly the
+//! reachable live component.
+//!
+//! A second property pins liveness for the self-healing algorithms:
+//! with no coin drops and reliable delivery across crash-recovery
+//! windows and healing partitions, the live component must actually be
+//! reached within a generous round budget.
+
+use proptest::prelude::*;
+use resource_discovery::core::algorithms::hm::HmConfig;
+use resource_discovery::core::algorithms::{
+    Flooding, HmDiscovery, NameDropper, PointerDoubling, RandomPointerJump, Swamping,
+};
+use resource_discovery::core::{problem, verify, DiscoveryAlgorithm, KnowledgeView};
+use resource_discovery::prelude::*;
+use resource_discovery::sim::Node;
+
+/// One random churn configuration.
+#[derive(Debug, Clone)]
+struct Churn {
+    topo: Topology,
+    n: usize,
+    seed: u64,
+    faults: FaultPlan,
+    reliable: Option<RetryPolicy>,
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Cycle),
+        Just(Topology::Path),
+        Just(Topology::RandomTree),
+        (2usize..5).prop_map(|k| Topology::KOut { k }),
+        (2usize..6).prop_map(|avg_degree| Topology::ErdosRenyi { avg_degree }),
+    ]
+}
+
+/// Builds a fault plan from small drawn integers. `drop_decipct` of 0
+/// disables the coin; the liveness property passes 0 explicitly.
+#[allow(clippy::too_many_arguments)]
+fn build_churn(
+    topo: Topology,
+    n: usize,
+    seed: u64,
+    drop_decipct: u32,
+    crashes: usize,
+    crash_at: u64,
+    recover: bool,
+    partition: bool,
+    detect: bool,
+    reliable: bool,
+) -> Churn {
+    let mut faults = FaultPlan::new().with_drop_probability(drop_decipct as f64 / 10.0);
+    for c in 0..crashes {
+        let node = (seed.rotate_left(c as u32 * 11) as usize + c * 3) % n;
+        faults = faults.with_crash_at(node, crash_at + c as u64);
+    }
+    if recover && crashes > 0 {
+        // The c = 0 crash becomes a crash-recovery window.
+        let node = (seed as usize) % n;
+        faults = faults.with_recovery_at(node, crash_at + 4);
+    }
+    if partition {
+        let cut = n / 2;
+        faults = faults.with_partition(
+            [(0..cut).collect::<Vec<_>>(), (cut..n).collect::<Vec<_>>()],
+            2,
+            7,
+        );
+    }
+    if detect && crashes > 0 {
+        faults = faults.with_crash_detection_after(3);
+    }
+    Churn {
+        topo,
+        n,
+        seed,
+        faults,
+        reliable: reliable.then_some(RetryPolicy {
+            timeout: 1,
+            max_retries: 4,
+            max_backoff: 4,
+        }),
+    }
+}
+
+fn arb_churn() -> impl Strategy<Value = Churn> {
+    (
+        arb_topology(),
+        8usize..24,
+        any::<u64>(),
+        (0u32..3, 0usize..3, 0u64..12),
+        (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |(topo, n, seed, (drop, crashes, at), (recover, partition, detect, reliable))| {
+                build_churn(
+                    topo, n, seed, drop, crashes, at, recover, partition, detect, reliable,
+                )
+            },
+        )
+}
+
+/// Churn with no coin drops and reliable delivery always on: every
+/// live-to-live message eventually lands, so self-healing algorithms
+/// must converge on the live component.
+fn arb_benign_churn() -> impl Strategy<Value = Churn> {
+    (
+        arb_topology(),
+        8usize..20,
+        any::<u64>(),
+        (1usize..3, 0u64..8),
+        (any::<bool>(), any::<bool>()),
+    )
+        .prop_map(|(topo, n, seed, (crashes, at), (recover, partition))| {
+            build_churn(
+                topo, n, seed, 0, crashes, at, recover, partition, true, true,
+            )
+        })
+}
+
+fn make_engine<A>(alg: &A, churn: &Churn, initial: &[Vec<NodeId>]) -> Engine<A::NodeState>
+where
+    A: DiscoveryAlgorithm,
+    A::NodeState: Node,
+{
+    let mut engine =
+        Engine::new(alg.make_nodes(initial), churn.seed).with_faults(churn.faults.clone());
+    if let Some(policy) = churn.reliable {
+        engine = engine.with_reliable_delivery(policy);
+    }
+    engine
+}
+
+fn live_mask(churn: &Churn) -> Vec<bool> {
+    (0..churn.n)
+        .map(|i| !churn.faults.is_permanently_crashed(i))
+        .collect()
+}
+
+/// Safety under arbitrary churn: no fabrication, identity retained,
+/// knowledge monotone every round; and if the run completes, the final
+/// state covers the reachable live component.
+fn assert_safe<A>(alg: &A, churn: &Churn) -> Result<(), TestCaseError>
+where
+    A: DiscoveryAlgorithm,
+    A::NodeState: Node + KnowledgeView,
+{
+    let graph = churn.topo.generate(churn.n, churn.seed);
+    let initial = problem::initial_knowledge(&graph);
+    let mut engine = make_engine(alg, churn, &initial);
+    let live = live_mask(churn);
+    let live_pred = live.clone();
+    let name = alg.name();
+    let mut checker = verify::MonotonicityChecker::new();
+    let outcome = engine.run_observed(
+        400,
+        |nodes: &[A::NodeState]| problem::everyone_knows_everyone_among(nodes, &live_pred),
+        |round, nodes| {
+            if let Err(v) = checker.observe(nodes) {
+                panic!("{name}: monotonicity violated at round {round}: {v}");
+            }
+        },
+    );
+    let nodes = engine.nodes();
+    prop_assert!(verify::no_fabricated_ids(nodes), "{}: fabricated id", name);
+    prop_assert!(verify::knows_self(nodes), "{}: lost own identity", name);
+    if outcome.completed {
+        prop_assert!(
+            verify::live_component_complete(nodes, &initial, &live),
+            "{}: completed without covering the live component",
+            name
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All six algorithms stay safe under arbitrary churn.
+    #[test]
+    fn churn_never_breaks_safety(churn in arb_churn()) {
+        assert_safe(&Flooding, &churn)?;
+        assert_safe(&Swamping, &churn)?;
+        assert_safe(&RandomPointerJump, &churn)?;
+        assert_safe(&NameDropper, &churn)?;
+        assert_safe(&PointerDoubling, &churn)?;
+        assert_safe(&HmDiscovery::new(HmConfig::default()), &churn)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The self-healing algorithms converge on the reachable live
+    /// component under benign churn (no coin drops, reliable delivery,
+    /// failure detection).
+    #[test]
+    fn benign_churn_reaches_the_live_component(churn in arb_benign_churn()) {
+        let graph = churn.topo.generate(churn.n, churn.seed);
+        let initial = problem::initial_knowledge(&graph);
+        let live = live_mask(&churn);
+
+        let mut flood = make_engine(&Flooding, &churn, &initial);
+        let outcome = flood.run_until(2_000, |nodes: &[_]| {
+            verify::live_component_complete(nodes, &initial, &live)
+        });
+        prop_assert!(outcome.completed, "flooding never covered its live component");
+
+        let mut swamp = make_engine(&Swamping, &churn, &initial);
+        let outcome = swamp.run_until(2_000, |nodes: &[_]| {
+            verify::live_component_complete(nodes, &initial, &live)
+        });
+        prop_assert!(outcome.completed, "swamping never covered its live component");
+
+        let mut dropper = make_engine(&NameDropper, &churn, &initial);
+        let outcome = dropper.run_until(2_000, |nodes: &[_]| {
+            verify::live_component_complete(nodes, &initial, &live)
+        });
+        prop_assert!(outcome.completed, "name-dropper never covered its live component");
+    }
+}

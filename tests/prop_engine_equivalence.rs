@@ -91,6 +91,7 @@ struct Instance {
     n: usize,
     seed: u64,
     faults: FaultPlan,
+    reliable: Option<RetryPolicy>,
     receive_cap: Option<usize>,
     max_extra_delay: u64,
     workers: usize,
@@ -114,15 +115,38 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
         any::<u64>(),
         (0u32..3, 0usize..3, 0u64..16, 0u64..2),
         (0usize..3, 0u64..3, 2usize..9),
+        (0u32..2, 0u32..2, 0u32..2),
     )
         .prop_map(
-            |(topo, n, seed, (drop_decipct, crashes, crash_at, detect), (cap, delay, workers))| {
+            |(
+                topo,
+                n,
+                seed,
+                (drop_decipct, crashes, crash_at, detect),
+                (cap, delay, workers),
+                (recover, partition, reliable),
+            )| {
                 let mut faults = FaultPlan::new().with_drop_probability(drop_decipct as f64 / 10.0);
                 for c in 0..crashes {
                     // Dependent draw: fold the free-range crash seed onto
                     // valid node indices, spread across the population.
                     let node = (seed.rotate_left(c as u32 * 7) as usize + c * 5) % n;
                     faults = faults.with_crash_at(node, crash_at + c as u64);
+                }
+                if recover == 1 && crashes > 0 {
+                    // The `c = 0` crash (earliest round for its node)
+                    // becomes a crash-recovery window.
+                    let node = (seed as usize) % n;
+                    faults = faults.with_recovery_at(node, crash_at + 3);
+                }
+                if partition == 1 {
+                    // Split the population in half for a few rounds.
+                    let cut = n / 2;
+                    faults = faults.with_partition(
+                        [(0..cut).collect::<Vec<_>>(), (cut..n).collect::<Vec<_>>()],
+                        1,
+                        5,
+                    );
                 }
                 if detect == 1 && crashes > 0 {
                     faults = faults.with_crash_detection_after(3);
@@ -132,6 +156,11 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
                     n,
                     seed,
                     faults,
+                    reliable: (reliable == 1).then_some(RetryPolicy {
+                        timeout: 1,
+                        max_retries: 3,
+                        max_backoff: 4,
+                    }),
                     receive_cap: (cap > 0).then_some(cap * 2),
                     max_extra_delay: delay,
                     workers,
@@ -156,12 +185,18 @@ where
         if let Some(cap) = inst.receive_cap {
             e = e.with_receive_cap(cap);
         }
+        if let Some(policy) = inst.reliable {
+            e = e.with_reliable_delivery(policy);
+        }
         e.with_max_extra_delay(inst.max_extra_delay)
     };
     let configure_par = |mut e: ShardedEngine<A::NodeState>| {
         e = e.with_faults(inst.faults.clone()).with_trace(1 << 13);
         if let Some(cap) = inst.receive_cap {
             e = e.with_receive_cap(cap);
+        }
+        if let Some(policy) = inst.reliable {
+            e = e.with_reliable_delivery(policy);
         }
         e.with_max_extra_delay(inst.max_extra_delay)
     };
@@ -318,8 +353,8 @@ proptest! {
             for src in 0..n {
                 for k in 0..FAN_OUT {
                     let dst = (src + 1 + ((round + k) as usize % (n - 1))) % n;
-                    let fate = route_fate(seed, round, src, k, false, drop_p, delay);
-                    if !fate.dropped {
+                    let fate = route_fate(seed, round, src, k, false, false, drop_p, delay);
+                    if !fate.is_dropped() {
                         expected[dst].push((round + 1 + fate.extra_delay, chatter_tag(src, round, k)));
                     }
                 }
