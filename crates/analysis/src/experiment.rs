@@ -155,6 +155,8 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepCell> {
                     engine: spec.engine,
                     stall_window: spec.stall_window,
                     reliable: spec.reliable,
+                    obs: None,
+                    trace_capacity: None,
                 };
                 let report = run(spec.kinds[job.kind_idx], &config);
                 results.lock()[job.kind_idx * spec.ns.len() + job.n_idx].push(report);
@@ -181,7 +183,7 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepCell> {
                 bits: field(|r| r.bits as f64),
                 max_sent_messages: field(|r| r.max_sent_messages as f64),
                 mean_messages_per_node: field(|r| r.mean_messages_per_node),
-                dropped: field(|r| r.dropped as f64),
+                dropped: field(|r| r.dropped() as f64),
                 retransmissions: field(|r| r.retransmissions as f64),
                 completion_rate: reports.iter().filter(|r| r.completed).count() as f64
                     / reports.len() as f64,

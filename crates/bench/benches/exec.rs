@@ -15,7 +15,11 @@
 //! relative to the sequential engine — to `BENCH_exec.json` at the
 //! workspace root, including a note on the host parallelism the numbers
 //! were recorded under (speedup is bounded by physical cores; on a
-//! single-core host the sharded engine can at best tie).
+//! single-core host the sharded engine can at best tie). The summary
+//! also re-times the sequential and 4-worker configurations with a
+//! sink-less `rd-obs` recorder attached (`"obs": true` rows with an
+//! `obs_overhead_pct` field): the in-run telemetry overhead budget is
+//! < 5% at n = 2^16 on the sequential engine.
 //!
 //! ```text
 //! cargo bench -p rd-bench --bench exec
@@ -26,6 +30,7 @@ use rand::Rng;
 use rd_core::problem;
 use rd_exec::ShardedEngine;
 use rd_graphs::Topology;
+use rd_obs::{Recorder, RunMeta};
 use rd_sim::{Engine, Envelope, MessageCost, Node, NodeId, RoundContext};
 use std::time::Instant;
 
@@ -84,15 +89,33 @@ fn make_nodes(n: usize, seed: u64) -> Vec<Gossip> {
         .collect()
 }
 
+/// A sink-less recorder: every span/round/metric recording cost is
+/// paid, nothing is exported, so the measured delta is the honest
+/// in-run overhead of attaching telemetry.
+fn bare_recorder(n: usize, workers: usize) -> Recorder {
+    Recorder::new(RunMeta {
+        algorithm: "bench-gossip".into(),
+        topology: "kout-3".into(),
+        n,
+        seed: SEED,
+        engine: engine_label(workers),
+        workers: workers.max(1),
+    })
+}
+
 /// One run of `rounds` rounds on the chosen engine; `workers == 0`
-/// means the sequential `rd-sim` engine. The node population is cloned
-/// from a prebuilt prototype so instance construction (graph generation
-/// and initial knowledge) stays outside every timed region. Returns
-/// total messages (a checksum that also keeps the work observable) and
-/// the wall-clock of the stepping loop alone.
-fn run_rounds(proto: &[Gossip], rounds: u64, workers: usize) -> (u64, f64) {
+/// means the sequential `rd-sim` engine, and `obs` attaches a sink-less
+/// [`Recorder`]. The node population is cloned from a prebuilt
+/// prototype so instance construction (graph generation and initial
+/// knowledge) stays outside every timed region. Returns total messages
+/// (a checksum that also keeps the work observable) and the wall-clock
+/// of the stepping loop alone.
+fn run_rounds(proto: &[Gossip], rounds: u64, workers: usize, obs: bool) -> (u64, f64) {
     if workers == 0 {
         let mut engine = Engine::new(proto.to_vec(), SEED);
+        if obs {
+            engine = engine.with_obs(bare_recorder(proto.len(), workers));
+        }
         let start = Instant::now();
         for _ in 0..rounds {
             engine.step();
@@ -101,6 +124,9 @@ fn run_rounds(proto: &[Gossip], rounds: u64, workers: usize) -> (u64, f64) {
         (engine.metrics().total_messages(), secs)
     } else {
         let mut engine = ShardedEngine::new(proto.to_vec(), SEED, workers);
+        if obs {
+            engine = engine.with_obs(bare_recorder(proto.len(), workers));
+        }
         let start = Instant::now();
         for _ in 0..rounds {
             engine.step();
@@ -131,7 +157,7 @@ fn bench_engines(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(engine_label(workers), format!("2^{log2_n}")),
                 &proto,
-                |b, proto| b.iter(|| run_rounds(proto, rounds, workers)),
+                |b, proto| b.iter(|| run_rounds(proto, rounds, workers, false)),
             );
         }
     }
@@ -142,33 +168,44 @@ struct Measurement {
     log2_n: u32,
     rounds: u64,
     workers: usize,
+    obs: bool,
     best_seconds: f64,
 }
 
 /// Times each configuration directly (best of `reps`) and writes the
 /// machine-readable summary to `BENCH_exec.json` at the workspace root.
+/// Besides the engine sweep, the sequential and 4-worker configurations
+/// are re-timed with a sink-less recorder attached (`"obs": true`
+/// rows): the telemetry overhead budget is < 5% at n = 2^16 on the
+/// sequential engine.
 fn write_json_summary() {
     let reps = 3;
     let mut measurements = Vec::new();
     for &(log2_n, rounds) in &SIZES {
         let n = 1usize << log2_n;
         let proto = make_nodes(n, SEED);
-        for workers in std::iter::once(0).chain(WORKER_COUNTS) {
+        let configs = std::iter::once(0)
+            .chain(WORKER_COUNTS)
+            .map(|w| (w, false))
+            .chain([(0, true), (4, true)]);
+        for (workers, obs) in configs {
             let mut best = f64::INFINITY;
             for _ in 0..reps {
-                let (msgs, secs) = run_rounds(&proto, rounds, workers);
+                let (msgs, secs) = run_rounds(&proto, rounds, workers, obs);
                 std::hint::black_box(msgs);
                 best = best.min(secs);
             }
             eprintln!(
-                "[exec-bench] n=2^{log2_n} {:<12} best {:.3}s for {rounds} rounds",
+                "[exec-bench] n=2^{log2_n} {:<12} obs={} best {:.3}s for {rounds} rounds",
                 engine_label(workers),
+                if obs { "on " } else { "off" },
                 best
             );
             measurements.push(Measurement {
                 log2_n,
                 rounds,
                 workers,
+                obs,
                 best_seconds: best,
             });
         }
@@ -192,19 +229,35 @@ fn write_json_summary() {
         let n = 1usize << m.log2_n;
         let sequential = measurements
             .iter()
-            .find(|s| s.log2_n == m.log2_n && s.workers == 0)
+            .find(|s| s.log2_n == m.log2_n && s.workers == 0 && !s.obs)
             .expect("sequential baseline present");
+        // Obs rows additionally report overhead vs their own obs-off
+        // twin (same engine, same workers).
+        let twin = measurements
+            .iter()
+            .find(|s| s.log2_n == m.log2_n && s.workers == m.workers && !s.obs)
+            .expect("obs-off twin present");
         let rounds_per_sec = m.rounds as f64 / m.best_seconds;
         let speedup = sequential.best_seconds / m.best_seconds;
+        let obs_overhead = if m.obs {
+            format!(
+                ", \"obs_overhead_pct\": {:.2}",
+                (m.best_seconds / twin.best_seconds - 1.0) * 100.0
+            )
+        } else {
+            String::new()
+        };
         json.push_str(&format!(
-            "    {{\"n\": {n}, \"log2_n\": {}, \"rounds\": {}, \"engine\": \"{}\", \"workers\": {}, \"best_seconds\": {:.4}, \"rounds_per_sec\": {:.2}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+            "    {{\"n\": {n}, \"log2_n\": {}, \"rounds\": {}, \"engine\": \"{}\", \"workers\": {}, \"obs\": {}, \"best_seconds\": {:.4}, \"rounds_per_sec\": {:.2}, \"speedup_vs_sequential\": {:.3}{}}}{}\n",
             m.log2_n,
             m.rounds,
             engine_label(m.workers),
             m.workers,
+            m.obs,
             m.best_seconds,
             rounds_per_sec,
             speedup,
+            obs_overhead,
             if i + 1 == measurements.len() { "" } else { "," }
         ));
     }
@@ -215,13 +268,18 @@ fn write_json_summary() {
     eprintln!("[exec-bench] wrote {path}");
 }
 
-/// Smoke check for test runs: both engines agree on a small instance.
+/// Smoke check for test runs: both engines agree on a small instance,
+/// and attaching a recorder changes neither.
 fn smoke() {
     let proto = make_nodes(256, SEED);
-    let (seq, _) = run_rounds(&proto, 3, 0);
-    let (par, _) = run_rounds(&proto, 3, 4);
+    let (seq, _) = run_rounds(&proto, 3, 0, false);
+    let (par, _) = run_rounds(&proto, 3, 4, false);
     assert_eq!(seq, par, "engines diverged on the bench workload");
-    eprintln!("[exec-bench] smoke ok: both engines sent {seq} messages");
+    let (seq_obs, _) = run_rounds(&proto, 3, 0, true);
+    let (par_obs, _) = run_rounds(&proto, 3, 4, true);
+    assert_eq!(seq, seq_obs, "telemetry perturbed the sequential engine");
+    assert_eq!(par, par_obs, "telemetry perturbed the sharded engine");
+    eprintln!("[exec-bench] smoke ok: both engines sent {seq} messages (obs on and off)");
 }
 
 fn main() {

@@ -140,7 +140,7 @@ fn run_route(proto: &[Vec<Envelope<PointerList>>], shards: usize, policy: Policy
             buf.clear();
             buf.extend(p.iter().cloned());
         }
-        route_staged(&mut core, &mut staged, shard_len, &mut routed_pool);
+        route_staged(&mut core, &mut staged, shard_len, &mut routed_pool, None);
         for inbox in core.step_state().inboxes.iter_mut() {
             inbox.clear();
         }
@@ -271,10 +271,16 @@ fn smoke() {
         serial.begin_round();
         parallel.begin_round();
         let mut one_shard = vec![flat.clone()];
-        route_staged(&mut serial, &mut one_shard, n, &mut pool_a);
+        route_staged(&mut serial, &mut one_shard, n, &mut pool_a, None);
         let shard_len = n.div_ceil(4);
         let mut four_shards = split_shards(&flat, n, 4);
-        route_staged(&mut parallel, &mut four_shards, shard_len, &mut pool_b);
+        route_staged(
+            &mut parallel,
+            &mut four_shards,
+            shard_len,
+            &mut pool_b,
+            None,
+        );
         serial.finish_round();
         parallel.finish_round();
 

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the evaluation.
 //!
 //! ```text
-//! figures [--quick] [--csv] [--engine=sharded:W] [ids...]
+//! figures [--quick] [--csv] [--engine=sharded:W] [--obs=DIR] [ids...]
 //! ```
 //!
 //! With no ids, everything runs. Ids: `t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5
@@ -10,6 +10,12 @@
 //! engine-aware sweeps (T1/F1/T2/F2/F4 and F5) on the `rd-exec` sharded
 //! engine with `W` worker threads; results are bit-identical either way,
 //! only wall-clock changes.
+//!
+//! `--obs=DIR` additionally performs two instrumented HM reference runs
+//! (sequential and sharded:4) and writes their telemetry into `DIR`:
+//! JSONL run archives for both (`rd-inspect summarize/diff/validate`
+//! reads them), plus a Chrome trace-event file (load in Perfetto) and a
+//! Prometheus text snapshot for the sharded run.
 
 use rd_analysis::Table;
 use rd_bench::experiments::{
@@ -17,12 +23,16 @@ use rd_bench::experiments::{
     scaling, survey,
 };
 use rd_bench::Profile;
-use rd_core::runner::EngineKind;
+use rd_core::algorithms::hm::HmConfig;
+use rd_core::runner::{run, AlgorithmKind, EngineKind, ObsSpec, RunConfig};
+use rd_graphs::Topology;
+use std::path::PathBuf;
 
 struct Options {
     profile: Profile,
     csv: bool,
     engine: EngineKind,
+    obs: Option<PathBuf>,
     ids: Vec<String>,
 }
 
@@ -43,6 +53,7 @@ fn parse_args() -> Options {
     let mut profile = Profile::Full;
     let mut csv = false;
     let mut engine = EngineKind::Sequential;
+    let mut obs = None;
     let mut ids = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -50,11 +61,14 @@ fn parse_args() -> Options {
             "--full" => profile = Profile::Full,
             "--csv" => csv = true,
             "--help" | "-h" => {
-                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t5b t6 t7 t8 t9 t10]");
+                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>] [--obs=DIR] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t5b t6 t7 t8 t9 t10]");
                 std::process::exit(0);
             }
             spec if spec.starts_with("--engine=") => {
                 engine = parse_engine(&spec["--engine=".len()..]);
+            }
+            spec if spec.starts_with("--obs=") => {
+                obs = Some(PathBuf::from(&spec["--obs=".len()..]));
             }
             id => ids.push(id.to_ascii_lowercase()),
         }
@@ -63,8 +77,53 @@ fn parse_args() -> Options {
         profile,
         csv,
         engine,
+        obs,
         ids,
     }
+}
+
+/// The `--obs=DIR` reference runs: the same HM instance once per
+/// engine, every telemetry exporter exercised. The two archives let
+/// `rd-inspect diff` show that the engines agree on every deterministic
+/// field and differ only in wall-clock and worker layout.
+fn obs_runs(profile: Profile, dir: &std::path::Path) {
+    let n = match profile {
+        Profile::Quick => 512,
+        Profile::Full => 4096,
+    };
+    let seed = 42;
+    let runs = [
+        (
+            EngineKind::Sequential,
+            ObsSpec::new().with_archive(dir.join("hm-sequential.jsonl")),
+        ),
+        (
+            EngineKind::Sharded { workers: 4 },
+            ObsSpec::new()
+                .with_archive(dir.join("hm-sharded4.jsonl"))
+                .with_chrome_trace(dir.join("hm-sharded4.trace.json"))
+                .with_prometheus(dir.join("hm-sharded4.prom")),
+        ),
+    ];
+    for (engine, spec) in runs {
+        eprintln!(
+            "[figures] instrumented HM reference run (n = {n}, {} engine)...",
+            engine.name()
+        );
+        let config = RunConfig::new(Topology::KOut { k: 3 }, n, seed)
+            .with_engine(engine)
+            .with_trace(1 << 16)
+            .with_obs(spec);
+        let report = run(AlgorithmKind::Hm(HmConfig::default()), &config);
+        println!(
+            "obs run ({}): verdict {} in {} rounds, {} messages",
+            engine.name(),
+            report.verdict.name(),
+            report.rounds,
+            report.messages
+        );
+    }
+    println!("telemetry written to {}", dir.display());
 }
 
 fn wanted(opts: &Options, id: &str) -> bool {
@@ -87,6 +146,15 @@ fn main() {
         "resource-discovery evaluation (profile: {})\n",
         opts.profile.name()
     );
+
+    if let Some(dir) = &opts.obs {
+        obs_runs(opts.profile, dir);
+        // `--obs=DIR` with no ids means "just the instrumented runs":
+        // don't drag the full evaluation along.
+        if opts.ids.is_empty() {
+            return;
+        }
+    }
 
     let scaling_needed = ["t1", "f1", "t2", "f2", "f4"]
         .iter()

@@ -8,8 +8,10 @@ use crate::algorithms::{
 use crate::{problem, verify};
 use rd_exec::ShardedEngine;
 use rd_graphs::Topology;
-use rd_sim::{Engine, FaultPlan, Node, RetryPolicy, RoundEngine};
+use rd_obs::{ChromeTraceSink, JsonlArchiveSink, PrometheusSink, Recorder, RunMeta, RunOutcomeObs};
+use rd_sim::{DropTally, Engine, FaultPlan, Node, RetryPolicy, RoundEngine};
 use std::cell::Cell;
+use std::path::PathBuf;
 
 /// Which discovery algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,6 +144,48 @@ impl RunVerdict {
     }
 }
 
+/// Where a run's telemetry goes.
+///
+/// Attached with [`RunConfig::with_obs`]; every enabled exporter writes
+/// its artifact atomically at run end. Telemetry is strictly
+/// observational: the run itself is bit-identical with or without a
+/// spec (pinned by `tests/prop_engine_equivalence.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct ObsSpec {
+    /// Schema-versioned JSONL run archive (read by `rd-inspect`).
+    pub archive: Option<PathBuf>,
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    pub chrome_trace: Option<PathBuf>,
+    /// Prometheus text exposition snapshot.
+    pub prometheus: Option<PathBuf>,
+}
+
+impl ObsSpec {
+    /// A spec with no exporters: metrics and spans are still recorded
+    /// (useful for overhead measurement), nothing is written.
+    pub fn new() -> Self {
+        ObsSpec::default()
+    }
+
+    /// Writes the JSONL run archive to `path`.
+    pub fn with_archive(mut self, path: impl Into<PathBuf>) -> Self {
+        self.archive = Some(path.into());
+        self
+    }
+
+    /// Writes the Chrome trace-event JSON to `path`.
+    pub fn with_chrome_trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.chrome_trace = Some(path.into());
+        self
+    }
+
+    /// Writes the Prometheus text snapshot to `path`.
+    pub fn with_prometheus(mut self, path: impl Into<PathBuf>) -> Self {
+        self.prometheus = Some(path.into());
+        self
+    }
+}
+
 /// Configuration of a single discovery run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -165,6 +209,10 @@ pub struct RunConfig {
     pub stall_window: Option<u64>,
     /// Opt-in reliable delivery (ack/retransmit) policy.
     pub reliable: Option<RetryPolicy>,
+    /// Telemetry exporters, if observability is enabled.
+    pub obs: Option<ObsSpec>,
+    /// Message-trace ring capacity, if tracing is enabled.
+    pub trace_capacity: Option<usize>,
 }
 
 impl RunConfig {
@@ -181,7 +229,23 @@ impl RunConfig {
             engine: EngineKind::default(),
             stall_window: None,
             reliable: None,
+            obs: None,
+            trace_capacity: None,
         }
+    }
+
+    /// Enables observability: telemetry is recorded during the run and
+    /// exported through the spec's sinks at run end.
+    pub fn with_obs(mut self, spec: ObsSpec) -> Self {
+        self.obs = Some(spec);
+        self
+    }
+
+    /// Enables message tracing with the given ring capacity (events past
+    /// the cap are counted, not stored; see `RunReport::trace_overflow`).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
     }
 
     /// Selects the execution engine.
@@ -252,16 +316,17 @@ pub struct RunReport {
     pub pointers: u64,
     /// Total bit complexity.
     pub bits: u64,
-    /// Messages lost to fault injection (all causes).
-    pub dropped: u64,
-    /// Messages lost to the drop-probability coin.
-    pub dropped_coin: u64,
-    /// Messages lost because the destination was crashed.
-    pub dropped_crash: u64,
-    /// Messages lost to an active partition.
-    pub dropped_partition: u64,
+    /// Messages lost to fault injection, by cause (total is
+    /// [`DropTally::total`]).
+    pub drops: DropTally,
     /// Retransmission attempts made by the reliable-delivery layer.
     pub retransmissions: u64,
+    /// Messages the trace observed (stored plus overflowed); 0 when
+    /// tracing is disabled.
+    pub trace_events: u64,
+    /// Trace events discarded because the ring capacity was exceeded —
+    /// when nonzero, the stored trace is a truncated prefix.
+    pub trace_overflow: u64,
     /// Suspicions retracted by the failure detector after recoveries.
     pub detector_retractions: u64,
     /// Maximum messages any single node sent.
@@ -274,6 +339,14 @@ pub struct RunReport {
     /// and — when the run completed under the default predicate — the
     /// completion is real.
     pub sound: bool,
+}
+
+impl RunReport {
+    /// Total messages lost to fault injection (shorthand for
+    /// `self.drops.total()`).
+    pub fn dropped(&self) -> u64 {
+        self.drops.total()
+    }
 }
 
 /// Runs `kind` on the instance described by `config`.
@@ -318,6 +391,12 @@ where
             if let Some(policy) = config.reliable {
                 engine = engine.with_reliable_delivery(policy);
             }
+            if let Some(capacity) = config.trace_capacity {
+                engine = engine.with_trace(capacity);
+            }
+            if let Some(spec) = &config.obs {
+                engine = engine.with_obs(make_recorder(&alg.name(), config, spec));
+            }
             drive(alg, config, &initial, engine)
         }
         EngineKind::Sharded { workers } => {
@@ -326,9 +405,42 @@ where
             if let Some(policy) = config.reliable {
                 engine = engine.with_reliable_delivery(policy);
             }
+            if let Some(capacity) = config.trace_capacity {
+                engine = engine.with_trace(capacity);
+            }
+            if let Some(spec) = &config.obs {
+                engine = engine.with_obs(make_recorder(&alg.name(), config, spec));
+            }
             drive(alg, config, &initial, engine)
         }
     }
+}
+
+/// Builds the telemetry recorder for one run: identity from the config,
+/// one sink per exporter the spec enables.
+fn make_recorder(algorithm: &str, config: &RunConfig, spec: &ObsSpec) -> Recorder {
+    let workers = match config.engine {
+        EngineKind::Sequential => 1,
+        EngineKind::Sharded { workers } => workers,
+    };
+    let mut rec = Recorder::new(RunMeta {
+        algorithm: algorithm.to_string(),
+        topology: config.topology.name(),
+        n: config.n,
+        seed: config.seed,
+        engine: config.engine.name(),
+        workers,
+    });
+    if let Some(path) = &spec.archive {
+        rec = rec.with_sink(Box::new(JsonlArchiveSink::new(path.clone())));
+    }
+    if let Some(path) = &spec.chrome_trace {
+        rec = rec.with_sink(Box::new(ChromeTraceSink::new(path.clone())));
+    }
+    if let Some(path) = &spec.prometheus {
+        rec = rec.with_sink(Box::new(PrometheusSink::new(path.clone())));
+    }
+    rec
 }
 
 /// Runs the completion loop and soundness verification on any engine.
@@ -359,7 +471,18 @@ where
     let stall_window = config.stall_window;
     let mut last_knowledge: Option<usize> = None;
     let mut stagnant_rounds: u64 = 0;
-    let outcome = engine.run_until(config.max_rounds, move |nodes: &[A::NodeState]| {
+    // When telemetry is on, the driver samples the live population's
+    // total knowledge after every round: the recorder turns the series
+    // into per-round knowledge deltas at finish. Engines cannot see
+    // algorithm knowledge, so this observation lives here.
+    let obs_on = engine.obs_mut().is_some();
+    let mut knowledge: Vec<(u64, u64)> = Vec::new();
+    if obs_on {
+        let total: u64 = engine.nodes().iter().map(|s| s.knows_count() as u64).sum();
+        knowledge.push((0, total));
+    }
+    let knowledge_ref = &mut knowledge;
+    let done = move |nodes: &[A::NodeState]| {
         let done = match completion {
             Completion::EveryoneKnowsEveryone => {
                 problem::everyone_knows_everyone_among(nodes, &live_pred)
@@ -395,6 +518,12 @@ where
             }
         }
         false
+    };
+    let outcome = engine.run_observed(config.max_rounds, done, |round, nodes| {
+        if obs_on {
+            let total: u64 = nodes.iter().map(|s| s.knows_count() as u64).sum();
+            knowledge_ref.push((round, total));
+        }
     });
     let stalled = stalled.get();
     let completed = outcome.completed && !stalled;
@@ -425,8 +554,15 @@ where
         RunVerdict::BudgetExhausted
     };
 
+    let (trace_events, trace_overflow) = engine
+        .trace()
+        .map(|t| (t.total_events(), t.overflow()))
+        .unwrap_or((0, 0));
+
+    let pools = engine.pool_counters();
+    let recorder = engine.take_obs();
     let m = engine.metrics();
-    RunReport {
+    let report = RunReport {
         algorithm: alg.name(),
         topology: config.topology.name(),
         n: config.n,
@@ -437,17 +573,42 @@ where
         messages: m.total_messages(),
         pointers: m.total_pointers(),
         bits: m.total_bits(),
-        dropped: m.total_dropped(),
-        dropped_coin: m.total_dropped_coin(),
-        dropped_crash: m.total_dropped_crash(),
-        dropped_partition: m.total_dropped_partition(),
+        drops: m.drop_tally(),
         retransmissions: m.total_retransmissions(),
         detector_retractions: m.detector_retractions(),
         max_sent_messages: m.max_sent_messages(),
         max_recv_messages: m.max_recv_messages(),
         mean_messages_per_node: m.mean_messages_per_node(),
+        trace_events,
+        trace_overflow,
         sound,
+    };
+
+    if let Some(mut rec) = recorder {
+        rec.registry_mut()
+            .add_counter("detector_retractions_total", m.detector_retractions());
+        let outcome_obs = RunOutcomeObs {
+            verdict: verdict.name().to_string(),
+            completed,
+            sound,
+            rounds: outcome.rounds,
+            messages: report.messages,
+            pointers: report.pointers,
+            trace_events,
+            trace_overflow,
+        };
+        if let Err(err) = rec.finish(
+            outcome_obs,
+            m.per_node_sent_messages(),
+            m.per_node_recv_messages(),
+            &knowledge,
+            &pools,
+        ) {
+            eprintln!("warning: telemetry export failed: {err}");
+        }
     }
+
+    report
 }
 
 #[cfg(test)]
@@ -521,7 +682,7 @@ mod tests {
         assert!(report.completed, "survivors did not complete");
         assert!(report.sound);
         assert_eq!(report.verdict, RunVerdict::DegradedComplete);
-        assert!(report.dropped_crash > 0);
+        assert!(report.drops.crash > 0);
     }
 
     #[test]
@@ -639,7 +800,7 @@ mod tests {
                 .with_faults(FaultPlan::new().with_drop_probability(0.05)),
         );
         assert!(report.completed);
-        assert!(report.dropped > 0);
+        assert!(report.dropped() > 0);
     }
 
     #[test]

@@ -88,13 +88,15 @@
 //! assert_eq!(sharded.metrics(), sequential.metrics());
 //! ```
 
+use rd_obs::{Phase, Recorder, SpanEvent};
 use rd_sim::engine_core::{
     merge_dest_shard, route_shard, step_node, take_capped, EngineCore, RouteDelta, RouteParams,
 };
 use rd_sim::{
-    BufferPool, Envelope, FaultPlan, MessageCost, Node, RetryPolicy, RoundEngine, RunMetrics,
-    RunOutcome, Trace,
+    round_obs, BufferPool, Envelope, FaultPlan, MessageCost, Node, RetryPolicy, RoundEngine,
+    RunMetrics, RunOutcome, Trace,
 };
+use std::time::Instant;
 
 /// Below this many staged messages per round, the per-destination merge
 /// runs on the calling thread: spawning merge workers costs more than
@@ -124,6 +126,10 @@ pub struct ShardedEngine<N: Node> {
     env_pool: BufferPool<Envelope<N::Msg>>,
     /// Recycled bucket/delay buffers for the routing phase.
     routed_pool: BufferPool<(u64, Envelope<N::Msg>)>,
+    /// The attached telemetry recorder, if observability is enabled.
+    /// Strictly outside deterministic state: wall-clock flows *into* it,
+    /// never back into the run.
+    obs: Option<Recorder>,
 }
 
 impl<N> ShardedEngine<N>
@@ -148,7 +154,17 @@ where
             workers,
             env_pool: BufferPool::new(),
             routed_pool: BufferPool::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches a telemetry [`Recorder`]: phases are timed per worker,
+    /// rounds are recorded, and attached sinks export at run end.
+    /// Purely observational — a run with a recorder is bit-identical to
+    /// the same run without one, for every worker count.
+    pub fn with_obs(mut self, recorder: Recorder) -> Self {
+        self.obs = Some(recorder);
+        self
     }
 
     /// Installs a fault plan (drops, crashes).
@@ -228,10 +244,31 @@ where
         self.core.trace()
     }
 
+    /// Records the closed round into the recorder, if one is attached.
+    fn observe_round_end(&mut self, round: u64, t_finish: Option<Instant>) {
+        if let Some(rec) = &mut self.obs {
+            rec.span_from(Phase::FinishRound, round, 0, t_finish.unwrap());
+            let row = *self
+                .core
+                .metrics()
+                .rounds()
+                .last()
+                .expect("finish_round closed a row");
+            rec.end_round(round_obs(round, &row));
+        }
+    }
+
     /// Executes one synchronous round; see the [crate docs](crate) for
     /// the three phases and which of them run in parallel.
     pub fn step(&mut self) {
+        if let Some(rec) = &mut self.obs {
+            rec.begin_round();
+        }
+        let t_begin = self.obs.as_ref().map(|_| Instant::now());
         let round = self.core.begin_round();
+        if let Some(rec) = &mut self.obs {
+            rec.span_from(Phase::BeginRound, round, 0, t_begin.unwrap());
+        }
         let suspects = self.core.suspects().to_vec();
         let n = self.nodes.len();
         // Contiguous blocks of ⌈n / workers⌉ nodes; the final shard may
@@ -244,6 +281,7 @@ where
             // thread machinery (and its overhead) entirely.
             let mut staged = self.env_pool.take();
             let mut scratch = self.env_pool.take();
+            let t_step = self.obs.as_ref().map(|_| Instant::now());
             let state = self.core.step_state();
             for (i, node) in self.nodes.iter_mut().enumerate() {
                 if state.faults.is_crashed_at(i, round) {
@@ -255,10 +293,19 @@ where
                 let inbox = take_capped(&mut state.inboxes[i], &mut scratch, state.receive_cap);
                 step_node(node, i, round, state.seed, &suspects, inbox, &mut staged);
             }
+            if let Some(rec) = &mut self.obs {
+                rec.span_from(Phase::OnRound, round, 0, t_step.unwrap());
+            }
+            let t_route = self.obs.as_ref().map(|_| Instant::now());
             self.core.route_batch(&mut staged);
+            if let Some(rec) = &mut self.obs {
+                rec.span_from(Phase::RouteShard, round, 0, t_route.unwrap());
+            }
             self.env_pool.put(staged);
             self.env_pool.put(scratch);
+            let t_finish = self.obs.as_ref().map(|_| Instant::now());
             self.core.finish_round();
+            self.observe_round_end(round, t_finish);
             return;
         }
 
@@ -267,8 +314,12 @@ where
             .map(|_| (self.env_pool.take(), self.env_pool.take()))
             .collect();
 
+        // Workers time their own stepping slice against the recorder's
+        // shared epoch (`Instant` is `Copy + Send`); the spans fold back
+        // in shard order after the join, so telemetry never races.
+        let epoch = self.obs.as_ref().map(|rec| rec.epoch());
         let state = self.core.step_state();
-        {
+        let step_spans = {
             let faults = state.faults;
             let seed = state.seed;
             let cap = state.receive_cap;
@@ -282,6 +333,7 @@ where
                     .enumerate()
                     .map(|(shard, ((nodes, inboxes), (staged, scratch)))| {
                         scope.spawn(move |_| {
+                            let start = epoch.map(|_| Instant::now());
                             for (offset, node) in nodes.iter_mut().enumerate() {
                                 let i = shard * shard_len + offset;
                                 if faults.is_crashed_at(i, round) {
@@ -291,19 +343,39 @@ where
                                 let inbox = take_capped(&mut inboxes[offset], scratch, cap);
                                 step_node(node, i, round, seed, suspects, inbox, staged);
                             }
+                            epoch.map(|e| {
+                                SpanEvent::from_instants(
+                                    e,
+                                    Phase::OnRound,
+                                    round,
+                                    shard as u32,
+                                    start.unwrap(),
+                                    Instant::now(),
+                                )
+                            })
                         })
                     })
                     .collect();
                 // Join in shard order. A panicking node program panics
                 // the engine, exactly as in the sequential engine.
+                let mut spans = Vec::new();
                 for handle in handles {
-                    if let Err(payload) = handle.join() {
-                        std::panic::resume_unwind(payload);
+                    match handle.join() {
+                        Ok(Some(span)) => spans.push(span),
+                        Ok(None) => {}
+                        Err(payload) => std::panic::resume_unwind(payload),
                     }
                 }
+                spans
             });
-            if let Err(payload) = stepped {
-                std::panic::resume_unwind(payload);
+            match stepped {
+                Ok(spans) => spans,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        };
+        if let Some(rec) = &mut self.obs {
+            for span in step_spans {
+                rec.record_span(span);
             }
         }
 
@@ -318,11 +390,14 @@ where
             &mut staged_shards,
             shard_len,
             &mut self.routed_pool,
+            self.obs.as_mut(),
         );
         for staged in staged_shards {
             self.env_pool.put(staged);
         }
+        let t_finish = self.obs.as_ref().map(|_| Instant::now());
         self.core.finish_round();
+        self.observe_round_end(round, t_finish);
     }
 
     /// Runs until `done(nodes)` holds (checked before the first round and
@@ -360,6 +435,13 @@ where
 /// Public so the routing micro-benchmark can drive the exact pipeline
 /// the engine uses.
 ///
+/// When a [`Recorder`] is passed, every route worker and merge job
+/// times itself against the recorder's epoch ([`Phase::RouteShard`] and
+/// [`Phase::MergeDestShard`] spans, one per shard), and the serial
+/// delta fold is timed as [`Phase::ApplyDeltas`]. Telemetry is folded
+/// back only after the joins, in shard order, so it cannot perturb the
+/// run.
+///
 /// # Panics
 ///
 /// Panics if any envelope addresses a node that does not exist.
@@ -368,13 +450,20 @@ pub fn route_staged<M: MessageCost + Send>(
     staged_shards: &mut [Vec<Envelope<M>>],
     shard_len: usize,
     routed_pool: &mut BufferPool<(u64, Envelope<M>)>,
+    mut obs: Option<&mut Recorder>,
 ) {
     if staged_shards.len() <= 1 {
         if let Some(staged) = staged_shards.first_mut() {
+            let round = core.round();
+            let start = obs.as_ref().map(|_| Instant::now());
             core.route_batch(staged);
+            if let Some(rec) = obs {
+                rec.span_from(Phase::RouteShard, round, 0, start.unwrap());
+            }
         }
         return;
     }
+    let epoch = obs.as_ref().map(|rec| rec.epoch());
     let shard_count = staged_shards.len();
     let total_messages: usize = staged_shards.iter().map(Vec::len).sum();
     let mut bucket_sets: Vec<RoutedBuckets<M>> = (0..shard_count)
@@ -398,7 +487,7 @@ pub fn route_staged<M: MessageCost + Send>(
 
     // Route phase: one worker per sender shard, each writing only its
     // own shard's sent-tally lanes and its own destination buckets.
-    let mut deltas: Vec<RouteDelta<M>> = {
+    let (mut deltas, route_spans): (Vec<RouteDelta<M>>, Vec<SpanEvent>) = {
         let sent_lanes = parts
             .sent_messages
             .chunks_mut(shard_len)
@@ -411,31 +500,52 @@ pub fn route_staged<M: MessageCost + Send>(
                 .enumerate()
                 .map(|(w, ((staged, (sent_messages, sent_pointers)), buckets))| {
                     scope.spawn(move |_| {
-                        route_shard(
+                        let start = epoch.map(|_| Instant::now());
+                        let delta = route_shard(
                             params,
                             staged,
                             w * shard_len,
                             sent_messages,
                             sent_pointers,
                             buckets,
-                        )
+                        );
+                        let span = epoch.map(|e| {
+                            SpanEvent::from_instants(
+                                e,
+                                Phase::RouteShard,
+                                round,
+                                w as u32,
+                                start.unwrap(),
+                                Instant::now(),
+                            )
+                        });
+                        (delta, span)
                     })
                 })
                 .collect();
             let mut deltas = Vec::with_capacity(handles.len());
+            let mut spans = Vec::new();
             for handle in handles {
                 match handle.join() {
-                    Ok(delta) => deltas.push(delta),
+                    Ok((delta, span)) => {
+                        deltas.push(delta);
+                        spans.extend(span);
+                    }
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
-            deltas
+            (deltas, spans)
         });
         match routed {
-            Ok(d) => d,
+            Ok(out) => out,
             Err(payload) => std::panic::resume_unwind(payload),
         }
     };
+    if let Some(rec) = obs.as_deref_mut() {
+        for span in route_spans {
+            rec.record_span(span);
+        }
+    }
 
     // Transpose: per destination shard, the per-worker bucket parts in
     // worker (= sender shard) order.
@@ -462,12 +572,13 @@ pub fn route_staged<M: MessageCost + Send>(
             )
             .zip(per_dest.iter_mut().zip(delayed_lists.iter_mut()))
             .enumerate();
-        if total_messages >= PARALLEL_MERGE_MIN_MESSAGES {
+        let merge_spans: Vec<SpanEvent> = if total_messages >= PARALLEL_MERGE_MIN_MESSAGES {
             let merged = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = merge_jobs
                     .map(
                         |(d, ((inboxes, (recv_messages, recv_pointers)), (parts_d, delayed)))| {
                             scope.spawn(move |_| {
+                                let start = epoch.map(|_| Instant::now());
                                 merge_dest_shard(
                                     round,
                                     d * shard_len,
@@ -476,22 +587,38 @@ pub fn route_staged<M: MessageCost + Send>(
                                     recv_messages,
                                     recv_pointers,
                                     delayed,
-                                )
+                                );
+                                epoch.map(|e| {
+                                    SpanEvent::from_instants(
+                                        e,
+                                        Phase::MergeDestShard,
+                                        round,
+                                        d as u32,
+                                        start.unwrap(),
+                                        Instant::now(),
+                                    )
+                                })
                             })
                         },
                     )
                     .collect();
+                let mut spans = Vec::new();
                 for handle in handles {
-                    if let Err(payload) = handle.join() {
-                        std::panic::resume_unwind(payload);
+                    match handle.join() {
+                        Ok(span) => spans.extend(span),
+                        Err(payload) => std::panic::resume_unwind(payload),
                     }
                 }
+                spans
             });
-            if let Err(payload) = merged {
-                std::panic::resume_unwind(payload);
+            match merged {
+                Ok(spans) => spans,
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         } else {
+            let mut spans = Vec::new();
             for (d, ((inboxes, (recv_messages, recv_pointers)), (parts_d, delayed))) in merge_jobs {
+                let start = epoch.map(|_| Instant::now());
                 merge_dest_shard(
                     round,
                     d * shard_len,
@@ -501,11 +628,31 @@ pub fn route_staged<M: MessageCost + Send>(
                     recv_pointers,
                     delayed,
                 );
+                if let Some(e) = epoch {
+                    spans.push(SpanEvent::from_instants(
+                        e,
+                        Phase::MergeDestShard,
+                        round,
+                        d as u32,
+                        start.unwrap(),
+                        Instant::now(),
+                    ));
+                }
+            }
+            spans
+        };
+        if let Some(rec) = obs.as_deref_mut() {
+            for span in merge_spans {
+                rec.record_span(span);
             }
         }
     }
 
+    let t_apply = obs.as_ref().map(|_| Instant::now());
     core.apply_route_deltas(&mut deltas, &mut delayed_lists);
+    if let Some(rec) = obs {
+        rec.span_from(Phase::ApplyDeltas, round, 0, t_apply.unwrap());
+    }
     for set in per_dest {
         for bucket in set {
             routed_pool.put(bucket);
@@ -539,6 +686,25 @@ where
 
     fn trace(&self) -> Option<&Trace> {
         ShardedEngine::trace(self)
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut Recorder> {
+        self.obs.as_mut()
+    }
+
+    fn take_obs(&mut self) -> Option<Recorder> {
+        self.obs.take()
+    }
+
+    fn pool_counters(&self) -> Vec<(&'static str, u64, u64)> {
+        let delay = self.core.pool_stats();
+        let env = self.env_pool.stats();
+        let routed = self.routed_pool.stats();
+        vec![
+            ("delay", delay.takes, delay.reuses),
+            ("env", env.takes, env.reuses),
+            ("routed", routed.takes, routed.reuses),
+        ]
     }
 }
 

@@ -1,0 +1,602 @@
+//! The JSONL run-archive format: schema v1.
+//!
+//! One file per run, one JSON object per line, `"type"` tagging the
+//! record kind. Line order is fixed so archives diff cleanly as text:
+//!
+//! ```text
+//! {"type":"header","schema":1,"algorithm":…,"topology":…,"n":…,"seed":"…","engine":…,"workers":…}
+//! {"type":"round","round":1,"wall_ns":…,"messages":…,"pointers":…,"dropped_coin":…,
+//!   "dropped_crash":…,"dropped_partition":…,"retransmissions":…,"knowledge_delta":…|null}   × rounds
+//! {"type":"phase","phase":"route_shard","count":…,"total_ns":…,"p50_ns":…,"p99_ns":…,"max_ns":…} × phases
+//! {"type":"worker","worker":0,"spans":…,"busy_ns":…}                                        × workers
+//! {"type":"counter","name":…,"value":…}                                                     × counters
+//! {"type":"gauge","name":…,"value":…}                                                       × gauges
+//! {"type":"hist","name":…,"count":…,"mean":…,"min":…,"p50":…,"p90":…,"p99":…,"max":…}        × histograms
+//! {"type":"hot_nodes","metric":"sent"|"recv","top":[{"node":…,"value":…},…]}                × 2
+//! {"type":"summary","verdict":…,"completed":…,"sound":…,"rounds":…,"messages":…,"pointers":…,
+//!   "trace_events":…,"trace_overflow":…,"span_overflow":…,"wall_ns_total":…}
+//! ```
+//!
+//! The header is always first, the summary always last and unique.
+//! `seed` is a JSON *string*: a full-range `u64` does not survive the
+//! f64 number pipeline. Consumers must reject unknown record types and
+//! unknown schema versions — that is what makes the version field
+//! load-bearing ([`validate`] enforces both).
+
+use crate::json::{escape, fmt_f64, Json};
+use crate::recorder::ObsReport;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The archive schema this crate reads and writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+const KNOWN_TYPES: [&str; 9] = [
+    "header",
+    "round",
+    "phase",
+    "worker",
+    "counter",
+    "gauge",
+    "hist",
+    "hot_nodes",
+    "summary",
+];
+
+/// Renders a finished run as the full archive text.
+pub fn render(report: &ObsReport) -> String {
+    let mut out = String::new();
+    let m = &report.meta;
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"header\",\"schema\":{SCHEMA_VERSION},\"algorithm\":{},\"topology\":{},\"n\":{},\"seed\":{},\"engine\":{},\"workers\":{}}}",
+        escape(&m.algorithm),
+        escape(&m.topology),
+        m.n,
+        escape(&m.seed.to_string()),
+        escape(&m.engine),
+        m.workers
+    );
+    for r in &report.rounds {
+        let delta = r
+            .knowledge_delta
+            .map_or("null".to_string(), |d| d.to_string());
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"round\",\"round\":{},\"wall_ns\":{},\"messages\":{},\"pointers\":{},\"dropped_coin\":{},\"dropped_crash\":{},\"dropped_partition\":{},\"retransmissions\":{},\"knowledge_delta\":{delta}}}",
+            r.round, r.wall_ns, r.messages, r.pointers, r.dropped_coin, r.dropped_crash,
+            r.dropped_partition, r.retransmissions
+        );
+    }
+    for p in &report.phases {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"phase\",\"phase\":{},\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            escape(p.phase.name()),
+            p.count,
+            p.total_ns,
+            p.hist.quantile(0.5),
+            p.hist.quantile(0.99),
+            p.hist.max()
+        );
+    }
+    for w in &report.workers {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"worker\",\"worker\":{},\"spans\":{},\"busy_ns\":{}}}",
+            w.worker, w.spans, w.busy_ns
+        );
+    }
+    for (name, v) in report.registry.counters() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{v}}}",
+            escape(name)
+        );
+    }
+    for (name, v) in report.registry.gauges() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+            escape(name),
+            fmt_f64(v)
+        );
+    }
+    for (name, h) in report.registry.histograms() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"hist\",\"name\":{},\"count\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            escape(name),
+            h.count(),
+            fmt_f64(h.mean()),
+            h.min(),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max()
+        );
+    }
+    for (metric, top) in [
+        ("sent", &report.hot_senders),
+        ("recv", &report.hot_receivers),
+    ] {
+        let items: Vec<String> = top
+            .iter()
+            .map(|&(node, value)| format!("{{\"node\":{node},\"value\":{value}}}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"hot_nodes\",\"metric\":{},\"top\":[{}]}}",
+            escape(metric),
+            items.join(",")
+        );
+    }
+    let o = &report.outcome;
+    let wall_total: u64 = report.rounds.iter().map(|r| r.wall_ns).sum();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"summary\",\"verdict\":{},\"completed\":{},\"sound\":{},\"rounds\":{},\"messages\":{},\"pointers\":{},\"trace_events\":{},\"trace_overflow\":{},\"span_overflow\":{},\"wall_ns_total\":{wall_total}}}",
+        escape(&o.verdict),
+        o.completed,
+        o.sound,
+        o.rounds,
+        o.messages,
+        o.pointers,
+        o.trace_events,
+        o.trace_overflow,
+        report.span_overflow
+    );
+    out
+}
+
+/// Parsed `header` record.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Header {
+    pub schema: u64,
+    pub algorithm: String,
+    pub topology: String,
+    pub n: u64,
+    pub seed: String,
+    pub engine: String,
+    pub workers: u64,
+}
+
+/// Parsed `round` record.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RoundRec {
+    pub round: u64,
+    pub wall_ns: u64,
+    pub messages: u64,
+    pub pointers: u64,
+    pub dropped_coin: u64,
+    pub dropped_crash: u64,
+    pub dropped_partition: u64,
+    pub retransmissions: u64,
+    pub knowledge_delta: Option<u64>,
+}
+
+/// Parsed `phase` record.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseRec {
+    pub phase: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Parsed `worker` record.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerRec {
+    pub worker: u64,
+    pub spans: u64,
+    pub busy_ns: u64,
+}
+
+/// Parsed `hist` record.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistRec {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub min: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// Parsed `summary` record.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SummaryRec {
+    pub verdict: String,
+    pub completed: bool,
+    pub sound: bool,
+    pub rounds: u64,
+    pub messages: u64,
+    pub pointers: u64,
+    pub trace_events: u64,
+    pub trace_overflow: u64,
+    pub span_overflow: u64,
+    pub wall_ns_total: u64,
+}
+
+/// A fully parsed archive.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Archive {
+    pub header: Header,
+    pub rounds: Vec<RoundRec>,
+    pub phases: Vec<PhaseRec>,
+    pub workers: Vec<WorkerRec>,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub hists: Vec<HistRec>,
+    /// `metric name → [(node, value)]`, hottest first.
+    pub hot: BTreeMap<String, Vec<(u64, u64)>>,
+    pub summary: SummaryRec,
+}
+
+/// Parses an archive strictly; the error is the first problem
+/// [`validate`] would report.
+pub fn parse(text: &str) -> Result<Archive, String> {
+    let (archive, problems) = scan(text);
+    match problems.into_iter().next() {
+        None => Ok(archive),
+        Some(p) => Err(p),
+    }
+}
+
+/// Validates an archive against schema v1, returning *every* problem
+/// found (empty = valid).
+pub fn validate(text: &str) -> Vec<String> {
+    scan(text).1
+}
+
+fn scan(text: &str) -> (Archive, Vec<String>) {
+    let mut archive = Archive::default();
+    let mut problems = Vec::new();
+    let mut saw_header = false;
+    let mut summary_line: Option<usize> = None;
+    let mut last_round: Option<u64> = None;
+    let mut nonempty_lines = 0usize;
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        nonempty_lines += 1;
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                problems.push(format!("line {lineno}: invalid JSON: {e}"));
+                continue;
+            }
+        };
+        let ty = match v.get("type").and_then(Json::as_str) {
+            Some(t) => t.to_string(),
+            None => {
+                problems.push(format!("line {lineno}: missing \"type\""));
+                continue;
+            }
+        };
+        if !KNOWN_TYPES.contains(&ty.as_str()) {
+            problems.push(format!("line {lineno}: unknown record type \"{ty}\""));
+            continue;
+        }
+        if nonempty_lines == 1 && ty != "header" {
+            problems.push(format!("line {lineno}: first record must be the header"));
+        }
+        macro_rules! field {
+            ($name:literal) => {
+                num_field(&v, $name, &ty, lineno, &mut problems)
+            };
+        }
+        match ty.as_str() {
+            "header" => {
+                if saw_header {
+                    problems.push(format!("line {lineno}: duplicate header"));
+                    continue;
+                }
+                saw_header = true;
+                let schema = field!("schema");
+                if schema != SCHEMA_VERSION {
+                    problems.push(format!(
+                        "line {lineno}: unsupported schema {schema} (this build reads {SCHEMA_VERSION})"
+                    ));
+                }
+                archive.header = Header {
+                    schema,
+                    algorithm: str_field(&v, "algorithm", lineno, &mut problems),
+                    topology: str_field(&v, "topology", lineno, &mut problems),
+                    n: field!("n"),
+                    seed: str_field(&v, "seed", lineno, &mut problems),
+                    engine: str_field(&v, "engine", lineno, &mut problems),
+                    workers: field!("workers"),
+                };
+            }
+            "round" => {
+                let rec = RoundRec {
+                    round: field!("round"),
+                    wall_ns: field!("wall_ns"),
+                    messages: field!("messages"),
+                    pointers: field!("pointers"),
+                    dropped_coin: field!("dropped_coin"),
+                    dropped_crash: field!("dropped_crash"),
+                    dropped_partition: field!("dropped_partition"),
+                    retransmissions: field!("retransmissions"),
+                    knowledge_delta: match v.get("knowledge_delta") {
+                        Some(Json::Null) => None,
+                        Some(d) => d.as_u64().or_else(|| {
+                            problems.push(format!(
+                                "line {lineno}: knowledge_delta must be a number or null"
+                            ));
+                            None
+                        }),
+                        None => {
+                            problems.push(format!(
+                                "line {lineno}: round record missing \"knowledge_delta\""
+                            ));
+                            None
+                        }
+                    },
+                };
+                if let Some(prev) = last_round {
+                    if rec.round <= prev {
+                        problems.push(format!(
+                            "line {lineno}: round {} out of order (previous {prev})",
+                            rec.round
+                        ));
+                    }
+                }
+                last_round = Some(rec.round);
+                archive.rounds.push(rec);
+            }
+            "phase" => archive.phases.push(PhaseRec {
+                phase: str_field(&v, "phase", lineno, &mut problems),
+                count: field!("count"),
+                total_ns: field!("total_ns"),
+                p50_ns: field!("p50_ns"),
+                p99_ns: field!("p99_ns"),
+                max_ns: field!("max_ns"),
+            }),
+            "worker" => archive.workers.push(WorkerRec {
+                worker: field!("worker"),
+                spans: field!("spans"),
+                busy_ns: field!("busy_ns"),
+            }),
+            "counter" => {
+                let name = str_field(&v, "name", lineno, &mut problems);
+                archive.counters.insert(name, field!("value"));
+            }
+            "gauge" => {
+                let name = str_field(&v, "name", lineno, &mut problems);
+                let value = match v.get("value").and_then(Json::as_f64) {
+                    Some(x) => x,
+                    None => {
+                        problems.push(format!(
+                            "line {lineno}: gauge record missing numeric \"value\""
+                        ));
+                        0.0
+                    }
+                };
+                archive.gauges.insert(name, value);
+            }
+            "hist" => archive.hists.push(HistRec {
+                name: str_field(&v, "name", lineno, &mut problems),
+                count: field!("count"),
+                mean: v.get("mean").and_then(Json::as_f64).unwrap_or_else(|| {
+                    problems.push(format!("line {lineno}: hist record missing \"mean\""));
+                    0.0
+                }),
+                min: field!("min"),
+                p50: field!("p50"),
+                p90: field!("p90"),
+                p99: field!("p99"),
+                max: field!("max"),
+            }),
+            "hot_nodes" => {
+                let metric = str_field(&v, "metric", lineno, &mut problems);
+                let mut top = Vec::new();
+                match v.get("top").and_then(Json::as_arr) {
+                    Some(items) => {
+                        for item in items {
+                            match (
+                                item.get("node").and_then(Json::as_u64),
+                                item.get("value").and_then(Json::as_u64),
+                            ) {
+                                (Some(node), Some(value)) => top.push((node, value)),
+                                _ => problems.push(format!(
+                                    "line {lineno}: hot_nodes entries need \"node\" and \"value\""
+                                )),
+                            }
+                        }
+                    }
+                    None => problems.push(format!(
+                        "line {lineno}: hot_nodes record missing \"top\" array"
+                    )),
+                }
+                archive.hot.insert(metric, top);
+            }
+            "summary" => {
+                if summary_line.is_some() {
+                    problems.push(format!("line {lineno}: duplicate summary"));
+                    continue;
+                }
+                summary_line = Some(nonempty_lines);
+                archive.summary = SummaryRec {
+                    verdict: str_field(&v, "verdict", lineno, &mut problems),
+                    completed: bool_field(&v, "completed", lineno, &mut problems),
+                    sound: bool_field(&v, "sound", lineno, &mut problems),
+                    rounds: field!("rounds"),
+                    messages: field!("messages"),
+                    pointers: field!("pointers"),
+                    trace_events: field!("trace_events"),
+                    trace_overflow: field!("trace_overflow"),
+                    span_overflow: field!("span_overflow"),
+                    wall_ns_total: field!("wall_ns_total"),
+                };
+            }
+            _ => unreachable!("filtered by KNOWN_TYPES"),
+        }
+    }
+
+    if nonempty_lines == 0 {
+        problems.push("empty archive".to_string());
+    } else {
+        if !saw_header {
+            problems.push("no header record".to_string());
+        }
+        match summary_line {
+            None => problems.push("no summary record".to_string()),
+            Some(at) if at != nonempty_lines => {
+                problems.push("summary record is not the last record".to_string());
+            }
+            Some(_) => {}
+        }
+    }
+    (archive, problems)
+}
+
+fn num_field(v: &Json, name: &str, ty: &str, lineno: usize, problems: &mut Vec<String>) -> u64 {
+    match v.get(name).and_then(Json::as_u64) {
+        Some(x) => x,
+        None => {
+            problems.push(format!(
+                "line {lineno}: {ty} record missing numeric \"{name}\""
+            ));
+            0
+        }
+    }
+}
+
+fn str_field(v: &Json, name: &str, lineno: usize, problems: &mut Vec<String>) -> String {
+    match v.get(name).and_then(Json::as_str) {
+        Some(s) => s.to_string(),
+        None => {
+            problems.push(format!("line {lineno}: missing string \"{name}\""));
+            String::new()
+        }
+    }
+}
+
+fn bool_field(v: &Json, name: &str, lineno: usize, problems: &mut Vec<String>) -> bool {
+    match v.get(name).and_then(Json::as_bool) {
+        Some(b) => b,
+        None => {
+            problems.push(format!("line {lineno}: missing boolean \"{name}\""));
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, RoundObs, RunMeta, RunOutcomeObs};
+    use crate::span::Phase;
+    use std::time::Instant;
+
+    fn sample_archive_text() -> String {
+        let mut rec = Recorder::new(RunMeta {
+            algorithm: "name-dropper".into(),
+            topology: "k-out-3".into(),
+            n: 128,
+            seed: u64::MAX - 1,
+            engine: "sharded:4".into(),
+            workers: 4,
+        });
+        for r in 1..=4u64 {
+            rec.begin_round();
+            for w in 0..4 {
+                rec.span_from(Phase::OnRound, r, w, Instant::now());
+                rec.span_from(Phase::RouteShard, r, w, Instant::now());
+            }
+            rec.span_from(Phase::FinishRound, r, 0, Instant::now());
+            rec.end_round(RoundObs {
+                round: r,
+                wall_ns: 0,
+                messages: 100 + r,
+                pointers: 300 + r,
+                dropped_coin: r % 2,
+                dropped_crash: 0,
+                dropped_partition: 0,
+                retransmissions: 1,
+                knowledge_delta: None,
+            });
+        }
+        let report = rec
+            .finish(
+                RunOutcomeObs {
+                    verdict: "complete-sound".into(),
+                    completed: true,
+                    sound: true,
+                    rounds: 4,
+                    messages: 410,
+                    pointers: 1210,
+                    trace_events: 77,
+                    trace_overflow: 3,
+                },
+                &[9, 1, 4],
+                &[2, 8, 4],
+                &[(0, 500), (1, 600), (2, 640), (3, 680), (4, 700)],
+                &[("delay", 8, 5)],
+            )
+            .unwrap();
+        render(&report)
+    }
+
+    #[test]
+    fn rendered_archives_validate_and_round_trip() {
+        let text = sample_archive_text();
+        assert_eq!(validate(&text), Vec::<String>::new());
+        let a = parse(&text).unwrap();
+        assert_eq!(a.header.schema, SCHEMA_VERSION);
+        assert_eq!(a.header.seed, (u64::MAX - 1).to_string());
+        assert_eq!(a.rounds.len(), 4);
+        assert_eq!(a.rounds[1].knowledge_delta, Some(40));
+        assert_eq!(a.summary.trace_overflow, 3);
+        assert_eq!(a.counters["retransmissions_total"], 4);
+        assert_eq!(a.hot["sent"][0], (0, 9));
+        assert!(a.phases.iter().any(|p| p.phase == "route_shard"));
+        assert_eq!(a.workers.len(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_schema_drift() {
+        let text = sample_archive_text();
+        let bumped = text.replace("\"schema\":1", "\"schema\":999");
+        assert!(validate(&bumped)
+            .iter()
+            .any(|p| p.contains("unsupported schema 999")));
+
+        let unknown = text.replace("\"type\":\"worker\"", "\"type\":\"wurker\"");
+        assert!(validate(&unknown)
+            .iter()
+            .any(|p| p.contains("unknown record type")));
+    }
+
+    #[test]
+    fn validate_rejects_structural_damage() {
+        let text = sample_archive_text();
+        // Drop the summary line.
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.contains("\"type\":\"summary\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate(&truncated)
+            .iter()
+            .any(|p| p.contains("no summary record")));
+
+        // Reorder so the header is not first.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.swap(0, 1);
+        let swapped = lines.join("\n");
+        let problems = validate(&swapped);
+        assert!(problems.iter().any(|p| p.contains("first record")));
+
+        assert!(validate("").iter().any(|p| p.contains("empty archive")));
+    }
+}

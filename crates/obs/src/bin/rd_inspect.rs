@@ -1,0 +1,91 @@
+//! rd-inspect: summarize, diff, and validate JSONL run archives.
+//!
+//! ```text
+//! rd-inspect summarize <archive.jsonl>
+//! rd-inspect diff <a.jsonl> <b.jsonl>
+//! rd-inspect validate <archive.jsonl>...
+//! ```
+//!
+//! Exit codes: 0 on success, 1 when validation finds problems (or a
+//! file fails to parse), 2 on usage errors.
+
+use rd_obs::{archive, inspect};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rd-inspect summarize <archive.jsonl>\n  rd-inspect diff <a.jsonl> <b.jsonl>\n  rd-inspect validate <archive.jsonl>..."
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("rd-inspect: cannot read {path}: {e}");
+        ExitCode::from(1)
+    })
+}
+
+fn parse(path: &str) -> Result<archive::Archive, ExitCode> {
+    archive::parse(&read(path)?).map_err(|e| {
+        eprintln!("rd-inspect: {path}: {e}");
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summarize") => {
+            let [path] = &args[1..] else { return usage() };
+            match parse(path) {
+                Ok(a) => {
+                    print!("{}", inspect::summarize(&a));
+                    ExitCode::SUCCESS
+                }
+                Err(code) => code,
+            }
+        }
+        Some("diff") => {
+            let [pa, pb] = &args[1..] else { return usage() };
+            match (parse(pa), parse(pb)) {
+                (Ok(a), Ok(b)) => {
+                    print!("{}", inspect::diff(pa, &a, pb, &b));
+                    ExitCode::SUCCESS
+                }
+                (Err(code), _) | (_, Err(code)) => code,
+            }
+        }
+        Some("validate") => {
+            if args.len() < 2 {
+                return usage();
+            }
+            let mut failed = false;
+            for path in &args[1..] {
+                let text = match read(path) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        failed = true;
+                        continue;
+                    }
+                };
+                let problems = archive::validate(&text);
+                if problems.is_empty() {
+                    println!("{path}: ok (schema {})", archive::SCHEMA_VERSION);
+                } else {
+                    failed = true;
+                    println!("{path}: {} problem(s)", problems.len());
+                    for p in &problems {
+                        println!("  {p}");
+                    }
+                }
+            }
+            if failed {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

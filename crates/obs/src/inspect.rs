@@ -1,0 +1,343 @@
+//! Archive summarization and diffing — the library half of the
+//! `rd-inspect` binary, kept here so it is unit-testable.
+
+use crate::archive::Archive;
+use std::fmt::Write as _;
+
+/// Renders a human-readable summary of one archive: run identity,
+/// verdict, headline totals, per-round distributions, phase timings,
+/// worker utilization, and hot nodes.
+pub fn summarize(archive: &Archive) -> String {
+    let h = &archive.header;
+    let s = &archive.summary;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run: {} on {}, n={}, seed={}, engine={} (schema {})",
+        h.algorithm, h.topology, h.n, h.seed, h.engine, h.schema
+    );
+    let _ = writeln!(
+        out,
+        "verdict: {} in {} rounds, {:.3}s wall",
+        s.verdict,
+        s.rounds,
+        s.wall_ns_total as f64 / 1e9
+    );
+    let coin = archive
+        .counters
+        .get("dropped_coin_total")
+        .copied()
+        .unwrap_or(0);
+    let crash = archive
+        .counters
+        .get("dropped_crash_total")
+        .copied()
+        .unwrap_or(0);
+    let partition = archive
+        .counters
+        .get("dropped_partition_total")
+        .copied()
+        .unwrap_or(0);
+    let retrans = archive
+        .counters
+        .get("retransmissions_total")
+        .copied()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "totals: {} messages, {} pointers, {} dropped (coin {coin}, crash {crash}, partition {partition}), {retrans} retransmitted",
+        s.messages,
+        s.pointers,
+        coin + crash + partition
+    );
+    let trace_note = if s.trace_overflow > 0 {
+        " — TRACE TRUNCATED, counts below reflect the retained prefix only"
+    } else {
+        ""
+    };
+    let _ = writeln!(
+        out,
+        "trace: {} events, {} overflowed{trace_note}",
+        s.trace_events, s.trace_overflow
+    );
+    if s.span_overflow > 0 {
+        let _ = writeln!(out, "spans: {} overflowed the span buffer", s.span_overflow);
+    }
+
+    if !archive.hists.is_empty() {
+        let _ = writeln!(out, "\ndistributions:");
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "mean", "p50", "p99", "max"
+        );
+        for hist in &archive.hists {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} {:>12.1} {:>12} {:>12} {:>12}",
+                hist.name, hist.count, hist.mean, hist.p50, hist.p99, hist.max
+            );
+        }
+    }
+
+    if !archive.phases.is_empty() {
+        let _ = writeln!(out, "\nphase timings:");
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "phase", "spans", "total_ms", "p50_us", "p99_us", "max_us"
+        );
+        for p in &archive.phases {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>8} {:>12.3} {:>12.1} {:>12.1} {:>12.1}",
+                p.phase,
+                p.count,
+                p.total_ns as f64 / 1e6,
+                p.p50_ns as f64 / 1e3,
+                p.p99_ns as f64 / 1e3,
+                p.max_ns as f64 / 1e3
+            );
+        }
+    }
+
+    if archive.workers.len() > 1 {
+        let _ = writeln!(out, "\nworkers:");
+        let busiest = archive.workers.iter().map(|w| w.busy_ns).max().unwrap_or(0);
+        for w in &archive.workers {
+            let rel = if busiest == 0 {
+                1.0
+            } else {
+                w.busy_ns as f64 / busiest as f64
+            };
+            let _ = writeln!(
+                out,
+                "  worker {:>3}: {:>8} spans, {:>10.3} ms busy ({:>5.1}% of busiest)",
+                w.worker,
+                w.spans,
+                w.busy_ns as f64 / 1e6,
+                rel * 100.0
+            );
+        }
+        if let Some(imb) = archive.gauges.get("worker_imbalance") {
+            let _ = writeln!(out, "  imbalance (max/mean busy): {imb:.3}");
+        }
+    }
+
+    for (metric, label) in [("sent", "top senders"), ("recv", "top receivers")] {
+        if let Some(top) = archive.hot.get(metric) {
+            if !top.is_empty() {
+                let items: Vec<String> = top
+                    .iter()
+                    .map(|&(node, value)| format!("{node} ({value})"))
+                    .collect();
+                let _ = writeln!(out, "{label}: {}", items.join(", "));
+            }
+        }
+    }
+    out
+}
+
+/// Renders a field-by-field comparison of two archives: identity
+/// mismatches, summary deltas, phase-total deltas, and counters that
+/// differ. `label_a`/`label_b` caption the columns.
+pub fn diff(label_a: &str, a: &Archive, label_b: &str, b: &Archive) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "a: {label_a}\nb: {label_b}");
+
+    let ha = &a.header;
+    let hb = &b.header;
+    let identity = [
+        ("algorithm", ha.algorithm.clone(), hb.algorithm.clone()),
+        ("topology", ha.topology.clone(), hb.topology.clone()),
+        ("n", ha.n.to_string(), hb.n.to_string()),
+        ("seed", ha.seed.clone(), hb.seed.clone()),
+        ("engine", ha.engine.clone(), hb.engine.clone()),
+    ];
+    let mismatched: Vec<&(&str, String, String)> =
+        identity.iter().filter(|(_, x, y)| x != y).collect();
+    if mismatched.is_empty() {
+        let _ = writeln!(out, "identity: same run shape on both sides");
+    } else {
+        let _ = writeln!(out, "identity differences:");
+        for (name, x, y) in mismatched {
+            let _ = writeln!(out, "  {name:<12} {x} -> {y}");
+        }
+    }
+
+    let _ = writeln!(out, "\nsummary:");
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>16} {:>16} {:>10}",
+        "field", "a", "b", "delta"
+    );
+    let sa = &a.summary;
+    let sb = &b.summary;
+    for (name, x, y) in [
+        ("rounds", sa.rounds, sb.rounds),
+        ("messages", sa.messages, sb.messages),
+        ("pointers", sa.pointers, sb.pointers),
+        (
+            "retransmissions",
+            count(a, "retransmissions_total"),
+            count(b, "retransmissions_total"),
+        ),
+        (
+            "dropped_coin",
+            count(a, "dropped_coin_total"),
+            count(b, "dropped_coin_total"),
+        ),
+        (
+            "dropped_crash",
+            count(a, "dropped_crash_total"),
+            count(b, "dropped_crash_total"),
+        ),
+        (
+            "dropped_partition",
+            count(a, "dropped_partition_total"),
+            count(b, "dropped_partition_total"),
+        ),
+        ("trace_events", sa.trace_events, sb.trace_events),
+        ("trace_overflow", sa.trace_overflow, sb.trace_overflow),
+        ("wall_ns_total", sa.wall_ns_total, sb.wall_ns_total),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>16} {:>16} {:>10}",
+            name,
+            x,
+            y,
+            delta_pct(x, y)
+        );
+    }
+    if sa.verdict != sb.verdict {
+        let _ = writeln!(
+            out,
+            "  verdict              {} -> {}",
+            sa.verdict, sb.verdict
+        );
+    }
+
+    let phase_pairs: Vec<(&str, u64, u64)> = a
+        .phases
+        .iter()
+        .filter_map(|pa| {
+            b.phases
+                .iter()
+                .find(|pb| pb.phase == pa.phase)
+                .map(|pb| (pa.phase.as_str(), pa.total_ns, pb.total_ns))
+        })
+        .collect();
+    if !phase_pairs.is_empty() {
+        let _ = writeln!(out, "\nphase totals (ms):");
+        for (phase, x, y) in phase_pairs {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>14.3} {:>14.3} {:>10}",
+                phase,
+                x as f64 / 1e6,
+                y as f64 / 1e6,
+                delta_pct(x, y)
+            );
+        }
+    }
+
+    let mut divergent: Vec<String> = Vec::new();
+    let names: std::collections::BTreeSet<&String> =
+        a.counters.keys().chain(b.counters.keys()).collect();
+    for name in names {
+        let x = a.counters.get(name).copied().unwrap_or(0);
+        let y = b.counters.get(name).copied().unwrap_or(0);
+        if x != y {
+            divergent.push(format!(
+                "  {name:<28} {x:>14} {y:>14} {:>10}",
+                delta_pct(x, y)
+            ));
+        }
+    }
+    if divergent.is_empty() {
+        let _ = writeln!(out, "\ncounters: identical on both sides");
+    } else {
+        let _ = writeln!(out, "\ncounters that differ:");
+        for line in divergent {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+fn count(a: &Archive, name: &str) -> u64 {
+    a.counters.get(name).copied().unwrap_or(0)
+}
+
+fn delta_pct(a: u64, b: u64) -> String {
+    if a == b {
+        return "=".to_string();
+    }
+    if a == 0 {
+        return "new".to_string();
+    }
+    format!("{:+.1}%", (b as f64 - a as f64) / a as f64 * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive;
+
+    fn archive_from(text: &str) -> Archive {
+        archive::parse(text).unwrap()
+    }
+
+    fn sample(messages: u64, overflow: u64) -> String {
+        format!(
+            concat!(
+                "{{\"type\":\"header\",\"schema\":1,\"algorithm\":\"hm\",\"topology\":\"k-out-3\",\"n\":64,\"seed\":\"7\",\"engine\":\"sharded:2\",\"workers\":2}}\n",
+                "{{\"type\":\"round\",\"round\":1,\"wall_ns\":1000,\"messages\":{m},\"pointers\":9,\"dropped_coin\":1,\"dropped_crash\":0,\"dropped_partition\":0,\"retransmissions\":0,\"knowledge_delta\":null}}\n",
+                "{{\"type\":\"phase\",\"phase\":\"route_shard\",\"count\":2,\"total_ns\":800,\"p50_ns\":400,\"p99_ns\":500,\"max_ns\":500}}\n",
+                "{{\"type\":\"worker\",\"worker\":0,\"spans\":2,\"busy_ns\":700}}\n",
+                "{{\"type\":\"worker\",\"worker\":1,\"spans\":2,\"busy_ns\":500}}\n",
+                "{{\"type\":\"counter\",\"name\":\"messages_total\",\"value\":{m}}}\n",
+                "{{\"type\":\"counter\",\"name\":\"dropped_coin_total\",\"value\":1}}\n",
+                "{{\"type\":\"gauge\",\"name\":\"worker_imbalance\",\"value\":1.17}}\n",
+                "{{\"type\":\"hist\",\"name\":\"round_messages\",\"count\":1,\"mean\":{m},\"min\":{m},\"p50\":{m},\"p90\":{m},\"p99\":{m},\"max\":{m}}}\n",
+                "{{\"type\":\"hot_nodes\",\"metric\":\"sent\",\"top\":[{{\"node\":3,\"value\":5}}]}}\n",
+                "{{\"type\":\"hot_nodes\",\"metric\":\"recv\",\"top\":[]}}\n",
+                "{{\"type\":\"summary\",\"verdict\":\"complete-sound\",\"completed\":true,\"sound\":true,\"rounds\":1,\"messages\":{m},\"pointers\":9,\"trace_events\":4,\"trace_overflow\":{ov},\"span_overflow\":0,\"wall_ns_total\":1000}}\n",
+            ),
+            m = messages,
+            ov = overflow
+        )
+    }
+
+    #[test]
+    fn summarize_covers_the_headline_sections() {
+        let text = summarize(&archive_from(&sample(42, 0)));
+        assert!(text.contains("hm on k-out-3, n=64"));
+        assert!(text.contains("complete-sound in 1 rounds"));
+        assert!(text.contains("route_shard"));
+        assert!(text.contains("top senders: 3 (5)"));
+        assert!(text.contains("imbalance"));
+        assert!(!text.contains("TRACE TRUNCATED"));
+    }
+
+    #[test]
+    fn summarize_flags_truncated_traces() {
+        let text = summarize(&archive_from(&sample(42, 9)));
+        assert!(text.contains("TRACE TRUNCATED"));
+        assert!(text.contains("9 overflowed"));
+    }
+
+    #[test]
+    fn diff_reports_identical_and_divergent_runs() {
+        let a = archive_from(&sample(100, 0));
+        let same = diff("a.jsonl", &a, "b.jsonl", &a);
+        assert!(same.contains("counters: identical"));
+        assert!(same.contains("same run shape"));
+
+        let b = archive_from(&sample(150, 0));
+        let changed = diff("a.jsonl", &a, "b.jsonl", &b);
+        assert!(changed.contains("+50.0%"));
+        assert!(changed.contains("messages_total"));
+    }
+}

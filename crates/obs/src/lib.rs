@@ -1,0 +1,38 @@
+//! rd-obs: structured telemetry, run archives, and inspection tooling
+//! for resource-discovery runs.
+//!
+//! The crate sits *below* the engines in the dependency graph: rd-sim,
+//! rd-exec, and the drivers attach a [`Recorder`] when observability is
+//! requested and leave it `None` otherwise. Two invariants define the
+//! design:
+//!
+//! 1. **Zero cost when disabled.** An engine with no recorder never
+//!    reads a clock and never branches beyond one `Option` check per
+//!    phase.
+//! 2. **Wall-clock never feeds protocol state.** The recorder is
+//!    write-only from the engine's perspective: spans, round rows, and
+//!    registry metrics are produced from deterministic values plus
+//!    `Instant` reads, and nothing flows back. Enabling any sink
+//!    combination therefore leaves runs bit-identical across engines
+//!    and worker counts (property-tested in
+//!    `tests/prop_engine_equivalence.rs`).
+//!
+//! Exporters: [`JsonlArchiveSink`] (the schema-versioned run archive —
+//! see [`archive`]), [`ChromeTraceSink`] (Perfetto-loadable trace of
+//! per-worker phase spans), [`PrometheusSink`] (text exposition). The
+//! `rd-inspect` binary summarizes, diffs, and validates archives.
+
+pub mod archive;
+pub mod hist;
+pub mod inspect;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use hist::Histogram;
+pub use recorder::{ObsReport, Recorder, RoundObs, RunMeta, RunOutcomeObs};
+pub use registry::MetricsRegistry;
+pub use sink::{ChromeTraceSink, JsonlArchiveSink, ObsSink, PrometheusSink};
+pub use span::{Phase, SpanEvent};

@@ -1,0 +1,254 @@
+//! The [`ObsSink`] trait and the built-in exporters.
+//!
+//! A sink sees telemetry as it is recorded (`on_span`, `on_round`) and
+//! once at the end with the fully assembled [`ObsReport`]
+//! (`on_finish`). The three built-ins — JSONL archive, Chrome
+//! trace-event JSON, Prometheus text exposition — do all their writing
+//! in `on_finish`, because the most useful views (distributions,
+//! knowledge deltas, worker imbalance) only exist once the run is
+//! complete. Streaming consumers (a live dashboard, a test harness
+//! counting events) implement the per-event hooks.
+
+use crate::json::{escape, fmt_f64};
+use crate::recorder::{ObsReport, RoundObs};
+use crate::span::SpanEvent;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where exported telemetry goes. All hooks have empty defaults, so a
+/// sink implements only what it consumes.
+pub trait ObsSink: Send {
+    /// A span was recorded (called in recording order).
+    fn on_span(&mut self, _span: &SpanEvent) {}
+    /// A round closed out.
+    fn on_round(&mut self, _round: &RoundObs) {}
+    /// The run ended; `report` is final. Exporters write here.
+    fn on_finish(&mut self, _report: &ObsReport) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes the schema-versioned JSONL run archive (one file per run,
+/// one record per line — see `crate::archive` for the schema).
+pub struct JsonlArchiveSink {
+    path: PathBuf,
+}
+
+impl JsonlArchiveSink {
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JsonlArchiveSink { path: path.into() }
+    }
+}
+
+impl ObsSink for JsonlArchiveSink {
+    fn on_finish(&mut self, report: &ObsReport) -> io::Result<()> {
+        write_atomic(&self.path, &crate::archive::render(report))
+    }
+}
+
+/// Writes Chrome trace-event JSON (the "JSON object format"), loadable
+/// in Perfetto / `chrome://tracing` for a flame-style view of a run:
+/// one track per worker, one slice per span.
+pub struct ChromeTraceSink {
+    path: PathBuf,
+}
+
+impl ChromeTraceSink {
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        ChromeTraceSink { path: path.into() }
+    }
+}
+
+impl ObsSink for ChromeTraceSink {
+    fn on_finish(&mut self, report: &ObsReport) -> io::Result<()> {
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let mut first = true;
+        let mut workers: Vec<u32> = report.spans.iter().map(|s| s.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for w in workers {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{w},\"args\":{{\"name\":\"worker {w}\"}}}}"
+                ),
+            );
+        }
+        for s in &report.spans {
+            // Trace-event timestamps are microseconds; keep sub-µs
+            // resolution as a fraction.
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":{},\"cat\":\"engine\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"round\":{}}}}}",
+                    escape(s.phase.name()),
+                    fmt_f64(s.start_ns as f64 / 1e3),
+                    fmt_f64(s.dur_ns as f64 / 1e3),
+                    s.worker,
+                    s.round
+                ),
+            );
+        }
+        let _ = write!(
+            out,
+            "\n],\"otherData\":{{\"algorithm\":{},\"engine\":{},\"n\":{},\"seed\":{},\"span_overflow\":{}}}}}\n",
+            escape(&report.meta.algorithm),
+            escape(&report.meta.engine),
+            report.meta.n,
+            escape(&report.meta.seed.to_string()),
+            report.span_overflow
+        );
+        write_atomic(&self.path, &out)
+    }
+}
+
+fn push_event(out: &mut String, first: &mut bool, event: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(event);
+}
+
+/// Writes Prometheus text exposition (format 0.0.4): every registry
+/// counter and gauge as an `rd_`-prefixed metric with run-identity
+/// labels, histograms as summaries with `quantile` labels.
+pub struct PrometheusSink {
+    path: PathBuf,
+}
+
+impl PrometheusSink {
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        PrometheusSink { path: path.into() }
+    }
+}
+
+impl ObsSink for PrometheusSink {
+    fn on_finish(&mut self, report: &ObsReport) -> io::Result<()> {
+        let m = &report.meta;
+        let labels = format!(
+            "algorithm=\"{}\",topology=\"{}\",engine=\"{}\",n=\"{}\",seed=\"{}\"",
+            m.algorithm, m.topology, m.engine, m.n, m.seed
+        );
+        let mut out = String::new();
+        for (name, v) in report.registry.counters() {
+            let _ = writeln!(out, "# TYPE rd_{name} counter");
+            let _ = writeln!(out, "rd_{name}{{{labels}}} {v}");
+        }
+        for (name, v) in report.registry.gauges() {
+            let _ = writeln!(out, "# TYPE rd_{name} gauge");
+            let _ = writeln!(out, "rd_{name}{{{labels}}} {}", fmt_f64(v));
+        }
+        for (name, h) in report.registry.histograms() {
+            let _ = writeln!(out, "# TYPE rd_{name} summary");
+            for q in [0.5, 0.9, 0.99, 1.0] {
+                let _ = writeln!(
+                    out,
+                    "rd_{name}{{{labels},quantile=\"{q}\"}} {}",
+                    h.quantile(q)
+                );
+            }
+            let _ = writeln!(out, "rd_{name}_sum{{{labels}}} {}", fmt_f64(h.sum() as f64));
+            let _ = writeln!(out, "rd_{name}_count{{{labels}}} {}", h.count());
+        }
+        write_atomic(&self.path, &out)
+    }
+}
+
+/// Writes via a temp file + rename so a crashing run never leaves a
+/// half-written artifact where a complete one is expected.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, RunMeta, RunOutcomeObs};
+    use crate::span::Phase;
+    use std::time::Instant;
+
+    fn sample_report() -> ObsReport {
+        let mut rec = Recorder::new(RunMeta {
+            algorithm: "hm".into(),
+            topology: "k-out-3".into(),
+            n: 64,
+            seed: 7,
+            engine: "sharded:2".into(),
+            workers: 2,
+        });
+        rec.begin_round();
+        rec.span_from(Phase::OnRound, 1, 0, Instant::now());
+        rec.span_from(Phase::OnRound, 1, 1, Instant::now());
+        rec.end_round(RoundObs {
+            round: 1,
+            wall_ns: 0,
+            messages: 12,
+            pointers: 30,
+            dropped_coin: 0,
+            dropped_crash: 0,
+            dropped_partition: 0,
+            retransmissions: 0,
+            knowledge_delta: None,
+        });
+        rec.finish(
+            RunOutcomeObs {
+                verdict: "complete-sound".into(),
+                completed: true,
+                sound: true,
+                rounds: 1,
+                messages: 12,
+                pointers: 30,
+                trace_events: 0,
+                trace_overflow: 0,
+            },
+            &[3, 1],
+            &[2, 2],
+            &[],
+            &[("delay", 4, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_slice_per_span() {
+        let report = sample_report();
+        let dir = std::env::temp_dir().join("rd_obs_sink_test_chrome");
+        let path = dir.join("trace.json");
+        ChromeTraceSink::new(&path).on_finish(&report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = crate::json::Json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let slices = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count();
+        assert_eq!(slices, report.spans.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prometheus_exposition_has_counters_and_quantiles() {
+        let report = sample_report();
+        let dir = std::env::temp_dir().join("rd_obs_sink_test_prom");
+        let path = dir.join("run.prom");
+        PrometheusSink::new(&path).on_finish(&report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# TYPE rd_messages_total counter"));
+        assert!(text.contains("rd_messages_total{algorithm=\"hm\""));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("rd_pool_delay_hit_rate"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

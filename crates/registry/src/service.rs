@@ -55,6 +55,43 @@ impl MessageCost for RegistryMsg {
     }
 }
 
+/// Operation counters of the registry protocol — how much directory
+/// work a machine (or, summed, the whole run) performed.
+///
+/// Purely observational bookkeeping: the protocol never reads them.
+/// [`export_into`](RegistryOps::export_into) publishes them to a
+/// telemetry metrics registry under `registry_*` counter names.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryOps {
+    /// Publish operations (initial placement; self-owned keys count).
+    pub publishes: u64,
+    /// Publish operations repeated because the failure detector's
+    /// report changed (owner failover).
+    pub republishes: u64,
+    /// Lookup operations issued, including retries of unresolved keys.
+    pub lookups: u64,
+    /// Lookup replies served from this machine's owner-side store.
+    pub replies: u64,
+}
+
+impl RegistryOps {
+    /// Folds another machine's counters into this one.
+    pub fn merge(&mut self, other: &RegistryOps) {
+        self.publishes += other.publishes;
+        self.republishes += other.republishes;
+        self.lookups += other.lookups;
+        self.replies += other.replies;
+    }
+
+    /// Publishes the counters into a telemetry metrics registry.
+    pub fn export_into(&self, registry: &mut rd_obs::MetricsRegistry) {
+        registry.add_counter("registry_publishes_total", self.publishes);
+        registry.add_counter("registry_republishes_total", self.republishes);
+        registry.add_counter("registry_lookups_total", self.lookups);
+        registry.add_counter("registry_replies_total", self.replies);
+    }
+}
+
 /// One machine of the registry protocol (phase two).
 #[derive(Debug, Clone)]
 pub struct RegistryNode {
@@ -69,6 +106,8 @@ pub struct RegistryNode {
     resolved: HashMap<u64, NodeId>,
     /// The failure detector's current suspect set (owner failover).
     suspects: Vec<NodeId>,
+    /// Directory-operation counters (observability).
+    ops: RegistryOps,
 }
 
 impl RegistryNode {
@@ -81,6 +120,7 @@ impl RegistryNode {
             store: HashMap::new(),
             resolved: HashMap::new(),
             suspects: Vec::new(),
+            ops: RegistryOps::default(),
         }
     }
 
@@ -96,8 +136,18 @@ impl RegistryNode {
     }
 
     /// Publishes every local resource to its current live owner.
-    fn publish_all(&mut self, me: NodeId, ctx: &mut RoundContext<'_, RegistryMsg>) {
+    /// `republish` marks failover repetition for the operation counters.
+    fn publish_all(
+        &mut self,
+        me: NodeId,
+        republish: bool,
+        ctx: &mut RoundContext<'_, RegistryMsg>,
+    ) {
         for &key in &self.resources.clone() {
+            self.ops.publishes += 1;
+            if republish {
+                self.ops.republishes += 1;
+            }
             let owner = self.live_owner(key);
             if owner == me {
                 self.store.insert(key, me);
@@ -121,6 +171,11 @@ impl RegistryNode {
     pub fn stored(&self) -> usize {
         self.store.len()
     }
+
+    /// This machine's directory-operation counters.
+    pub fn ops(&self) -> RegistryOps {
+        self.ops
+    }
 }
 
 impl Node for RegistryNode {
@@ -138,7 +193,7 @@ impl Node for RegistryNode {
         // loop below re-aim at the survivors.
         if ctx.suspects() != self.suspects.as_slice() {
             self.suspects = ctx.suspects().to_vec();
-            self.publish_all(me, ctx);
+            self.publish_all(me, true, ctx);
         }
         for env in inbox.drain(..) {
             match env.payload {
@@ -146,6 +201,7 @@ impl Node for RegistryNode {
                     self.store.insert(key, env.src);
                 }
                 RegistryMsg::Lookup { key } => {
+                    self.ops.replies += 1;
                     let holder = self.store.get(&key).copied();
                     ctx.send(env.src, RegistryMsg::Found { key, holder });
                 }
@@ -160,7 +216,7 @@ impl Node for RegistryNode {
         match ctx.round() {
             0 => {
                 // Publish local resources to their owners.
-                self.publish_all(me, ctx);
+                self.publish_all(me, false, ctx);
             }
             r if r >= 2 && r % 2 == 0 => {
                 // Issue (and re-issue) unresolved lookups; publishes from
@@ -170,6 +226,7 @@ impl Node for RegistryNode {
                     if self.resolved.contains_key(&key) {
                         continue;
                     }
+                    self.ops.lookups += 1;
                     let owner = self.live_owner(key);
                     if owner == me {
                         if let Some(&h) = self.store.get(&key) {
@@ -198,6 +255,21 @@ pub struct PipelineReport {
     pub registry_messages: u64,
     /// Whether every machine resolved every query correctly.
     pub all_resolved: bool,
+    /// Directory-operation counters, summed across machines.
+    pub ops: RegistryOps,
+}
+
+impl PipelineReport {
+    /// Publishes the pipeline's counters into a telemetry metrics
+    /// registry: the summed [`RegistryOps`] plus per-phase round and
+    /// message totals.
+    pub fn export_into(&self, registry: &mut rd_obs::MetricsRegistry) {
+        self.ops.export_into(registry);
+        registry.add_counter("registry_discovery_rounds_total", self.discovery_rounds);
+        registry.add_counter("registry_phase_rounds_total", self.registry_rounds);
+        registry.add_counter("registry_discovery_messages_total", self.discovery_messages);
+        registry.add_counter("registry_phase_messages_total", self.registry_messages);
+    }
 }
 
 /// Runs discovery (the HM algorithm) and then the registry protocol on
@@ -290,12 +362,17 @@ pub fn run_pipeline_faulted(
             })
     });
 
+    let mut ops = RegistryOps::default();
+    for node in registry.nodes() {
+        ops.merge(&node.ops());
+    }
     PipelineReport {
         discovery_rounds: outcome.rounds,
         registry_rounds: reg_outcome.rounds,
         discovery_messages: discovery.metrics().total_messages(),
         registry_messages: registry.metrics().total_messages(),
         all_resolved: reg_outcome.completed && correct,
+        ops,
     }
 }
 
@@ -371,5 +448,67 @@ mod tests {
         // than ~4x the mean.
         // (Load inspected indirectly: the pipeline asserts correctness;
         // placement balance itself is property-tested in `placement`.)
+    }
+
+    #[test]
+    fn op_counters_match_the_fault_free_workload() {
+        let (n, resources, queries) = (64u64, 4u64, 3u64);
+        let report = run_pipeline(
+            Topology::KOut { k: 3 },
+            n as usize,
+            7,
+            resources as u32,
+            queries as u32,
+        );
+        assert!(report.all_resolved);
+        // Round 0 publishes each local key exactly once; nothing fails,
+        // so nothing is republished and the first lookup wave resolves
+        // every query — no retries.
+        assert_eq!(report.ops.publishes, n * resources);
+        assert_eq!(report.ops.republishes, 0);
+        assert_eq!(report.ops.lookups, n * queries);
+        // Self-owned keys resolve locally without a Lookup message, so
+        // owner-side replies cover the remote subset only.
+        assert!(report.ops.replies > 0);
+        assert!(report.ops.replies <= report.ops.lookups);
+    }
+
+    #[test]
+    fn failover_shows_up_as_republishes() {
+        let faults = FaultPlan::new()
+            .with_crash_at(5, 2)
+            .with_crash_detection_after(2);
+        let report = run_pipeline_faulted(Topology::KOut { k: 3 }, 48, 7, 4, 2, faults);
+        assert!(report.all_resolved);
+        assert!(
+            report.ops.republishes > 0,
+            "a detected crash must trigger owner failover republishes"
+        );
+        // Unresolved keys are retried, so the lookup count exceeds the
+        // fault-free single wave.
+        assert!(report.ops.lookups > 48 * 2);
+    }
+
+    #[test]
+    fn ops_export_as_telemetry_counters() {
+        let report = run_pipeline(Topology::KOut { k: 3 }, 32, 3, 2, 2);
+        let mut metrics = rd_obs::MetricsRegistry::new();
+        report.export_into(&mut metrics);
+        assert_eq!(
+            metrics.counter("registry_publishes_total"),
+            Some(report.ops.publishes)
+        );
+        assert_eq!(
+            metrics.counter("registry_lookups_total"),
+            Some(report.ops.lookups)
+        );
+        assert_eq!(
+            metrics.counter("registry_discovery_rounds_total"),
+            Some(report.discovery_rounds)
+        );
+        assert_eq!(
+            metrics.counter("registry_phase_messages_total"),
+            Some(report.registry_messages)
+        );
     }
 }

@@ -3,9 +3,11 @@
 use crate::engine_core::{step_node, take_capped, EngineCore, RetryPolicy};
 use crate::faults::FaultPlan;
 use crate::message::Envelope;
-use crate::metrics::RunMetrics;
+use crate::metrics::{round_obs, RunMetrics};
 use crate::node::Node;
 use crate::trace::Trace;
+use rd_obs::{Phase, Recorder};
+use std::time::Instant;
 
 /// Result of [`RoundEngine::run_until`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,25 @@ pub trait RoundEngine<N: Node> {
 
     /// The message trace, if enabled.
     fn trace(&self) -> Option<&Trace>;
+
+    /// The attached telemetry recorder, if observability is enabled.
+    /// Strictly write-only from the engine's side: recorder state never
+    /// feeds back into protocol execution.
+    fn obs_mut(&mut self) -> Option<&mut Recorder> {
+        None
+    }
+
+    /// Detaches the recorder so the driver can call
+    /// [`Recorder::finish`] after the run.
+    fn take_obs(&mut self) -> Option<Recorder> {
+        None
+    }
+
+    /// `(name, takes, reuses)` counters for every buffer pool the
+    /// engine owns (observability export).
+    fn pool_counters(&self) -> Vec<(&'static str, u64, u64)> {
+        Vec::new()
+    }
 
     /// Runs until `done(nodes)` holds (checked before the first round and
     /// after every round) or `max_rounds` have executed.
@@ -108,6 +129,9 @@ pub struct Engine<N: Node> {
     staged: Vec<Envelope<N::Msg>>,
     /// Round-persistent scratch buffer for capped inbox delivery.
     scratch: Vec<Envelope<N::Msg>>,
+    /// Telemetry recorder; `None` (the default) costs one branch per
+    /// phase and never reads a clock.
+    obs: Option<Recorder>,
 }
 
 impl<N: Node> Engine<N> {
@@ -121,7 +145,17 @@ impl<N: Node> Engine<N> {
             core,
             staged: Vec::new(),
             scratch: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches a telemetry [`Recorder`]: phases are timed, rounds are
+    /// archived, and the recorder's sinks export at run end. Purely
+    /// observational — a run with a recorder is bit-identical to the
+    /// same run without one.
+    pub fn with_obs(mut self, recorder: Recorder) -> Self {
+        self.obs = Some(recorder);
+        self
     }
 
     /// Installs a fault plan (drops, crashes).
@@ -206,11 +240,19 @@ impl<N: Node> Engine<N> {
     /// Executes one synchronous round: delivers current inboxes, runs
     /// every live node, and routes outboxes through the fault layer.
     pub fn step(&mut self) {
+        if let Some(rec) = &mut self.obs {
+            rec.begin_round();
+        }
+        let t_begin = self.obs.as_ref().map(|_| Instant::now());
         let round = self.core.begin_round();
+        if let Some(rec) = &mut self.obs {
+            rec.span_from(Phase::BeginRound, round, 0, t_begin.unwrap());
+        }
         // Cloned so the report can be lent to nodes while the engine
         // mutates them (the list is tiny: one entry per crash).
         let suspects = self.core.suspects().to_vec();
 
+        let t_step = self.obs.as_ref().map(|_| Instant::now());
         let state = self.core.step_state();
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if state.faults.is_crashed_at(i, round) {
@@ -231,8 +273,23 @@ impl<N: Node> Engine<N> {
             );
         }
 
+        if let Some(rec) = &mut self.obs {
+            rec.span_from(Phase::OnRound, round, 0, t_step.unwrap());
+        }
+
+        let t_route = self.obs.as_ref().map(|_| Instant::now());
         self.core.route_batch(&mut self.staged);
+        if let Some(rec) = &mut self.obs {
+            rec.span_from(Phase::RouteShard, round, 0, t_route.unwrap());
+        }
+
+        let t_finish = self.obs.as_ref().map(|_| Instant::now());
         self.core.finish_round();
+        if let Some(rec) = &mut self.obs {
+            rec.span_from(Phase::FinishRound, round, 0, t_finish.unwrap());
+            let row = *self.core.metrics().rounds().last().expect("open round row");
+            rec.end_round(round_obs(round, &row));
+        }
     }
 
     /// Runs until `done(nodes)` holds (checked before the first round and
@@ -273,6 +330,19 @@ impl<N: Node> RoundEngine<N> for Engine<N> {
 
     fn trace(&self) -> Option<&Trace> {
         Engine::trace(self)
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut Recorder> {
+        self.obs.as_mut()
+    }
+
+    fn take_obs(&mut self) -> Option<Recorder> {
+        self.obs.take()
+    }
+
+    fn pool_counters(&self) -> Vec<(&'static str, u64, u64)> {
+        let stats = self.core.pool_stats();
+        vec![("delay", stats.takes, stats.reuses)]
     }
 }
 
@@ -505,7 +575,7 @@ mod tests {
         let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
         assert!(outcome.completed);
         assert!(engine.metrics().total_retransmissions() >= 1);
-        assert!(engine.metrics().total_dropped_crash() >= 1);
+        assert!(engine.metrics().drop_tally().crash >= 1);
     }
 
     #[test]
@@ -516,7 +586,7 @@ mod tests {
         let mut engine = Engine::new(ring(8), 1).with_faults(split());
         let outcome = engine.run_until(100, |nodes| nodes.iter().all(|r| r.has_token));
         assert!(!outcome.completed);
-        assert_eq!(engine.metrics().total_dropped_partition(), 1);
+        assert_eq!(engine.metrics().drop_tally().partition, 1);
         // Reliable delivery: a retransmission crosses after the heal.
         let mut engine = Engine::new(ring(8), 1)
             .with_faults(split())

@@ -271,16 +271,6 @@ pub fn retry_fate(
     }
 }
 
-/// Tallies one drop into a metrics row, split by cause.
-fn tally_drop(row: &mut RoundMetrics, cause: DropCause) {
-    row.dropped += 1;
-    match cause {
-        DropCause::Coin => row.dropped_coin += 1,
-        DropCause::Crash => row.dropped_crash += 1,
-        DropCause::Partition => row.dropped_partition += 1,
-    }
-}
-
 /// The read-only routing parameters one round shares across every
 /// routing worker.
 #[derive(Clone, Copy)]
@@ -406,7 +396,7 @@ pub fn route_shard<M: MessageCost>(
         sent_messages[src - sent_base] += 1;
         sent_pointers[src - sent_base] += pointers as u64;
         if let Some(cause) = fate.dropped {
-            tally_drop(&mut delta.row, cause);
+            delta.row.drops.add(cause);
             if params.reliable.is_some() {
                 delta.retries.push(RetryEnvelope {
                     env,
@@ -610,6 +600,12 @@ impl<M: MessageCost> EngineCore<M> {
         self.trace.as_ref()
     }
 
+    /// Hit-rate counters of the core's delay-batch buffer pool
+    /// (observability export).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
     /// Opens a round: starts its metrics row, folds newly reportable
     /// crashes into the suspect list, and moves messages whose
     /// asynchronous delay expires this round into the mailboxes.
@@ -765,7 +761,7 @@ impl<M: MessageCost> EngineCore<M> {
             lanes.sent_messages[src] += 1;
             lanes.sent_pointers[src] += pointers as u64;
             if let Some(cause) = fate.dropped {
-                tally_drop(lanes.row, cause);
+                lanes.row.drops.add(cause);
                 if let Some(policy) = reliable {
                     queue
                         .entry(round + policy.timeout)
@@ -840,10 +836,7 @@ impl<M: MessageCost> EngineCore<M> {
         for delta in deltas.iter_mut() {
             lanes.row.messages += delta.row.messages;
             lanes.row.pointers += delta.row.pointers;
-            lanes.row.dropped += delta.row.dropped;
-            lanes.row.dropped_coin += delta.row.dropped_coin;
-            lanes.row.dropped_crash += delta.row.dropped_crash;
-            lanes.row.dropped_partition += delta.row.dropped_partition;
+            lanes.row.drops.merge(&delta.row.drops);
             lanes.row.retransmissions += delta.row.retransmissions;
             if let Some(trace) = self.trace.as_mut() {
                 for event in delta.trace_events.drain(..) {
@@ -931,7 +924,7 @@ impl<M: MessageCost> EngineCore<M> {
                 lanes.sent_messages[src] += 1;
                 lanes.sent_pointers[src] += pointers;
                 if let Some(cause) = fate.dropped {
-                    tally_drop(lanes.row, cause);
+                    lanes.row.drops.add(cause);
                     if attempt < policy.max_retries {
                         // Backoff delays are ≥ 1, so the new slot is
                         // strictly in the future and never re-drained
@@ -1246,7 +1239,7 @@ mod tests {
         }
 
         assert_eq!(serial.metrics(), sharded.metrics());
-        assert!(serial.metrics().total_dropped_partition() > 0);
+        assert!(serial.metrics().drop_tally().partition > 0);
         assert_eq!(
             serial.trace().unwrap().events(),
             sharded.trace().unwrap().events()
@@ -1392,7 +1385,7 @@ mod tests {
         let m = core.metrics();
         assert_eq!(m.total_retransmissions(), 2, "attempts at rounds 1 and 3");
         assert_eq!(m.total_dropped(), 2, "original send plus first retry");
-        assert_eq!(m.total_dropped_crash(), 2);
+        assert_eq!(m.drop_tally().crash, 2);
         assert_eq!(
             m.total_messages(),
             3,
@@ -1445,7 +1438,7 @@ mod tests {
         // Dropped at round 0 (partition), retried at round 2 (healed).
         assert!(core.step_state().inboxes[2].iter().any(|e| e.payload == 55));
         let m = core.metrics();
-        assert_eq!(m.total_dropped_partition(), 1);
+        assert_eq!(m.drop_tally().partition, 1);
         assert_eq!(m.total_retransmissions(), 1);
     }
 }

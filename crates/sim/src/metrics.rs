@@ -1,7 +1,46 @@
 //! Complexity accounting: rounds, messages, pointers, bits, and
 //! per-node maxima.
 
+use crate::faults::DropCause;
 use crate::message::HEADER_BITS;
+
+/// Messages lost to fault injection, broken down by cause.
+///
+/// This is the *single* source of truth for drop accounting: the total
+/// is always [`DropTally::total`], never a separately maintained field
+/// that could drift from the per-cause counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropTally {
+    /// Losses to the independent drop coin.
+    pub coin: u64,
+    /// Messages addressed to a dead node.
+    pub crash: u64,
+    /// Messages blocked by an active partition.
+    pub partition: u64,
+}
+
+impl DropTally {
+    /// Total messages dropped, across every cause.
+    pub fn total(&self) -> u64 {
+        self.coin + self.crash + self.partition
+    }
+
+    /// Charges one drop to its cause.
+    pub fn add(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::Coin => self.coin += 1,
+            DropCause::Crash => self.crash += 1,
+            DropCause::Partition => self.partition += 1,
+        }
+    }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &DropTally) {
+        self.coin += other.coin;
+        self.crash += other.crash;
+        self.partition += other.partition;
+    }
+}
 
 /// Communication volume of a single round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -10,17 +49,19 @@ pub struct RoundMetrics {
     pub messages: u64,
     /// Pointers carried by those messages.
     pub pointers: u64,
-    /// Messages discarded by fault injection.
-    pub dropped: u64,
-    /// Of `dropped`: losses to the independent drop coin.
-    pub dropped_coin: u64,
-    /// Of `dropped`: messages addressed to a dead node.
-    pub dropped_crash: u64,
-    /// Of `dropped`: messages blocked by an active partition.
-    pub dropped_partition: u64,
+    /// Messages discarded by fault injection, by cause.
+    pub drops: DropTally,
     /// Retransmission attempts charged to this round (reliable delivery
-    /// only; each is also counted in `messages` or `dropped`).
+    /// only; each is also counted in `messages` or `drops`).
     pub retransmissions: u64,
+}
+
+impl RoundMetrics {
+    /// Total messages dropped this round (shorthand for
+    /// `self.drops.total()`).
+    pub fn dropped(&self) -> u64 {
+        self.drops.total()
+    }
 }
 
 /// Cumulative complexity record of a run.
@@ -91,7 +132,7 @@ impl RunMetrics {
 
     /// Total messages sent across the run (delivered plus dropped).
     pub fn total_messages(&self) -> u64 {
-        self.rounds.iter().map(|r| r.messages + r.dropped).sum()
+        self.rounds.iter().map(|r| r.messages + r.dropped()).sum()
     }
 
     /// Total pointers carried by delivered messages.
@@ -101,22 +142,16 @@ impl RunMetrics {
 
     /// Total messages lost to fault injection.
     pub fn total_dropped(&self) -> u64 {
-        self.rounds.iter().map(|r| r.dropped).sum()
+        self.drop_tally().total()
     }
 
-    /// Total messages lost to the independent drop coin.
-    pub fn total_dropped_coin(&self) -> u64 {
-        self.rounds.iter().map(|r| r.dropped_coin).sum()
-    }
-
-    /// Total messages lost because the addressee was dead.
-    pub fn total_dropped_crash(&self) -> u64 {
-        self.rounds.iter().map(|r| r.dropped_crash).sum()
-    }
-
-    /// Total messages blocked by partitions.
-    pub fn total_dropped_partition(&self) -> u64 {
-        self.rounds.iter().map(|r| r.dropped_partition).sum()
+    /// Run-wide drop tally, by cause.
+    pub fn drop_tally(&self) -> DropTally {
+        let mut tally = DropTally::default();
+        for r in &self.rounds {
+            tally.merge(&r.drops);
+        }
+        tally
     }
 
     /// Total retransmission attempts made by the reliable-delivery
@@ -142,6 +177,17 @@ impl RunMetrics {
         let n = self.node_count().max(2) as u64;
         let id_bits = 64 - (n - 1).leading_zeros() as u64;
         self.total_pointers() * id_bits + self.total_messages() * HEADER_BITS
+    }
+
+    /// Per-node sent-message totals, indexed by node id (observability
+    /// reads these for the hot-sender top-k).
+    pub fn per_node_sent_messages(&self) -> &[u64] {
+        &self.sent_messages
+    }
+
+    /// Per-node received-message totals, indexed by node id.
+    pub fn per_node_recv_messages(&self) -> &[u64] {
+        &self.recv_messages
     }
 
     /// Maximum number of messages any single node sent.
@@ -170,6 +216,23 @@ impl RunMetrics {
             return 0.0;
         }
         self.total_messages() as f64 / self.node_count() as f64
+    }
+}
+
+/// Converts a closed metrics row into the telemetry layer's per-round
+/// record (`wall_ns` and `knowledge_delta` are filled in by the
+/// recorder/driver, not here — they are not deterministic state).
+pub fn round_obs(round: u64, row: &RoundMetrics) -> rd_obs::RoundObs {
+    rd_obs::RoundObs {
+        round,
+        wall_ns: 0,
+        messages: row.messages,
+        pointers: row.pointers,
+        dropped_coin: row.drops.coin,
+        dropped_crash: row.drops.crash,
+        dropped_partition: row.drops.partition,
+        retransmissions: row.retransmissions,
+        knowledge_delta: None,
     }
 }
 
@@ -207,8 +270,7 @@ mod tests {
     /// sender still pays for it; the receiver never sees it).
     fn drop_one(m: &mut RunMetrics, src: usize, pointers: u64) {
         let lanes = m.lanes();
-        lanes.row.dropped += 1;
-        lanes.row.dropped_coin += 1;
+        lanes.row.drops.add(DropCause::Coin);
         lanes.sent_messages[src] += 1;
         lanes.sent_pointers[src] += pointers;
     }
@@ -261,16 +323,14 @@ mod tests {
         drop_one(&mut m, 0, 1);
         {
             let lanes = m.lanes();
-            lanes.row.dropped += 2;
-            lanes.row.dropped_crash += 1;
-            lanes.row.dropped_partition += 1;
+            lanes.row.drops.add(DropCause::Crash);
+            lanes.row.drops.add(DropCause::Partition);
             lanes.row.retransmissions += 3;
         }
         m.record_retraction();
         assert_eq!(m.total_dropped(), 3);
-        assert_eq!(m.total_dropped_coin(), 1);
-        assert_eq!(m.total_dropped_crash(), 1);
-        assert_eq!(m.total_dropped_partition(), 1);
+        let tally = m.drop_tally();
+        assert_eq!((tally.coin, tally.crash, tally.partition), (1, 1, 1));
         assert_eq!(m.total_retransmissions(), 3);
         assert_eq!(m.detector_retractions(), 1);
     }

@@ -7,6 +7,17 @@
 //! its old capacity intact, [`put`](BufferPool::put) returns it. After a
 //! couple of warm-up rounds the hot path stops allocating entirely.
 
+/// Hit-rate counters of a [`BufferPool`]: how often `take` was called
+/// and how often it could reuse a pooled allocation. Observation only —
+/// exported by the telemetry layer, never read by engine logic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out.
+    pub takes: u64,
+    /// Of `takes`: served from the free list (the rest allocated fresh).
+    pub reuses: u64,
+}
+
 /// A bounded free list of `Vec<T>` buffers.
 ///
 /// Returned buffers are cleared (length 0) but keep their capacity. The
@@ -15,6 +26,7 @@
 #[derive(Debug)]
 pub struct BufferPool<T> {
     spares: Vec<Vec<T>>,
+    stats: PoolStats,
 }
 
 /// Spares kept beyond this are dropped instead of pooled.
@@ -23,13 +35,28 @@ const MAX_SPARES: usize = 64;
 impl<T> BufferPool<T> {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        BufferPool { spares: Vec::new() }
+        BufferPool {
+            spares: Vec::new(),
+            stats: PoolStats::default(),
+        }
     }
 
     /// Hands out an empty buffer, reusing a pooled allocation when one
     /// is available.
     pub fn take(&mut self) -> Vec<T> {
-        self.spares.pop().unwrap_or_default()
+        self.stats.takes += 1;
+        match self.spares.pop() {
+            Some(buf) => {
+                self.stats.reuses += 1;
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Lifetime take/reuse counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
     }
 
     /// Returns a buffer to the pool. Its contents are dropped; its
@@ -70,6 +97,13 @@ mod tests {
         assert!(buf.is_empty());
         assert!(buf.capacity() >= 100);
         assert_eq!(buf.as_ptr(), ptr, "allocation should be reused");
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                takes: 2,
+                reuses: 1
+            }
+        );
     }
 
     #[test]

@@ -50,7 +50,9 @@ fn main() {
     println!(
         "without failure detector: leader-knows-all after {} rounds \
          ({} messages, {} dropped)",
-        blind.rounds, blind.messages, blind.dropped
+        blind.rounds,
+        blind.messages,
+        blind.dropped()
     );
 
     // Scenario 2: crash reports arrive after 30 rounds -> survivors
@@ -70,7 +72,9 @@ fn main() {
     println!(
         "with failure detector:    everyone-knows-everyone (among survivors) \
          after {} rounds ({} messages, {} dropped)",
-        informed.rounds, informed.messages, informed.dropped
+        informed.rounds,
+        informed.messages,
+        informed.dropped()
     );
 
     // Fault-free reference on the same instance.

@@ -34,14 +34,20 @@
 //! cargo run --release --example scaling_analysis -- --churn      # n = 2^14
 //! cargo run --release --example scaling_analysis -- --churn 12 4
 //! ```
+//!
+//! Either single-run mode also takes `--obs=<path>` (anywhere on the
+//! command line) to write the run's JSONL telemetry archive there —
+//! inspect it with `rd-inspect summarize <path>`. The sweep mode is
+//! many runs and takes no archive path.
 
 use resource_discovery::analysis::experiment::{sweep, SweepSpec};
 use resource_discovery::analysis::{best_fit, Plot};
 use resource_discovery::core::algorithms::hm::{cluster_count, HmDiscovery, PHASES};
+use resource_discovery::obs::{JsonlArchiveSink, Recorder, RunMeta, RunOutcomeObs};
 use resource_discovery::prelude::*;
 use std::time::Instant;
 
-fn big_run(log2_n: u32, workers: usize) {
+fn big_run(log2_n: u32, workers: usize, obs_path: Option<&str>) {
     let n = 1usize << log2_n;
     println!(
         "big run: HM on a 3-out random overlay, n = 2^{log2_n} = {n}, \
@@ -55,6 +61,18 @@ fn big_run(log2_n: u32, workers: usize) {
     println!("  built {n}-node instance in {:.1?}", start.elapsed());
 
     let mut engine = ShardedEngine::new(nodes, seed, workers);
+    if let Some(path) = obs_path {
+        let recorder = Recorder::new(RunMeta {
+            algorithm: "hm".into(),
+            topology: "3-out".into(),
+            n,
+            seed,
+            engine: format!("sharded:{workers}"),
+            workers,
+        })
+        .with_sink(Box::new(JsonlArchiveSink::new(path)));
+        engine = engine.with_obs(recorder);
+    }
     let start = Instant::now();
     let outcome = engine.run_observed(1_000_000, problem::leader_knows_all, |round, nodes| {
         if round % (4 * PHASES) == 0 {
@@ -68,6 +86,34 @@ fn big_run(log2_n: u32, workers: usize) {
     let elapsed = start.elapsed();
 
     assert!(outcome.completed, "HM failed to complete within the budget");
+    if let Some(recorder) = RoundEngine::take_obs(&mut engine) {
+        let pools = RoundEngine::pool_counters(&engine);
+        let m = engine.metrics();
+        let outcome_obs = RunOutcomeObs {
+            verdict: if outcome.completed {
+                "complete".into()
+            } else {
+                "budget-exhausted".into()
+            },
+            completed: outcome.completed,
+            sound: true,
+            rounds: outcome.rounds,
+            messages: m.total_messages(),
+            pointers: m.total_pointers(),
+            trace_events: 0,
+            trace_overflow: 0,
+        };
+        match recorder.finish(
+            outcome_obs,
+            m.per_node_sent_messages(),
+            m.per_node_recv_messages(),
+            &[],
+            &pools,
+        ) {
+            Ok(_) => println!("  wrote run archive to {}", obs_path.unwrap()),
+            Err(err) => eprintln!("  telemetry export failed: {err}"),
+        }
+    }
     let m = engine.metrics();
     let per_round = elapsed.as_secs_f64() / outcome.rounds.max(1) as f64;
     println!(
@@ -89,7 +135,7 @@ fn big_run(log2_n: u32, workers: usize) {
 
 /// The churn demo: HM through drops, a crash/recovery wave, and a
 /// mid-run partition, with reliable delivery and the watchdog armed.
-fn churn_run(log2_n: u32, workers: usize) {
+fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&str>) {
     let n = 1usize << log2_n;
     let seed = 42;
     // 5% of the machines crash in a wave over rounds 5..13; the even
@@ -123,13 +169,16 @@ fn churn_run(log2_n: u32, workers: usize) {
            detector delay 5, reliable delivery, watchdog window 200"
     );
 
-    let config = RunConfig::new(Topology::KOut { k: 3 }, n, seed)
+    let mut config = RunConfig::new(Topology::KOut { k: 3 }, n, seed)
         .with_engine(EngineKind::Sharded { workers })
         .with_completion(Completion::LeaderKnowsAll)
         .with_faults(faults)
         .with_reliable_delivery(RetryPolicy::default())
         .with_stall_window(200)
         .with_max_rounds(100_000);
+    if let Some(path) = obs_path {
+        config = config.with_obs(ObsSpec::new().with_archive(path));
+    }
     let start = Instant::now();
     let report = run(AlgorithmKind::Hm(HmConfig::default()), &config);
     let elapsed = start.elapsed();
@@ -143,7 +192,10 @@ fn churn_run(log2_n: u32, workers: usize) {
     println!("  messages          {}", report.messages);
     println!(
         "  dropped           {} (coin {}, crash {}, partition {})",
-        report.dropped, report.dropped_coin, report.dropped_crash, report.dropped_partition
+        report.dropped(),
+        report.drops.coin,
+        report.drops.crash,
+        report.drops.partition
     );
     println!(
         "  retransmissions   {} ({:.2}% of messages)",
@@ -171,11 +223,11 @@ fn churn_run(log2_n: u32, workers: usize) {
     json.push_str(&format!("  \"sound\": {},\n", report.sound));
     json.push_str(&format!("  \"rounds\": {},\n", report.rounds));
     json.push_str(&format!("  \"messages\": {},\n", report.messages));
-    json.push_str(&format!("  \"dropped_coin\": {},\n", report.dropped_coin));
-    json.push_str(&format!("  \"dropped_crash\": {},\n", report.dropped_crash));
+    json.push_str(&format!("  \"dropped_coin\": {},\n", report.drops.coin));
+    json.push_str(&format!("  \"dropped_crash\": {},\n", report.drops.crash));
     json.push_str(&format!(
         "  \"dropped_partition\": {},\n",
-        report.dropped_partition
+        report.drops.partition
     ));
     json.push_str(&format!(
         "  \"retransmissions\": {},\n",
@@ -197,7 +249,13 @@ fn churn_run(log2_n: u32, workers: usize) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--obs=<path>` may appear anywhere: strip it before the
+    // positional arguments are interpreted.
+    let obs_path = args
+        .iter()
+        .position(|a| a.starts_with("--obs="))
+        .map(|i| args.remove(i)["--obs=".len()..].to_string());
     if args.first().map(String::as_str) == Some("--churn") {
         let log2_n: u32 = args.get(1).map_or(14, |a| a.parse().expect("log2 n"));
         let workers: usize = args.get(2).map_or_else(
@@ -208,7 +266,7 @@ fn main() {
             },
             |a| a.parse().expect("worker count"),
         );
-        churn_run(log2_n, workers);
+        churn_run(log2_n, workers, obs_path.as_deref());
         return;
     }
     if args.first().map(String::as_str) == Some("--big") {
@@ -221,8 +279,16 @@ fn main() {
             },
             |a| a.parse().expect("worker count"),
         );
-        big_run(log2_n, workers);
+        big_run(log2_n, workers, obs_path.as_deref());
         return;
+    }
+
+    if let Some(path) = &obs_path {
+        eprintln!(
+            "note: --obs={path} only applies to the single-run modes \
+             (--big / --churn); the sweep runs many instances and \
+             writes no archive"
+        );
     }
 
     let ns = vec![64, 128, 256, 512, 1024, 2048];

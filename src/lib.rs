@@ -44,6 +44,7 @@ pub use rd_analysis as analysis;
 pub use rd_core as core;
 pub use rd_exec as exec;
 pub use rd_graphs as graphs;
+pub use rd_obs as obs;
 pub use rd_registry as registry;
 pub use rd_sim as sim;
 
@@ -55,10 +56,11 @@ pub mod prelude {
     pub use rd_core::algorithms::hm::{HmConfig, HmDiscovery, MergeRule};
     pub use rd_core::gossip::{run_gossip, GossipStrategy};
     pub use rd_core::runner::{
-        run, AlgorithmKind, Completion, EngineKind, RunConfig, RunReport, RunVerdict,
+        run, AlgorithmKind, Completion, EngineKind, ObsSpec, RunConfig, RunReport, RunVerdict,
     };
     pub use rd_core::{problem, verify, DiscoveryAlgorithm, KnowledgeSet, KnowledgeView};
     pub use rd_exec::ShardedEngine;
     pub use rd_graphs::{connectivity, metrics, DiGraph, Topology};
-    pub use rd_sim::{DropCause, Engine, FaultPlan, NodeId, RetryPolicy, RoundEngine};
+    pub use rd_obs::{ChromeTraceSink, JsonlArchiveSink, PrometheusSink, Recorder, RunMeta};
+    pub use rd_sim::{DropCause, DropTally, Engine, FaultPlan, NodeId, RetryPolicy, RoundEngine};
 }

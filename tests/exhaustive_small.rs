@@ -82,11 +82,10 @@ where
         messages: engine.metrics().total_messages(),
         pointers: engine.metrics().total_pointers(),
         bits: engine.metrics().total_bits(),
-        dropped: 0,
-        dropped_coin: 0,
-        dropped_crash: 0,
-        dropped_partition: 0,
+        drops: Default::default(),
         retransmissions: 0,
+        trace_events: 0,
+        trace_overflow: 0,
         detector_retractions: 0,
         max_sent_messages: engine.metrics().max_sent_messages(),
         max_recv_messages: engine.metrics().max_recv_messages(),

@@ -15,7 +15,7 @@ fn hm_survives_heavy_drop_storms() {
         );
         assert!(report.completed, "p={p}: incomplete");
         assert!(report.sound, "p={p}: unsound");
-        assert!(report.dropped > 0, "p={p}: no drops recorded");
+        assert!(report.dropped() > 0, "p={p}: no drops recorded");
     }
 }
 
@@ -130,5 +130,5 @@ fn drops_are_seed_deterministic() {
     let a = go();
     let b = go();
     assert_eq!(a, b);
-    assert!(a.dropped > 0);
+    assert!(a.dropped() > 0);
 }

@@ -302,6 +302,81 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Telemetry is strictly outside the determinism boundary: attaching
+    /// every exporter at once (JSONL archive, Chrome trace, Prometheus)
+    /// changes no field of the `RunReport`, on either engine — and the
+    /// archives both engines emit validate against schema v1 and agree
+    /// with the report's own numbers.
+    #[test]
+    fn observability_never_changes_results(
+        topo in arb_topology(),
+        n in 8usize..40,
+        seed in any::<u64>(),
+        workers in 2usize..7,
+    ) {
+        use resource_discovery::obs::archive;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rd-obs-prop-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let kind = AlgorithmKind::Hm(HmConfig::default());
+        let base = RunConfig::new(topo, n, seed)
+            .with_max_rounds(1_200)
+            .with_trace(1 << 13);
+        let engines = [
+            ("seq", EngineKind::Sequential),
+            ("par", EngineKind::Sharded { workers }),
+        ];
+
+        // Blind runs: the trace buffer on, all telemetry off.
+        let blind: Vec<_> = engines
+            .iter()
+            .map(|&(_, e)| run(kind, &base.clone().with_engine(e)))
+            .collect();
+        prop_assert_eq!(&blind[0], &blind[1], "engines diverged before obs");
+
+        for (i, &(tag, engine)) in engines.iter().enumerate() {
+            let spec = ObsSpec::new()
+                .with_archive(dir.join(format!("{tag}.jsonl")))
+                .with_chrome_trace(dir.join(format!("{tag}.trace.json")))
+                .with_prometheus(dir.join(format!("{tag}.prom")));
+            let observed = run(kind, &base.clone().with_engine(engine).with_obs(spec));
+            prop_assert_eq!(
+                &observed,
+                &blind[i],
+                "{}: exporters perturbed the run",
+                tag
+            );
+
+            let text = std::fs::read_to_string(dir.join(format!("{tag}.jsonl"))).unwrap();
+            let problems = archive::validate(&text);
+            prop_assert!(problems.is_empty(), "{}: invalid archive: {:?}", tag, problems);
+            let parsed = archive::parse(&text).unwrap();
+            prop_assert_eq!(parsed.summary.rounds, observed.rounds);
+            prop_assert_eq!(parsed.summary.messages, observed.messages);
+            prop_assert_eq!(parsed.summary.completed, observed.completed);
+            prop_assert_eq!(parsed.rounds.len() as u64, observed.rounds);
+            // Both exporters must have produced something well-formed
+            // enough to be non-empty.
+            for ext in ["trace.json", "prom"] {
+                let len = std::fs::metadata(dir.join(format!("{tag}.{ext}"))).unwrap().len();
+                prop_assert!(len > 0, "{}: empty {} export", tag, ext);
+            }
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Delivery-policy oracle: with a receive cap and delay jitter
