@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the evaluation.
 //!
 //! ```text
-//! figures [--quick] [--csv] [--engine=sharded:W] [--obs=DIR] [ids...]
+//! figures [--quick] [--csv] [--engine=sharded:W] [--obs=DIR] [--trace] [ids...]
 //! ```
 //!
 //! With no ids, everything runs. Ids: `t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5
@@ -15,7 +15,10 @@
 //! (sequential and sharded:4) and writes their telemetry into `DIR`:
 //! JSONL run archives for both (`rd-inspect summarize/diff/validate`
 //! reads them), plus a Chrome trace-event file (load in Perfetto) and a
-//! Prometheus text snapshot for the sharded run.
+//! Prometheus text snapshot for the sharded run. `--trace` adds causal
+//! provenance tracing to those reference runs (full sampling), so the
+//! archives carry the schema-v2 edge section that `rd-inspect why` and
+//! `rd-inspect path` read.
 
 use rd_analysis::Table;
 use rd_bench::experiments::{
@@ -33,6 +36,7 @@ struct Options {
     csv: bool,
     engine: EngineKind,
     obs: Option<PathBuf>,
+    trace: bool,
     ids: Vec<String>,
 }
 
@@ -54,14 +58,16 @@ fn parse_args() -> Options {
     let mut csv = false;
     let mut engine = EngineKind::Sequential;
     let mut obs = None;
+    let mut trace = false;
     let mut ids = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" => profile = Profile::Quick,
             "--full" => profile = Profile::Full,
             "--csv" => csv = true,
+            "--trace" => trace = true,
             "--help" | "-h" => {
-                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>] [--obs=DIR] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t5b t6 t7 t8 t9 t10]");
+                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>] [--obs=DIR] [--trace] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t5b t6 t7 t8 t9 t10]");
                 std::process::exit(0);
             }
             spec if spec.starts_with("--engine=") => {
@@ -78,6 +84,7 @@ fn parse_args() -> Options {
         csv,
         engine,
         obs,
+        trace,
         ids,
     }
 }
@@ -86,13 +93,13 @@ fn parse_args() -> Options {
 /// engine, every telemetry exporter exercised. The two archives let
 /// `rd-inspect diff` show that the engines agree on every deterministic
 /// field and differ only in wall-clock and worker layout.
-fn obs_runs(profile: Profile, dir: &std::path::Path) {
+fn obs_runs(profile: Profile, dir: &std::path::Path, trace: bool) {
     let n = match profile {
         Profile::Quick => 512,
         Profile::Full => 4096,
     };
     let seed = 42;
-    let runs = [
+    let mut runs = [
         (
             EngineKind::Sequential,
             ObsSpec::new().with_archive(dir.join("hm-sequential.jsonl")),
@@ -105,6 +112,13 @@ fn obs_runs(profile: Profile, dir: &std::path::Path) {
                 .with_prometheus(dir.join("hm-sharded4.prom")),
         ),
     ];
+    if trace {
+        // Full sampling at reference scale: the archives carry the
+        // complete provenance DAG for `rd-inspect why` / `path`.
+        for (_, spec) in &mut runs {
+            *spec = spec.clone().with_causal_trace(1 << 20, 1_000_000);
+        }
+    }
     for (engine, spec) in runs {
         eprintln!(
             "[figures] instrumented HM reference run (n = {n}, {} engine)...",
@@ -148,7 +162,7 @@ fn main() {
     );
 
     if let Some(dir) = &opts.obs {
-        obs_runs(opts.profile, dir);
+        obs_runs(opts.profile, dir, opts.trace);
         // `--obs=DIR` with no ids means "just the instrumented runs":
         // don't drag the full evaluation along.
         if opts.ids.is_empty() {

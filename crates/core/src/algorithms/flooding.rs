@@ -27,6 +27,10 @@ impl MessageCost for FloodMsg {
     fn pointers(&self) -> usize {
         self.ids.len()
     }
+
+    fn visit_ids(&self, visit: &mut dyn FnMut(NodeId)) {
+        self.ids.visit_ids(visit);
+    }
 }
 
 /// Per-node state of the flooding protocol.

@@ -95,6 +95,35 @@ impl MessageCost for HmMsg {
             HmMsg::Invite { .. } | HmMsg::Adopt { .. } => 1,
         }
     }
+
+    fn visit_ids(&self, visit: &mut dyn FnMut(NodeId)) {
+        match self {
+            HmMsg::Report { from, ids, .. } => {
+                visit(*from);
+                ids.visit_ids(visit);
+            }
+            HmMsg::Roster { ids } => ids.visit_ids(visit),
+            HmMsg::ReportAck { .. } => {}
+            HmMsg::Assign { target } => visit(*target),
+            HmMsg::Probe { from_leader } => visit(*from_leader),
+            HmMsg::ProbeFwd {
+                from_leader,
+                target,
+            } => {
+                visit(*from_leader);
+                visit(*target);
+            }
+            HmMsg::ProbeReply { leader, target } => {
+                visit(*leader);
+                visit(*target);
+            }
+            HmMsg::Join { members, frontier } => {
+                members.visit_ids(visit);
+                frontier.visit_ids(visit);
+            }
+            HmMsg::Invite { leader } | HmMsg::Adopt { leader } => visit(*leader),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,10 @@ impl MessageCost for TransferMsg {
     fn pointers(&self) -> usize {
         self.ids.len()
     }
+
+    fn visit_ids(&self, visit: &mut dyn FnMut(NodeId)) {
+        self.ids.visit_ids(visit);
+    }
 }
 
 /// Per-node state of Name-Dropper.

@@ -49,6 +49,16 @@ impl MessageCost for PdMsg {
             PdMsg::Query { ids } | PdMsg::Reply { ids } => ids.len(),
         }
     }
+
+    fn visit_ids(&self, visit: &mut dyn FnMut(NodeId)) {
+        match self {
+            PdMsg::Query { ids } | PdMsg::Reply { ids } => {
+                for &id in ids {
+                    visit(id);
+                }
+            }
+        }
+    }
 }
 
 /// Per-node state of pointer doubling.

@@ -42,6 +42,17 @@ impl MessageCost for RpjMsg {
             RpjMsg::Transfer { ids } => ids.len(),
         }
     }
+
+    fn visit_ids(&self, visit: &mut dyn FnMut(NodeId)) {
+        match self {
+            RpjMsg::Pull => {}
+            RpjMsg::Transfer { ids } => {
+                for &id in ids {
+                    visit(id);
+                }
+            }
+        }
+    }
 }
 
 /// Per-node state of random pointer jump.

@@ -8,7 +8,10 @@ use crate::algorithms::{
 use crate::{problem, verify};
 use rd_exec::ShardedEngine;
 use rd_graphs::Topology;
-use rd_obs::{ChromeTraceSink, JsonlArchiveSink, PrometheusSink, Recorder, RunMeta, RunOutcomeObs};
+use rd_obs::{
+    CausalTrace, ChromeTraceSink, JsonlArchiveSink, PrometheusSink, Recorder, RunMeta,
+    RunOutcomeObs,
+};
 use rd_sim::{DropTally, Engine, FaultPlan, Node, RetryPolicy, RoundEngine};
 use std::cell::Cell;
 use std::path::PathBuf;
@@ -158,6 +161,10 @@ pub struct ObsSpec {
     pub chrome_trace: Option<PathBuf>,
     /// Prometheus text exposition snapshot.
     pub prometheus: Option<PathBuf>,
+    /// Causal knowledge-provenance tracing as `(pair capacity,
+    /// sampling rate in ppm)`; the DAG lands in the archive's schema-2
+    /// section and feeds `rd-inspect why` / `path`.
+    pub causal: Option<(usize, u32)>,
 }
 
 impl ObsSpec {
@@ -182,6 +189,17 @@ impl ObsSpec {
     /// Writes the Prometheus text snapshot to `path`.
     pub fn with_prometheus(mut self, path: impl Into<PathBuf>) -> Self {
         self.prometheus = Some(path.into());
+        self
+    }
+
+    /// Enables causal knowledge-provenance tracing: the engine records,
+    /// for up to `capacity` `(id, node)` pairs, the first delivered
+    /// message that taught `node` about `id`, sampling messages
+    /// deterministically at `sample_ppm` parts per million (values
+    /// `>= 1_000_000` trace every message). Purely observational, like
+    /// every other exporter.
+    pub fn with_causal_trace(mut self, capacity: usize, sample_ppm: u32) -> Self {
+        self.causal = Some((capacity, sample_ppm));
         self
     }
 }
@@ -385,6 +403,11 @@ where
     let graph = config.topology.generate(config.n, config.seed);
     let initial = problem::initial_knowledge(&graph);
     let nodes = alg.make_nodes(&initial);
+    let causal = config
+        .obs
+        .as_ref()
+        .and_then(|spec| spec.causal)
+        .map(|(capacity, sample_ppm)| make_causal_trace(capacity, sample_ppm, &initial));
     match config.engine {
         EngineKind::Sequential => {
             let mut engine = Engine::new(nodes, config.seed).with_faults(config.faults.clone());
@@ -393,6 +416,9 @@ where
             }
             if let Some(capacity) = config.trace_capacity {
                 engine = engine.with_trace(capacity);
+            }
+            if let Some(trace) = causal {
+                engine = engine.with_causal_trace(trace);
             }
             if let Some(spec) = &config.obs {
                 engine = engine.with_obs(make_recorder(&alg.name(), config, spec));
@@ -408,12 +434,32 @@ where
             if let Some(capacity) = config.trace_capacity {
                 engine = engine.with_trace(capacity);
             }
+            if let Some(trace) = causal {
+                engine = engine.with_causal_trace(trace);
+            }
             if let Some(spec) = &config.obs {
                 engine = engine.with_obs(make_recorder(&alg.name(), config, spec));
             }
             drive(alg, config, &initial, engine)
         }
     }
+}
+
+/// Builds the causal provenance trace for one run, with every pair of
+/// the initial knowledge graph declared a DAG root — nothing *caused*
+/// the initial pointers, so chains terminate there.
+fn make_causal_trace(
+    capacity: usize,
+    sample_ppm: u32,
+    initial: &[Vec<rd_sim::NodeId>],
+) -> CausalTrace {
+    let mut trace = CausalTrace::new(capacity, sample_ppm);
+    trace.seed_known(initial.iter().enumerate().flat_map(|(node, ids)| {
+        ids.iter()
+            .map(move |id| (u32::from(*id), node as u32))
+            .chain(std::iter::once((node as u32, node as u32)))
+    }));
+    trace
 }
 
 /// Builds the telemetry recorder for one run: identity from the config,
@@ -561,6 +607,7 @@ where
 
     let pools = engine.pool_counters();
     let recorder = engine.take_obs();
+    let causal = engine.take_causal();
     let m = engine.metrics();
     let report = RunReport {
         algorithm: alg.name(),
@@ -587,6 +634,9 @@ where
     if let Some(mut rec) = recorder {
         rec.registry_mut()
             .add_counter("detector_retractions_total", m.detector_retractions());
+        if let Some(trace) = causal {
+            rec.attach_causal(trace);
+        }
         let outcome_obs = RunOutcomeObs {
             verdict: verdict.name().to_string(),
             completed,

@@ -88,7 +88,7 @@
 //! assert_eq!(sharded.metrics(), sequential.metrics());
 //! ```
 
-use rd_obs::{Phase, Recorder, SpanEvent};
+use rd_obs::{CausalTrace, Phase, Recorder, SpanEvent};
 use rd_sim::engine_core::{
     merge_dest_shard, route_shard, step_node, take_capped, EngineCore, RouteDelta, RouteParams,
 };
@@ -183,6 +183,15 @@ where
         self
     }
 
+    /// Attaches a causal knowledge-provenance trace, exactly as in the
+    /// sequential engine: sampling is counter-based and offers fold in
+    /// canonical shard order, so the retained DAG is byte-identical for
+    /// every worker count — and attaching it never perturbs the run.
+    pub fn with_causal_trace(mut self, causal: CausalTrace) -> Self {
+        self.core.set_causal(causal);
+        self
+    }
+
     /// Caps deliveries at `cap` messages per node per round; excess
     /// messages queue (in arrival order) for later rounds.
     ///
@@ -242,6 +251,11 @@ where
     /// The message trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.core.trace()
+    }
+
+    /// The causal provenance trace, if enabled.
+    pub fn causal(&self) -> Option<&CausalTrace> {
+        self.core.causal()
     }
 
     /// Records the closed round into the recorder, if one is attached.
@@ -479,6 +493,7 @@ pub fn route_staged<M: MessageCost + Send>(
         faults: parts.faults,
         max_extra_delay: parts.max_extra_delay,
         trace_capacity: parts.trace_capacity,
+        causal_ppm: parts.causal_ppm,
         reliable: parts.reliable,
         node_count: parts.inboxes.len(),
         shard_len,
@@ -686,6 +701,14 @@ where
 
     fn trace(&self) -> Option<&Trace> {
         ShardedEngine::trace(self)
+    }
+
+    fn causal(&self) -> Option<&CausalTrace> {
+        self.core.causal()
+    }
+
+    fn take_causal(&mut self) -> Option<CausalTrace> {
+        self.core.take_causal()
     }
 
     fn obs_mut(&mut self) -> Option<&mut Recorder> {

@@ -1,4 +1,4 @@
-//! The JSONL run-archive format: schema v1.
+//! The JSONL run-archive format: schemas v1 and v2.
 //!
 //! One file per run, one JSON object per line, `"type"` tagging the
 //! record kind. Line order is fixed so archives diff cleanly as text:
@@ -13,6 +13,9 @@
 //! {"type":"gauge","name":…,"value":…}                                                       × gauges
 //! {"type":"hist","name":…,"count":…,"mean":…,"min":…,"p50":…,"p90":…,"p99":…,"max":…}        × histograms
 //! {"type":"hot_nodes","metric":"sent"|"recv","top":[{"node":…,"value":…},…]}                × 2
+//! {"type":"trace_meta","capacity":…,"sample_ppm":…,"edges":…,"candidates":…,
+//!   "sampled_out":…,"overflow":…}                                                  (v2) × 0..1
+//! {"type":"edge","id":…,"node":…,"src":…,"sent":…,"round":…,"seq":…}               (v2) × edges
 //! {"type":"summary","verdict":…,"completed":…,"sound":…,"rounds":…,"messages":…,"pointers":…,
 //!   "trace_events":…,"trace_overflow":…,"span_overflow":…,"wall_ns_total":…}
 //! ```
@@ -22,16 +25,24 @@
 //! f64 number pipeline. Consumers must reject unknown record types and
 //! unknown schema versions — that is what makes the version field
 //! load-bearing ([`validate`] enforces both).
+//!
+//! Schema v2 adds the causal-provenance section (`trace_meta` + `edge`
+//! records, in ascending `(id, node)` order). A run without causal
+//! tracing still renders as schema 1, byte-identical to what earlier
+//! builds wrote, so v1 readers keep working on every archive that does
+//! not actually use the new section; archives that declare schema 1 may
+//! not contain v2 record types.
 
 use crate::json::{escape, fmt_f64, Json};
 use crate::recorder::ObsReport;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// The archive schema this crate reads and writes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// The newest archive schema this crate reads and writes. Archives
+/// without a causal-trace section still render as schema 1.
+pub const SCHEMA_VERSION: u64 = 2;
 
-const KNOWN_TYPES: [&str; 9] = [
+const KNOWN_TYPES: [&str; 11] = [
     "header",
     "round",
     "phase",
@@ -40,16 +51,26 @@ const KNOWN_TYPES: [&str; 9] = [
     "gauge",
     "hist",
     "hot_nodes",
+    "trace_meta",
+    "edge",
     "summary",
 ];
+
+/// Record types that only schema v2 archives may contain.
+const V2_TYPES: [&str; 2] = ["trace_meta", "edge"];
 
 /// Renders a finished run as the full archive text.
 pub fn render(report: &ObsReport) -> String {
     let mut out = String::new();
     let m = &report.meta;
+    let schema = if report.causal.is_some() {
+        SCHEMA_VERSION
+    } else {
+        1
+    };
     let _ = writeln!(
         out,
-        "{{\"type\":\"header\",\"schema\":{SCHEMA_VERSION},\"algorithm\":{},\"topology\":{},\"n\":{},\"seed\":{},\"engine\":{},\"workers\":{}}}",
+        "{{\"type\":\"header\",\"schema\":{schema},\"algorithm\":{},\"topology\":{},\"n\":{},\"seed\":{},\"engine\":{},\"workers\":{}}}",
         escape(&m.algorithm),
         escape(&m.topology),
         m.n,
@@ -131,6 +152,25 @@ pub fn render(report: &ObsReport) -> String {
             items.join(",")
         );
     }
+    if let Some(causal) = &report.causal {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"trace_meta\",\"capacity\":{},\"sample_ppm\":{},\"edges\":{},\"candidates\":{},\"sampled_out\":{},\"overflow\":{}}}",
+            causal.capacity(),
+            causal.sample_ppm(),
+            causal.len(),
+            causal.candidates(),
+            causal.sampled_out(),
+            causal.overflow()
+        );
+        for e in causal.edges() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"edge\",\"id\":{},\"node\":{},\"src\":{},\"sent\":{},\"round\":{},\"seq\":{}}}",
+                e.id, e.node, e.src, e.sent, e.round, e.seq
+            );
+        }
+    }
     let o = &report.outcome;
     let wall_total: u64 = report.rounds.iter().map(|r| r.wall_ns).sum();
     let _ = writeln!(
@@ -207,6 +247,29 @@ pub struct HistRec {
     pub max: u64,
 }
 
+/// Parsed `trace_meta` record (schema v2).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceMetaRec {
+    pub capacity: u64,
+    pub sample_ppm: u64,
+    pub edges: u64,
+    pub candidates: u64,
+    pub sampled_out: u64,
+    pub overflow: u64,
+}
+
+/// Parsed `edge` record (schema v2): one provenance edge of the
+/// knowledge DAG — the first delivery that taught `node` about `id`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeRec {
+    pub id: u64,
+    pub node: u64,
+    pub src: u64,
+    pub sent: u64,
+    pub round: u64,
+    pub seq: u64,
+}
+
 /// Parsed `summary` record.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SummaryRec {
@@ -234,6 +297,10 @@ pub struct Archive {
     pub hists: Vec<HistRec>,
     /// `metric name → [(node, value)]`, hottest first.
     pub hot: BTreeMap<String, Vec<(u64, u64)>>,
+    /// Causal-trace metadata (schema v2; `None` on v1 archives).
+    pub trace_meta: Option<TraceMetaRec>,
+    /// Provenance edges in ascending `(id, node)` order (schema v2).
+    pub edges: Vec<EdgeRec>,
     pub summary: SummaryRec,
 }
 
@@ -259,6 +326,7 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
     let mut saw_header = false;
     let mut summary_line: Option<usize> = None;
     let mut last_round: Option<u64> = None;
+    let mut last_edge: Option<(u64, u64)> = None;
     let mut nonempty_lines = 0usize;
 
     for (i, line) in text.lines().enumerate() {
@@ -288,6 +356,12 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
         if nonempty_lines == 1 && ty != "header" {
             problems.push(format!("line {lineno}: first record must be the header"));
         }
+        if V2_TYPES.contains(&ty.as_str()) && saw_header && archive.header.schema < 2 {
+            problems.push(format!(
+                "line {lineno}: record type \"{ty}\" requires schema 2, archive declares {}",
+                archive.header.schema
+            ));
+        }
         macro_rules! field {
             ($name:literal) => {
                 num_field(&v, $name, &ty, lineno, &mut problems)
@@ -301,9 +375,9 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
                 }
                 saw_header = true;
                 let schema = field!("schema");
-                if schema != SCHEMA_VERSION {
+                if !(1..=SCHEMA_VERSION).contains(&schema) {
                     problems.push(format!(
-                        "line {lineno}: unsupported schema {schema} (this build reads {SCHEMA_VERSION})"
+                        "line {lineno}: unsupported schema {schema} (this build reads 1..={SCHEMA_VERSION})"
                     ));
                 }
                 archive.header = Header {
@@ -419,6 +493,43 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
                 }
                 archive.hot.insert(metric, top);
             }
+            "trace_meta" => {
+                if archive.trace_meta.is_some() {
+                    problems.push(format!("line {lineno}: duplicate trace_meta"));
+                    continue;
+                }
+                archive.trace_meta = Some(TraceMetaRec {
+                    capacity: field!("capacity"),
+                    sample_ppm: field!("sample_ppm"),
+                    edges: field!("edges"),
+                    candidates: field!("candidates"),
+                    sampled_out: field!("sampled_out"),
+                    overflow: field!("overflow"),
+                });
+            }
+            "edge" => {
+                let rec = EdgeRec {
+                    id: field!("id"),
+                    node: field!("node"),
+                    src: field!("src"),
+                    sent: field!("sent"),
+                    round: field!("round"),
+                    seq: field!("seq"),
+                };
+                if archive.trace_meta.is_none() {
+                    problems.push(format!("line {lineno}: edge record before any trace_meta"));
+                }
+                if let Some(prev) = last_edge {
+                    if (rec.id, rec.node) <= prev {
+                        problems.push(format!(
+                            "line {lineno}: edge ({}, {}) out of (id, node) order",
+                            rec.id, rec.node
+                        ));
+                    }
+                }
+                last_edge = Some((rec.id, rec.node));
+                archive.edges.push(rec);
+            }
             "summary" => {
                 if summary_line.is_some() {
                     problems.push(format!("line {lineno}: duplicate summary"));
@@ -442,6 +553,15 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
         }
     }
 
+    if let Some(tm) = &archive.trace_meta {
+        if tm.edges != archive.edges.len() as u64 {
+            problems.push(format!(
+                "trace_meta declares {} edges, archive contains {}",
+                tm.edges,
+                archive.edges.len()
+            ));
+        }
+    }
     if nonempty_lines == 0 {
         problems.push("empty archive".to_string());
     } else {
@@ -552,7 +672,10 @@ mod tests {
         let text = sample_archive_text();
         assert_eq!(validate(&text), Vec::<String>::new());
         let a = parse(&text).unwrap();
-        assert_eq!(a.header.schema, SCHEMA_VERSION);
+        // No causal section: stays on schema 1 so v1 readers keep working.
+        assert_eq!(a.header.schema, 1);
+        assert!(a.trace_meta.is_none());
+        assert!(a.edges.is_empty());
         assert_eq!(a.header.seed, (u64::MAX - 1).to_string());
         assert_eq!(a.rounds.len(), 4);
         assert_eq!(a.rounds[1].knowledge_delta, Some(40));
@@ -561,6 +684,125 @@ mod tests {
         assert_eq!(a.hot["sent"][0], (0, 9));
         assert!(a.phases.iter().any(|p| p.phase == "route_shard"));
         assert_eq!(a.workers.len(), 4);
+    }
+
+    fn sample_v2_archive_text() -> String {
+        let mut rec = Recorder::new(RunMeta {
+            algorithm: "hm".into(),
+            topology: "k-out-3".into(),
+            n: 8,
+            seed: 7,
+            engine: "sequential".into(),
+            workers: 1,
+        });
+        rec.begin_round();
+        rec.end_round(RoundObs {
+            round: 1,
+            wall_ns: 0,
+            messages: 3,
+            pointers: 5,
+            dropped_coin: 0,
+            dropped_crash: 0,
+            dropped_partition: 0,
+            retransmissions: 0,
+            knowledge_delta: None,
+        });
+        let mut causal = crate::trace::CausalTrace::new(64, 1_000_000);
+        causal.offer(crate::trace::ProvEdge {
+            id: 3,
+            node: 1,
+            src: 0,
+            sent: 1,
+            round: 2,
+            seq: 0,
+        });
+        causal.offer(crate::trace::ProvEdge {
+            id: 4,
+            node: 2,
+            src: 3,
+            sent: 1,
+            round: 2,
+            seq: 1,
+        });
+        rec.attach_causal(causal);
+        let report = rec
+            .finish(
+                RunOutcomeObs {
+                    verdict: "complete".into(),
+                    completed: true,
+                    sound: true,
+                    rounds: 2,
+                    messages: 3,
+                    pointers: 5,
+                    trace_events: 0,
+                    trace_overflow: 0,
+                },
+                &[],
+                &[],
+                &[],
+                &[],
+            )
+            .unwrap();
+        render(&report)
+    }
+
+    #[test]
+    fn causal_sections_render_as_schema_2_and_round_trip() {
+        let text = sample_v2_archive_text();
+        assert_eq!(validate(&text), Vec::<String>::new());
+        let a = parse(&text).unwrap();
+        assert_eq!(a.header.schema, 2);
+        let tm = a.trace_meta.as_ref().unwrap();
+        assert_eq!(tm.edges, 2);
+        assert_eq!(tm.sample_ppm, 1_000_000);
+        assert_eq!(a.edges.len(), 2);
+        assert_eq!(
+            a.edges[0],
+            EdgeRec {
+                id: 3,
+                node: 1,
+                src: 0,
+                sent: 1,
+                round: 2,
+                seq: 0
+            }
+        );
+        assert_eq!(a.counters["causal_edges_total"], 2);
+    }
+
+    #[test]
+    fn v2_records_are_rejected_under_schema_1() {
+        let text = sample_v2_archive_text();
+        let downgraded = text.replace("\"schema\":2", "\"schema\":1");
+        assert!(validate(&downgraded)
+            .iter()
+            .any(|p| p.contains("requires schema 2")));
+    }
+
+    #[test]
+    fn edge_order_and_counts_are_validated() {
+        let text = sample_v2_archive_text();
+        // Swap the two edge lines: (id, node) order breaks.
+        let mut lines: Vec<&str> = text.lines().collect();
+        let first_edge = lines
+            .iter()
+            .position(|l| l.contains("\"type\":\"edge\""))
+            .unwrap();
+        lines.swap(first_edge, first_edge + 1);
+        let swapped: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        assert!(validate(&swapped)
+            .iter()
+            .any(|p| p.contains("out of (id, node) order")));
+
+        // Drop one edge line: trace_meta's count no longer matches.
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.contains("\"id\":4"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate(&truncated)
+            .iter()
+            .any(|p| p.contains("declares 2 edges, archive contains 1")));
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Machine-readable perf-regression verdicts over the `BENCH_*.json`
+//! schema — the library half of `rd-inspect bench-diff`.
+//!
+//! Two benchmark summaries are joined on their configuration key
+//! `(n, engine, obs, trace)` and compared on `rounds_per_sec`. Each
+//! matched row gets a verdict: `FAIL` above the failure threshold,
+//! `WARN` between the warn and fail thresholds, `OK` otherwise. Rows
+//! present on only one side are reported but never gate — a PR that
+//! adds configurations must not fail for measuring more.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+
+/// One benchmark configuration row, keyed for joining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    pub n: u64,
+    pub engine: String,
+    pub obs: bool,
+    pub trace: bool,
+    pub rounds_per_sec: f64,
+}
+
+impl BenchRow {
+    fn key(&self) -> (u64, &str, bool, bool) {
+        (self.n, &self.engine, self.obs, self.trace)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "n={} engine={} obs={} trace={}",
+            self.n, self.engine, self.obs, self.trace
+        )
+    }
+}
+
+/// Parses a `BENCH_*.json` document into its configuration rows.
+/// Rows written before the `trace` field existed read as `trace:
+/// false`, so old committed baselines keep joining cleanly.
+pub fn parse_bench(text: &str) -> Result<Vec<BenchRow>, String> {
+    let doc = Json::parse(text)?;
+    let configs = doc
+        .get("configs")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"configs\" array")?;
+    let mut rows = Vec::new();
+    for (i, row) in configs.iter().enumerate() {
+        let field = |name: &str| {
+            row.get(name)
+                .ok_or_else(|| format!("configs[{i}]: missing \"{name}\""))
+        };
+        rows.push(BenchRow {
+            n: field("n")?
+                .as_u64()
+                .ok_or_else(|| format!("configs[{i}]: \"n\" must be a number"))?,
+            engine: field("engine")?
+                .as_str()
+                .ok_or_else(|| format!("configs[{i}]: \"engine\" must be a string"))?
+                .to_string(),
+            obs: field("obs")?
+                .as_bool()
+                .ok_or_else(|| format!("configs[{i}]: \"obs\" must be a boolean"))?,
+            trace: row
+                .get("trace")
+                .map(|v| {
+                    v.as_bool()
+                        .ok_or_else(|| format!("configs[{i}]: \"trace\" must be a boolean"))
+                })
+                .transpose()?
+                .unwrap_or(false),
+            rounds_per_sec: field("rounds_per_sec")?
+                .as_f64()
+                .ok_or_else(|| format!("configs[{i}]: \"rounds_per_sec\" must be a number"))?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Verdict on one joined configuration row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Ok,
+    Warn,
+    Fail,
+}
+
+impl Verdict {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Ok => "OK",
+            Verdict::Warn => "WARN",
+            Verdict::Fail => "FAIL",
+        }
+    }
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDiff {
+    pub label: String,
+    pub old: f64,
+    pub new: f64,
+    /// Throughput regression in percent; negative values are speedups.
+    pub regression_pct: f64,
+    pub verdict: Verdict,
+}
+
+/// The full comparison of two benchmark summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    pub rows: Vec<RowDiff>,
+    pub only_old: Vec<String>,
+    pub only_new: Vec<String>,
+    pub warn_above_pct: f64,
+    pub fail_above_pct: f64,
+}
+
+impl BenchDiff {
+    pub fn failures(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Fail)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Warn)
+            .count()
+    }
+
+    /// Renders the verdict table. With `annotations`, WARN rows also
+    /// emit GitHub `::warning::` annotation lines (the non-blocking
+    /// half of the CI gate).
+    pub fn render(&self, annotations: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench-diff: warn above {:.1}% regression, fail above {:.1}%",
+            self.warn_above_pct, self.fail_above_pct
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<4} {:<44} {:>10.2} -> {:>10.2} rounds/s ({:+.1}%)",
+                row.verdict.name(),
+                row.label,
+                row.old,
+                row.new,
+                -row.regression_pct
+            );
+            if annotations && row.verdict == Verdict::Warn {
+                let _ = writeln!(
+                    out,
+                    "::warning::bench regression {:.1}% on {} ({:.2} -> {:.2} rounds/s)",
+                    row.regression_pct, row.label, row.old, row.new
+                );
+            }
+        }
+        for label in &self.only_old {
+            let _ = writeln!(out, "note: {label} only in old summary (not compared)");
+        }
+        for label in &self.only_new {
+            let _ = writeln!(out, "note: {label} only in new summary (not compared)");
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {} compared, {} warning(s), {} failure(s)",
+            self.rows.len(),
+            self.warnings(),
+            self.failures()
+        );
+        out
+    }
+}
+
+/// Joins and compares two row sets. `regression_pct` is
+/// `(old - new) / old * 100`: positive when the new side is slower.
+pub fn compare(
+    old: &[BenchRow],
+    new: &[BenchRow],
+    warn_above_pct: f64,
+    fail_above_pct: f64,
+) -> BenchDiff {
+    let mut rows = Vec::new();
+    let mut only_old = Vec::new();
+    for o in old {
+        match new.iter().find(|n| n.key() == o.key()) {
+            Some(n) => {
+                let regression_pct = if o.rounds_per_sec > 0.0 {
+                    (o.rounds_per_sec - n.rounds_per_sec) / o.rounds_per_sec * 100.0
+                } else {
+                    0.0
+                };
+                let verdict = if regression_pct > fail_above_pct {
+                    Verdict::Fail
+                } else if regression_pct > warn_above_pct {
+                    Verdict::Warn
+                } else {
+                    Verdict::Ok
+                };
+                rows.push(RowDiff {
+                    label: o.label(),
+                    old: o.rounds_per_sec,
+                    new: n.rounds_per_sec,
+                    regression_pct,
+                    verdict,
+                });
+            }
+            None => only_old.push(o.label()),
+        }
+    }
+    let only_new = new
+        .iter()
+        .filter(|n| !old.iter().any(|o| o.key() == n.key()))
+        .map(BenchRow::label)
+        .collect();
+    BenchDiff {
+        rows,
+        only_old,
+        only_new,
+        warn_above_pct,
+        fail_above_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(n: u64, engine: &str, obs: bool, trace: bool, rps: f64) -> BenchRow {
+        BenchRow {
+            n,
+            engine: engine.into(),
+            obs,
+            trace,
+            rounds_per_sec: rps,
+        }
+    }
+
+    #[test]
+    fn parses_the_bench_schema_with_and_without_trace() {
+        let text = r#"{
+            "bench": "exec-round-throughput",
+            "configs": [
+                {"n": 4096, "engine": "sequential", "workers": 0, "obs": false, "rounds_per_sec": 105.5},
+                {"n": 4096, "engine": "sharded:4", "workers": 4, "obs": true, "trace": true, "rounds_per_sec": 94.0}
+            ]
+        }"#;
+        let rows = parse_bench(text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(!rows[0].trace, "missing trace field defaults to false");
+        assert!(rows[1].trace);
+        assert_eq!(rows[1].engine, "sharded:4");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_summaries() {
+        assert!(parse_bench("{}").is_err());
+        assert!(parse_bench(r#"{"configs":[{"n":"x"}]}"#).is_err());
+    }
+
+    #[test]
+    fn verdict_thresholds_split_ok_warn_fail() {
+        let old = vec![
+            row(1, "sequential", false, false, 100.0),
+            row(2, "sequential", false, false, 100.0),
+            row(3, "sequential", false, false, 100.0),
+        ];
+        let new = vec![
+            row(1, "sequential", false, false, 97.0), // -3%: OK
+            row(2, "sequential", false, false, 90.0), // -10%: WARN
+            row(3, "sequential", false, false, 80.0), // -20%: FAIL
+        ];
+        let diff = compare(&old, &new, 5.0, 15.0);
+        assert_eq!(diff.rows[0].verdict, Verdict::Ok);
+        assert_eq!(diff.rows[1].verdict, Verdict::Warn);
+        assert_eq!(diff.rows[2].verdict, Verdict::Fail);
+        assert_eq!(diff.failures(), 1);
+        assert_eq!(diff.warnings(), 1);
+        let rendered = diff.render(true);
+        assert!(rendered.contains("::warning::"), "{rendered}");
+        assert!(rendered.contains("1 failure(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn unmatched_rows_never_gate() {
+        let old = vec![row(1, "sequential", false, false, 100.0)];
+        let new = vec![row(2, "sharded:4", false, false, 50.0)];
+        let diff = compare(&old, &new, 5.0, 15.0);
+        assert!(diff.rows.is_empty());
+        assert_eq!(diff.failures(), 0);
+        assert_eq!(diff.only_old.len(), 1);
+        assert_eq!(diff.only_new.len(), 1);
+    }
+
+    #[test]
+    fn speedups_are_ok() {
+        let old = vec![row(1, "sequential", true, true, 100.0)];
+        let new = vec![row(1, "sequential", true, true, 140.0)];
+        let diff = compare(&old, &new, 5.0, 15.0);
+        assert_eq!(diff.rows[0].verdict, Verdict::Ok);
+        assert!(diff.rows[0].regression_pct < 0.0);
+    }
+}

@@ -1,20 +1,26 @@
-//! rd-inspect: summarize, diff, and validate JSONL run archives.
+//! rd-inspect: summarize, diff, validate, and explain JSONL run
+//! archives, and gate benchmark summaries.
 //!
 //! ```text
-//! rd-inspect summarize <archive.jsonl>
+//! rd-inspect summarize [--strict] <archive.jsonl>
 //! rd-inspect diff <a.jsonl> <b.jsonl>
 //! rd-inspect validate <archive.jsonl>...
+//! rd-inspect why <archive.jsonl>
+//! rd-inspect path <archive.jsonl> --from <id> --to <node>
+//! rd-inspect bench-diff <old.json> <new.json> [--fail-above PCT] [--warn-above PCT]
 //! ```
 //!
-//! Exit codes: 0 on success, 1 when validation finds problems (or a
-//! file fails to parse), 2 on usage errors.
+//! Exit codes: 0 on success, 1 when validation finds problems, a file
+//! fails to parse, `summarize --strict` sees a truncated trace, or
+//! `bench-diff` finds a regression above the failure threshold; 2 on
+//! usage errors.
 
-use rd_obs::{archive, inspect};
+use rd_obs::{archive, bench_diff, critical_path, inspect};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rd-inspect summarize <archive.jsonl>\n  rd-inspect diff <a.jsonl> <b.jsonl>\n  rd-inspect validate <archive.jsonl>..."
+        "usage:\n  rd-inspect summarize [--strict] <archive.jsonl>\n  rd-inspect diff <a.jsonl> <b.jsonl>\n  rd-inspect validate <archive.jsonl>...\n  rd-inspect why <archive.jsonl>\n  rd-inspect path <archive.jsonl> --from <id> --to <node>\n  rd-inspect bench-diff <old.json> <new.json> [--fail-above PCT] [--warn-above PCT]"
     );
     ExitCode::from(2)
 }
@@ -33,15 +39,39 @@ fn parse(path: &str) -> Result<archive::Archive, ExitCode> {
     })
 }
 
+fn parse_pct(args: &[String], flag: &str, default: f64) -> Result<f64, ExitCode> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<f64>()) {
+            Some(Ok(pct)) if pct >= 0.0 => Ok(pct),
+            _ => {
+                eprintln!("rd-inspect: {flag} needs a non-negative percentage");
+                Err(ExitCode::from(2))
+            }
+        },
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("summarize") => {
-            let [path] = &args[1..] else { return usage() };
+            let (strict, rest): (bool, &[String]) = match &args[1..] {
+                [flag, rest @ ..] if flag == "--strict" => (true, rest),
+                rest => (false, rest),
+            };
+            let [path] = rest else { return usage() };
             match parse(path) {
                 Ok(a) => {
                     print!("{}", inspect::summarize(&a));
-                    ExitCode::SUCCESS
+                    let truncated = a.summary.trace_overflow > 0
+                        || a.trace_meta.as_ref().is_some_and(|tm| tm.overflow > 0);
+                    if strict && truncated {
+                        eprintln!("rd-inspect: --strict: trace truncated (see WARN above)");
+                        ExitCode::from(1)
+                    } else {
+                        ExitCode::SUCCESS
+                    }
                 }
                 Err(code) => code,
             }
@@ -71,7 +101,10 @@ fn main() -> ExitCode {
                 };
                 let problems = archive::validate(&text);
                 if problems.is_empty() {
-                    println!("{path}: ok (schema {})", archive::SCHEMA_VERSION);
+                    let schema = archive::parse(&text)
+                        .map(|a| a.header.schema)
+                        .unwrap_or(archive::SCHEMA_VERSION);
+                    println!("{path}: ok (schema {schema})");
                 } else {
                     failed = true;
                     println!("{path}: {} problem(s)", problems.len());
@@ -84,6 +117,72 @@ fn main() -> ExitCode {
                 ExitCode::from(1)
             } else {
                 ExitCode::SUCCESS
+            }
+        }
+        Some("why") => {
+            let [path] = &args[1..] else { return usage() };
+            match parse(path) {
+                Ok(a) => {
+                    print!("{}", critical_path::why(&a));
+                    if a.edges.is_empty() {
+                        ExitCode::from(1)
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(code) => code,
+            }
+        }
+        Some("path") => {
+            let rest = &args[1..];
+            let [path] = &rest[..1] else { return usage() };
+            let lookup = |flag: &str| {
+                rest.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| rest.get(i + 1))
+                    .and_then(|v| v.parse::<u64>().ok())
+            };
+            let (Some(from), Some(to)) = (lookup("--from"), lookup("--to")) else {
+                return usage();
+            };
+            match parse(path) {
+                Ok(a) => {
+                    print!("{}", critical_path::path_report(&a, from, to));
+                    ExitCode::SUCCESS
+                }
+                Err(code) => code,
+            }
+        }
+        Some("bench-diff") => {
+            let rest = &args[1..];
+            let [old_path, new_path] = &rest[..2.min(rest.len())] else {
+                return usage();
+            };
+            let warn_above = match parse_pct(rest, "--warn-above", 5.0) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            let fail_above = match parse_pct(rest, "--fail-above", 15.0) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            let load = |path: &str| -> Result<Vec<bench_diff::BenchRow>, ExitCode> {
+                bench_diff::parse_bench(&read(path)?).map_err(|e| {
+                    eprintln!("rd-inspect: {path}: {e}");
+                    ExitCode::from(1)
+                })
+            };
+            match (load(old_path), load(new_path)) {
+                (Ok(old), Ok(new)) => {
+                    let diff = bench_diff::compare(&old, &new, warn_above, fail_above);
+                    print!("{}", diff.render(true));
+                    if diff.failures() > 0 {
+                        ExitCode::from(1)
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                (Err(code), _) | (_, Err(code)) => code,
             }
         }
         _ => usage(),

@@ -50,16 +50,32 @@ pub fn summarize(archive: &Archive) -> String {
         s.pointers,
         coin + crash + partition
     );
-    let trace_note = if s.trace_overflow > 0 {
-        " — TRACE TRUNCATED, counts below reflect the retained prefix only"
-    } else {
-        ""
-    };
     let _ = writeln!(
         out,
-        "trace: {} events, {} overflowed{trace_note}",
+        "trace: {} events, {} overflowed",
         s.trace_events, s.trace_overflow
     );
+    if s.trace_overflow > 0 {
+        let _ = writeln!(
+            out,
+            "WARN: TRACE TRUNCATED — {} events overflowed the ring; trace counts reflect the retained prefix only",
+            s.trace_overflow
+        );
+    }
+    if let Some(tm) = &archive.trace_meta {
+        let _ = writeln!(
+            out,
+            "causal: {} provenance edges (capacity {}, sampling {} ppm), {} offers, {} messages sampled out",
+            tm.edges, tm.capacity, tm.sample_ppm, tm.candidates, tm.sampled_out
+        );
+        if tm.overflow > 0 {
+            let _ = writeln!(
+                out,
+                "WARN: CAUSAL TRACE TRUNCATED — {} offers dropped at capacity; the provenance DAG is partial",
+                tm.overflow
+            );
+        }
+    }
     if s.span_overflow > 0 {
         let _ = writeln!(out, "spans: {} overflowed the span buffer", s.span_overflow);
     }
@@ -326,6 +342,25 @@ mod tests {
         let text = summarize(&archive_from(&sample(42, 9)));
         assert!(text.contains("TRACE TRUNCATED"));
         assert!(text.contains("9 overflowed"));
+    }
+
+    #[test]
+    fn summarize_reports_causal_sections_and_overflow() {
+        let text = sample(42, 0)
+            .replace("\"schema\":1", "\"schema\":2")
+            .replace(
+                "{\"type\":\"summary\"",
+                concat!(
+                    "{\"type\":\"trace_meta\",\"capacity\":128,\"sample_ppm\":250000,",
+                    "\"edges\":1,\"candidates\":9,\"sampled_out\":3,\"overflow\":2}\n",
+                    "{\"type\":\"edge\",\"id\":1,\"node\":2,\"src\":0,\"sent\":1,\"round\":2,\"seq\":0}\n",
+                    "{\"type\":\"summary\""
+                ),
+            );
+        let out = summarize(&archive_from(&text));
+        assert!(out.contains("causal: 1 provenance edges"), "{out}");
+        assert!(out.contains("250000 ppm"), "{out}");
+        assert!(out.contains("WARN: CAUSAL TRACE TRUNCATED"), "{out}");
     }
 
     #[test]

@@ -21,8 +21,19 @@
 //! see [`archive`]), [`ChromeTraceSink`] (Perfetto-loadable trace of
 //! per-worker phase spans), [`PrometheusSink`] (text exposition). The
 //! `rd-inspect` binary summarizes, diffs, and validates archives.
+//!
+//! Causal tracing ([`trace`]) extends the same contract to message
+//! provenance: the engines collect a [`CausalTrace`] — the per-run
+//! knowledge-provenance DAG of first-delivery edges — strictly outside
+//! the determinism boundary, the driver attaches it to the recorder,
+//! and the archive exports it as a schema-v2 section.
+//! [`critical_path`] turns the DAG into the `rd-inspect why`/`path`
+//! narratives; [`bench_diff`] gives `rd-inspect bench-diff` its
+//! machine-readable perf-regression verdicts.
 
 pub mod archive;
+pub mod bench_diff;
+pub mod critical_path;
 pub mod hist;
 pub mod inspect;
 pub mod json;
@@ -30,9 +41,11 @@ pub mod recorder;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use hist::Histogram;
 pub use recorder::{ObsReport, Recorder, RoundObs, RunMeta, RunOutcomeObs};
 pub use registry::MetricsRegistry;
 pub use sink::{ChromeTraceSink, JsonlArchiveSink, ObsSink, PrometheusSink};
 pub use span::{Phase, SpanEvent};
+pub use trace::{CausalTrace, ProvEdge};

@@ -18,6 +18,7 @@ use crate::hist::Histogram;
 use crate::registry::MetricsRegistry;
 use crate::sink::ObsSink;
 use crate::span::{Phase, SpanEvent};
+use crate::trace::CausalTrace;
 use std::time::Instant;
 
 /// Identity of a run, echoed into every exported artifact.
@@ -94,6 +95,9 @@ pub struct ObsReport {
     pub hot_receivers: Vec<(u32, u64)>,
     pub spans: Vec<SpanEvent>,
     pub span_overflow: u64,
+    /// The knowledge-provenance DAG, when causal tracing was enabled
+    /// (exported as the schema-v2 archive section).
+    pub causal: Option<CausalTrace>,
 }
 
 /// How many hot senders/receivers the report keeps.
@@ -111,6 +115,7 @@ pub struct Recorder {
     rounds: Vec<RoundObs>,
     registry: MetricsRegistry,
     sinks: Vec<Box<dyn ObsSink>>,
+    causal: Option<CausalTrace>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -140,7 +145,16 @@ impl Recorder {
             rounds: Vec::new(),
             registry: MetricsRegistry::new(),
             sinks: Vec::new(),
+            causal: None,
         }
+    }
+
+    /// Hands the engine's finished causal trace to the recorder so the
+    /// archive sink can export it as the schema-v2 provenance section.
+    /// Called by the driver after the run, never during it — the trace
+    /// is engine-collected but strictly observational.
+    pub fn attach_causal(&mut self, causal: CausalTrace) {
+        self.causal = Some(causal);
     }
 
     /// Attaches an export sink (archives, traces, exposition — any
@@ -248,6 +262,12 @@ impl Recorder {
         reg.add_counter("retransmissions_total", retrans);
         reg.add_counter("trace_events_total", outcome.trace_events);
         reg.add_counter("trace_overflow_total", outcome.trace_overflow);
+        if let Some(causal) = &self.causal {
+            reg.add_counter("causal_edges_total", causal.len() as u64);
+            reg.add_counter("causal_candidates_total", causal.candidates());
+            reg.add_counter("causal_sampled_out_total", causal.sampled_out());
+            reg.add_counter("causal_overflow_total", causal.overflow());
+        }
         for &(name, takes, reuses) in pools {
             reg.add_counter(&format!("pool_{name}_takes_total"), takes);
             reg.add_counter(&format!("pool_{name}_reuses_total"), reuses);
@@ -337,6 +357,7 @@ impl Recorder {
             hot_receivers: top_k(per_node_recv, HOT_NODES_K),
             spans: self.spans,
             span_overflow: self.span_overflow,
+            causal: self.causal,
         };
         for sink in &mut self.sinks {
             sink.on_finish(&report)?;

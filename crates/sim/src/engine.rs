@@ -6,7 +6,7 @@ use crate::message::Envelope;
 use crate::metrics::{round_obs, RunMetrics};
 use crate::node::Node;
 use crate::trace::Trace;
-use rd_obs::{Phase, Recorder};
+use rd_obs::{CausalTrace, Phase, Recorder};
 use std::time::Instant;
 
 /// Result of [`RoundEngine::run_until`].
@@ -47,6 +47,19 @@ pub trait RoundEngine<N: Node> {
 
     /// The message trace, if enabled.
     fn trace(&self) -> Option<&Trace>;
+
+    /// The causal knowledge-provenance trace, if enabled. Like the
+    /// recorder, it is write-only from the engine's side and never
+    /// feeds back into protocol execution.
+    fn causal(&self) -> Option<&CausalTrace> {
+        None
+    }
+
+    /// Detaches the causal provenance trace so the driver can archive
+    /// it after the run.
+    fn take_causal(&mut self) -> Option<CausalTrace> {
+        None
+    }
 
     /// The attached telemetry recorder, if observability is enabled.
     /// Strictly write-only from the engine's side: recorder state never
@@ -174,6 +187,16 @@ impl<N: Node> Engine<N> {
         self
     }
 
+    /// Attaches a causal knowledge-provenance trace: the routing phase
+    /// records, per `(id, node)` pair, the first delivered message that
+    /// could have taught `node` about `id` (deterministically sampled
+    /// at the trace's ppm rate). Purely observational — a run with the
+    /// trace is bit-identical to the same run without it.
+    pub fn with_causal_trace(mut self, causal: CausalTrace) -> Self {
+        self.core.set_causal(causal);
+        self
+    }
+
     /// Caps deliveries at `cap` messages per node per round; excess
     /// messages queue (in arrival order) for later rounds. Models the
     /// *connection bottleneck* of bandwidth-limited networks: protocols
@@ -235,6 +258,11 @@ impl<N: Node> Engine<N> {
     /// The message trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.core.trace()
+    }
+
+    /// The causal provenance trace, if enabled.
+    pub fn causal(&self) -> Option<&CausalTrace> {
+        self.core.causal()
     }
 
     /// Executes one synchronous round: delivers current inboxes, runs
@@ -330,6 +358,14 @@ impl<N: Node> RoundEngine<N> for Engine<N> {
 
     fn trace(&self) -> Option<&Trace> {
         Engine::trace(self)
+    }
+
+    fn causal(&self) -> Option<&CausalTrace> {
+        self.core.causal()
+    }
+
+    fn take_causal(&mut self) -> Option<CausalTrace> {
+        self.core.take_causal()
     }
 
     fn obs_mut(&mut self) -> Option<&mut Recorder> {

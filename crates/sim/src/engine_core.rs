@@ -47,6 +47,7 @@ use crate::pool::BufferPool;
 use crate::rng;
 use crate::trace::{Trace, TraceEvent};
 use rand::Rng;
+use rd_obs::{CausalTrace, ProvEdge};
 
 /// What the failure detector does at a scheduled instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -67,6 +68,10 @@ pub struct EngineCore<M: MessageCost> {
     metrics: RunMetrics,
     faults: FaultPlan,
     trace: Option<Trace>,
+    /// Causal knowledge-provenance trace (`None` = disabled). Strictly
+    /// outside the deterministic state: write-only from routing, with
+    /// sampling coins drawn from their own counter-based stream.
+    causal: Option<CausalTrace>,
     /// Detector schedule `(round, node, action)`, report-time order.
     detect_schedule: Vec<(u64, NodeId, DetectorAction)>,
     /// Crashes currently reported to the nodes.
@@ -285,6 +290,9 @@ pub struct RouteParams<'a> {
     pub max_extra_delay: u64,
     /// Trace event capacity, when tracing is enabled.
     pub trace_capacity: Option<usize>,
+    /// Causal-trace sampling rate in ppm, when causal tracing is
+    /// enabled.
+    pub causal_ppm: Option<u32>,
     /// Retransmission policy (`None` = best-effort delivery).
     pub reliable: Option<RetryPolicy>,
     /// Total number of nodes (for the unknown-destination check).
@@ -308,6 +316,12 @@ pub struct RouteDelta<M> {
     pub trace_events: Vec<TraceEvent>,
     /// Events this shard observed beyond its local capacity.
     pub trace_overflow: u64,
+    /// Provenance edges this shard's sampled deliveries offered
+    /// (canonical order; the pair capacity applies only when deltas
+    /// fold into the core's causal trace).
+    pub prov: Vec<ProvEdge>,
+    /// Delivered messages the causal sampler skipped in this shard.
+    pub prov_sampled_out: u64,
     /// Deliverable messages per destination shard, each tagged with its
     /// extra delivery delay (0 = next round).
     pub buckets: Vec<Vec<(u64, Envelope<M>)>>,
@@ -325,6 +339,31 @@ pub struct RouteDelta<M> {
 /// `buckets` must hold one (empty) bucket per destination shard; they
 /// are returned inside the [`RouteDelta`].
 ///
+/// Offers one sampled message's identifier payload to the causal trace.
+///
+/// Archive rounds are 1-based: a message staged while the round counter
+/// reads `r` is the protocol's round `sent = r + 1` send, processed by
+/// its receiver in round `delivered = sent + 1 + extra_delay`.
+fn offer_payload<M: MessageCost>(
+    causal: &mut CausalTrace,
+    env: &Envelope<M>,
+    sequence: u64,
+    sent: u64,
+    delivered: u64,
+) {
+    let (src, dst) = (u32::from(env.src), u32::from(env.dst));
+    env.payload.visit_ids(&mut |id| {
+        causal.offer(ProvEdge {
+            id: u32::from(id),
+            node: dst,
+            src,
+            sent,
+            round: delivered,
+            seq: sequence,
+        });
+    });
+}
+
 /// # Panics
 ///
 /// Panics if any envelope addresses a node index `>= params.node_count`.
@@ -340,6 +379,8 @@ pub fn route_shard<M: MessageCost>(
         row: RoundMetrics::default(),
         trace_events: Vec::new(),
         trace_overflow: 0,
+        prov: Vec::new(),
+        prov_sampled_out: 0,
         buckets: Vec::new(),
         retries: Vec::new(),
     };
@@ -406,6 +447,29 @@ pub fn route_shard<M: MessageCost>(
                 });
             }
         } else {
+            if pointers > 0 {
+                if let Some(ppm) = params.causal_ppm {
+                    // Same 1-based round arithmetic as the serial
+                    // path in `EngineCore::route_batch`.
+                    if rng::prov_sample(params.seed, src, round, sequence, ppm) {
+                        let sent = round + 1;
+                        let delivered = sent + 1 + fate.extra_delay;
+                        let (esrc, edst) = (u32::from(env.src), u32::from(env.dst));
+                        env.payload.visit_ids(&mut |id| {
+                            delta.prov.push(ProvEdge {
+                                id: u32::from(id),
+                                node: edst,
+                                src: esrc,
+                                sent,
+                                round: delivered,
+                                seq: sequence,
+                            });
+                        });
+                    } else {
+                        delta.prov_sampled_out += 1;
+                    }
+                }
+            }
             delta.row.messages += 1;
             delta.row.pointers += pointers as u64;
             buckets[dst / params.shard_len].push((fate.extra_delay, env));
@@ -462,6 +526,9 @@ pub struct ParallelParts<'a, M: MessageCost> {
     pub max_extra_delay: u64,
     /// Trace event capacity, when tracing is enabled.
     pub trace_capacity: Option<usize>,
+    /// Causal-trace sampling rate in ppm, when causal tracing is
+    /// enabled.
+    pub causal_ppm: Option<u32>,
     /// Retransmission policy (`None` = best-effort delivery).
     pub reliable: Option<RetryPolicy>,
     /// One mailbox per node.
@@ -487,6 +554,7 @@ impl<M: MessageCost> EngineCore<M> {
             metrics: RunMetrics::new(n),
             faults: FaultPlan::new(),
             trace: None,
+            causal: None,
             detect_schedule: Vec::new(),
             active_suspects: Vec::new(),
             next_detection: 0,
@@ -556,6 +624,27 @@ impl<M: MessageCost> EngineCore<M> {
     /// Enables message tracing with the given event capacity.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(Trace::with_capacity(capacity));
+    }
+
+    /// Attaches a causal knowledge-provenance trace (typically with the
+    /// initially-known pairs already seeded). Like the message trace and
+    /// the recorder, it is strictly observational: sampling decisions
+    /// come from their own counter-based stream ([`rng::prov_sample`]),
+    /// so attaching or re-rating the trace never perturbs any message
+    /// fate, on any engine or worker count.
+    pub fn set_causal(&mut self, causal: CausalTrace) {
+        self.causal = Some(causal);
+    }
+
+    /// The causal provenance trace, if enabled.
+    pub fn causal(&self) -> Option<&CausalTrace> {
+        self.causal.as_ref()
+    }
+
+    /// Detaches the causal provenance trace so a driver can archive it
+    /// after the run.
+    pub fn take_causal(&mut self) -> Option<CausalTrace> {
+        self.causal.take()
     }
 
     /// Caps deliveries at `cap` messages per node per round; excess
@@ -678,27 +767,74 @@ impl<M: MessageCost> EngineCore<M> {
         let round = self.round;
         let n = self.inboxes.len();
         if self.trace.is_none() && self.max_extra_delay == 0 && self.faults.is_fault_free() {
-            // Fault-free, synchronous, untraced: every message is a
-            // straight-line tally-and-push — no coins, no branches on
-            // per-message state, no map lookups.
-            let lanes = self.metrics.lanes();
-            for env in staged.drain(..) {
-                let src = env.src.index();
-                let dst = env.dst.index();
-                assert!(
-                    dst < n,
-                    "message to unknown node {} from {}",
-                    env.dst,
-                    env.src
-                );
-                let pointers = env.payload.pointers() as u64;
-                lanes.row.messages += 1;
-                lanes.row.pointers += pointers;
-                lanes.sent_messages[src] += 1;
-                lanes.sent_pointers[src] += pointers;
-                lanes.recv_messages[dst] += 1;
-                lanes.recv_pointers[dst] += pointers;
-                self.inboxes[dst].push(env);
+            if let Some(causal) = self.causal.as_mut() {
+                // Straight-line delivery, plus the causal sampler:
+                // every message is delivered (fault-free, no jitter), so
+                // the only extra work is the per-message sampling coin
+                // and, for the sampled few, the edge offers.
+                let seed = self.seed;
+                let ppm = causal.sample_ppm();
+                let lanes = self.metrics.lanes();
+                let mut prev_src = usize::MAX;
+                let mut seq = 0u64;
+                let mut base = 0u64;
+                let mut sampled_out = 0u64;
+                for env in staged.drain(..) {
+                    let src = env.src.index();
+                    if src != prev_src {
+                        prev_src = src;
+                        seq = 0;
+                        base = rng::prov_base(seed, src, round);
+                    }
+                    let sequence = seq;
+                    seq += 1;
+                    let dst = env.dst.index();
+                    assert!(
+                        dst < n,
+                        "message to unknown node {} from {}",
+                        env.dst,
+                        env.src
+                    );
+                    let pointers = env.payload.pointers() as u64;
+                    if pointers > 0 {
+                        if rng::prov_sample_from(base, sequence, ppm) {
+                            offer_payload(causal, &env, sequence, round + 1, round + 2);
+                        } else {
+                            sampled_out += 1;
+                        }
+                    }
+                    lanes.row.messages += 1;
+                    lanes.row.pointers += pointers;
+                    lanes.sent_messages[src] += 1;
+                    lanes.sent_pointers[src] += pointers;
+                    lanes.recv_messages[dst] += 1;
+                    lanes.recv_pointers[dst] += pointers;
+                    self.inboxes[dst].push(env);
+                }
+                causal.note_sampled_out_by(sampled_out);
+            } else {
+                // Fault-free, synchronous, untraced: every message is a
+                // straight-line tally-and-push — no coins, no branches
+                // on per-message state, no map lookups.
+                let lanes = self.metrics.lanes();
+                for env in staged.drain(..) {
+                    let src = env.src.index();
+                    let dst = env.dst.index();
+                    assert!(
+                        dst < n,
+                        "message to unknown node {} from {}",
+                        env.dst,
+                        env.src
+                    );
+                    let pointers = env.payload.pointers() as u64;
+                    lanes.row.messages += 1;
+                    lanes.row.pointers += pointers;
+                    lanes.sent_messages[src] += 1;
+                    lanes.sent_pointers[src] += pointers;
+                    lanes.recv_messages[dst] += 1;
+                    lanes.recv_pointers[dst] += pointers;
+                    self.inboxes[dst].push(env);
+                }
             }
             return;
         }
@@ -711,6 +847,7 @@ impl<M: MessageCost> EngineCore<M> {
         let reliable = self.reliable;
         let faults = &self.faults;
         let trace = &mut self.trace;
+        let causal = &mut self.causal;
         let delayed = &mut self.delayed;
         let pool = &mut self.pool;
         let inboxes = &mut self.inboxes;
@@ -774,6 +911,22 @@ impl<M: MessageCost> EngineCore<M> {
                         });
                 }
             } else {
+                if pointers > 0 {
+                    if let Some(causal) = causal.as_mut() {
+                        if rng::prov_sample(seed, src, round, sequence, causal.sample_ppm()) {
+                            let sent = round + 1;
+                            offer_payload(
+                                causal,
+                                &env,
+                                sequence,
+                                sent,
+                                sent + 1 + fate.extra_delay,
+                            );
+                        } else {
+                            causal.note_sampled_out();
+                        }
+                    }
+                }
                 lanes.row.messages += 1;
                 lanes.row.pointers += pointers as u64;
                 lanes.recv_messages[dst] += 1;
@@ -803,6 +956,7 @@ impl<M: MessageCost> EngineCore<M> {
             faults: &self.faults,
             max_extra_delay: self.max_extra_delay,
             trace_capacity: self.trace.as_ref().map(Trace::capacity),
+            causal_ppm: self.causal.as_ref().map(CausalTrace::sample_ppm),
             reliable: self.reliable,
             inboxes: &mut self.inboxes,
             sent_messages: lanes.sent_messages,
@@ -843,6 +997,13 @@ impl<M: MessageCost> EngineCore<M> {
                     trace.record(event);
                 }
                 trace.add_overflow(delta.trace_overflow);
+            }
+            if let Some(causal) = self.causal.as_mut() {
+                // Shard order = canonical offer order, so re-offering
+                // the fragments reproduces the serial path's DAG,
+                // capacity effects included.
+                causal.fold(&delta.prov, delta.prov_sampled_out);
+                delta.prov.clear();
             }
             if let Some(policy) = reliable {
                 if !delta.retries.is_empty() {
@@ -1010,6 +1171,9 @@ mod tests {
         fn pointers(&self) -> usize {
             1
         }
+        fn visit_ids(&self, visit: &mut dyn FnMut(NodeId)) {
+            visit(NodeId::new(*self));
+        }
     }
 
     fn env(src: u32, dst: u32, payload: u32) -> Envelope<u32> {
@@ -1063,6 +1227,7 @@ mod tests {
             faults: &FaultPlan::new(),
             max_extra_delay: 0,
             trace_capacity: None,
+            causal_ppm: None,
             reliable: None,
             node_count: 2,
             shard_len: 2,
@@ -1173,6 +1338,7 @@ mod tests {
         serial.set_faults(plan());
         serial.set_max_extra_delay(2);
         serial.enable_trace(1 << 10);
+        serial.set_causal(CausalTrace::new(1 << 10, 600_000));
         serial.set_reliable(RetryPolicy::default());
         serial.begin_round();
         serial.route_batch(&mut staged());
@@ -1181,6 +1347,7 @@ mod tests {
         sharded.set_faults(plan());
         sharded.set_max_extra_delay(2);
         sharded.enable_trace(1 << 10);
+        sharded.set_causal(CausalTrace::new(1 << 10, 600_000));
         sharded.set_reliable(RetryPolicy::default());
         sharded.begin_round();
         let shard_len = 2;
@@ -1192,6 +1359,7 @@ mod tests {
                 faults: parts.faults,
                 max_extra_delay: parts.max_extra_delay,
                 trace_capacity: parts.trace_capacity,
+                causal_ppm: parts.causal_ppm,
                 reliable: parts.reliable,
                 node_count: 6,
                 shard_len,
@@ -1244,6 +1412,11 @@ mod tests {
             serial.trace().unwrap().events(),
             sharded.trace().unwrap().events()
         );
+        // The provenance DAG (edges, roots, and every counter) folds to
+        // the exact serial result, sampling included.
+        assert_eq!(serial.causal(), sharded.causal());
+        assert!(!serial.causal().unwrap().is_empty());
+        assert!(serial.causal().unwrap().sampled_out() > 0);
         // Every drop was parked for retransmission, in the same order.
         assert_eq!(serial.retransmit_queue, sharded.retransmit_queue);
         assert_eq!(

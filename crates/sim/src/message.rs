@@ -17,6 +17,15 @@ pub const HEADER_BITS: u64 = 96;
 pub trait MessageCost {
     /// Number of node identifiers carried by this message.
     fn pointers(&self) -> usize;
+
+    /// Visits every node identifier this message *teaches* its
+    /// receiver — the payload ids whose arrival can grow the
+    /// receiver's knowledge. Causal tracing uses this to record
+    /// knowledge-provenance edges; the default visits nothing, which
+    /// keeps messages without learnable content (acks, probes) out of
+    /// the provenance DAG. Implementations should visit the same ids
+    /// [`pointers`](Self::pointers) counts.
+    fn visit_ids(&self, _visit: &mut dyn FnMut(NodeId)) {}
 }
 
 /// A routed message: payload plus source and destination.
@@ -232,6 +241,12 @@ impl<'a> IntoIterator for &'a PointerList {
 impl MessageCost for PointerList {
     fn pointers(&self) -> usize {
         self.len()
+    }
+
+    fn visit_ids(&self, visit: &mut dyn FnMut(NodeId)) {
+        for &id in self.as_slice() {
+            visit(id);
+        }
     }
 }
 

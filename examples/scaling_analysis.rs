@@ -35,19 +35,42 @@
 //! cargo run --release --example scaling_analysis -- --churn 12 4
 //! ```
 //!
-//! Either single-run mode also takes `--obs=<path>` (anywhere on the
-//! command line) to write the run's JSONL telemetry archive there —
-//! inspect it with `rd-inspect summarize <path>`. The sweep mode is
-//! many runs and takes no archive path.
+//! Either single-run mode also takes `--obs=<dir>` (anywhere on the
+//! command line) to write the run's JSONL telemetry archive into that
+//! directory — auto-named `scaling-big.jsonl` or `scaling-churn.jsonl`
+//! to match `figures --obs=DIR` — and inspect it with `rd-inspect
+//! summarize <dir>/scaling-*.jsonl`. The churn archive additionally
+//! carries a full-sampling causal trace for `rd-inspect why`. The old
+//! `--obs=<file.jsonl>` form still works but prints a deprecation
+//! warning. The sweep mode is many runs and takes no archive path.
 
 use resource_discovery::analysis::experiment::{sweep, SweepSpec};
 use resource_discovery::analysis::{best_fit, Plot};
 use resource_discovery::core::algorithms::hm::{cluster_count, HmDiscovery, PHASES};
 use resource_discovery::obs::{JsonlArchiveSink, Recorder, RunMeta, RunOutcomeObs};
 use resource_discovery::prelude::*;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-fn big_run(log2_n: u32, workers: usize, obs_path: Option<&str>) {
+/// Resolves the unified `--obs=<dir>` value to this mode's archive
+/// path. A `.jsonl`-suffixed value is the deprecated file form: honour
+/// it, but steer toward the directory form every other obs-emitting
+/// tool uses.
+fn resolve_obs(obs: Option<&str>, auto_name: &str) -> Option<PathBuf> {
+    let value = obs?;
+    if value.ends_with(".jsonl") {
+        eprintln!(
+            "warning: --obs=<file.jsonl> is deprecated; pass --obs=<dir> \
+             (the archive is auto-named {auto_name} inside it)"
+        );
+        return Some(PathBuf::from(value));
+    }
+    let dir = PathBuf::from(value);
+    std::fs::create_dir_all(&dir).expect("create --obs directory");
+    Some(dir.join(auto_name))
+}
+
+fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
     let n = 1usize << log2_n;
     println!(
         "big run: HM on a 3-out random overlay, n = 2^{log2_n} = {n}, \
@@ -110,7 +133,7 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&str>) {
             &[],
             &pools,
         ) {
-            Ok(_) => println!("  wrote run archive to {}", obs_path.unwrap()),
+            Ok(_) => println!("  wrote run archive to {}", obs_path.unwrap().display()),
             Err(err) => eprintln!("  telemetry export failed: {err}"),
         }
     }
@@ -135,7 +158,7 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&str>) {
 
 /// The churn demo: HM through drops, a crash/recovery wave, and a
 /// mid-run partition, with reliable delivery and the watchdog armed.
-fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&str>) {
+fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
     let n = 1usize << log2_n;
     let seed = 42;
     // 5% of the machines crash in a wave over rounds 5..13; the even
@@ -177,7 +200,13 @@ fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&str>) {
         .with_stall_window(200)
         .with_max_rounds(100_000);
     if let Some(path) = obs_path {
-        config = config.with_obs(ObsSpec::new().with_archive(path));
+        // Full-sampling causal trace: the degraded run's archive is the
+        // `rd-inspect why` walkthrough input, so keep every edge.
+        config = config.with_obs(
+            ObsSpec::new()
+                .with_archive(path)
+                .with_causal_trace(1 << 20, 1_000_000),
+        );
     }
     let start = Instant::now();
     let report = run(AlgorithmKind::Hm(HmConfig::default()), &config);
@@ -266,7 +295,14 @@ fn main() {
             },
             |a| a.parse().expect("worker count"),
         );
-        churn_run(log2_n, workers, obs_path.as_deref());
+        let archive = resolve_obs(obs_path.as_deref(), "scaling-churn.jsonl");
+        churn_run(log2_n, workers, archive.as_deref());
+        if let Some(path) = archive {
+            println!(
+                "wrote run archive (with causal trace) to {}",
+                path.display()
+            );
+        }
         return;
     }
     if args.first().map(String::as_str) == Some("--big") {
@@ -279,7 +315,8 @@ fn main() {
             },
             |a| a.parse().expect("worker count"),
         );
-        big_run(log2_n, workers, obs_path.as_deref());
+        let archive = resolve_obs(obs_path.as_deref(), "scaling-big.jsonl");
+        big_run(log2_n, workers, archive.as_deref());
         return;
     }
 

@@ -1,0 +1,77 @@
+//! End-to-end checks of the causal provenance layer: on a fault-free
+//! HM run with full sampling, the critical path extracted from the
+//! archive must terminate exactly at the reported final round — the
+//! last delivery that completed someone's knowledge *is* the last round
+//! of the run — and the `rd-inspect why` narrative must say so.
+
+use resource_discovery::core::algorithms::hm::HmConfig;
+use resource_discovery::obs::archive;
+use resource_discovery::obs::critical_path::{critical_path, why};
+use resource_discovery::prelude::*;
+
+fn traced_run(topo: Topology, n: usize, seed: u64, tag: &str) -> (RunReport, archive::Archive) {
+    let dir = std::env::temp_dir().join(format!("rd-causal-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.jsonl"));
+    let spec = ObsSpec::new()
+        .with_archive(&path)
+        .with_causal_trace(1 << 20, 1_000_000);
+    let report = run(
+        AlgorithmKind::Hm(HmConfig::default()),
+        &RunConfig::new(topo, n, seed)
+            .with_max_rounds(2_000)
+            .with_obs(spec),
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let problems = archive::validate(&text);
+    assert!(problems.is_empty(), "invalid archive: {problems:?}");
+    (report, archive::parse(&text).unwrap())
+}
+
+#[test]
+fn critical_path_terminates_at_the_reported_final_round() {
+    for (seed, topo) in [
+        (3u64, Topology::Cycle),
+        (7, Topology::KOut { k: 3 }),
+        (11, Topology::RandomTree),
+    ] {
+        let (report, parsed) = traced_run(topo, 48, seed, &format!("cp-{seed}"));
+        assert!(report.completed, "{topo} did not complete");
+        let chain = critical_path(&parsed).expect("fault-free full-sampling run has edges");
+        let terminal = chain.last().unwrap();
+        // The run ends the round the last node learns its last id; with
+        // every message traced, that delivery is the terminal edge.
+        assert_eq!(
+            terminal.round, report.rounds,
+            "{topo}: critical path ends at round {} but the run took {}",
+            terminal.round, report.rounds
+        );
+        // Hops are real deliveries, so the chain fits inside the run
+        // and each hop strictly advances the delivery round.
+        assert!(chain.len() as u64 <= report.rounds);
+        for pair in chain.windows(2) {
+            assert!(pair[0].round < pair[1].round, "path rounds must increase");
+            assert_eq!(pair[0].node, pair[1].src, "hops must chain by sender");
+            assert_eq!(pair[0].id, pair[1].id, "a chain follows one id");
+        }
+        // No sampling, ample capacity: the trace saw everything.
+        let tm = parsed.trace_meta.as_ref().unwrap();
+        assert_eq!(tm.sampled_out, 0);
+        assert_eq!(tm.overflow, 0);
+    }
+}
+
+#[test]
+fn why_narrative_names_the_final_round() {
+    let (report, parsed) = traced_run(Topology::Cycle, 32, 5, "why");
+    let text = why(&parsed);
+    assert!(
+        text.contains(&format!(
+            "final round of the run is round {}",
+            report.rounds
+        )),
+        "narrative missing the final round:\n{text}"
+    );
+    assert!(text.contains("critical path:"), "{text}");
+}

@@ -372,6 +372,71 @@ proptest! {
             }
         }
 
+        // Causal tracing is also outside the boundary: at any sampling
+        // rate and any worker count the RunReport stays byte-for-byte
+        // the blind run's, and the provenance section of the archive
+        // (trace_meta + edge lines) is byte-identical across engines.
+        for &ppm in &[250_000u32, 1_000_000] {
+            let mut sections: Vec<String> = Vec::new();
+            for (tag, engine) in [
+                ("cseq".to_string(), EngineKind::Sequential),
+                ("cw1".to_string(), EngineKind::Sharded { workers: 1 }),
+                ("cw2".to_string(), EngineKind::Sharded { workers: 2 }),
+                ("cw4".to_string(), EngineKind::Sharded { workers: 4 }),
+            ] {
+                let path = dir.join(format!("{tag}-{ppm}.jsonl"));
+                let spec = ObsSpec::new()
+                    .with_archive(&path)
+                    .with_causal_trace(1 << 20, ppm);
+                let observed = run(kind, &base.clone().with_engine(engine).with_obs(spec));
+                prop_assert_eq!(
+                    &observed,
+                    &blind[0],
+                    "{} @ {} ppm: causal tracing perturbed the run",
+                    &tag,
+                    ppm
+                );
+                let text = std::fs::read_to_string(&path).unwrap();
+                let problems = archive::validate(&text);
+                prop_assert!(
+                    problems.is_empty(),
+                    "{} @ {} ppm: invalid archive: {:?}",
+                    &tag,
+                    ppm,
+                    problems
+                );
+                sections.push(
+                    text.lines()
+                        .filter(|l| {
+                            l.starts_with("{\"type\":\"edge\"")
+                                || l.starts_with("{\"type\":\"trace_meta\"")
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                );
+            }
+            prop_assert!(
+                sections[0].contains("\"type\":\"trace_meta\""),
+                "no provenance section at {} ppm",
+                ppm
+            );
+            if ppm == 1_000_000 && blind[0].messages > 0 {
+                prop_assert!(
+                    sections[0].contains("\"type\":\"edge\""),
+                    "full sampling retained no edges"
+                );
+            }
+            for (i, sec) in sections.iter().enumerate().skip(1) {
+                prop_assert_eq!(
+                    &sections[0],
+                    sec,
+                    "provenance section diverged (engine {} @ {} ppm)",
+                    i,
+                    ppm
+                );
+            }
+        }
+
         std::fs::remove_dir_all(&dir).ok();
     }
 }
