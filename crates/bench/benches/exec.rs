@@ -116,6 +116,7 @@ fn bare_recorder(n: usize, workers: usize) -> Recorder {
         seed: SEED,
         engine: engine_label(workers),
         workers: workers.max(1),
+        latency_model: None,
     })
 }
 
@@ -255,7 +256,7 @@ fn write_json_summary(reps: usize, path: &str) {
     json.push_str("  \"hardware\": {\n");
     json.push_str(&format!("    \"available_parallelism\": {cores},\n"));
     json.push_str(&format!(
-        "    \"note\": \"recorded on a host with {cores} hardware thread(s); parallel speedup is bounded by physical cores, so on a single-core host the sharded engine can at best tie the sequential one and these numbers measure sharding overhead, not scaling — rerun on a multi-core host for speedup\"\n",
+        "    \"note\": \"recorded on a host with {cores} hardware thread(s); parallel speedup is bounded by physical cores, so on a single-core host the sharded engine can at best tie the sequential one and these numbers measure sharding overhead, not scaling — speedup_vs_sequential is omitted there entirely, rerun on a multi-core host for speedup\"\n",
     ));
     json.push_str("  },\n");
     json.push_str("  \"configs\": [\n");
@@ -273,7 +274,16 @@ fn write_json_summary(reps: usize, path: &str) {
             .find(|s| s.log2_n == m.log2_n && s.workers == m.workers && !s.obs && !s.trace)
             .expect("obs-off twin present");
         let rounds_per_sec = m.rounds as f64 / m.best_seconds;
-        let speedup = sequential.best_seconds / m.best_seconds;
+        // On a single-core host "speedup" can only measure sharding
+        // overhead, so the field is omitted entirely rather than
+        // recorded as a misleading sub-1.0 number; the overhead rows
+        // below carry the honest story there.
+        let speedup = (cores > 1).then(|| {
+            format!(
+                ", \"speedup_vs_sequential\": {:.3}",
+                sequential.best_seconds / m.best_seconds
+            )
+        });
         let mut overheads = String::new();
         if m.obs {
             overheads.push_str(&format!(
@@ -292,7 +302,7 @@ fn write_json_summary(reps: usize, path: &str) {
             ));
         }
         json.push_str(&format!(
-            "    {{\"n\": {n}, \"log2_n\": {}, \"rounds\": {}, \"engine\": \"{}\", \"workers\": {}, \"obs\": {}, \"trace\": {}, \"best_seconds\": {:.4}, \"rounds_per_sec\": {:.2}, \"speedup_vs_sequential\": {:.3}{}}}{}\n",
+            "    {{\"n\": {n}, \"log2_n\": {}, \"rounds\": {}, \"engine\": \"{}\", \"workers\": {}, \"obs\": {}, \"trace\": {}, \"best_seconds\": {:.4}, \"rounds_per_sec\": {:.2}{}{}}}{}\n",
             m.log2_n,
             m.rounds,
             engine_label(m.workers),
@@ -301,7 +311,7 @@ fn write_json_summary(reps: usize, path: &str) {
             m.trace,
             m.best_seconds,
             rounds_per_sec,
-            speedup,
+            speedup.as_deref().unwrap_or(""),
             overheads,
             if i + 1 == measurements.len() { "" } else { "," }
         ));

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the evaluation.
 //!
 //! ```text
-//! figures [--quick] [--csv] [--engine=sharded:W] [--obs=DIR] [--trace] [ids...]
+//! figures [--quick] [--csv] [--engine=SPEC] [--obs=DIR] [--trace] [ids...]
 //! ```
 //!
 //! With no ids, everything runs. Ids: `t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5
@@ -9,16 +9,22 @@
 //! additionally prints each table as CSV. `--engine=sharded:W` runs the
 //! engine-aware sweeps (T1/F1/T2/F2/F4 and F5) on the `rd-exec` sharded
 //! engine with `W` worker threads; results are bit-identical either way,
-//! only wall-clock changes.
+//! only wall-clock changes. `--engine=event[:<latency model>]` runs them
+//! on the `rd-event` discrete-event engine instead (models: `const:T`,
+//! `uniform:MIN:MAX`, `lognormal:MU_MILLI:SIGMA_MILLI:CAP`, `asym:F:B`);
+//! with the default `const:1` model results again match bit-for-bit,
+//! while jittered models measure convergence under asynchrony.
 //!
 //! `--obs=DIR` additionally performs two instrumented HM reference runs
 //! (sequential and sharded:4) and writes their telemetry into `DIR`:
 //! JSONL run archives for both (`rd-inspect summarize/diff/validate`
 //! reads them), plus a Chrome trace-event file (load in Perfetto) and a
-//! Prometheus text snapshot for the sharded run. `--trace` adds causal
-//! provenance tracing to those reference runs (full sampling), so the
-//! archives carry the schema-v2 edge section that `rd-inspect why` and
-//! `rd-inspect path` read.
+//! Prometheus text snapshot for the sharded run. When an event engine is
+//! selected, a third archive (`hm-event.jsonl`) is written under the
+//! chosen latency model. `--trace` adds causal provenance tracing to
+//! those reference runs (full sampling), so the archives carry the
+//! schema-v2 edge section that `rd-inspect why` and `rd-inspect path`
+//! read.
 
 use rd_analysis::Table;
 use rd_bench::experiments::{
@@ -28,6 +34,7 @@ use rd_bench::experiments::{
 use rd_bench::Profile;
 use rd_core::algorithms::hm::HmConfig;
 use rd_core::runner::{run, AlgorithmKind, EngineKind, ObsSpec, RunConfig};
+use rd_event::LatencyModel;
 use rd_graphs::Topology;
 use std::path::PathBuf;
 
@@ -41,15 +48,33 @@ struct Options {
 }
 
 fn parse_engine(spec: &str) -> EngineKind {
-    match spec {
-        "sequential" => EngineKind::Sequential,
-        _ => match spec.strip_prefix("sharded:").map(str::parse) {
-            Some(Ok(workers)) if workers > 0 => EngineKind::Sharded { workers },
-            _ => {
-                eprintln!("invalid engine {spec:?}; use 'sequential' or 'sharded:<workers>'");
+    if spec == "sequential" {
+        return EngineKind::Sequential;
+    }
+    if spec == "event" {
+        // Bare `event` is the synchronous baseline on the event engine.
+        return EngineKind::Event {
+            latency: LatencyModel::default(),
+        };
+    }
+    if let Some(model) = spec.strip_prefix("event:") {
+        match LatencyModel::parse(model) {
+            Ok(latency) => return EngineKind::Event { latency },
+            Err(err) => {
+                eprintln!("invalid engine {spec:?}: {err}");
                 std::process::exit(2);
             }
-        },
+        }
+    }
+    match spec.strip_prefix("sharded:").map(str::parse) {
+        Some(Ok(workers)) if workers > 0 => EngineKind::Sharded { workers },
+        _ => {
+            eprintln!(
+                "invalid engine {spec:?}; use 'sequential', 'sharded:<workers>', \
+                 or 'event[:<latency model>]' (e.g. event:uniform:1:8)"
+            );
+            std::process::exit(2);
+        }
     }
 }
 
@@ -67,7 +92,7 @@ fn parse_args() -> Options {
             "--csv" => csv = true,
             "--trace" => trace = true,
             "--help" | "-h" => {
-                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>] [--obs=DIR] [--trace] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t5b t6 t7 t8 t9 t10]");
+                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>|event[:<latency model>]] [--obs=DIR] [--trace] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t5b t6 t7 t8 t9 t10]");
                 std::process::exit(0);
             }
             spec if spec.starts_with("--engine=") => {
@@ -90,16 +115,19 @@ fn parse_args() -> Options {
 }
 
 /// The `--obs=DIR` reference runs: the same HM instance once per
-/// engine, every telemetry exporter exercised. The two archives let
-/// `rd-inspect diff` show that the engines agree on every deterministic
-/// field and differ only in wall-clock and worker layout.
-fn obs_runs(profile: Profile, dir: &std::path::Path, trace: bool) {
+/// engine, every telemetry exporter exercised. The two round-engine
+/// archives let `rd-inspect diff` show that the engines agree on every
+/// deterministic field and differ only in wall-clock and worker layout.
+/// When `--engine=event[:<model>]` is selected, a third archive is
+/// written from the event engine under that latency model; its header
+/// carries the `latency_model` field so the archive is self-describing.
+fn obs_runs(profile: Profile, engine: EngineKind, dir: &std::path::Path, trace: bool) {
     let n = match profile {
         Profile::Quick => 512,
         Profile::Full => 4096,
     };
     let seed = 42;
-    let mut runs = [
+    let mut runs = vec![
         (
             EngineKind::Sequential,
             ObsSpec::new().with_archive(dir.join("hm-sequential.jsonl")),
@@ -112,6 +140,12 @@ fn obs_runs(profile: Profile, dir: &std::path::Path, trace: bool) {
                 .with_prometheus(dir.join("hm-sharded4.prom")),
         ),
     ];
+    if let EngineKind::Event { .. } = engine {
+        runs.push((
+            engine,
+            ObsSpec::new().with_archive(dir.join("hm-event.jsonl")),
+        ));
+    }
     if trace {
         // Full sampling at reference scale: the archives carry the
         // complete provenance DAG for `rd-inspect why` / `path`.
@@ -162,7 +196,7 @@ fn main() {
     );
 
     if let Some(dir) = &opts.obs {
-        obs_runs(opts.profile, dir, opts.trace);
+        obs_runs(opts.profile, opts.engine, dir, opts.trace);
         // `--obs=DIR` with no ids means "just the instrumented runs":
         // don't drag the full evaluation along.
         if opts.ids.is_empty() {

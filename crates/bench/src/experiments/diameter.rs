@@ -44,7 +44,7 @@ pub fn run_with(profile: Profile, engine: EngineKind) -> (Table, Vec<(f64, f64)>
                 ns: vec![n],
                 seeds: profile.seeds(),
                 threads: match engine {
-                    EngineKind::Sequential => 0,
+                    EngineKind::Sequential | EngineKind::Event { .. } => 0,
                     EngineKind::Sharded { .. } => 1,
                 },
                 engine,

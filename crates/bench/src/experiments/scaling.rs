@@ -68,7 +68,7 @@ pub fn run_with(profile: Profile, engine: EngineKind) -> ScalingData {
             ns: capped,
             seeds: profile.seeds(),
             threads: match engine {
-                EngineKind::Sequential => 0,
+                EngineKind::Sequential | EngineKind::Event { .. } => 0,
                 EngineKind::Sharded { .. } => 1,
             },
             engine,

@@ -6,6 +6,7 @@ use crate::algorithms::{
     RandomPointerJump, Swamping,
 };
 use crate::{problem, verify};
+use rd_event::{EventEngine, LatencyModel};
 use rd_exec::ShardedEngine;
 use rd_graphs::Topology;
 use rd_obs::{
@@ -74,14 +75,21 @@ impl AlgorithmKind {
 
 /// Which execution engine drives the run.
 ///
-/// Both engines are bit-identical on the same configuration (the
-/// cross-engine equivalence property test enforces this), so the choice
-/// is purely about wall-clock: the sharded engine pays per-round thread
-/// fan-out to win parallel node stepping *and* parallel routing —
-/// message fates are counter-derived per `(seed, sender, round,
-/// sequence)`, so the routing phase shards as cleanly as the stepping
-/// phase — which starts paying off for populations around 2¹⁴ and up
-/// on multicore hosts.
+/// The round engines are bit-identical on the same configuration (the
+/// cross-engine equivalence property test enforces this), so choosing
+/// between them is purely about wall-clock: the sharded engine pays
+/// per-round thread fan-out to win parallel node stepping *and*
+/// parallel routing — message fates are counter-derived per `(seed,
+/// sender, round, sequence)`, so the routing phase shards as cleanly as
+/// the stepping phase — which starts paying off for populations around
+/// 2¹⁴ and up on multicore hosts.
+///
+/// The event engine changes the *network model* instead: per-message
+/// delivery latency comes from a pluggable [`LatencyModel`], which
+/// expresses constant multi-tick RTTs, heavy-tailed stragglers, and
+/// asymmetric links that the round model structurally cannot. Under
+/// `LatencyModel::Constant { ticks: 1 }` it, too, is bit-identical to
+/// the round engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// The single-threaded lockstep engine in `rd-sim` (default).
@@ -92,14 +100,30 @@ pub enum EngineKind {
         /// Worker-thread count (must be nonzero).
         workers: usize,
     },
+    /// The discrete-event engine in `rd-event`.
+    Event {
+        /// Per-message delivery-latency model.
+        latency: LatencyModel,
+    },
 }
 
 impl EngineKind {
-    /// Display name for tables, e.g. `sequential` or `sharded:4`.
+    /// Display name for tables, e.g. `sequential`, `sharded:4`, or
+    /// `event:lognormal:1200:800:32`.
     pub fn name(&self) -> String {
         match self {
             EngineKind::Sequential => "sequential".into(),
             EngineKind::Sharded { workers } => format!("sharded:{workers}"),
+            EngineKind::Event { latency } => format!("event:{}", latency.name()),
+        }
+    }
+
+    /// The latency model's spec string, for engines that have one (the
+    /// `latency_model` field of run archives).
+    pub fn latency_model(&self) -> Option<String> {
+        match self {
+            EngineKind::Event { latency } => Some(latency.name()),
+            _ => None,
         }
     }
 }
@@ -442,6 +466,23 @@ where
             }
             drive(alg, config, &initial, engine)
         }
+        EngineKind::Event { latency } => {
+            let mut engine =
+                EventEngine::new(nodes, config.seed, latency).with_faults(config.faults.clone());
+            if let Some(policy) = config.reliable {
+                engine = engine.with_reliable_delivery(policy);
+            }
+            if let Some(capacity) = config.trace_capacity {
+                engine = engine.with_trace(capacity);
+            }
+            if let Some(trace) = causal {
+                engine = engine.with_causal_trace(trace);
+            }
+            if let Some(spec) = &config.obs {
+                engine = engine.with_obs(make_recorder(&alg.name(), config, spec));
+            }
+            drive(alg, config, &initial, engine)
+        }
     }
 }
 
@@ -466,7 +507,7 @@ fn make_causal_trace(
 /// one sink per exporter the spec enables.
 fn make_recorder(algorithm: &str, config: &RunConfig, spec: &ObsSpec) -> Recorder {
     let workers = match config.engine {
-        EngineKind::Sequential => 1,
+        EngineKind::Sequential | EngineKind::Event { .. } => 1,
         EngineKind::Sharded { workers } => workers,
     };
     let mut rec = Recorder::new(RunMeta {
@@ -476,6 +517,7 @@ fn make_recorder(algorithm: &str, config: &RunConfig, spec: &ObsSpec) -> Recorde
         seed: config.seed,
         engine: config.engine.name(),
         workers,
+        latency_model: config.engine.latency_model(),
     });
     if let Some(path) = &spec.archive {
         rec = rec.with_sink(Box::new(JsonlArchiveSink::new(path.clone())));

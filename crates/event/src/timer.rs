@@ -1,0 +1,150 @@
+//! First-class timer events: arm, cancel, fire.
+//!
+//! A [`TimerWheel`] is the event queue of the discrete-event engine's
+//! non-message events: an ordered set of `(deadline, payload)` entries
+//! that fire in `(time, arm-order)` order — the same
+//! `(time, tiebreak-rank)` discipline as message deliveries, so a run
+//! never depends on hash iteration or insertion luck. Arming returns a
+//! [`TimerId`] that can later cancel the entry; a cancelled timer never
+//! fires.
+
+use std::collections::BTreeMap;
+
+/// Handle to an armed timer, used to cancel it. Ordering the ids
+/// orders the timers: deadline first, then arm order within a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId {
+    at: u64,
+    serial: u64,
+}
+
+impl TimerId {
+    /// The tick this timer is (or was) scheduled to fire at.
+    pub fn deadline(&self) -> u64 {
+        self.at
+    }
+}
+
+/// A deterministic timer queue: entries fire in `(deadline, arm-order)`
+/// order, and the serial tiebreak makes that order a pure function of
+/// the arm/cancel call sequence.
+#[derive(Debug, Default)]
+pub struct TimerWheel<T> {
+    entries: BTreeMap<(u64, u64), T>,
+    next_serial: u64,
+    fired: u64,
+    cancelled: u64,
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            entries: BTreeMap::new(),
+            next_serial: 0,
+            fired: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// Arms a timer to fire at tick `at`, carrying `payload`. Returns
+    /// the handle that cancels it.
+    pub fn arm(&mut self, at: u64, payload: T) -> TimerId {
+        let id = TimerId {
+            at,
+            serial: self.next_serial,
+        };
+        self.next_serial += 1;
+        self.entries.insert((id.at, id.serial), payload);
+        id
+    }
+
+    /// Cancels an armed timer. Returns its payload, or `None` if the
+    /// timer already fired or was already cancelled.
+    pub fn cancel(&mut self, id: TimerId) -> Option<T> {
+        let payload = self.entries.remove(&(id.at, id.serial));
+        if payload.is_some() {
+            self.cancelled += 1;
+        }
+        payload
+    }
+
+    /// Fires every timer with a deadline `<= now`, in
+    /// `(deadline, arm-order)` order. Fired timers are consumed.
+    pub fn fire_due(&mut self, now: u64) -> Vec<(TimerId, T)> {
+        let mut due = Vec::new();
+        while let Some((&(at, serial), _)) = self.entries.first_key_value() {
+            if at > now {
+                break;
+            }
+            let payload = self.entries.remove(&(at, serial)).expect("nonempty");
+            due.push((TimerId { at, serial }, payload));
+        }
+        self.fired += due.len() as u64;
+        due
+    }
+
+    /// The deadline of the earliest armed timer, if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.entries.keys().next().map(|&(at, _)| at)
+    }
+
+    /// Number of currently armed timers.
+    pub fn armed(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `(fired, cancelled)` lifetime counters (observability export).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.fired, self.cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_fire_in_deadline_then_arm_order() {
+        let mut wheel = TimerWheel::new();
+        wheel.arm(5, "b");
+        wheel.arm(3, "a");
+        wheel.arm(5, "c");
+        assert_eq!(wheel.next_deadline(), Some(3));
+        let fired: Vec<&str> = wheel.fire_due(5).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!["a", "b", "c"]);
+        assert_eq!(wheel.armed(), 0);
+    }
+
+    #[test]
+    fn fire_due_leaves_future_timers_armed() {
+        let mut wheel = TimerWheel::new();
+        wheel.arm(1, 10u32);
+        wheel.arm(4, 40u32);
+        let fired = wheel.fire_due(2);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1, 10);
+        assert_eq!(wheel.armed(), 1);
+        assert_eq!(wheel.next_deadline(), Some(4));
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire() {
+        let mut wheel = TimerWheel::new();
+        let keep = wheel.arm(2, "keep");
+        let drop = wheel.arm(2, "drop");
+        assert_eq!(wheel.cancel(drop), Some("drop"));
+        assert_eq!(wheel.cancel(drop), None, "double cancel");
+        let fired: Vec<&str> = wheel.fire_due(9).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!["keep"]);
+        assert_eq!(wheel.cancel(keep), None, "already fired");
+        assert_eq!(wheel.stats(), (1, 1));
+    }
+
+    #[test]
+    fn deadline_is_visible_on_the_handle() {
+        let mut wheel = TimerWheel::new();
+        let id = wheel.arm(7, ());
+        assert_eq!(id.deadline(), 7);
+    }
+}

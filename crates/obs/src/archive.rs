@@ -4,7 +4,8 @@
 //! record kind. Line order is fixed so archives diff cleanly as text:
 //!
 //! ```text
-//! {"type":"header","schema":1,"algorithm":…,"topology":…,"n":…,"seed":"…","engine":…,"workers":…}
+//! {"type":"header","schema":1,"algorithm":…,"topology":…,"n":…,"seed":"…","engine":…,"workers":…
+//!   [,"latency_model":"…"]}       (the latency model appears only for event-engine runs)
 //! {"type":"round","round":1,"wall_ns":…,"messages":…,"pointers":…,"dropped_coin":…,
 //!   "dropped_crash":…,"dropped_partition":…,"retransmissions":…,"knowledge_delta":…|null}   × rounds
 //! {"type":"phase","phase":"route_shard","count":…,"total_ns":…,"p50_ns":…,"p99_ns":…,"max_ns":…} × phases
@@ -68,9 +69,14 @@ pub fn render(report: &ObsReport) -> String {
     } else {
         1
     };
+    // `latency_model` renders only when set, so round-engine archives
+    // stay byte-identical to what pre-event-engine builds wrote.
+    let latency = m.latency_model.as_ref().map_or(String::new(), |l| {
+        format!(",\"latency_model\":{}", escape(l))
+    });
     let _ = writeln!(
         out,
-        "{{\"type\":\"header\",\"schema\":{schema},\"algorithm\":{},\"topology\":{},\"n\":{},\"seed\":{},\"engine\":{},\"workers\":{}}}",
+        "{{\"type\":\"header\",\"schema\":{schema},\"algorithm\":{},\"topology\":{},\"n\":{},\"seed\":{},\"engine\":{},\"workers\":{}{latency}}}",
         escape(&m.algorithm),
         escape(&m.topology),
         m.n,
@@ -199,6 +205,9 @@ pub struct Header {
     pub seed: String,
     pub engine: String,
     pub workers: u64,
+    /// Latency-model spec of event-engine runs; absent (and not
+    /// rendered) for round-engine archives.
+    pub latency_model: Option<String>,
 }
 
 /// Parsed `round` record.
@@ -388,6 +397,10 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
                     seed: str_field(&v, "seed", lineno, &mut problems),
                     engine: str_field(&v, "engine", lineno, &mut problems),
                     workers: field!("workers"),
+                    latency_model: v
+                        .get("latency_model")
+                        .and_then(Json::as_str)
+                        .map(str::to_string),
                 };
             }
             "round" => {
@@ -626,6 +639,7 @@ mod tests {
             seed: u64::MAX - 1,
             engine: "sharded:4".into(),
             workers: 4,
+            latency_model: None,
         });
         for r in 1..=4u64 {
             rec.begin_round();
@@ -694,6 +708,7 @@ mod tests {
             seed: 7,
             engine: "sequential".into(),
             workers: 1,
+            latency_model: None,
         });
         rec.begin_round();
         rec.end_round(RoundObs {

@@ -7,6 +7,15 @@
 //! `WARN` between the warn and fail thresholds, `OK` otherwise. Rows
 //! present on only one side are reported but never gate — a PR that
 //! adds configurations must not fail for measuring more.
+//!
+//! The committed baseline may additionally carry a `"targets"` section:
+//! pinned minimum throughputs per configuration. Relative comparison
+//! alone ratchets silently — land a regression, re-commit the baseline,
+//! and the loss is laundered into the new normal. A target row keeps
+//! gating against the absolute floor until someone *deliberately* edits
+//! it, so performance wins stay pinned. A new run below a target is a
+//! `FAIL`; a target whose configuration vanished from the new summary
+//! is a `WARN` (the pinned win can no longer be checked).
 
 use crate::json::Json;
 use std::fmt::Write as _;
@@ -76,6 +85,74 @@ pub fn parse_bench(text: &str) -> Result<Vec<BenchRow>, String> {
     Ok(rows)
 }
 
+/// One pinned minimum-throughput row from the committed baseline's
+/// optional `"targets"` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchTarget {
+    pub n: u64,
+    pub engine: String,
+    pub obs: bool,
+    pub trace: bool,
+    /// The run fails when the matching configuration measures below
+    /// this floor, regardless of what the relative diff says.
+    pub min_rounds_per_sec: f64,
+}
+
+impl BenchTarget {
+    fn key(&self) -> (u64, &str, bool, bool) {
+        (self.n, &self.engine, self.obs, self.trace)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "n={} engine={} obs={} trace={}",
+            self.n, self.engine, self.obs, self.trace
+        )
+    }
+}
+
+/// Parses the optional `"targets"` section of a `BENCH_*.json`
+/// document. Summaries without one (every freshly generated summary,
+/// and all baselines committed before targets existed) parse as empty.
+pub fn parse_targets(text: &str) -> Result<Vec<BenchTarget>, String> {
+    let doc = Json::parse(text)?;
+    let Some(targets) = doc.get("targets") else {
+        return Ok(Vec::new());
+    };
+    let targets = targets.as_arr().ok_or("\"targets\" must be an array")?;
+    let mut rows = Vec::new();
+    for (i, row) in targets.iter().enumerate() {
+        let field = |name: &str| {
+            row.get(name)
+                .ok_or_else(|| format!("targets[{i}]: missing \"{name}\""))
+        };
+        rows.push(BenchTarget {
+            n: field("n")?
+                .as_u64()
+                .ok_or_else(|| format!("targets[{i}]: \"n\" must be a number"))?,
+            engine: field("engine")?
+                .as_str()
+                .ok_or_else(|| format!("targets[{i}]: \"engine\" must be a string"))?
+                .to_string(),
+            obs: field("obs")?
+                .as_bool()
+                .ok_or_else(|| format!("targets[{i}]: \"obs\" must be a boolean"))?,
+            trace: row
+                .get("trace")
+                .map(|v| {
+                    v.as_bool()
+                        .ok_or_else(|| format!("targets[{i}]: \"trace\" must be a boolean"))
+                })
+                .transpose()?
+                .unwrap_or(false),
+            min_rounds_per_sec: field("min_rounds_per_sec")?
+                .as_f64()
+                .ok_or_else(|| format!("targets[{i}]: \"min_rounds_per_sec\" must be a number"))?,
+        });
+    }
+    Ok(rows)
+}
+
 /// Verdict on one joined configuration row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
@@ -105,10 +182,22 @@ pub struct RowDiff {
     pub verdict: Verdict,
 }
 
+/// One checked target row: a pinned floor against the new measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetRow {
+    pub label: String,
+    pub min: f64,
+    /// The matching new measurement; `None` when the configuration
+    /// vanished from the new summary.
+    pub actual: Option<f64>,
+    pub verdict: Verdict,
+}
+
 /// The full comparison of two benchmark summaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDiff {
     pub rows: Vec<RowDiff>,
+    pub targets: Vec<TargetRow>,
     pub only_old: Vec<String>,
     pub only_new: Vec<String>,
     pub warn_above_pct: f64,
@@ -121,6 +210,11 @@ impl BenchDiff {
             .iter()
             .filter(|r| r.verdict == Verdict::Fail)
             .count()
+            + self
+                .targets
+                .iter()
+                .filter(|t| t.verdict == Verdict::Fail)
+                .count()
     }
 
     pub fn warnings(&self) -> usize {
@@ -128,6 +222,11 @@ impl BenchDiff {
             .iter()
             .filter(|r| r.verdict == Verdict::Warn)
             .count()
+            + self
+                .targets
+                .iter()
+                .filter(|t| t.verdict == Verdict::Warn)
+                .count()
     }
 
     /// Renders the verdict table. With `annotations`, WARN rows also
@@ -158,6 +257,43 @@ impl BenchDiff {
                 );
             }
         }
+        for t in &self.targets {
+            match t.actual {
+                Some(actual) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<4} {:<44} {:>10.2} rounds/s vs pinned floor {:.2}",
+                        t.verdict.name(),
+                        t.label,
+                        actual,
+                        t.min
+                    );
+                    if annotations && t.verdict == Verdict::Fail {
+                        let _ = writeln!(
+                            out,
+                            "::error::bench below pinned target on {} ({:.2} < {:.2} rounds/s)",
+                            t.label, actual, t.min
+                        );
+                    }
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{:<4} {:<44} no matching row for pinned floor {:.2}",
+                        t.verdict.name(),
+                        t.label,
+                        t.min
+                    );
+                    if annotations {
+                        let _ = writeln!(
+                            out,
+                            "::warning::bench target {} has no matching row in new summary",
+                            t.label
+                        );
+                    }
+                }
+            }
+        }
         for label in &self.only_old {
             let _ = writeln!(out, "note: {label} only in old summary (not compared)");
         }
@@ -180,6 +316,21 @@ impl BenchDiff {
 pub fn compare(
     old: &[BenchRow],
     new: &[BenchRow],
+    warn_above_pct: f64,
+    fail_above_pct: f64,
+) -> BenchDiff {
+    compare_with_targets(old, new, &[], warn_above_pct, fail_above_pct)
+}
+
+/// [`compare`], plus pinned-floor checks: every `target` is matched
+/// against the *new* summary on the same configuration key and fails
+/// when the measurement is below `min_rounds_per_sec`. Targets come
+/// from the committed baseline, so they gate even when the relative
+/// diff is clean.
+pub fn compare_with_targets(
+    old: &[BenchRow],
+    new: &[BenchRow],
+    targets: &[BenchTarget],
     warn_above_pct: f64,
     fail_above_pct: f64,
 ) -> BenchDiff {
@@ -216,8 +367,30 @@ pub fn compare(
         .filter(|n| !old.iter().any(|o| o.key() == n.key()))
         .map(BenchRow::label)
         .collect();
+    let targets = targets
+        .iter()
+        .map(|t| match new.iter().find(|n| n.key() == t.key()) {
+            Some(n) => TargetRow {
+                label: t.label(),
+                min: t.min_rounds_per_sec,
+                actual: Some(n.rounds_per_sec),
+                verdict: if n.rounds_per_sec < t.min_rounds_per_sec {
+                    Verdict::Fail
+                } else {
+                    Verdict::Ok
+                },
+            },
+            None => TargetRow {
+                label: t.label(),
+                min: t.min_rounds_per_sec,
+                actual: None,
+                verdict: Verdict::Warn,
+            },
+        })
+        .collect();
     BenchDiff {
         rows,
+        targets,
         only_old,
         only_new,
         warn_above_pct,
@@ -293,6 +466,74 @@ mod tests {
         assert_eq!(diff.failures(), 0);
         assert_eq!(diff.only_old.len(), 1);
         assert_eq!(diff.only_new.len(), 1);
+    }
+
+    #[test]
+    fn parses_targets_and_tolerates_their_absence() {
+        let with = r#"{
+            "bench": "exec-round-throughput",
+            "configs": [],
+            "targets": [
+                {"n": 4096, "engine": "sequential", "obs": false, "min_rounds_per_sec": 50.0},
+                {"n": 4096, "engine": "sharded:4", "obs": true, "trace": true, "min_rounds_per_sec": 40.0}
+            ]
+        }"#;
+        let targets = parse_targets(with).unwrap();
+        assert_eq!(targets.len(), 2);
+        assert!(!targets[0].trace, "missing trace field defaults to false");
+        assert_eq!(targets[1].min_rounds_per_sec, 40.0);
+        assert!(parse_targets(r#"{"configs": []}"#).unwrap().is_empty());
+        assert!(parse_targets(r#"{"targets": [{"n": 1}]}"#).is_err());
+    }
+
+    fn target(n: u64, engine: &str, min: f64) -> BenchTarget {
+        BenchTarget {
+            n,
+            engine: engine.into(),
+            obs: false,
+            trace: false,
+            min_rounds_per_sec: min,
+        }
+    }
+
+    #[test]
+    fn targets_pin_absolute_floors_independently_of_the_relative_diff() {
+        // The relative diff is clean — old and new agree — but the new
+        // measurement sits below the pinned floor, so the run fails:
+        // re-committing a regressed baseline cannot launder the loss.
+        let old = vec![row(1, "sequential", false, false, 60.0)];
+        let new = vec![row(1, "sequential", false, false, 60.0)];
+        let targets = vec![target(1, "sequential", 80.0)];
+        let diff = compare_with_targets(&old, &new, &targets, 5.0, 15.0);
+        assert_eq!(diff.rows[0].verdict, Verdict::Ok, "relative diff is clean");
+        assert_eq!(diff.targets[0].verdict, Verdict::Fail);
+        assert_eq!(diff.failures(), 1);
+        let rendered = diff.render(true);
+        assert!(
+            rendered.contains("::error::bench below pinned target"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("1 failure(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn met_targets_and_vanished_targets_do_not_fail() {
+        let new = vec![row(1, "sequential", false, false, 100.0)];
+        let targets = vec![
+            target(1, "sequential", 80.0), // met
+            target(2, "sharded:4", 80.0),  // configuration vanished
+        ];
+        let diff = compare_with_targets(&new.clone(), &new, &targets, 5.0, 15.0);
+        assert_eq!(diff.targets[0].verdict, Verdict::Ok);
+        assert_eq!(diff.targets[1].verdict, Verdict::Warn);
+        assert_eq!(diff.targets[1].actual, None);
+        assert_eq!(diff.failures(), 0);
+        assert_eq!(diff.warnings(), 1);
+        let rendered = diff.render(true);
+        assert!(
+            rendered.contains("no matching row for pinned floor"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //!
 //! Exit codes: 0 on success, 1 when validation finds problems, a file
 //! fails to parse, `summarize --strict` sees a truncated trace, or
-//! `bench-diff` finds a regression above the failure threshold; 2 on
-//! usage errors.
+//! `bench-diff` finds a regression above the failure threshold or a
+//! measurement below a pinned target floor from the committed
+//! baseline's `"targets"` section; 2 on usage errors.
 
 use rd_obs::{archive, bench_diff, critical_path, inspect};
 use std::process::ExitCode;
@@ -166,15 +167,27 @@ fn main() -> ExitCode {
                 Ok(p) => p,
                 Err(code) => return code,
             };
-            let load = |path: &str| -> Result<Vec<bench_diff::BenchRow>, ExitCode> {
-                bench_diff::parse_bench(&read(path)?).map_err(|e| {
+            // The committed (old) summary may carry pinned-floor target
+            // rows; they gate the new measurements in absolute terms.
+            let load = |path: &str| -> Result<
+                (Vec<bench_diff::BenchRow>, Vec<bench_diff::BenchTarget>),
+                ExitCode,
+            > {
+                let text = read(path)?;
+                let report = |e: String| {
                     eprintln!("rd-inspect: {path}: {e}");
                     ExitCode::from(1)
-                })
+                };
+                Ok((
+                    bench_diff::parse_bench(&text).map_err(report)?,
+                    bench_diff::parse_targets(&text).map_err(report)?,
+                ))
             };
             match (load(old_path), load(new_path)) {
-                (Ok(old), Ok(new)) => {
-                    let diff = bench_diff::compare(&old, &new, warn_above, fail_above);
+                (Ok((old, targets)), Ok((new, _))) => {
+                    let diff = bench_diff::compare_with_targets(
+                        &old, &new, &targets, warn_above, fail_above,
+                    );
                     print!("{}", diff.render(true));
                     if diff.failures() > 0 {
                         ExitCode::from(1)

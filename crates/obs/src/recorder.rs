@@ -28,9 +28,13 @@ pub struct RunMeta {
     pub topology: String,
     pub n: usize,
     pub seed: u64,
-    /// `"sequential"` or `"sharded:<workers>"`.
+    /// `"sequential"`, `"sharded:<workers>"`, or `"event:<model>"`.
     pub engine: String,
     pub workers: usize,
+    /// The latency model's spec string when the run used the
+    /// discrete-event engine (`None` for the round engines, which keeps
+    /// their archives byte-identical to what earlier builds wrote).
+    pub latency_model: Option<String>,
 }
 
 /// One round's observed counters plus its wall-clock cost.
@@ -392,6 +396,7 @@ mod tests {
             seed: 1,
             engine: "sequential".into(),
             workers: 1,
+            latency_model: None,
         }
     }
 

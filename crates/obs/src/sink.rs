@@ -187,6 +187,7 @@ mod tests {
             seed: 7,
             engine: "sharded:2".into(),
             workers: 2,
+            latency_model: None,
         });
         rec.begin_round();
         rec.span_from(Phase::OnRound, 1, 0, Instant::now());

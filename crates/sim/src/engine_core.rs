@@ -943,6 +943,141 @@ impl<M: MessageCost> EngineCore<M> {
         }
     }
 
+    /// Routes a round's staged envelopes with *caller-supplied delivery
+    /// latencies* — the entry point of the discrete-event engine, where
+    /// per-message latency comes from a pluggable model instead of the
+    /// core's uniform-jitter knob.
+    ///
+    /// `latency(src, dst, sequence)` returns the delivery latency of
+    /// the message in whole ticks (`>= 1`); a message sent at tick `t`
+    /// arrives at tick `t + latency`. Envelope order, drop coins
+    /// ([`route_fate`] with the same `(seed, src, round, sequence)`
+    /// axes), and all accounting mirror [`route_batch`], so a model
+    /// that always returns 1 is bit-identical to synchronous routing.
+    /// Crash checks use the message's own *arrival* tick, so a
+    /// long-latency message can outlive its destination.
+    ///
+    /// Dropped messages still park in the retransmission queue (when
+    /// reliable delivery is on) at `round + timeout`; the caller decides
+    /// when to drain it via [`process_due_retransmissions_timed`]
+    /// (typically from a timer armed at [`next_retransmission_due`]).
+    ///
+    /// [`process_due_retransmissions_timed`]: EngineCore::process_due_retransmissions_timed
+    /// [`next_retransmission_due`]: EngineCore::next_retransmission_due
+    ///
+    /// # Panics
+    ///
+    /// Panics if any envelope addresses a node that does not exist, if
+    /// a latency of 0 is returned, or if the core's own delay jitter is
+    /// also configured (the latency model supersedes it).
+    pub fn route_batch_timed<F>(&mut self, staged: &mut Vec<Envelope<M>>, mut latency: F)
+    where
+        F: FnMut(usize, usize, u64) -> u64,
+    {
+        assert_eq!(
+            self.max_extra_delay, 0,
+            "the latency model supersedes the uniform-jitter knob"
+        );
+        let round = self.round;
+        let n = self.inboxes.len();
+        let seed = self.seed;
+        let drop_p = self.faults.drop_probability();
+        let has_crashes = self.faults.has_crashes();
+        let has_partitions = self.faults.has_partitions();
+        let reliable = self.reliable;
+        let faults = &self.faults;
+        let trace = &mut self.trace;
+        let causal = &mut self.causal;
+        let delayed = &mut self.delayed;
+        let pool = &mut self.pool;
+        let inboxes = &mut self.inboxes;
+        let queue = &mut self.retransmit_queue;
+        let lanes = self.metrics.lanes();
+        let mut prev_src = usize::MAX;
+        let mut seq = 0u64;
+        for env in staged.drain(..) {
+            let src = env.src.index();
+            if src != prev_src {
+                prev_src = src;
+                seq = 0;
+            }
+            let sequence = seq;
+            seq += 1;
+            let dst = env.dst.index();
+            assert!(
+                dst < n,
+                "message to unknown node {} from {}",
+                env.dst,
+                env.src
+            );
+            let pointers = env.payload.pointers();
+            let lat = latency(src, dst, sequence);
+            assert!(lat >= 1, "a delivery latency of 0 beats causality");
+            // A node dead at the message's arrival tick never sees it.
+            let crashed_dst = has_crashes && faults.is_crashed_at(dst, round + lat);
+            let partitioned =
+                !crashed_dst && has_partitions && faults.partition_blocks(src, dst, round);
+            let fate = route_fate(
+                seed,
+                round,
+                src,
+                sequence,
+                crashed_dst,
+                partitioned,
+                drop_p,
+                0,
+            );
+            if let Some(trace) = trace.as_mut() {
+                trace.record(TraceEvent {
+                    round,
+                    src: env.src,
+                    dst: env.dst,
+                    pointers,
+                    dropped: fate.dropped,
+                });
+            }
+            lanes.sent_messages[src] += 1;
+            lanes.sent_pointers[src] += pointers as u64;
+            if let Some(cause) = fate.dropped {
+                lanes.row.drops.add(cause);
+                if let Some(policy) = reliable {
+                    queue
+                        .entry(round + policy.timeout)
+                        .or_default()
+                        .push(RetryEnvelope {
+                            env,
+                            orig_round: round,
+                            orig_seq: sequence,
+                            attempts: 0,
+                        });
+                }
+            } else {
+                if pointers > 0 {
+                    if let Some(causal) = causal.as_mut() {
+                        if rng::prov_sample(seed, src, round, sequence, causal.sample_ppm()) {
+                            let sent = round + 1;
+                            offer_payload(causal, &env, sequence, sent, sent + lat);
+                        } else {
+                            causal.note_sampled_out();
+                        }
+                    }
+                }
+                lanes.row.messages += 1;
+                lanes.row.pointers += pointers as u64;
+                lanes.recv_messages[dst] += 1;
+                lanes.recv_pointers[dst] += pointers as u64;
+                if lat == 1 {
+                    inboxes[dst].push(env);
+                } else {
+                    delayed
+                        .entry(round + lat)
+                        .or_insert_with(|| pool.take())
+                        .push(env);
+                }
+            }
+        }
+    }
+
     /// Borrows the state a parallel router needs; see [`ParallelParts`].
     ///
     /// # Panics
@@ -1114,6 +1249,113 @@ impl<M: MessageCost> EngineCore<M> {
                 }
             }
         }
+    }
+
+    /// The earliest tick at which a parked retransmission becomes due,
+    /// if any. Timer-driven engines arm a wake-up at this instant and
+    /// drain the queue with [`process_due_retransmissions_timed`] when
+    /// it fires.
+    ///
+    /// [`process_due_retransmissions_timed`]: EngineCore::process_due_retransmissions_timed
+    pub fn next_retransmission_due(&self) -> Option<u64> {
+        self.retransmit_queue.keys().next().copied()
+    }
+
+    /// Makes every retransmission attempt due by the current tick, with
+    /// *caller-supplied delivery latencies* for the attempts that
+    /// succeed — the discrete-event counterpart of the per-round sweep
+    /// inside [`finish_round`](EngineCore::finish_round).
+    ///
+    /// `latency(src, dst, orig_round, orig_seq, attempt)` returns the
+    /// attempt's delivery latency in whole ticks (`>= 1`). Drain order,
+    /// attempt coins ([`retry_fate`] on the same axes), backoff
+    /// re-parking, and all accounting mirror the sweep, so a model that
+    /// always returns 1 is bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reliable delivery is not enabled or a latency of 0 is
+    /// returned.
+    pub fn process_due_retransmissions_timed<F>(&mut self, mut latency: F)
+    where
+        F: FnMut(usize, usize, u64, u64, u32) -> u64,
+    {
+        let policy = self.reliable.expect("reliable delivery enabled");
+        let round = self.round;
+        let seed = self.seed;
+        let drop_p = self.faults.drop_probability();
+        let has_crashes = self.faults.has_crashes();
+        let has_partitions = self.faults.has_partitions();
+        let faults = &self.faults;
+        let inboxes = &mut self.inboxes;
+        let delayed = &mut self.delayed;
+        let pool = &mut self.pool;
+        let queue = &mut self.retransmit_queue;
+        let lanes = self.metrics.lanes();
+        while queue.first_key_value().is_some_and(|(&at, _)| at <= round) {
+            let (_, batch) = queue.pop_first().expect("nonempty");
+            for retry in batch {
+                let src = retry.env.src.index();
+                let dst = retry.env.dst.index();
+                let attempt = retry.attempts + 1;
+                let lat = latency(src, dst, retry.orig_round, retry.orig_seq, attempt);
+                assert!(lat >= 1, "a delivery latency of 0 beats causality");
+                let crashed_dst = has_crashes && faults.is_crashed_at(dst, round + lat);
+                let partitioned =
+                    !crashed_dst && has_partitions && faults.partition_blocks(src, dst, round);
+                let fate = retry_fate(
+                    seed,
+                    src,
+                    retry.orig_round,
+                    retry.orig_seq,
+                    attempt,
+                    crashed_dst,
+                    partitioned,
+                    drop_p,
+                    0,
+                );
+                let pointers = retry.env.payload.pointers() as u64;
+                lanes.row.retransmissions += 1;
+                lanes.sent_messages[src] += 1;
+                lanes.sent_pointers[src] += pointers;
+                if let Some(cause) = fate.dropped {
+                    lanes.row.drops.add(cause);
+                    if attempt < policy.max_retries {
+                        queue
+                            .entry(round + policy.delay_after(attempt))
+                            .or_default()
+                            .push(RetryEnvelope {
+                                attempts: attempt,
+                                ..retry
+                            });
+                    }
+                } else {
+                    lanes.row.messages += 1;
+                    lanes.row.pointers += pointers;
+                    lanes.recv_messages[dst] += 1;
+                    lanes.recv_pointers[dst] += pointers;
+                    if lat == 1 {
+                        inboxes[dst].push(retry.env);
+                    } else {
+                        delayed
+                            .entry(round + lat)
+                            .or_insert_with(|| pool.take())
+                            .push(retry.env);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes a tick *without* the per-round retransmission sweep:
+    /// advances the clock and nothing else. Timer-driven engines that
+    /// drain retransmissions explicitly (via
+    /// [`process_due_retransmissions_timed`]) call this instead of
+    /// [`finish_round`](EngineCore::finish_round).
+    ///
+    /// [`process_due_retransmissions_timed`]: EngineCore::process_due_retransmissions_timed
+    pub fn finish_tick(&mut self) {
+        self.round += 1;
     }
 }
 

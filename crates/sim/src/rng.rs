@@ -74,6 +74,31 @@ pub fn message_retry_rng(
     StdRng::seed_from_u64(split_mix64(s ^ seq ^ att))
 }
 
+/// A random generator for drawing one message's *delivery latency*,
+/// derived from the run seed, the sender, the round (simulated tick)
+/// the message was sent in, its send-sequence number within that
+/// round, and the transmission attempt (0 for the original send, 1 for
+/// the first retransmission, …).
+///
+/// A separate domain keeps latency draws independent of the route,
+/// retry, and provenance streams: switching latency models (or moving
+/// between the round engines and the discrete-event engine) never
+/// perturbs any drop coin, and each draw is a pure function of
+/// `(seed, src, round, sequence, attempt)` — independent of event
+/// ordering, engine kind, or queue state.
+pub fn message_latency_rng(
+    run_seed: u64,
+    src: usize,
+    round: u64,
+    sequence: u64,
+    attempt: u32,
+) -> StdRng {
+    let s = derive_seed(run_seed, 0x6c61_7465, src as u64, round);
+    let seq = split_mix64(sequence.wrapping_mul(0xd6e8_feb8_6659_fd93));
+    let att = split_mix64((attempt as u64).wrapping_mul(0xbea2_25f9_eb34_556d));
+    StdRng::seed_from_u64(split_mix64(s ^ seq ^ att))
+}
+
 /// The deterministic causal-trace sampling decision for one message,
 /// derived — like [`message_route_rng`] — purely from `(seed, src,
 /// round, sequence)` plus its own domain label. `sample_ppm` is the
@@ -204,6 +229,42 @@ mod tests {
         );
         // And the retry domain is distinct from the route domain.
         assert_ne!(base, first(message_route_rng(9, 4, 2, 0)));
+    }
+
+    #[test]
+    fn message_latency_rng_separates_every_axis() {
+        let first = |mut r: StdRng| r.random::<u64>();
+        let base = first(message_latency_rng(9, 4, 2, 0, 0));
+        assert_eq!(base, first(message_latency_rng(9, 4, 2, 0, 0)));
+        assert_ne!(
+            base,
+            first(message_latency_rng(8, 4, 2, 0, 0)),
+            "seed ignored"
+        );
+        assert_ne!(
+            base,
+            first(message_latency_rng(9, 5, 2, 0, 0)),
+            "src ignored"
+        );
+        assert_ne!(
+            base,
+            first(message_latency_rng(9, 4, 3, 0, 0)),
+            "round ignored"
+        );
+        assert_ne!(
+            base,
+            first(message_latency_rng(9, 4, 2, 1, 0)),
+            "sequence ignored"
+        );
+        assert_ne!(
+            base,
+            first(message_latency_rng(9, 4, 2, 0, 1)),
+            "attempt ignored"
+        );
+        // And the latency domain is distinct from the route and retry
+        // domains.
+        assert_ne!(base, first(message_route_rng(9, 4, 2, 0)));
+        assert_ne!(base, first(message_retry_rng(9, 4, 2, 0, 0)));
     }
 
     #[test]

@@ -40,9 +40,8 @@
 //! directory — auto-named `scaling-big.jsonl` or `scaling-churn.jsonl`
 //! to match `figures --obs=DIR` — and inspect it with `rd-inspect
 //! summarize <dir>/scaling-*.jsonl`. The churn archive additionally
-//! carries a full-sampling causal trace for `rd-inspect why`. The old
-//! `--obs=<file.jsonl>` form still works but prints a deprecation
-//! warning. The sweep mode is many runs and takes no archive path.
+//! carries a full-sampling causal trace for `rd-inspect why`. The
+//! sweep mode is many runs and takes no archive path.
 
 use resource_discovery::analysis::experiment::{sweep, SweepSpec};
 use resource_discovery::analysis::{best_fit, Plot};
@@ -53,17 +52,17 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Resolves the unified `--obs=<dir>` value to this mode's archive
-/// path. A `.jsonl`-suffixed value is the deprecated file form: honour
-/// it, but steer toward the directory form every other obs-emitting
-/// tool uses.
+/// path — the directory form every other obs-emitting tool uses. The
+/// single-file `--obs=<file.jsonl>` form (deprecated with a warning
+/// for one release) is now rejected outright.
 fn resolve_obs(obs: Option<&str>, auto_name: &str) -> Option<PathBuf> {
     let value = obs?;
     if value.ends_with(".jsonl") {
         eprintln!(
-            "warning: --obs=<file.jsonl> is deprecated; pass --obs=<dir> \
+            "error: --obs=<file.jsonl> is no longer supported; pass --obs=<dir> \
              (the archive is auto-named {auto_name} inside it)"
         );
-        return Some(PathBuf::from(value));
+        std::process::exit(2);
     }
     let dir = PathBuf::from(value);
     std::fs::create_dir_all(&dir).expect("create --obs directory");
@@ -92,6 +91,7 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
             seed,
             engine: format!("sharded:{workers}"),
             workers,
+            latency_model: None,
         })
         .with_sink(Box::new(JsonlArchiveSink::new(path)));
         engine = engine.with_obs(recorder);

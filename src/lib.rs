@@ -42,6 +42,7 @@
 
 pub use rd_analysis as analysis;
 pub use rd_core as core;
+pub use rd_event as event;
 pub use rd_exec as exec;
 pub use rd_graphs as graphs;
 pub use rd_obs as obs;
@@ -59,6 +60,7 @@ pub mod prelude {
         run, AlgorithmKind, Completion, EngineKind, ObsSpec, RunConfig, RunReport, RunVerdict,
     };
     pub use rd_core::{problem, verify, DiscoveryAlgorithm, KnowledgeSet, KnowledgeView};
+    pub use rd_event::{EventEngine, LatencyModel};
     pub use rd_exec::ShardedEngine;
     pub use rd_graphs::{connectivity, metrics, DiGraph, Topology};
     pub use rd_obs::{ChromeTraceSink, JsonlArchiveSink, PrometheusSink, Recorder, RunMeta};

@@ -243,6 +243,78 @@ where
     Ok(())
 }
 
+/// Runs one algorithm on the sequential round engine and on the
+/// discrete-event engine at unit latency (`const:1`, zero jitter) and
+/// asserts bit-identical results: the event engine's tick loop, timed
+/// routing, and timer-driven retransmissions must collapse exactly onto
+/// the round semantics when every message takes one tick.
+fn assert_event_equivalent<A>(alg: &A, inst: &Instance) -> Result<(), TestCaseError>
+where
+    A: DiscoveryAlgorithm,
+    A::NodeState: Node + KnowledgeView,
+{
+    const MAX_ROUNDS: u64 = 1_200;
+    let graph = inst.topo.generate(inst.n, inst.seed);
+    let initial = problem::initial_knowledge(&graph);
+
+    // The event engine has no `max_extra_delay` knob — jitter lives in
+    // the latency model — so the round engine runs without it too: the
+    // equivalence contract is pinned at zero jitter on both sides.
+    let mut seq = Engine::new(alg.make_nodes(&initial), inst.seed)
+        .with_faults(inst.faults.clone())
+        .with_trace(1 << 13);
+    let mut evt = EventEngine::new(
+        alg.make_nodes(&initial),
+        inst.seed,
+        LatencyModel::Constant { ticks: 1 },
+    )
+    .with_faults(inst.faults.clone())
+    .with_trace(1 << 13);
+    if let Some(cap) = inst.receive_cap {
+        seq = seq.with_receive_cap(cap);
+        evt = evt.with_receive_cap(cap);
+    }
+    if let Some(policy) = inst.reliable {
+        seq = seq.with_reliable_delivery(policy);
+        evt = evt.with_reliable_delivery(policy);
+    }
+
+    let seq_outcome = seq.run_until(MAX_ROUNDS, problem::everyone_knows_everyone);
+    let evt_outcome = evt.run_until(MAX_ROUNDS, problem::everyone_knows_everyone);
+
+    prop_assert_eq!(seq_outcome, evt_outcome, "{}: outcome diverged", alg.name());
+    prop_assert_eq!(
+        seq.metrics(),
+        evt.metrics(),
+        "{}: metrics diverged",
+        alg.name()
+    );
+    prop_assert_eq!(
+        seq.trace().unwrap().events(),
+        evt.trace().unwrap().events(),
+        "{}: trace diverged",
+        alg.name()
+    );
+    prop_assert_eq!(seq.round(), evt.now(), "{}: clock diverged", alg.name());
+    for (i, (s, e)) in seq.nodes().iter().zip(evt.nodes()).enumerate() {
+        prop_assert_eq!(
+            s.known_ids(),
+            e.known_ids(),
+            "{}: node {} knowledge diverged",
+            alg.name(),
+            i
+        );
+        prop_assert_eq!(
+            s.believes_done(),
+            e.believes_done(),
+            "{}: node {} termination belief diverged",
+            alg.name(),
+            i
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -257,6 +329,20 @@ proptest! {
         assert_equivalent(&NameDropper, &inst)?;
         assert_equivalent(&PointerDoubling, &inst)?;
         assert_equivalent(&HmDiscovery::new(HmConfig::default()), &inst)?;
+    }
+
+    /// At `const:1` latency with zero jitter the discrete-event engine
+    /// *is* the round engine: same outcome, metrics, trace, clocks, and
+    /// final knowledge for every algorithm in the suite, under faults,
+    /// receive caps, and reliable delivery.
+    #[test]
+    fn event_engine_at_unit_latency_is_bit_identical(inst in arb_instance()) {
+        assert_event_equivalent(&Flooding, &inst)?;
+        assert_event_equivalent(&Swamping, &inst)?;
+        assert_event_equivalent(&RandomPointerJump, &inst)?;
+        assert_event_equivalent(&NameDropper, &inst)?;
+        assert_event_equivalent(&PointerDoubling, &inst)?;
+        assert_event_equivalent(&HmDiscovery::new(HmConfig::default()), &inst)?;
     }
 
     /// The worker count is a pure performance knob: any two worker
