@@ -16,5 +16,6 @@
 
 pub mod experiments;
 pub mod profile;
+pub mod workload;
 
 pub use profile::Profile;

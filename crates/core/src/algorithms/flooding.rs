@@ -10,6 +10,7 @@
 
 use crate::algorithms::{DiscoveryAlgorithm, KnowledgeView};
 use crate::knowledge::KnowledgeSet;
+use crate::problem::InitialKnowledge;
 use rd_sim::{Envelope, MessageCost, Node, NodeId, PointerList, RoundContext};
 
 /// Factory for the flooding baseline.
@@ -34,9 +35,20 @@ impl MessageCost for FloodMsg {
 }
 
 /// Per-node state of the flooding protocol.
+///
+/// Dissemination state is a single high-water mark (`sent`) over the
+/// knowledge set's append-only learning-order list: `list[sent..]` is
+/// exactly what this node has not yet flooded, and an id is newly met
+/// iff its list position is `>= sent`. This replaces the former
+/// drain-a-fresh-queue + rebuild-a-membership-set per round with two
+/// borrowed slices and one integer compare per destination — the
+/// delta-transfer pattern of [`crate::delta`], degenerate to one shared
+/// mark because flooding sends to *all* peers whenever it sends at all.
 #[derive(Debug, Clone)]
 pub struct FloodingNode {
     knowledge: KnowledgeSet,
+    /// Knowledge-list length at the end of the last flooding round.
+    sent: usize,
     started: bool,
 }
 
@@ -49,15 +61,15 @@ impl Node for FloodingNode {
         ctx: &mut RoundContext<'_, FloodMsg>,
     ) {
         for env in inbox.drain(..) {
-            self.knowledge.insert(env.src);
-            self.knowledge.extend(env.payload.ids);
+            self.knowledge.insert_untracked(env.src);
+            self.knowledge.extend_untracked(env.payload.ids);
         }
-        let fresh = self.knowledge.take_fresh();
-        if fresh.is_empty() && self.started {
+        if self.sent == self.knowledge.mark() && self.started {
             return; // quiescent until something new arrives
         }
         let me = ctx.id();
-        let full: Vec<NodeId> = self.knowledge.iter().filter(|&v| v != me).collect();
+        let list = self.knowledge.list();
+        let full: Vec<NodeId> = list.iter().copied().filter(|&v| v != me).collect();
         if !self.started {
             // Opening round: introduce the full (initial) knowledge to
             // every initially known node.
@@ -70,22 +82,24 @@ impl Node for FloodingNode {
                     },
                 );
             }
+            self.sent = self.knowledge.mark();
             return;
         }
         // Steady state: deltas to old acquaintances, full knowledge to
         // newly met nodes (they may have missed everything so far).
-        let fresh_set: KnowledgeSet = fresh.iter().copied().collect();
-        for &dst in &full {
+        let fresh = self.knowledge.since(self.sent);
+        for (pos, &dst) in list.iter().enumerate() {
             if dst == me {
                 continue;
             }
-            let payload: PointerList = if fresh_set.contains(dst) {
+            let payload: PointerList = if pos >= self.sent {
                 full.as_slice().into()
             } else {
-                fresh.as_slice().into()
+                fresh.into()
             };
             ctx.send(dst, FloodMsg { ids: payload });
         }
+        self.sent = self.knowledge.mark();
     }
 }
 
@@ -108,17 +122,19 @@ impl DiscoveryAlgorithm for Flooding {
         "flooding".into()
     }
 
-    fn make_nodes(&self, initial: &[Vec<NodeId>]) -> Vec<FloodingNode> {
+    fn make_nodes(&self, initial: &InitialKnowledge) -> Vec<FloodingNode> {
         initial
-            .iter()
+            .rows()
             .enumerate()
             .map(|(u, ids)| {
                 let mut knowledge = KnowledgeSet::new(NodeId::new(u as u32));
-                // Initial acquaintances count as "fresh" so the opening
-                // round advertises them.
-                knowledge.extend(ids.iter().copied());
+                knowledge.extend_untracked(ids.iter().copied());
                 FloodingNode {
                     knowledge,
+                    // Initial acquaintances sit past the mark (only the
+                    // node's own id, at position 0, is pre-sent), so the
+                    // opening round advertises them.
+                    sent: 1,
                     started: false,
                 }
             })

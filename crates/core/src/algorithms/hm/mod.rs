@@ -37,6 +37,7 @@ pub use messages::HmMsg;
 pub use node::{HmNode, PHASES};
 
 use crate::algorithms::DiscoveryAlgorithm;
+use crate::problem::InitialKnowledge;
 use rd_sim::NodeId;
 
 /// Factory for the cluster-merge discovery algorithm.
@@ -65,9 +66,9 @@ impl DiscoveryAlgorithm for HmDiscovery {
         self.cfg.name()
     }
 
-    fn make_nodes(&self, initial: &[Vec<NodeId>]) -> Vec<HmNode> {
+    fn make_nodes(&self, initial: &InitialKnowledge) -> Vec<HmNode> {
         initial
-            .iter()
+            .rows()
             .enumerate()
             .map(|(u, ids)| HmNode::new(NodeId::new(u as u32), ids, self.cfg))
             .collect()

@@ -14,6 +14,7 @@ pub use pointer_doubling::PointerDoubling;
 pub use random_pointer_jump::RandomPointerJump;
 pub use swamping::Swamping;
 
+use crate::problem::InitialKnowledge;
 use rd_sim::NodeId;
 
 /// Harness-side read access to a node's knowledge.
@@ -47,6 +48,7 @@ pub trait DiscoveryAlgorithm {
     fn name(&self) -> String;
 
     /// Instantiates one node program per machine; `initial[u]` is the
-    /// identifiers machine `u` starts with (itself first).
-    fn make_nodes(&self, initial: &[Vec<NodeId>]) -> Vec<Self::NodeState>;
+    /// identifiers machine `u` starts with (itself first), handed over
+    /// in flat CSR form ([`InitialKnowledge`]).
+    fn make_nodes(&self, initial: &InitialKnowledge) -> Vec<Self::NodeState>;
 }

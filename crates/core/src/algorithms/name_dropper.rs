@@ -15,6 +15,7 @@
 
 use crate::algorithms::{DiscoveryAlgorithm, KnowledgeView};
 use crate::knowledge::KnowledgeSet;
+use crate::problem::InitialKnowledge;
 use rd_sim::{Envelope, MessageCost, Node, NodeId, PointerList, RoundContext};
 
 /// Factory for the Name-Dropper baseline.
@@ -86,9 +87,9 @@ impl DiscoveryAlgorithm for NameDropper {
         "name-dropper".into()
     }
 
-    fn make_nodes(&self, initial: &[Vec<NodeId>]) -> Vec<NameDropperNode> {
+    fn make_nodes(&self, initial: &InitialKnowledge) -> Vec<NameDropperNode> {
         initial
-            .iter()
+            .rows()
             .enumerate()
             .map(|(u, ids)| {
                 let mut knowledge = KnowledgeSet::new(NodeId::new(u as u32));

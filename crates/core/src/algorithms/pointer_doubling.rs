@@ -21,6 +21,7 @@
 
 use crate::algorithms::{DiscoveryAlgorithm, KnowledgeView};
 use crate::knowledge::KnowledgeSet;
+use crate::problem::InitialKnowledge;
 use rd_sim::{Envelope, MessageCost, Node, NodeId, RoundContext};
 
 /// Factory for the pointer-doubling baseline.
@@ -133,9 +134,9 @@ impl DiscoveryAlgorithm for PointerDoubling {
         "pointer-doubling".into()
     }
 
-    fn make_nodes(&self, initial: &[Vec<NodeId>]) -> Vec<PointerDoublingNode> {
+    fn make_nodes(&self, initial: &InitialKnowledge) -> Vec<PointerDoublingNode> {
         initial
-            .iter()
+            .rows()
             .enumerate()
             .map(|(u, ids)| {
                 let mut knowledge = KnowledgeSet::new(NodeId::new(u as u32));

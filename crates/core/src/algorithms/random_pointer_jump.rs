@@ -16,6 +16,7 @@
 
 use crate::algorithms::{DiscoveryAlgorithm, KnowledgeView};
 use crate::knowledge::KnowledgeSet;
+use crate::problem::InitialKnowledge;
 use rd_sim::{Envelope, MessageCost, Node, NodeId, RoundContext};
 
 /// Factory for the random-pointer-jump baseline.
@@ -113,9 +114,9 @@ impl DiscoveryAlgorithm for RandomPointerJump {
         "random-pointer-jump".into()
     }
 
-    fn make_nodes(&self, initial: &[Vec<NodeId>]) -> Vec<RandomPointerJumpNode> {
+    fn make_nodes(&self, initial: &InitialKnowledge) -> Vec<RandomPointerJumpNode> {
         initial
-            .iter()
+            .rows()
             .enumerate()
             .map(|(u, ids)| {
                 let mut knowledge = KnowledgeSet::new(NodeId::new(u as u32));

@@ -15,6 +15,7 @@
 
 use crate::algorithms::{DiscoveryAlgorithm, KnowledgeView};
 use crate::knowledge::KnowledgeSet;
+use crate::problem::InitialKnowledge;
 use rd_sim::{Envelope, MessageCost, Node, NodeId, PointerList, RoundContext};
 
 /// Factory for the swamping baseline.
@@ -102,9 +103,9 @@ impl DiscoveryAlgorithm for Swamping {
         "swamping".into()
     }
 
-    fn make_nodes(&self, initial: &[Vec<NodeId>]) -> Vec<SwampingNode> {
+    fn make_nodes(&self, initial: &InitialKnowledge) -> Vec<SwampingNode> {
         initial
-            .iter()
+            .rows()
             .enumerate()
             .map(|(u, ids)| {
                 let mut knowledge = KnowledgeSet::new(NodeId::new(u as u32));

@@ -156,6 +156,140 @@ impl KnowledgeSet {
         added
     }
 
+    /// Learns `id` without queueing it as fresh. Returns `true` if new.
+    ///
+    /// For protocols that track dissemination with [`mark`](Self::mark)
+    /// frontiers instead of the fresh queue — mixing both on one set
+    /// would leak queue entries that are never drained.
+    pub fn insert_untracked(&mut self, id: NodeId) -> bool {
+        self.insert_quiet(id)
+    }
+
+    /// Learns every id in `ids` without queueing them as fresh; returns
+    /// how many were new.
+    pub fn extend_untracked(&mut self, ids: impl IntoIterator<Item = NodeId>) -> usize {
+        let mut added = 0;
+        for id in ids {
+            if self.insert_quiet(id) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Merges `other` into `self`; returns how many ids were newly
+    /// learned (queued as fresh, like [`insert`](Self::insert)).
+    ///
+    /// When both sets are in the dense tier this is a **word-level**
+    /// union: one pass of `new = theirs & !ours; ours |= theirs` per
+    /// u64 chunk with a popcount for the newly-learned count — 64
+    /// membership decisions per instruction instead of a per-id insert
+    /// loop, and zero per-id work on chunks that contribute nothing
+    /// (the common case once knowledge has mostly converged). Only the
+    /// genuinely new ids are extracted bit-by-bit to extend the
+    /// learning-order list.
+    ///
+    /// Newly learned ids enter the list in ascending id order (the
+    /// order a word scan discovers them) — deterministic, but not
+    /// necessarily the insertion order `other` was built in, so bulk
+    /// union and per-id iteration are interchangeable only where
+    /// learning *order* is not wire-visible.
+    pub fn union_from(&mut self, other: &KnowledgeSet) -> usize {
+        // A dense peer can push a sparse self far past the spill
+        // threshold; promote first so the merge below is word-level.
+        if matches!(self.membership, Membership::Sparse(_))
+            && matches!(other.membership, Membership::Dense(_))
+        {
+            self.spill_now();
+        }
+        match (&mut self.membership, &other.membership) {
+            (Membership::Dense(ours), Membership::Dense(theirs)) => {
+                if theirs.len() > ours.len() {
+                    ours.resize(theirs.len(), 0);
+                }
+                let mut added = 0;
+                for (w, (a, &b)) in ours.iter_mut().zip(theirs).enumerate() {
+                    let mut new = b & !*a;
+                    if new != 0 {
+                        *a |= b;
+                        added += new.count_ones() as usize;
+                        while new != 0 {
+                            let id = NodeId::new((w * 64 + new.trailing_zeros() as usize) as u32);
+                            self.list.push(id);
+                            self.fresh.push(id);
+                            new &= new - 1;
+                        }
+                    }
+                }
+                added
+            }
+            // Sparse other: its sorted index doubles as the iteration
+            // order, so dense self pays one O(1) bit probe per id and
+            // sparse self one two-pointer merge instead of repeated
+            // binary-search inserts.
+            (Membership::Dense(ours), Membership::Sparse(theirs)) => {
+                let mut added = 0;
+                for &raw in theirs {
+                    let (w, b) = (raw as usize / 64, 1u64 << (raw % 64));
+                    if w >= ours.len() {
+                        ours.resize(w + 1, 0);
+                    }
+                    if ours[w] & b == 0 {
+                        ours[w] |= b;
+                        let id = NodeId::new(raw);
+                        self.list.push(id);
+                        self.fresh.push(id);
+                        added += 1;
+                    }
+                }
+                added
+            }
+            (Membership::Sparse(ours), Membership::Sparse(theirs)) => {
+                let mut merged = Vec::with_capacity(ours.len() + theirs.len());
+                let (mut i, mut j) = (0, 0);
+                let mut added = 0;
+                while i < ours.len() && j < theirs.len() {
+                    let (x, y) = (ours[i], theirs[j]);
+                    merged.push(x.min(y));
+                    if y < x {
+                        let id = NodeId::new(y);
+                        self.list.push(id);
+                        self.fresh.push(id);
+                        added += 1;
+                    }
+                    i += (x <= y) as usize;
+                    j += (y <= x) as usize;
+                }
+                merged.extend_from_slice(&ours[i..]);
+                for &raw in &theirs[j..] {
+                    merged.push(raw);
+                    let id = NodeId::new(raw);
+                    self.list.push(id);
+                    self.fresh.push(id);
+                    added += 1;
+                }
+                *ours = merged;
+                self.maybe_spill();
+                added
+            }
+            (Membership::Sparse(_), Membership::Dense(_)) => {
+                unreachable!("sparse self promoted above when other is dense")
+            }
+        }
+    }
+
+    /// Forces the sparse→dense promotion regardless of the threshold.
+    fn spill_now(&mut self) {
+        if let Membership::Sparse(sorted) = &self.membership {
+            let max = sorted.last().copied().unwrap_or(0) as usize;
+            let mut bits = vec![0u64; max / 64 + 1];
+            for &raw in sorted {
+                bits[raw as usize / 64] |= 1 << (raw % 64);
+            }
+            self.membership = Membership::Dense(bits);
+        }
+    }
+
     /// Number of identifiers known.
     pub fn len(&self) -> usize {
         self.list.len()
@@ -174,6 +308,30 @@ impl KnowledgeSet {
     /// A copy of the full knowledge, in learning order.
     pub fn to_vec(&self) -> Vec<NodeId> {
         self.list.clone()
+    }
+
+    /// The full knowledge in learning order, borrowed — the zero-copy
+    /// sibling of [`to_vec`](Self::to_vec). Position `0` is the id the
+    /// set was constructed with ([`new`](Self::new)); the list is
+    /// append-only, so positions are stable forever.
+    pub fn list(&self) -> &[NodeId] {
+        &self.list
+    }
+
+    /// The current frontier position: the number of ids learned so far.
+    /// Capture it after a send, and [`since`](Self::since) later yields
+    /// exactly the ids learned after that point — a borrow-only
+    /// alternative to the [`take_fresh`](Self::take_fresh) queue that
+    /// supports any number of independent readers (e.g. one high-water
+    /// mark per neighbor).
+    pub fn mark(&self) -> usize {
+        self.list.len()
+    }
+
+    /// The ids learned since `mark` (a value previously returned by
+    /// [`mark`](Self::mark)), in learning order.
+    pub fn since(&self, mark: usize) -> &[NodeId] {
+        &self.list[mark.min(self.list.len())..]
     }
 
     /// Drains and returns identifiers learned since the previous drain
@@ -343,6 +501,65 @@ mod tests {
         let k: KnowledgeSet = [id(1), id(2), id(2)].into_iter().collect();
         assert_eq!(k.len(), 2);
         assert!(!k.has_fresh());
+    }
+
+    #[test]
+    fn marks_window_learning_order() {
+        let mut k = KnowledgeSet::new(id(0));
+        k.insert(id(7));
+        let m = k.mark();
+        assert!(k.since(m).is_empty());
+        k.insert_untracked(id(3));
+        k.insert_untracked(id(9));
+        assert_eq!(k.since(m), &[id(3), id(9)]);
+        assert_eq!(k.list()[0], id(0));
+        assert!(!k.has_fresh() || k.take_fresh() == vec![id(7)]);
+        // A stale over-long mark (can't arise from `mark()`) clamps.
+        assert!(k.since(usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn untracked_inserts_skip_fresh_queue() {
+        let mut k = KnowledgeSet::new(id(0));
+        assert!(k.insert_untracked(id(4)));
+        assert!(!k.insert_untracked(id(4)));
+        assert_eq!(k.extend_untracked([id(4), id(5), id(6)]), 2);
+        assert!(!k.has_fresh());
+        assert_eq!(k.len(), 4);
+    }
+
+    #[test]
+    fn union_from_covers_all_tier_pairs() {
+        // (self tier, other tier) — every Sparse/Dense combination.
+        let sparse_small: KnowledgeSet = (0..10u32).map(|i| id(5 * i)).collect();
+        let dense_big: KnowledgeSet = (0..2000u32).map(|i| id(3 * i)).collect();
+        for a_src in [&sparse_small, &dense_big] {
+            for b in [&sparse_small, &dense_big] {
+                let mut a = a_src.clone();
+                let expect_new = b.iter().filter(|&v| !a.contains(v)).count();
+                let added = a.union_from(b);
+                assert_eq!(added, expect_new);
+                assert_eq!(a.len(), a_src.len() + expect_new);
+                for v in b.iter() {
+                    assert!(a.contains(v));
+                }
+                for v in a_src.iter() {
+                    assert!(a.contains(v));
+                }
+                // Idempotent: a second union learns nothing.
+                assert_eq!(a.union_from(b), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn union_from_queues_new_ids_as_fresh() {
+        let mut a = KnowledgeSet::new(id(0));
+        a.insert(id(2));
+        a.take_fresh();
+        let b: KnowledgeSet = [id(2), id(4), id(6)].into_iter().collect();
+        assert_eq!(a.union_from(&b), 2);
+        assert_eq!(a.take_fresh(), vec![id(4), id(6)]);
     }
 
     #[test]

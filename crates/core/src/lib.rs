@@ -12,6 +12,10 @@
 //! # Contents
 //!
 //! * [`knowledge`] — the per-node knowledge set with freshness tracking,
+//! * [`delta`] — per-neighbor high-water marks for delta-encoded
+//!   knowledge transfers,
+//! * [`merge`] — branchless sorted-set merge kernels for capped
+//!   knowledge vectors,
 //! * [`problem`] — instance construction from an initial knowledge graph
 //!   and the two standard completion predicates,
 //! * [`algorithms`] — the six discovery protocols:
@@ -44,8 +48,10 @@
 //! ```
 
 pub mod algorithms;
+pub mod delta;
 pub mod gossip;
 pub mod knowledge;
+pub mod merge;
 pub mod problem;
 pub mod runner;
 pub mod verify;

@@ -2,8 +2,73 @@
 //! resource-discovery problem.
 
 use crate::algorithms::KnowledgeView;
-use rd_graphs::{connectivity, DiGraph};
+use rd_graphs::{connectivity, CsrAdjacency, DiGraph};
 use rd_sim::NodeId;
+
+/// Per-node initial knowledge in compressed-sparse-row form: one flat
+/// id array plus `n + 1` offsets, where row `u` is node `u`'s starting
+/// knowledge — itself first, then its out-neighbours in ascending
+/// order.
+///
+/// This is the instance handed to every
+/// [`DiscoveryAlgorithm::make_nodes`](crate::DiscoveryAlgorithm::make_nodes)
+/// and consumed by both engines' node-construction paths. The flat
+/// layout replaces the former `Vec<Vec<NodeId>>`: building a 2^20-node
+/// instance used to allocate a million separate row vectors that node
+/// construction then walked pointer by pointer — as CSR it is two
+/// contiguous arrays, built in one pass from the graph's
+/// [`CsrAdjacency`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitialKnowledge {
+    /// Row `u` is `ids[offsets[u] as usize..offsets[u + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// All rows concatenated; each starts with the owning node's id.
+    ids: Vec<NodeId>,
+}
+
+impl InitialKnowledge {
+    /// Builds an instance directly from per-node rows (each node's ids,
+    /// itself first) — for tests and hand-crafted instances. Unlike
+    /// [`initial_knowledge`], performs no connectivity validation.
+    pub fn from_rows<R: AsRef<[NodeId]>>(rows: impl IntoIterator<Item = R>) -> Self {
+        let mut offsets = vec![0u32];
+        let mut ids = Vec::new();
+        for row in rows {
+            ids.extend_from_slice(row.as_ref());
+            offsets.push(u32::try_from(ids.len()).expect("instance too large for u32 offsets"));
+        }
+        InitialKnowledge { offsets, ids }
+    }
+
+    /// Number of nodes in the instance.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` for the zero-node instance.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node `u`'s initial knowledge: `u` itself first, then its
+    /// out-neighbours ascending.
+    pub fn of(&self, u: usize) -> &[NodeId] {
+        &self.ids[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// All rows in node order.
+    pub fn rows(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.len()).map(move |u| self.of(u))
+    }
+}
+
+impl std::ops::Index<usize> for InitialKnowledge {
+    type Output = [NodeId];
+
+    fn index(&self, u: usize) -> &[NodeId] {
+        self.of(u)
+    }
+}
 
 /// Builds the per-node initial knowledge from an initial knowledge graph:
 /// node `u` starts knowing itself plus every out-neighbour in `g`.
@@ -12,19 +77,26 @@ use rd_sim::NodeId;
 ///
 /// Panics if `g` is not weakly connected — resource discovery is
 /// undefined (and unsolvable) on disconnected knowledge graphs.
-pub fn initial_knowledge(g: &DiGraph) -> Vec<Vec<NodeId>> {
+pub fn initial_knowledge(g: &DiGraph) -> InitialKnowledge {
     assert!(
         connectivity::is_weakly_connected(g),
         "initial knowledge graph must be weakly connected"
     );
-    (0..g.node_count())
-        .map(|u| {
-            let mut ids = Vec::with_capacity(g.out_degree(u) + 1);
-            ids.push(NodeId::new(u as u32));
-            ids.extend(g.out(u).iter().map(|&v| NodeId::new(v)));
-            ids
-        })
-        .collect()
+    let csr = CsrAdjacency::from_digraph(g);
+    let n = csr.node_count();
+    assert!(
+        n + csr.edge_count() <= u32::MAX as usize,
+        "instance too large for u32 CSR offsets"
+    );
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut ids = Vec::with_capacity(n + csr.edge_count());
+    offsets.push(0);
+    for u in 0..n {
+        ids.push(NodeId::new(u as u32));
+        ids.extend(csr.row(u).iter().map(|&v| NodeId::new(v)));
+        offsets.push(ids.len() as u32);
+    }
+    InitialKnowledge { offsets, ids }
 }
 
 /// `true` when every node knows every identifier — the strongest
@@ -122,8 +194,12 @@ mod tests {
     fn initial_knowledge_includes_self_first() {
         let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
         let init = initial_knowledge(&g);
-        assert_eq!(init[0], vec![NodeId::new(0), NodeId::new(1)]);
-        assert_eq!(init[2], vec![NodeId::new(2), NodeId::new(0)]);
+        assert_eq!(init.len(), 3);
+        assert_eq!(&init[0], &[NodeId::new(0), NodeId::new(1)][..]);
+        assert_eq!(&init[2], &[NodeId::new(2), NodeId::new(0)][..]);
+        let rows: Vec<&[NodeId]> = init.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], init.of(1));
     }
 
     #[test]

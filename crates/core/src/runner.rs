@@ -492,10 +492,10 @@ where
 fn make_causal_trace(
     capacity: usize,
     sample_ppm: u32,
-    initial: &[Vec<rd_sim::NodeId>],
+    initial: &problem::InitialKnowledge,
 ) -> CausalTrace {
     let mut trace = CausalTrace::new(capacity, sample_ppm);
-    trace.seed_known(initial.iter().enumerate().flat_map(|(node, ids)| {
+    trace.seed_known(initial.rows().enumerate().flat_map(|(node, ids)| {
         ids.iter()
             .map(move |id| (u32::from(*id), node as u32))
             .chain(std::iter::once((node as u32, node as u32)))
@@ -535,7 +535,7 @@ fn make_recorder(algorithm: &str, config: &RunConfig, spec: &ObsSpec) -> Recorde
 fn drive<A, E>(
     alg: &A,
     config: &RunConfig,
-    initial: &[Vec<rd_sim::NodeId>],
+    initial: &problem::InitialKnowledge,
     mut engine: E,
 ) -> RunReport
 where
@@ -691,8 +691,8 @@ where
         };
         if let Err(err) = rec.finish(
             outcome_obs,
-            m.per_node_sent_messages(),
-            m.per_node_recv_messages(),
+            &m.per_node_sent_messages(),
+            &m.per_node_recv_messages(),
             &knowledge,
             &pools,
         ) {

@@ -6,6 +6,7 @@
 //! harness over the node population; protocols cannot see them.
 
 use crate::algorithms::KnowledgeView;
+use crate::problem::InitialKnowledge;
 use rd_graphs::{connectivity, DiGraph};
 use rd_sim::NodeId;
 
@@ -20,11 +21,14 @@ pub fn no_fabricated_ids<N: KnowledgeView>(nodes: &[N]) -> bool {
 
 /// Checks that every node still knows its entire initial knowledge
 /// (knowledge is monotone from the start state).
-pub fn retains_initial_knowledge<N: KnowledgeView>(nodes: &[N], initial: &[Vec<NodeId>]) -> bool {
+pub fn retains_initial_knowledge<N: KnowledgeView>(
+    nodes: &[N],
+    initial: &InitialKnowledge,
+) -> bool {
     nodes.len() == initial.len()
         && nodes
             .iter()
-            .zip(initial)
+            .zip(initial.rows())
             .all(|(node, init)| init.iter().all(|&id| node.knows(id)))
 }
 
@@ -54,7 +58,7 @@ pub fn knows_self<N: KnowledgeView>(nodes: &[N]) -> bool {
 /// Panics if `initial` or `live` disagree with `nodes` on length.
 pub fn live_component_complete<N: KnowledgeView>(
     nodes: &[N],
-    initial: &[Vec<NodeId>],
+    initial: &InitialKnowledge,
     live: &[bool],
 ) -> bool {
     assert_eq!(
@@ -65,7 +69,7 @@ pub fn live_component_complete<N: KnowledgeView>(
     assert_eq!(nodes.len(), live.len(), "live mask size mismatch");
     let n = nodes.len();
     let mut edges = Vec::new();
-    for (u, init) in initial.iter().enumerate() {
+    for (u, init) in initial.rows().enumerate() {
         if !live[u] {
             continue;
         }
@@ -205,7 +209,10 @@ mod tests {
 
     #[test]
     fn initial_retention_detected() {
-        let initial = vec![vec![NodeId::new(0), NodeId::new(1)], vec![NodeId::new(1)]];
+        let initial = InitialKnowledge::from_rows([
+            vec![NodeId::new(0), NodeId::new(1)],
+            vec![NodeId::new(1)],
+        ]);
         assert!(retains_initial_knowledge(
             &[fake(&[0, 1]), fake(&[1])],
             &initial
@@ -226,12 +233,12 @@ mod tests {
     fn live_component_complete_splits_on_dead_cut() {
         // Path 0 - 1 - 2 - 3 where node 2 is dead: live components are
         // {0, 1} and {3}.
-        let initial = vec![
+        let initial = InitialKnowledge::from_rows([
             vec![NodeId::new(0), NodeId::new(1)],
             vec![NodeId::new(1), NodeId::new(2)],
             vec![NodeId::new(2), NodeId::new(3)],
             vec![NodeId::new(3)],
-        ];
+        ]);
         let live = vec![true, true, false, true];
         // 0 and 1 know each other, 3 knows itself: complete.
         let ok = [fake(&[0, 1]), fake(&[0, 1]), fake(&[2]), fake(&[3])];
@@ -249,11 +256,11 @@ mod tests {
 
     #[test]
     fn live_component_complete_all_live_is_full_convergence() {
-        let initial = vec![
+        let initial = InitialKnowledge::from_rows([
             vec![NodeId::new(0), NodeId::new(1)],
             vec![NodeId::new(1), NodeId::new(2)],
             vec![NodeId::new(2), NodeId::new(0)],
-        ];
+        ]);
         let live = vec![true, true, true];
         let full = [fake(&[0, 1, 2]), fake(&[0, 1, 2]), fake(&[0, 1, 2])];
         assert!(live_component_complete(&full, &initial, &live));

@@ -1,0 +1,168 @@
+//! Property tests for the hot-path knowledge kernels:
+//!
+//! 1. the word-level bulk union ([`KnowledgeSet::union_from`]) is
+//!    equivalent to the per-id insert loop — same final membership,
+//!    same newly-learned count — across sparse/sparse, sparse/dense,
+//!    dense/sparse and dense/dense tier pairs, including merges that
+//!    cross the sparse→dense promotion boundary mid-way;
+//! 2. delta-encoded transfers over a [`DeltaFrontier`] round-trip
+//!    exactly under message drops and retransmissions: with the
+//!    rewind-on-loss reliable-delivery discipline, the receiver
+//!    reconstructs the sender's knowledge bit-for-bit, and with a
+//!    loss-free link every id crosses the wire exactly once.
+
+use proptest::prelude::*;
+use rd_core::delta::DeltaFrontier;
+use rd_core::KnowledgeSet;
+use rd_sim::NodeId;
+
+/// Id universes that keep sets sparse, push them dense (> 512 members),
+/// or straddle the promotion threshold.
+fn arb_id_set() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        // Small sparse set over a wide id range.
+        proptest::collection::vec(0u32..100_000, 0..40),
+        // Around the SPARSE_MAX = 512 promotion boundary.
+        proptest::collection::vec(0u32..4_000, 400..700),
+        // Comfortably dense.
+        proptest::collection::vec(0u32..10_000, 600..1200),
+    ]
+}
+
+fn build(own: u32, ids: &[u32]) -> KnowledgeSet {
+    let mut k = KnowledgeSet::new(NodeId::new(own));
+    k.extend_untracked(ids.iter().map(|&i| NodeId::new(i)));
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// (c-a) Word-level bulk union ≡ per-id insert loop.
+    #[test]
+    fn union_from_matches_per_id_inserts(
+        a_ids in arb_id_set(),
+        b_ids in arb_id_set(),
+        own_a in 0u32..100_000,
+        own_b in 0u32..100_000,
+    ) {
+        let reference_src = build(own_a, &a_ids);
+        let b = build(own_b, &b_ids);
+
+        let mut bulk = reference_src.clone();
+        let bulk_added = bulk.union_from(&b);
+
+        let mut per_id = reference_src.clone();
+        let mut per_id_added = 0usize;
+        for id in b.iter() {
+            if per_id.insert(id) {
+                per_id_added += 1;
+            }
+        }
+
+        prop_assert_eq!(bulk_added, per_id_added, "newly_learned count diverged");
+        prop_assert_eq!(bulk.len(), per_id.len());
+        // Same membership both ways (lists may order new ids
+        // differently: the word scan yields them in ascending id
+        // order, the insert loop in b's learning order).
+        for id in per_id.iter() {
+            prop_assert!(bulk.contains(id), "bulk missing {id:?}");
+        }
+        for id in bulk.iter() {
+            prop_assert!(per_id.contains(id), "bulk fabricated {id:?}");
+        }
+        // Both surface the same fresh ids (as sets).
+        let mut bulk_fresh: Vec<NodeId> = bulk.take_fresh();
+        let mut per_id_fresh: Vec<NodeId> = per_id.take_fresh();
+        bulk_fresh.sort_unstable_by_key(|v| v.index());
+        per_id_fresh.sort_unstable_by_key(|v| v.index());
+        prop_assert_eq!(bulk_fresh, per_id_fresh);
+        // The pre-existing learning-order prefix is untouched.
+        prop_assert_eq!(
+            &bulk.list()[..reference_src.len()],
+            reference_src.list()
+        );
+    }
+
+    /// (c-a addendum) Bulk union is idempotent and its count matches a
+    /// set-difference oracle even when `self` promotes mid-merge.
+    #[test]
+    fn union_from_count_matches_set_difference(
+        a_ids in arb_id_set(),
+        b_ids in arb_id_set(),
+    ) {
+        let mut a = build(0, &a_ids);
+        let b = build(1, &b_ids);
+        let expected = b.iter().filter(|&v| !a.contains(v)).count();
+        prop_assert_eq!(a.union_from(&b), expected);
+        prop_assert_eq!(a.union_from(&b), 0, "second union must be a no-op");
+    }
+
+    /// (c-b) Delta transfers round-trip exactly under drops and
+    /// retransmissions.
+    ///
+    /// A sender learns ids in random installments and after each one
+    /// ships the frontier delta to a receiver over a lossy link. Lost
+    /// sends are recovered with the reliable-delivery discipline from
+    /// `rd_core::delta`: the mark is rewound to its pre-send value, so
+    /// the next transmission covers the lost suffix again. After a
+    /// final flush the receiver must hold exactly the sender's
+    /// knowledge, and on a loss-free link no id may cross the wire
+    /// twice.
+    #[test]
+    fn delta_transfers_round_trip_under_drops(
+        installments in proptest::collection::vec(
+            proptest::collection::vec(0u32..5_000, 1..80),
+            1..20
+        ),
+        drop_plan in proptest::collection::vec(any::<bool>(), 64..65),
+        lossless in any::<bool>(),
+    ) {
+        let peer = NodeId::new(1);
+        let mut sender = KnowledgeSet::new(NodeId::new(0));
+        let mut frontier = DeltaFrontier::new();
+        let mut receiver: Vec<NodeId> = Vec::new(); // wire-arrival log
+        let transmit = |sender: &KnowledgeSet,
+                            frontier: &mut DeltaFrontier,
+                            receiver: &mut Vec<NodeId>,
+                            dropped: bool| {
+            let delta = frontier.delta(peer, sender).to_vec();
+            let before = frontier.advance(peer, sender);
+            if dropped {
+                // Retransmission timeout: roll back so the next send
+                // re-covers everything the lost message carried.
+                frontier.rewind(peer, before);
+            } else {
+                receiver.extend_from_slice(&delta);
+            }
+        };
+
+        for (step, batch) in installments.iter().enumerate() {
+            sender.extend_untracked(batch.iter().map(|&i| NodeId::new(i)));
+            let dropped = !lossless && drop_plan[step % drop_plan.len()];
+            transmit(&sender, &mut frontier, &mut receiver, dropped);
+        }
+        // Reliable-delivery tail: keep retransmitting until a send gets
+        // through (guaranteed here by forcing the last one through).
+        transmit(&sender, &mut frontier, &mut receiver, false);
+        prop_assert!(
+            frontier.delta(peer, &sender).is_empty(),
+            "frontier must be empty after a delivered flush"
+        );
+
+        // Exact round-trip: the receiver reconstructs the sender's
+        // knowledge — nothing missing, nothing fabricated.
+        let mut got: Vec<u32> = receiver.iter().map(|v| v.index() as u32).collect();
+        got.sort_unstable();
+        got.dedup();
+        let mut want: Vec<u32> = sender.iter().map(|v| v.index() as u32).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        if lossless {
+            // No retransmissions ⇒ every id crosses the wire exactly
+            // once: deltas are disjoint suffixes of the learning list.
+            prop_assert_eq!(receiver.len(), sender.len(), "duplicate ids on a loss-free link");
+        }
+    }
+}

@@ -264,8 +264,9 @@ impl<N: Node> EventEngine<N> {
 
         let t_step = self.obs.as_ref().map(|_| Instant::now());
         let state = self.core.step_state();
+        let crashes_possible = state.faults.has_crashes();
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            if state.faults.is_crashed_at(i, now) {
+            if crashes_possible && state.faults.is_crashed_at(i, now) {
                 // Crashed nodes neither run nor receive (their clock
                 // freezes); pending deliveries are consumed and lost.
                 state.inboxes[i].clear();

@@ -297,8 +297,9 @@ where
             let mut scratch = self.env_pool.take();
             let t_step = self.obs.as_ref().map(|_| Instant::now());
             let state = self.core.step_state();
+            let crashes_possible = state.faults.has_crashes();
             for (i, node) in self.nodes.iter_mut().enumerate() {
-                if state.faults.is_crashed_at(i, round) {
+                if crashes_possible && state.faults.is_crashed_at(i, round) {
                     // Crashed nodes neither run nor receive; their
                     // pending deliveries are consumed and lost.
                     state.inboxes[i].clear();
@@ -335,6 +336,7 @@ where
         let state = self.core.step_state();
         let step_spans = {
             let faults = state.faults;
+            let crashes_possible = faults.has_crashes();
             let seed = state.seed;
             let cap = state.receive_cap;
             let suspects = &suspects[..];
@@ -350,7 +352,7 @@ where
                             let start = epoch.map(|_| Instant::now());
                             for (offset, node) in nodes.iter_mut().enumerate() {
                                 let i = shard * shard_len + offset;
-                                if faults.is_crashed_at(i, round) {
+                                if crashes_possible && faults.is_crashed_at(i, round) {
                                     inboxes[offset].clear();
                                     continue;
                                 }
@@ -503,27 +505,17 @@ pub fn route_staged<M: MessageCost + Send>(
     // Route phase: one worker per sender shard, each writing only its
     // own shard's sent-tally lanes and its own destination buckets.
     let (mut deltas, route_spans): (Vec<RouteDelta<M>>, Vec<SpanEvent>) = {
-        let sent_lanes = parts
-            .sent_messages
-            .chunks_mut(shard_len)
-            .zip(parts.sent_pointers.chunks_mut(shard_len));
+        let sent_lanes = parts.node_lanes.chunks_mut(shard_len);
         let routed = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = staged_shards
                 .iter_mut()
                 .zip(sent_lanes)
                 .zip(bucket_sets.drain(..))
                 .enumerate()
-                .map(|(w, ((staged, (sent_messages, sent_pointers)), buckets))| {
+                .map(|(w, ((staged, sent_lanes), buckets))| {
                     scope.spawn(move |_| {
                         let start = epoch.map(|_| Instant::now());
-                        let delta = route_shard(
-                            params,
-                            staged,
-                            w * shard_len,
-                            sent_messages,
-                            sent_pointers,
-                            buckets,
-                        );
+                        let delta = route_shard(params, staged, w * shard_len, sent_lanes, buckets);
                         let span = epoch.map(|e| {
                             SpanEvent::from_instants(
                                 e,
@@ -579,43 +571,35 @@ pub fn route_staged<M: MessageCost + Send>(
         let merge_jobs = parts
             .inboxes
             .chunks_mut(shard_len)
-            .zip(
-                parts
-                    .recv_messages
-                    .chunks_mut(shard_len)
-                    .zip(parts.recv_pointers.chunks_mut(shard_len)),
-            )
+            .zip(parts.node_lanes.chunks_mut(shard_len))
             .zip(per_dest.iter_mut().zip(delayed_lists.iter_mut()))
             .enumerate();
         let merge_spans: Vec<SpanEvent> = if total_messages >= PARALLEL_MERGE_MIN_MESSAGES {
             let merged = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = merge_jobs
-                    .map(
-                        |(d, ((inboxes, (recv_messages, recv_pointers)), (parts_d, delayed)))| {
-                            scope.spawn(move |_| {
-                                let start = epoch.map(|_| Instant::now());
-                                merge_dest_shard(
+                    .map(|(d, ((inboxes, recv_lanes), (parts_d, delayed)))| {
+                        scope.spawn(move |_| {
+                            let start = epoch.map(|_| Instant::now());
+                            merge_dest_shard(
+                                round,
+                                d * shard_len,
+                                parts_d,
+                                inboxes,
+                                recv_lanes,
+                                delayed,
+                            );
+                            epoch.map(|e| {
+                                SpanEvent::from_instants(
+                                    e,
+                                    Phase::MergeDestShard,
                                     round,
-                                    d * shard_len,
-                                    parts_d,
-                                    inboxes,
-                                    recv_messages,
-                                    recv_pointers,
-                                    delayed,
-                                );
-                                epoch.map(|e| {
-                                    SpanEvent::from_instants(
-                                        e,
-                                        Phase::MergeDestShard,
-                                        round,
-                                        d as u32,
-                                        start.unwrap(),
-                                        Instant::now(),
-                                    )
-                                })
+                                    d as u32,
+                                    start.unwrap(),
+                                    Instant::now(),
+                                )
                             })
-                        },
-                    )
+                        })
+                    })
                     .collect();
                 let mut spans = Vec::new();
                 for handle in handles {
@@ -632,17 +616,9 @@ pub fn route_staged<M: MessageCost + Send>(
             }
         } else {
             let mut spans = Vec::new();
-            for (d, ((inboxes, (recv_messages, recv_pointers)), (parts_d, delayed))) in merge_jobs {
+            for (d, ((inboxes, recv_lanes), (parts_d, delayed))) in merge_jobs {
                 let start = epoch.map(|_| Instant::now());
-                merge_dest_shard(
-                    round,
-                    d * shard_len,
-                    parts_d,
-                    inboxes,
-                    recv_messages,
-                    recv_pointers,
-                    delayed,
-                );
+                merge_dest_shard(round, d * shard_len, parts_d, inboxes, recv_lanes, delayed);
                 if let Some(e) = epoch {
                     spans.push(SpanEvent::from_instants(
                         e,

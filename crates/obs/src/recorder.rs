@@ -107,6 +107,13 @@ pub struct ObsReport {
 /// How many hot senders/receivers the report keeps.
 pub const HOT_NODES_K: usize = 8;
 
+/// Spans pre-allocated at construction (≈ 16 phases × 1k rounds,
+/// 512 KiB) so span recording is allocation-free for typical runs.
+const SPAN_PREALLOC: usize = 1 << 14;
+
+/// Round rows pre-allocated at construction.
+const ROUND_PREALLOC: usize = 1 << 10;
+
 /// Collects telemetry for one run. See the module docs for the
 /// determinism contract.
 pub struct Recorder {
@@ -142,11 +149,16 @@ impl Recorder {
         Recorder {
             epoch: Instant::now(),
             meta,
-            spans: Vec::new(),
+            // Pre-sized so the steady-state hot path (a handful of
+            // spans plus one round row per round) never reallocates
+            // mid-run: buffer growth would be charged to whichever
+            // round happens to cross a power of two, skewing both the
+            // per-phase profile and the measured obs overhead.
+            spans: Vec::with_capacity(SPAN_PREALLOC),
             span_cap: 1 << 20,
             span_overflow: 0,
             round_start: None,
-            rounds: Vec::new(),
+            rounds: Vec::with_capacity(ROUND_PREALLOC),
             registry: MetricsRegistry::new(),
             sinks: Vec::new(),
             causal: None,

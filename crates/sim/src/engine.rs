@@ -282,8 +282,11 @@ impl<N: Node> Engine<N> {
 
         let t_step = self.obs.as_ref().map(|_| Instant::now());
         let state = self.core.step_state();
+        // Hoisted: with no crashes scheduled (the common case) the
+        // per-node map probe below is skipped entirely.
+        let crashes_possible = state.faults.has_crashes();
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            if state.faults.is_crashed_at(i, round) {
+            if crashes_possible && state.faults.is_crashed_at(i, round) {
                 // Crashed nodes neither run nor receive; their pending
                 // deliveries are consumed and lost.
                 state.inboxes[i].clear();

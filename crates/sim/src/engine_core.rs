@@ -41,7 +41,7 @@
 use crate::faults::{DropCause, FaultPlan};
 use crate::id::NodeId;
 use crate::message::{Envelope, MessageCost};
-use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::metrics::{NodeLane, RoundMetrics, RunMetrics};
 use crate::node::{Node, RoundContext};
 use crate::pool::BufferPool;
 use crate::rng;
@@ -371,8 +371,7 @@ pub fn route_shard<M: MessageCost>(
     params: RouteParams<'_>,
     staged: &mut Vec<Envelope<M>>,
     sent_base: usize,
-    sent_messages: &mut [u64],
-    sent_pointers: &mut [u64],
+    sent_lanes: &mut [NodeLane],
     mut buckets: Vec<Vec<(u64, Envelope<M>)>>,
 ) -> RouteDelta<M> {
     let mut delta = RouteDelta {
@@ -434,8 +433,9 @@ pub fn route_shard<M: MessageCost>(
                 delta.trace_overflow += 1;
             }
         }
-        sent_messages[src - sent_base] += 1;
-        sent_pointers[src - sent_base] += pointers as u64;
+        let lane = &mut sent_lanes[src - sent_base];
+        lane.sent_messages += 1;
+        lane.sent_pointers += pointers as u64;
         if let Some(cause) = fate.dropped {
             delta.row.drops.add(cause);
             if params.reliable.is_some() {
@@ -493,15 +493,15 @@ pub fn merge_dest_shard<M: MessageCost>(
     base: usize,
     bucket_parts: &mut [Vec<(u64, Envelope<M>)>],
     inboxes: &mut [Vec<Envelope<M>>],
-    recv_messages: &mut [u64],
-    recv_pointers: &mut [u64],
+    recv_lanes: &mut [NodeLane],
     delayed_out: &mut Vec<(u64, Envelope<M>)>,
 ) {
     for part in bucket_parts {
         for (extra, env) in part.drain(..) {
             let slot = env.dst.index() - base;
-            recv_messages[slot] += 1;
-            recv_pointers[slot] += env.payload.pointers() as u64;
+            let lane = &mut recv_lanes[slot];
+            lane.recv_messages += 1;
+            lane.recv_pointers += env.payload.pointers() as u64;
             if extra == 0 {
                 inboxes[slot].push(env);
             } else {
@@ -533,14 +533,12 @@ pub struct ParallelParts<'a, M: MessageCost> {
     pub reliable: Option<RetryPolicy>,
     /// One mailbox per node.
     pub inboxes: &'a mut [Vec<Envelope<M>>],
-    /// Per-node sent-message tallies.
-    pub sent_messages: &'a mut [u64],
-    /// Per-node sent-pointer tallies.
-    pub sent_pointers: &'a mut [u64],
-    /// Per-node received-message tallies.
-    pub recv_messages: &'a mut [u64],
-    /// Per-node received-pointer tallies.
-    pub recv_pointers: &'a mut [u64],
+    /// Per-node send/receive tallies. The route phase slices this by
+    /// *sender* shard (writing `sent_*` fields only) and the merge
+    /// phase re-slices it by *destination* shard (writing `recv_*`
+    /// fields only); the two phases are sequential, so the same array
+    /// serves both without overlapping borrows.
+    pub node_lanes: &'a mut [NodeLane],
 }
 
 impl<M: MessageCost> EngineCore<M> {
@@ -805,10 +803,12 @@ impl<M: MessageCost> EngineCore<M> {
                     }
                     lanes.row.messages += 1;
                     lanes.row.pointers += pointers;
-                    lanes.sent_messages[src] += 1;
-                    lanes.sent_pointers[src] += pointers;
-                    lanes.recv_messages[dst] += 1;
-                    lanes.recv_pointers[dst] += pointers;
+                    let lane = &mut lanes.nodes[src];
+                    lane.sent_messages += 1;
+                    lane.sent_pointers += pointers;
+                    let lane = &mut lanes.nodes[dst];
+                    lane.recv_messages += 1;
+                    lane.recv_pointers += pointers;
                     self.inboxes[dst].push(env);
                 }
                 causal.note_sampled_out_by(sampled_out);
@@ -829,10 +829,12 @@ impl<M: MessageCost> EngineCore<M> {
                     let pointers = env.payload.pointers() as u64;
                     lanes.row.messages += 1;
                     lanes.row.pointers += pointers;
-                    lanes.sent_messages[src] += 1;
-                    lanes.sent_pointers[src] += pointers;
-                    lanes.recv_messages[dst] += 1;
-                    lanes.recv_pointers[dst] += pointers;
+                    let lane = &mut lanes.nodes[src];
+                    lane.sent_messages += 1;
+                    lane.sent_pointers += pointers;
+                    let lane = &mut lanes.nodes[dst];
+                    lane.recv_messages += 1;
+                    lane.recv_pointers += pointers;
                     self.inboxes[dst].push(env);
                 }
             }
@@ -895,8 +897,9 @@ impl<M: MessageCost> EngineCore<M> {
                     dropped: fate.dropped,
                 });
             }
-            lanes.sent_messages[src] += 1;
-            lanes.sent_pointers[src] += pointers as u64;
+            let lane = &mut lanes.nodes[src];
+            lane.sent_messages += 1;
+            lane.sent_pointers += pointers as u64;
             if let Some(cause) = fate.dropped {
                 lanes.row.drops.add(cause);
                 if let Some(policy) = reliable {
@@ -929,8 +932,9 @@ impl<M: MessageCost> EngineCore<M> {
                 }
                 lanes.row.messages += 1;
                 lanes.row.pointers += pointers as u64;
-                lanes.recv_messages[dst] += 1;
-                lanes.recv_pointers[dst] += pointers as u64;
+                let lane = &mut lanes.nodes[dst];
+                lane.recv_messages += 1;
+                lane.recv_pointers += pointers as u64;
                 if fate.extra_delay == 0 {
                     inboxes[dst].push(env);
                 } else {
@@ -1036,8 +1040,9 @@ impl<M: MessageCost> EngineCore<M> {
                     dropped: fate.dropped,
                 });
             }
-            lanes.sent_messages[src] += 1;
-            lanes.sent_pointers[src] += pointers as u64;
+            let lane = &mut lanes.nodes[src];
+            lane.sent_messages += 1;
+            lane.sent_pointers += pointers as u64;
             if let Some(cause) = fate.dropped {
                 lanes.row.drops.add(cause);
                 if let Some(policy) = reliable {
@@ -1064,8 +1069,9 @@ impl<M: MessageCost> EngineCore<M> {
                 }
                 lanes.row.messages += 1;
                 lanes.row.pointers += pointers as u64;
-                lanes.recv_messages[dst] += 1;
-                lanes.recv_pointers[dst] += pointers as u64;
+                let lane = &mut lanes.nodes[dst];
+                lane.recv_messages += 1;
+                lane.recv_pointers += pointers as u64;
                 if lat == 1 {
                     inboxes[dst].push(env);
                 } else {
@@ -1094,10 +1100,7 @@ impl<M: MessageCost> EngineCore<M> {
             causal_ppm: self.causal.as_ref().map(CausalTrace::sample_ppm),
             reliable: self.reliable,
             inboxes: &mut self.inboxes,
-            sent_messages: lanes.sent_messages,
-            sent_pointers: lanes.sent_pointers,
-            recv_messages: lanes.recv_messages,
-            recv_pointers: lanes.recv_pointers,
+            node_lanes: lanes.nodes,
         }
     }
 
@@ -1217,8 +1220,9 @@ impl<M: MessageCost> EngineCore<M> {
                 );
                 let pointers = retry.env.payload.pointers() as u64;
                 lanes.row.retransmissions += 1;
-                lanes.sent_messages[src] += 1;
-                lanes.sent_pointers[src] += pointers;
+                let lane = &mut lanes.nodes[src];
+                lane.sent_messages += 1;
+                lane.sent_pointers += pointers;
                 if let Some(cause) = fate.dropped {
                     lanes.row.drops.add(cause);
                     if attempt < policy.max_retries {
@@ -1236,8 +1240,9 @@ impl<M: MessageCost> EngineCore<M> {
                 } else {
                     lanes.row.messages += 1;
                     lanes.row.pointers += pointers;
-                    lanes.recv_messages[dst] += 1;
-                    lanes.recv_pointers[dst] += pointers;
+                    let lane = &mut lanes.nodes[dst];
+                    lane.recv_messages += 1;
+                    lane.recv_pointers += pointers;
                     if fate.extra_delay == 0 {
                         inboxes[dst].push(retry.env);
                     } else {
@@ -1316,8 +1321,9 @@ impl<M: MessageCost> EngineCore<M> {
                 );
                 let pointers = retry.env.payload.pointers() as u64;
                 lanes.row.retransmissions += 1;
-                lanes.sent_messages[src] += 1;
-                lanes.sent_pointers[src] += pointers;
+                let lane = &mut lanes.nodes[src];
+                lane.sent_messages += 1;
+                lane.sent_pointers += pointers;
                 if let Some(cause) = fate.dropped {
                     lanes.row.drops.add(cause);
                     if attempt < policy.max_retries {
@@ -1332,8 +1338,9 @@ impl<M: MessageCost> EngineCore<M> {
                 } else {
                     lanes.row.messages += 1;
                     lanes.row.pointers += pointers;
-                    lanes.recv_messages[dst] += 1;
-                    lanes.recv_pointers[dst] += pointers;
+                    let lane = &mut lanes.nodes[dst];
+                    lane.recv_messages += 1;
+                    lane.recv_pointers += pointers;
                     if lat == 1 {
                         inboxes[dst].push(retry.env);
                     } else {
@@ -1478,8 +1485,7 @@ mod tests {
             params,
             &mut vec![env(0, 5, 1)],
             0,
-            &mut [0, 0],
-            &mut [0, 0],
+            &mut [NodeLane::default(), NodeLane::default()],
             vec![Vec::new()],
         );
     }
@@ -1621,8 +1627,7 @@ mod tests {
                     params,
                     &mut mine,
                     lo,
-                    &mut parts.sent_messages[lo..hi],
-                    &mut parts.sent_pointers[lo..hi],
+                    &mut parts.node_lanes[lo..hi],
                     (0..3).map(|_| Vec::new()).collect(),
                 ));
             }
@@ -1640,8 +1645,7 @@ mod tests {
                     lo,
                     &mut parts_d,
                     &mut parts.inboxes[lo..hi],
-                    &mut parts.recv_messages[lo..hi],
-                    &mut parts.recv_pointers[lo..hi],
+                    &mut parts.node_lanes[lo..hi],
                     delayed,
                 );
             }

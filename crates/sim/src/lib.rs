@@ -80,7 +80,7 @@ pub use engine_core::{
 pub use faults::{DropCause, FaultPlan};
 pub use id::NodeId;
 pub use message::{Envelope, MessageCost, PointerList};
-pub use metrics::{round_obs, DropTally, RoundMetrics, RunMetrics};
+pub use metrics::{round_obs, DropTally, NodeLane, RoundMetrics, RunMetrics};
 pub use node::{Node, RoundContext};
 pub use pool::{BufferPool, PoolStats};
 pub use trace::{Trace, TraceEvent};

@@ -64,6 +64,22 @@ impl RoundMetrics {
     }
 }
 
+/// One node's send/receive tallies, kept together so the routing hot
+/// path touches a single cache line per endpoint instead of four
+/// parallel `Vec<u64>` lanes (two random-access miss streams per
+/// delivered message before the consolidation, one after).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeLane {
+    /// Messages this node sent (delivered plus dropped).
+    pub sent_messages: u64,
+    /// Pointers this node sent.
+    pub sent_pointers: u64,
+    /// Messages this node received.
+    pub recv_messages: u64,
+    /// Pointers this node received.
+    pub recv_pointers: u64,
+}
+
 /// Cumulative complexity record of a run.
 ///
 /// Tracks the per-round series (for figures such as F3) and per-node
@@ -71,10 +87,7 @@ impl RoundMetrics {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunMetrics {
     rounds: Vec<RoundMetrics>,
-    sent_messages: Vec<u64>,
-    sent_pointers: Vec<u64>,
-    recv_messages: Vec<u64>,
-    recv_pointers: Vec<u64>,
+    nodes: Vec<NodeLane>,
     detector_retractions: u64,
 }
 
@@ -83,17 +96,14 @@ impl RunMetrics {
     pub fn new(n: usize) -> Self {
         RunMetrics {
             rounds: Vec::new(),
-            sent_messages: vec![0; n],
-            sent_pointers: vec![0; n],
-            recv_messages: vec![0; n],
-            recv_pointers: vec![0; n],
+            nodes: vec![NodeLane::default(); n],
             detector_retractions: 0,
         }
     }
 
     /// Number of nodes tracked.
     pub fn node_count(&self) -> usize {
-        self.sent_messages.len()
+        self.nodes.len()
     }
 
     /// Opens accounting for a new round.
@@ -102,10 +112,10 @@ impl RunMetrics {
     }
 
     /// Splits the record into independently borrowable lanes for the
-    /// routing hot path: the current round's row plus the four per-node
-    /// tally vectors. Hoists the `rounds.last_mut()` lookup out of the
+    /// routing hot path: the current round's row plus the per-node
+    /// tally array. Hoists the `rounds.last_mut()` lookup out of the
     /// per-message loop and lets the parallel router hand disjoint
-    /// per-shard slices of each lane to its workers.
+    /// per-shard slices of the node array to its workers.
     ///
     /// # Panics
     ///
@@ -113,10 +123,7 @@ impl RunMetrics {
     pub(crate) fn lanes(&mut self) -> MetricsLanes<'_> {
         MetricsLanes {
             row: self.rounds.last_mut().expect("begin_round not called"),
-            sent_messages: &mut self.sent_messages,
-            sent_pointers: &mut self.sent_pointers,
-            recv_messages: &mut self.recv_messages,
-            recv_pointers: &mut self.recv_pointers,
+            nodes: &mut self.nodes,
         }
     }
 
@@ -179,35 +186,56 @@ impl RunMetrics {
         self.total_pointers() * id_bits + self.total_messages() * HEADER_BITS
     }
 
+    /// Per-node send/receive tallies, indexed by node id.
+    pub fn node_lanes(&self) -> &[NodeLane] {
+        &self.nodes
+    }
+
     /// Per-node sent-message totals, indexed by node id (observability
     /// reads these for the hot-sender top-k).
-    pub fn per_node_sent_messages(&self) -> &[u64] {
-        &self.sent_messages
+    pub fn per_node_sent_messages(&self) -> Vec<u64> {
+        self.nodes.iter().map(|l| l.sent_messages).collect()
     }
 
     /// Per-node received-message totals, indexed by node id.
-    pub fn per_node_recv_messages(&self) -> &[u64] {
-        &self.recv_messages
+    pub fn per_node_recv_messages(&self) -> Vec<u64> {
+        self.nodes.iter().map(|l| l.recv_messages).collect()
     }
 
     /// Maximum number of messages any single node sent.
     pub fn max_sent_messages(&self) -> u64 {
-        self.sent_messages.iter().copied().max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|l| l.sent_messages)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum number of messages any single node received.
     pub fn max_recv_messages(&self) -> u64 {
-        self.recv_messages.iter().copied().max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|l| l.recv_messages)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum number of pointers any single node sent.
     pub fn max_sent_pointers(&self) -> u64 {
-        self.sent_pointers.iter().copied().max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|l| l.sent_pointers)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum number of pointers any single node received.
     pub fn max_recv_pointers(&self) -> u64 {
-        self.recv_pointers.iter().copied().max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|l| l.recv_pointers)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean messages sent per node.
@@ -241,14 +269,8 @@ pub fn round_obs(round: u64, row: &RoundMetrics) -> rd_obs::RoundObs {
 pub(crate) struct MetricsLanes<'a> {
     /// The open round's row.
     pub row: &'a mut RoundMetrics,
-    /// Per-node sent-message tallies.
-    pub sent_messages: &'a mut [u64],
-    /// Per-node sent-pointer tallies.
-    pub sent_pointers: &'a mut [u64],
-    /// Per-node received-message tallies.
-    pub recv_messages: &'a mut [u64],
-    /// Per-node received-pointer tallies.
-    pub recv_pointers: &'a mut [u64],
+    /// Per-node send/receive tallies.
+    pub nodes: &'a mut [NodeLane],
 }
 
 #[cfg(test)]
@@ -260,10 +282,10 @@ mod tests {
         let lanes = m.lanes();
         lanes.row.messages += 1;
         lanes.row.pointers += pointers;
-        lanes.sent_messages[src] += 1;
-        lanes.sent_pointers[src] += pointers;
-        lanes.recv_messages[dst] += 1;
-        lanes.recv_pointers[dst] += pointers;
+        lanes.nodes[src].sent_messages += 1;
+        lanes.nodes[src].sent_pointers += pointers;
+        lanes.nodes[dst].recv_messages += 1;
+        lanes.nodes[dst].recv_pointers += pointers;
     }
 
     /// Test shorthand for what routing does per dropped message (the
@@ -271,8 +293,8 @@ mod tests {
     fn drop_one(m: &mut RunMetrics, src: usize, pointers: u64) {
         let lanes = m.lanes();
         lanes.row.drops.add(DropCause::Coin);
-        lanes.sent_messages[src] += 1;
-        lanes.sent_pointers[src] += pointers;
+        lanes.nodes[src].sent_messages += 1;
+        lanes.nodes[src].sent_pointers += pointers;
     }
 
     #[test]

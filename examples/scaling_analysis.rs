@@ -128,8 +128,8 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
         };
         match recorder.finish(
             outcome_obs,
-            m.per_node_sent_messages(),
-            m.per_node_recv_messages(),
+            &m.per_node_sent_messages(),
+            &m.per_node_recv_messages(),
             &[],
             &pools,
         ) {

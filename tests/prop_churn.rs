@@ -123,7 +123,11 @@ fn arb_benign_churn() -> impl Strategy<Value = Churn> {
         })
 }
 
-fn make_engine<A>(alg: &A, churn: &Churn, initial: &[Vec<NodeId>]) -> Engine<A::NodeState>
+fn make_engine<A>(
+    alg: &A,
+    churn: &Churn,
+    initial: &problem::InitialKnowledge,
+) -> Engine<A::NodeState>
 where
     A: DiscoveryAlgorithm,
     A::NodeState: Node,
