@@ -194,7 +194,7 @@ pub fn sweep(spec: &SweepSpec) -> Vec<SweepCell> {
                     / reports.len() as f64,
                 stall_rate: reports
                     .iter()
-                    .filter(|r| r.verdict == RunVerdict::Stalled)
+                    .filter(|r| matches!(r.verdict, RunVerdict::Stalled { .. }))
                     .count() as f64
                     / reports.len() as f64,
                 all_sound: reports.iter().all(|r| r.sound),

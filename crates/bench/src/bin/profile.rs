@@ -72,6 +72,7 @@ fn main() {
                 pointers: engine.metrics().total_pointers(),
                 trace_events: 0,
                 trace_overflow: 0,
+                last_progress: None,
             },
             &[],
             &[],

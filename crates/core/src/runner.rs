@@ -153,7 +153,12 @@ pub enum RunVerdict {
     DegradedComplete,
     /// The convergence watchdog fired: no live node learned anything for
     /// a full stall window, so waiting longer cannot help.
-    Stalled,
+    Stalled {
+        /// The last round in which the live population's total knowledge
+        /// still grew (0 when nothing was learned after the initial
+        /// knowledge) — the watermark `rd-inspect summarize` surfaces.
+        last_progress: u64,
+    },
     /// The round budget ran out before completion (and before any stall
     /// window elapsed, if a watchdog was armed).
     BudgetExhausted,
@@ -165,7 +170,7 @@ impl RunVerdict {
         match self {
             RunVerdict::Complete => "complete",
             RunVerdict::DegradedComplete => "degraded-complete",
-            RunVerdict::Stalled => "stalled",
+            RunVerdict::Stalled { .. } => "stalled",
             RunVerdict::BudgetExhausted => "budget-exhausted",
         }
     }
@@ -556,6 +561,13 @@ where
     // tell the two exits apart afterwards.
     let stalled = Cell::new(false);
     let stalled_flag = &stalled;
+    // The stall watermark: the last round in which the live population's
+    // total knowledge grew. `observe` runs before `done` each round, so
+    // the cell already names the current round when `done` samples it.
+    let current_round = Cell::new(0u64);
+    let current_round_ref = &current_round;
+    let last_progress = Cell::new(0u64);
+    let last_progress_ref = &last_progress;
     let stall_window = config.stall_window;
     let mut last_knowledge: Option<usize> = None;
     let mut stagnant_rounds: u64 = 0;
@@ -603,11 +615,13 @@ where
             } else {
                 stagnant_rounds = 0;
                 last_knowledge = Some(total);
+                last_progress_ref.set(current_round_ref.get());
             }
         }
         false
     };
     let outcome = engine.run_observed(config.max_rounds, done, |round, nodes| {
+        current_round_ref.set(round);
         if obs_on {
             let total: u64 = nodes.iter().map(|s| s.knows_count() as u64).sum();
             knowledge_ref.push((round, total));
@@ -637,7 +651,9 @@ where
             RunVerdict::Complete
         }
     } else if stalled {
-        RunVerdict::Stalled
+        RunVerdict::Stalled {
+            last_progress: last_progress.get(),
+        }
     } else {
         RunVerdict::BudgetExhausted
     };
@@ -688,6 +704,10 @@ where
             pointers: report.pointers,
             trace_events,
             trace_overflow,
+            last_progress: match verdict {
+                RunVerdict::Stalled { last_progress } => Some(last_progress),
+                _ => None,
+            },
         };
         if let Err(err) = rec.finish(
             outcome_obs,
@@ -803,8 +823,13 @@ mod tests {
                 .with_stall_window(25),
         );
         assert!(!report.completed);
-        assert_eq!(report.verdict, RunVerdict::Stalled);
+        let RunVerdict::Stalled { last_progress } = report.verdict else {
+            panic!("expected a stalled verdict, got {:?}", report.verdict);
+        };
         assert!(report.rounds < 10_000, "watchdog never fired");
+        // The watermark names the round knowledge last grew: exactly one
+        // stall window before the watchdog fired.
+        assert_eq!(last_progress, report.rounds - 25);
     }
 
     #[test]

@@ -58,6 +58,31 @@ pub enum LatencyModel {
         /// Latency of `src > dst` transmissions, in ticks (`>= 1`).
         backward: u64,
     },
+    /// Grey failure: a deterministic, seed-keyed subset of nodes is
+    /// *slow* — not crashed, not lossy, just late. Every message that
+    /// touches a slow node (as sender or receiver) takes `slow` ticks;
+    /// all other traffic takes `base` ticks. Whether a node is slow is
+    /// a pure function of `(seed, node)`, so the subset is stable for
+    /// the whole run and replays bit-for-bit.
+    Slow {
+        /// Latency of healthy-to-healthy traffic, in ticks (`>= 1`).
+        base: u64,
+        /// Latency of traffic touching a slow node, in ticks (`>= base`).
+        slow: u64,
+        /// Fraction of nodes that are slow, in parts per million
+        /// (`1..=1_000_000`).
+        frac_ppm: u32,
+    },
+}
+
+/// Domain tag of the slow-subset membership stream ("slow").
+const SLOW_DOMAIN: u64 = 0x736c_6f77;
+
+/// Whether `node` belongs to the grey-failure slow subset: a pure
+/// function of `(seed, node)` via the dedicated counter-based domain.
+fn is_slow_node(seed: u64, node: usize, frac_ppm: u32) -> bool {
+    use rd_sim::rng::{derive_seed, split_mix64};
+    split_mix64(derive_seed(seed, SLOW_DOMAIN, node as u64, 0)) % 1_000_000 < u64::from(frac_ppm)
 }
 
 impl Default for LatencyModel {
@@ -85,13 +110,23 @@ impl LatencyModel {
             LatencyModel::Asymmetric { forward, backward } if forward == 0 || backward == 0 => {
                 Err("asymmetric link latencies must be >= 1 tick".into())
             }
+            LatencyModel::Slow { base: 0, .. } => {
+                Err("slow-model base latency must be >= 1 tick".into())
+            }
+            LatencyModel::Slow { base, slow, .. } if slow < base => {
+                Err(format!("slow-model slow latency {slow} below base {base}"))
+            }
+            LatencyModel::Slow { frac_ppm, .. } if frac_ppm == 0 || frac_ppm > 1_000_000 => Err(
+                format!("slow-node fraction must be 1..=1000000 ppm, got {frac_ppm}"),
+            ),
             _ => Ok(()),
         }
     }
 
     /// The model's canonical spec string, e.g. `const:1`,
-    /// `uniform:1:8`, `lognormal:1200:800:32`, `asym:1:8`.
-    /// [`parse`](Self::parse) accepts exactly these forms.
+    /// `uniform:1:8`, `lognormal:1200:800:32`, `asym:1:8`,
+    /// `slow:1:16:50000`. [`parse`](Self::parse) accepts exactly these
+    /// forms.
     pub fn name(&self) -> String {
         match *self {
             LatencyModel::Constant { ticks } => format!("const:{ticks}"),
@@ -104,12 +139,17 @@ impl LatencyModel {
             LatencyModel::Asymmetric { forward, backward } => {
                 format!("asym:{forward}:{backward}")
             }
+            LatencyModel::Slow {
+                base,
+                slow,
+                frac_ppm,
+            } => format!("slow:{base}:{slow}:{frac_ppm}"),
         }
     }
 
     /// Parses a spec string produced by [`name`](Self::name):
     /// `const:TICKS`, `uniform:MIN:MAX`, `lognormal:MU_MILLI:SIGMA_MILLI:CAP`,
-    /// or `asym:FORWARD:BACKWARD`.
+    /// `asym:FORWARD:BACKWARD`, or `slow:BASE:SLOW:FRAC_PPM`.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let parts: Vec<&str> = spec.split(':').collect();
         let int = |s: &str| -> Result<u64, String> {
@@ -131,11 +171,17 @@ impl LatencyModel {
                 forward: int(f)?,
                 backward: int(b)?,
             },
+            ["slow", b, s, f] => LatencyModel::Slow {
+                base: int(b)?,
+                slow: int(s)?,
+                frac_ppm: int(f)? as u32,
+            },
             _ => {
                 return Err(format!(
                     "unknown latency model {spec:?} \
                      (expected const:T | uniform:MIN:MAX | \
-                     lognormal:MU_MILLI:SIGMA_MILLI:CAP | asym:F:B)"
+                     lognormal:MU_MILLI:SIGMA_MILLI:CAP | asym:F:B | \
+                     slow:BASE:SLOW:FRAC_PPM)"
                 ))
             }
         };
@@ -195,6 +241,19 @@ impl LatencyModel {
                     backward
                 }
             }
+            LatencyModel::Slow {
+                base,
+                slow,
+                frac_ppm,
+            } => {
+                // Grey failure affects all of a slow node's traffic:
+                // both what it sends and what is sent to it.
+                if is_slow_node(seed, src, frac_ppm) || is_slow_node(seed, dst, frac_ppm) {
+                    slow
+                } else {
+                    base
+                }
+            }
         }
     }
 }
@@ -217,6 +276,11 @@ mod tests {
                 forward: 1,
                 backward: 8,
             },
+            LatencyModel::Slow {
+                base: 1,
+                slow: 16,
+                frac_ppm: 50_000,
+            },
         ] {
             assert_eq!(LatencyModel::parse(&model.name()), Ok(model));
         }
@@ -233,6 +297,10 @@ mod tests {
             "uniform:1",
             "lognormal:1000:800:0",
             "asym:0:3",
+            "slow:0:4:1000",
+            "slow:8:2:1000",
+            "slow:1:4:0",
+            "slow:1:4:2000000",
             "",
         ] {
             assert!(LatencyModel::parse(spec).is_err(), "accepted {spec:?}");
@@ -289,6 +357,38 @@ mod tests {
         };
         assert_eq!(model.sample(1, 0, 5, 3, 0, 0), 2);
         assert_eq!(model.sample(1, 5, 0, 3, 0, 0), 7);
+    }
+
+    #[test]
+    fn slow_subset_is_stable_and_slows_both_directions() {
+        let model = LatencyModel::Slow {
+            base: 1,
+            slow: 16,
+            frac_ppm: 300_000,
+        };
+        let seed = 9;
+        let slow_nodes: Vec<usize> = (0..64)
+            .filter(|&i| is_slow_node(seed, i, 300_000))
+            .collect();
+        assert!(!slow_nodes.is_empty(), "no slow nodes at 30%");
+        assert!(slow_nodes.len() < 64, "every node slow at 30%");
+        let s = slow_nodes[0];
+        let healthy = (0..64).find(|i| !slow_nodes.contains(i)).unwrap();
+        // Both directions of a slow node's traffic take the slow path,
+        // at any tick/sequence (membership ignores those axes).
+        for tick in 0..4 {
+            assert_eq!(model.sample(seed, s, healthy, tick, 0, 0), 16);
+            assert_eq!(model.sample(seed, healthy, s, tick, 7, 0), 16);
+        }
+        let other = (0..64)
+            .find(|i| !slow_nodes.contains(i) && *i != healthy)
+            .unwrap();
+        assert_eq!(model.sample(seed, healthy, other, 0, 0, 0), 1);
+        // A different seed re-keys the subset.
+        let reseeded: Vec<usize> = (0..64)
+            .filter(|&i| is_slow_node(seed ^ 0xdead, i, 300_000))
+            .collect();
+        assert_ne!(slow_nodes, reseeded, "subset ignores the seed");
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! {"type":"header","schema":1,"algorithm":…,"topology":…,"n":…,"seed":"…","engine":…,"workers":…
 //!   [,"latency_model":"…"]}       (the latency model appears only for event-engine runs)
 //! {"type":"round","round":1,"wall_ns":…,"messages":…,"pointers":…,"dropped_coin":…,
-//!   "dropped_crash":…,"dropped_partition":…,"retransmissions":…,"knowledge_delta":…|null}   × rounds
+//!   "dropped_crash":…,"dropped_partition":…,"dropped_link":…,"dropped_suppression":…,
+//!   "retransmissions":…,"knowledge_delta":…|null}                                           × rounds
 //! {"type":"phase","phase":"route_shard","count":…,"total_ns":…,"p50_ns":…,"p99_ns":…,"max_ns":…} × phases
 //! {"type":"worker","worker":0,"spans":…,"busy_ns":…}                                        × workers
 //! {"type":"counter","name":…,"value":…}                                                     × counters
@@ -18,7 +19,8 @@
 //!   "sampled_out":…,"overflow":…}                                                  (v2) × 0..1
 //! {"type":"edge","id":…,"node":…,"src":…,"sent":…,"round":…,"seq":…}               (v2) × edges
 //! {"type":"summary","verdict":…,"completed":…,"sound":…,"rounds":…,"messages":…,"pointers":…,
-//!   "trace_events":…,"trace_overflow":…,"span_overflow":…,"wall_ns_total":…}
+//!   "trace_events":…,"trace_overflow":…,"span_overflow":…,"wall_ns_total":…
+//!   [,"last_progress":…]}        (the stall watermark appears only when the driver tracked it)
 //! ```
 //!
 //! The header is always first, the summary always last and unique.
@@ -90,9 +92,9 @@ pub fn render(report: &ObsReport) -> String {
             .map_or("null".to_string(), |d| d.to_string());
         let _ = writeln!(
             out,
-            "{{\"type\":\"round\",\"round\":{},\"wall_ns\":{},\"messages\":{},\"pointers\":{},\"dropped_coin\":{},\"dropped_crash\":{},\"dropped_partition\":{},\"retransmissions\":{},\"knowledge_delta\":{delta}}}",
+            "{{\"type\":\"round\",\"round\":{},\"wall_ns\":{},\"messages\":{},\"pointers\":{},\"dropped_coin\":{},\"dropped_crash\":{},\"dropped_partition\":{},\"dropped_link\":{},\"dropped_suppression\":{},\"retransmissions\":{},\"knowledge_delta\":{delta}}}",
             r.round, r.wall_ns, r.messages, r.pointers, r.dropped_coin, r.dropped_crash,
-            r.dropped_partition, r.retransmissions
+            r.dropped_partition, r.dropped_link, r.dropped_suppression, r.retransmissions
         );
     }
     for p in &report.phases {
@@ -179,9 +181,14 @@ pub fn render(report: &ObsReport) -> String {
     }
     let o = &report.outcome;
     let wall_total: u64 = report.rounds.iter().map(|r| r.wall_ns).sum();
+    // `last_progress` renders only when the driver tracked it, so
+    // archives from drivers without a watchdog stay byte-identical.
+    let last_progress = o
+        .last_progress
+        .map_or(String::new(), |r| format!(",\"last_progress\":{r}"));
     let _ = writeln!(
         out,
-        "{{\"type\":\"summary\",\"verdict\":{},\"completed\":{},\"sound\":{},\"rounds\":{},\"messages\":{},\"pointers\":{},\"trace_events\":{},\"trace_overflow\":{},\"span_overflow\":{},\"wall_ns_total\":{wall_total}}}",
+        "{{\"type\":\"summary\",\"verdict\":{},\"completed\":{},\"sound\":{},\"rounds\":{},\"messages\":{},\"pointers\":{},\"trace_events\":{},\"trace_overflow\":{},\"span_overflow\":{},\"wall_ns_total\":{wall_total}{last_progress}}}",
         escape(&o.verdict),
         o.completed,
         o.sound,
@@ -220,6 +227,10 @@ pub struct RoundRec {
     pub dropped_coin: u64,
     pub dropped_crash: u64,
     pub dropped_partition: u64,
+    /// Zero on archives written before link-loss overlays existed.
+    pub dropped_link: u64,
+    /// Zero on archives written before suppression campaigns existed.
+    pub dropped_suppression: u64,
     pub retransmissions: u64,
     pub knowledge_delta: Option<u64>,
 }
@@ -292,6 +303,9 @@ pub struct SummaryRec {
     pub trace_overflow: u64,
     pub span_overflow: u64,
     pub wall_ns_total: u64,
+    /// Last round that still grew total knowledge; present only when
+    /// the driver tracked a stall watermark.
+    pub last_progress: Option<u64>,
 }
 
 /// A fully parsed archive.
@@ -412,6 +426,13 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
                     dropped_coin: field!("dropped_coin"),
                     dropped_crash: field!("dropped_crash"),
                     dropped_partition: field!("dropped_partition"),
+                    // Lenient: archives written before these fault
+                    // classes existed omit the fields and stay valid.
+                    dropped_link: v.get("dropped_link").and_then(Json::as_u64).unwrap_or(0),
+                    dropped_suppression: v
+                        .get("dropped_suppression")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
                     retransmissions: field!("retransmissions"),
                     knowledge_delta: match v.get("knowledge_delta") {
                         Some(Json::Null) => None,
@@ -560,6 +581,7 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
                     trace_overflow: field!("trace_overflow"),
                     span_overflow: field!("span_overflow"),
                     wall_ns_total: field!("wall_ns_total"),
+                    last_progress: v.get("last_progress").and_then(Json::as_u64),
                 };
             }
             _ => unreachable!("filtered by KNOWN_TYPES"),
@@ -656,6 +678,8 @@ mod tests {
                 dropped_coin: r % 2,
                 dropped_crash: 0,
                 dropped_partition: 0,
+                dropped_link: 0,
+                dropped_suppression: 0,
                 retransmissions: 1,
                 knowledge_delta: None,
             });
@@ -671,6 +695,7 @@ mod tests {
                     pointers: 1210,
                     trace_events: 77,
                     trace_overflow: 3,
+                    last_progress: None,
                 },
                 &[9, 1, 4],
                 &[2, 8, 4],
@@ -719,6 +744,8 @@ mod tests {
             dropped_coin: 0,
             dropped_crash: 0,
             dropped_partition: 0,
+            dropped_link: 0,
+            dropped_suppression: 0,
             retransmissions: 0,
             knowledge_delta: None,
         });
@@ -751,6 +778,7 @@ mod tests {
                     pointers: 5,
                     trace_events: 0,
                     trace_overflow: 0,
+                    last_progress: None,
                 },
                 &[],
                 &[],

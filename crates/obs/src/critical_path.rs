@@ -67,18 +67,22 @@ pub struct SpanFaults {
     pub coin: u64,
     pub crash: u64,
     pub partition: u64,
+    pub link: u64,
+    pub suppression: u64,
 }
 
 impl SpanFaults {
     pub fn total(&self) -> u64 {
-        self.coin + self.crash + self.partition
+        self.coin + self.crash + self.partition + self.link + self.suppression
     }
 
     /// The dominant cause name, or `None` when the span saw no drops.
     pub fn dominant(&self) -> Option<&'static str> {
         let entries = [
+            (self.suppression, "suppression"),
             (self.partition, "partition"),
             (self.crash, "crash"),
+            (self.link, "link"),
             (self.coin, "coin"),
         ];
         entries
@@ -100,6 +104,8 @@ pub fn faults_in_span(archive: &Archive, lo: u64, hi: u64) -> SpanFaults {
         f.coin += r.dropped_coin;
         f.crash += r.dropped_crash;
         f.partition += r.dropped_partition;
+        f.link += r.dropped_link;
+        f.suppression += r.dropped_suppression;
     }
     f
 }
@@ -174,13 +180,15 @@ pub fn why(archive: &Archive) -> String {
         let _ = writeln!(out, "\nattribution (verdict {}):", s.verdict);
         let _ = writeln!(
             out,
-            "  path span rounds {}..={}: {} drops (coin {}, crash {}, partition {})",
+            "  path span rounds {}..={}: {} drops (coin {}, crash {}, partition {}, link {}, suppression {})",
             root.sent,
             terminal.round,
             span.total(),
             span.coin,
             span.crash,
-            span.partition
+            span.partition,
+            span.link,
+            span.suppression
         );
         // The largest wait: the hop whose id sat longest at a node
         // between being learned and being successfully forwarded.
@@ -201,10 +209,12 @@ pub fn why(archive: &Archive) -> String {
             );
             let _ = writeln!(
                 out,
-                "  during that window: coin {}, crash {}, partition {} drops{}",
+                "  during that window: coin {}, crash {}, partition {}, link {}, suppression {} drops{}",
                 window.coin,
                 window.crash,
                 window.partition,
+                window.link,
+                window.suppression,
                 window
                     .dominant()
                     .map(|c| format!(" — dominant cause: {c}"))
@@ -351,6 +361,23 @@ mod tests {
         assert!(text.contains("verdict degraded-complete"), "{text}");
         assert!(text.contains("waited 3 round(s) at node 1"), "{text}");
         assert!(text.contains("dominant cause: partition"), "{text}");
+    }
+
+    #[test]
+    fn why_attributes_suppression_when_it_dominates() {
+        let mut rounds: Vec<RoundRec> = (1..=6).map(|r| round(r, 0)).collect();
+        rounds[3].dropped_suppression = 20; // round 4, inside the wait
+        rounds[3].dropped_partition = 3;
+        rounds[2].dropped_link = 5;
+        let a = archive(
+            vec![edge(9, 1, 0, 1, 2), edge(9, 2, 1, 5, 6)],
+            rounds,
+            "stalled",
+        );
+        let text = why(&a);
+        assert!(text.contains("dominant cause: suppression"), "{text}");
+        assert!(text.contains("suppression 20"), "{text}");
+        assert!(text.contains("link 5"), "{text}");
     }
 
     #[test]

@@ -38,18 +38,42 @@ pub fn summarize(archive: &Archive) -> String {
         .get("dropped_partition_total")
         .copied()
         .unwrap_or(0);
+    let link = archive
+        .counters
+        .get("dropped_link_total")
+        .copied()
+        .unwrap_or(0);
+    let suppression = archive
+        .counters
+        .get("dropped_suppression_total")
+        .copied()
+        .unwrap_or(0);
     let retrans = archive
         .counters
         .get("retransmissions_total")
         .copied()
         .unwrap_or(0);
+    // Mention the adversarial classes only when they fired, so
+    // fault-free summaries keep their historical shape.
+    let adversarial = if link + suppression > 0 {
+        format!(", link {link}, suppression {suppression}")
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "totals: {} messages, {} pointers, {} dropped (coin {coin}, crash {crash}, partition {partition}), {retrans} retransmitted",
+        "totals: {} messages, {} pointers, {} dropped (coin {coin}, crash {crash}, partition {partition}{adversarial}), {retrans} retransmitted",
         s.messages,
         s.pointers,
-        coin + crash + partition
+        coin + crash + partition + link + suppression
     );
+    if let Some(last) = s.last_progress {
+        let _ = writeln!(
+            out,
+            "stall: last knowledge progress at round {last} (of {} run)",
+            s.rounds
+        );
+    }
     let _ = writeln!(
         out,
         "trace: {} events, {} overflowed",
@@ -213,6 +237,16 @@ pub fn diff(label_a: &str, a: &Archive, label_b: &str, b: &Archive) -> String {
             count(a, "dropped_partition_total"),
             count(b, "dropped_partition_total"),
         ),
+        (
+            "dropped_link",
+            count(a, "dropped_link_total"),
+            count(b, "dropped_link_total"),
+        ),
+        (
+            "dropped_suppression",
+            count(a, "dropped_suppression_total"),
+            count(b, "dropped_suppression_total"),
+        ),
         ("trace_events", sa.trace_events, sb.trace_events),
         ("trace_overflow", sa.trace_overflow, sb.trace_overflow),
         ("wall_ns_total", sa.wall_ns_total, sb.wall_ns_total),
@@ -342,6 +376,32 @@ mod tests {
         let text = summarize(&archive_from(&sample(42, 9)));
         assert!(text.contains("TRACE TRUNCATED"));
         assert!(text.contains("9 overflowed"));
+    }
+
+    #[test]
+    fn summarize_surfaces_stall_watermark_and_adversarial_drops() {
+        let text = sample(42, 0)
+            .replace(
+                "\"wall_ns_total\":1000",
+                "\"wall_ns_total\":1000,\"last_progress\":7",
+            )
+            .replace(
+                "{\"type\":\"counter\",\"name\":\"dropped_coin_total\",\"value\":1}",
+                concat!(
+                    "{\"type\":\"counter\",\"name\":\"dropped_coin_total\",\"value\":1}\n",
+                    "{\"type\":\"counter\",\"name\":\"dropped_link_total\",\"value\":4}\n",
+                    "{\"type\":\"counter\",\"name\":\"dropped_suppression_total\",\"value\":2}"
+                ),
+            );
+        let out = summarize(&archive_from(&text));
+        assert!(out.contains("last knowledge progress at round 7"), "{out}");
+        assert!(out.contains("link 4, suppression 2"), "{out}");
+        assert!(out.contains("7 dropped"), "{out}");
+
+        // Fault-free archives keep the historical two-class shape.
+        let plain = summarize(&archive_from(&sample(42, 0)));
+        assert!(!plain.contains("link"), "{plain}");
+        assert!(!plain.contains("stall:"), "{plain}");
     }
 
     #[test]

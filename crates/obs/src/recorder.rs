@@ -47,6 +47,8 @@ pub struct RoundObs {
     pub dropped_coin: u64,
     pub dropped_crash: u64,
     pub dropped_partition: u64,
+    pub dropped_link: u64,
+    pub dropped_suppression: u64,
     pub retransmissions: u64,
     /// New identifiers learned across all nodes this round; filled in
     /// at [`Recorder::finish`] from the driver's knowledge series
@@ -65,6 +67,9 @@ pub struct RunOutcomeObs {
     pub pointers: u64,
     pub trace_events: u64,
     pub trace_overflow: u64,
+    /// The last round at which total knowledge still grew, when the
+    /// driver's watchdog tracked it (surfaced for stalled runs).
+    pub last_progress: Option<u64>,
 }
 
 /// Aggregate timing of one phase across the whole run.
@@ -271,10 +276,14 @@ impl Recorder {
         let coin: u64 = self.rounds.iter().map(|r| r.dropped_coin).sum();
         let crash: u64 = self.rounds.iter().map(|r| r.dropped_crash).sum();
         let partition: u64 = self.rounds.iter().map(|r| r.dropped_partition).sum();
+        let link: u64 = self.rounds.iter().map(|r| r.dropped_link).sum();
+        let suppression: u64 = self.rounds.iter().map(|r| r.dropped_suppression).sum();
         let retrans: u64 = self.rounds.iter().map(|r| r.retransmissions).sum();
         reg.add_counter("dropped_coin_total", coin);
         reg.add_counter("dropped_crash_total", crash);
         reg.add_counter("dropped_partition_total", partition);
+        reg.add_counter("dropped_link_total", link);
+        reg.add_counter("dropped_suppression_total", suppression);
         reg.add_counter("retransmissions_total", retrans);
         reg.add_counter("trace_events_total", outcome.trace_events);
         reg.add_counter("trace_overflow_total", outcome.trace_overflow);
@@ -421,6 +430,8 @@ mod tests {
             dropped_coin: 1,
             dropped_crash: 0,
             dropped_partition: 0,
+            dropped_link: 0,
+            dropped_suppression: 0,
             retransmissions: 0,
             knowledge_delta: None,
         }
@@ -444,6 +455,7 @@ mod tests {
             pointers: 120,
             trace_events: 5,
             trace_overflow: 0,
+            last_progress: None,
         };
         let report = rec
             .finish(

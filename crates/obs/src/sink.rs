@@ -200,6 +200,8 @@ mod tests {
             dropped_coin: 0,
             dropped_crash: 0,
             dropped_partition: 0,
+            dropped_link: 0,
+            dropped_suppression: 0,
             retransmissions: 0,
             knowledge_delta: None,
         });
@@ -213,6 +215,7 @@ mod tests {
                 pointers: 30,
                 trace_events: 0,
                 trace_overflow: 0,
+                last_progress: None,
             },
             &[3, 1],
             &[2, 2],

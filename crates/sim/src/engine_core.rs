@@ -196,10 +196,15 @@ impl RouteFate {
 ///
 /// This is the *single* source of routing randomness for every engine
 /// (and for test oracles that recompute fates independently). A message
-/// to a crashed destination, or one blocked by an active partition, is
-/// dropped without consuming any randomness — so scheduling crashes,
-/// recoveries, or partitions never shifts the coins of any unaffected
-/// message. A message under a fault-free, synchronous policy is
+/// whose path is hard-`blocked` — crashed destination, active partition,
+/// or adversarial suppression, classified by [`FaultGuards::blocked`] —
+/// is dropped without consuming any randomness, so scheduling those
+/// faults never shifts the coins of any unaffected message. The coin
+/// itself drops with `drop_probability` and attributes to `coin_cause`
+/// ([`DropCause::Coin`] for the base plan coin, [`DropCause::Link`] when
+/// the per-link loss overlay supplied the probability); either way it is
+/// drawn from the same per-message stream, so enabling the overlay never
+/// re-keys a fate. A message under a fault-free, synchronous policy is
 /// delivered without even constructing a generator — the common case
 /// stays coin-free.
 #[allow(clippy::too_many_arguments)]
@@ -208,16 +213,13 @@ pub fn route_fate(
     round: u64,
     src: usize,
     sequence: u64,
-    crashed_dst: bool,
-    partitioned: bool,
+    blocked: Option<DropCause>,
     drop_probability: f64,
+    coin_cause: DropCause,
     max_extra_delay: u64,
 ) -> RouteFate {
-    if crashed_dst {
-        return RouteFate::drop(DropCause::Crash);
-    }
-    if partitioned {
-        return RouteFate::drop(DropCause::Partition);
+    if let Some(cause) = blocked {
+        return RouteFate::drop(cause);
     }
     if drop_probability <= 0.0 && max_extra_delay == 0 {
         return RouteFate::DELIVER;
@@ -230,7 +232,7 @@ pub fn route_fate(
         0
     };
     RouteFate {
-        dropped: dropped.then_some(DropCause::Coin),
+        dropped: dropped.then_some(coin_cause),
         extra_delay,
     }
 }
@@ -239,9 +241,9 @@ pub fn route_fate(
 /// of [`route_fate`], drawing from the independent counter-based retry
 /// stream ([`rng::message_retry_rng`]) keyed by the message's original
 /// `(sender, round, send-sequence)` identity and the attempt number.
-/// Crash and partition checks use the state of the network at the
-/// attempt's own send round, so a retransmission outlives the fault that
-/// killed the original copy.
+/// Block checks use the state of the network at the attempt's own send
+/// round, so a retransmission outlives the fault that killed the
+/// original copy.
 #[allow(clippy::too_many_arguments)]
 pub fn retry_fate(
     seed: u64,
@@ -249,16 +251,13 @@ pub fn retry_fate(
     orig_round: u64,
     orig_seq: u64,
     attempt: u32,
-    crashed_dst: bool,
-    partitioned: bool,
+    blocked: Option<DropCause>,
     drop_probability: f64,
+    coin_cause: DropCause,
     max_extra_delay: u64,
 ) -> RouteFate {
-    if crashed_dst {
-        return RouteFate::drop(DropCause::Crash);
-    }
-    if partitioned {
-        return RouteFate::drop(DropCause::Partition);
+    if let Some(cause) = blocked {
+        return RouteFate::drop(cause);
     }
     if drop_probability <= 0.0 && max_extra_delay == 0 {
         return RouteFate::DELIVER;
@@ -271,8 +270,79 @@ pub fn retry_fate(
         0
     };
     RouteFate {
-        dropped: dropped.then_some(DropCause::Coin),
+        dropped: dropped.then_some(coin_cause),
         extra_delay,
+    }
+}
+
+/// The per-round hoisted fault classifier every routing path shares: one
+/// cheap boolean per fault family per message instead of repeated plan
+/// queries, and a single definition of block precedence
+/// (crash > partition > suppression) and coin selection (link-loss
+/// overlay over base coin), so no engine can drift on either.
+#[derive(Clone, Copy)]
+pub struct FaultGuards<'a> {
+    faults: &'a FaultPlan,
+    has_crashes: bool,
+    has_partitions: bool,
+    has_suppression: bool,
+    has_link_loss: bool,
+    base_p: f64,
+}
+
+impl<'a> FaultGuards<'a> {
+    /// Hoists the plan's guard booleans and base drop probability.
+    pub fn new(faults: &'a FaultPlan) -> Self {
+        FaultGuards {
+            faults,
+            has_crashes: faults.has_crashes(),
+            has_partitions: faults.has_partitions(),
+            has_suppression: faults.has_suppression(),
+            has_link_loss: faults.has_link_loss(),
+            base_p: faults.drop_probability(),
+        }
+    }
+
+    /// The coin-free block cause for a send from `src` to `dst` staged
+    /// in `send_round` and arriving at `arrival_round`, if any. Liveness
+    /// is checked at arrival (a long-latency message can outlive its
+    /// destination); partitions and suppression at the send round.
+    #[inline]
+    pub fn blocked(
+        &self,
+        src: usize,
+        dst: usize,
+        send_round: u64,
+        arrival_round: u64,
+    ) -> Option<DropCause> {
+        if self.has_crashes && self.faults.is_crashed_at(dst, arrival_round) {
+            return Some(DropCause::Crash);
+        }
+        if self.has_partitions && self.faults.partition_blocks(src, dst, send_round) {
+            return Some(DropCause::Partition);
+        }
+        if self.has_suppression && self.faults.suppression_blocks(src, dst, send_round) {
+            return Some(DropCause::Suppression);
+        }
+        None
+    }
+
+    /// The effective drop coin for the link `src -> dst`: the base
+    /// probability under [`DropCause::Coin`], or the link-loss overlay's
+    /// under [`DropCause::Link`] when the link is lossy and the overlay
+    /// bites harder.
+    #[inline]
+    pub fn coin(&self, src: usize, dst: usize) -> (f64, DropCause) {
+        if self.has_link_loss {
+            let spec = self.faults.link_loss().expect("guard implies overlay");
+            if spec.is_lossy(src, dst) {
+                let p = spec.loss_probability();
+                if p > self.base_p {
+                    return (p, DropCause::Link);
+                }
+            }
+        }
+        (self.base_p, DropCause::Coin)
     }
 }
 
@@ -383,9 +453,7 @@ pub fn route_shard<M: MessageCost>(
         buckets: Vec::new(),
         retries: Vec::new(),
     };
-    let drop_p = params.faults.drop_probability();
-    let has_crashes = params.faults.has_crashes();
-    let has_partitions = params.faults.has_partitions();
+    let guards = FaultGuards::new(params.faults);
     let round = params.round;
     let mut prev_src = usize::MAX;
     let mut seq = 0u64;
@@ -407,17 +475,16 @@ pub fn route_shard<M: MessageCost>(
         let pointers = env.payload.pointers();
         // Delivery happens at the start of the next round at the
         // earliest; a node dead by then never sees the message.
-        let crashed_dst = has_crashes && params.faults.is_crashed_at(dst, round + 1);
-        let partitioned =
-            !crashed_dst && has_partitions && params.faults.partition_blocks(src, dst, round);
+        let blocked = guards.blocked(src, dst, round, round + 1);
+        let (drop_p, coin_cause) = guards.coin(src, dst);
         let fate = route_fate(
             params.seed,
             round,
             src,
             sequence,
-            crashed_dst,
-            partitioned,
+            blocked,
             drop_p,
+            coin_cause,
             params.max_extra_delay,
         );
         if let Some(capacity) = params.trace_capacity {
@@ -592,6 +659,23 @@ impl<M: MessageCost> EngineCore<M> {
                         ));
                     }
                     None => schedule.push((report, id, DetectorAction::Suspect)),
+                }
+            }
+            // Churn naps are crash/recovery windows like any other: a
+            // nap the detector would report before it ends gets a
+            // suspect/retract pair; a nap shorter than the detector's
+            // latency goes unnoticed.
+            if let Some(churn) = faults.churn() {
+                for node in 0..self.inboxes.len() {
+                    let id = NodeId::new(node as u32);
+                    for (down, up) in churn.naps(node) {
+                        let report = down.saturating_add(delay);
+                        if up <= report {
+                            continue;
+                        }
+                        schedule.push((report, id, DetectorAction::Suspect));
+                        schedule.push((up.saturating_add(delay), id, DetectorAction::Retract));
+                    }
                 }
             }
             schedule.sort_unstable();
@@ -843,11 +927,8 @@ impl<M: MessageCost> EngineCore<M> {
 
         let seed = self.seed;
         let max_extra = self.max_extra_delay;
-        let drop_p = self.faults.drop_probability();
-        let has_crashes = self.faults.has_crashes();
-        let has_partitions = self.faults.has_partitions();
         let reliable = self.reliable;
-        let faults = &self.faults;
+        let guards = FaultGuards::new(&self.faults);
         let trace = &mut self.trace;
         let causal = &mut self.causal;
         let delayed = &mut self.delayed;
@@ -875,18 +956,10 @@ impl<M: MessageCost> EngineCore<M> {
             let pointers = env.payload.pointers();
             // Delivery happens at the start of the next round at the
             // earliest; a node dead by then never sees the message.
-            let crashed_dst = has_crashes && faults.is_crashed_at(dst, round + 1);
-            let partitioned =
-                !crashed_dst && has_partitions && faults.partition_blocks(src, dst, round);
+            let blocked = guards.blocked(src, dst, round, round + 1);
+            let (drop_p, coin_cause) = guards.coin(src, dst);
             let fate = route_fate(
-                seed,
-                round,
-                src,
-                sequence,
-                crashed_dst,
-                partitioned,
-                drop_p,
-                max_extra,
+                seed, round, src, sequence, blocked, drop_p, coin_cause, max_extra,
             );
             if let Some(trace) = trace.as_mut() {
                 trace.record(TraceEvent {
@@ -985,11 +1058,8 @@ impl<M: MessageCost> EngineCore<M> {
         let round = self.round;
         let n = self.inboxes.len();
         let seed = self.seed;
-        let drop_p = self.faults.drop_probability();
-        let has_crashes = self.faults.has_crashes();
-        let has_partitions = self.faults.has_partitions();
         let reliable = self.reliable;
-        let faults = &self.faults;
+        let guards = FaultGuards::new(&self.faults);
         let trace = &mut self.trace;
         let causal = &mut self.causal;
         let delayed = &mut self.delayed;
@@ -1018,19 +1088,9 @@ impl<M: MessageCost> EngineCore<M> {
             let lat = latency(src, dst, sequence);
             assert!(lat >= 1, "a delivery latency of 0 beats causality");
             // A node dead at the message's arrival tick never sees it.
-            let crashed_dst = has_crashes && faults.is_crashed_at(dst, round + lat);
-            let partitioned =
-                !crashed_dst && has_partitions && faults.partition_blocks(src, dst, round);
-            let fate = route_fate(
-                seed,
-                round,
-                src,
-                sequence,
-                crashed_dst,
-                partitioned,
-                drop_p,
-                0,
-            );
+            let blocked = guards.blocked(src, dst, round, round + lat);
+            let (drop_p, coin_cause) = guards.coin(src, dst);
+            let fate = route_fate(seed, round, src, sequence, blocked, drop_p, coin_cause, 0);
             if let Some(trace) = trace.as_mut() {
                 trace.record(TraceEvent {
                     round,
@@ -1189,10 +1249,7 @@ impl<M: MessageCost> EngineCore<M> {
         let round = self.round;
         let seed = self.seed;
         let max_extra = self.max_extra_delay;
-        let drop_p = self.faults.drop_probability();
-        let has_crashes = self.faults.has_crashes();
-        let has_partitions = self.faults.has_partitions();
-        let faults = &self.faults;
+        let guards = FaultGuards::new(&self.faults);
         let inboxes = &mut self.inboxes;
         let delayed = &mut self.delayed;
         let pool = &mut self.pool;
@@ -1204,18 +1261,17 @@ impl<M: MessageCost> EngineCore<M> {
                 let src = retry.env.src.index();
                 let dst = retry.env.dst.index();
                 let attempt = retry.attempts + 1;
-                let crashed_dst = has_crashes && faults.is_crashed_at(dst, round + 1);
-                let partitioned =
-                    !crashed_dst && has_partitions && faults.partition_blocks(src, dst, round);
+                let blocked = guards.blocked(src, dst, round, round + 1);
+                let (drop_p, coin_cause) = guards.coin(src, dst);
                 let fate = retry_fate(
                     seed,
                     src,
                     retry.orig_round,
                     retry.orig_seq,
                     attempt,
-                    crashed_dst,
-                    partitioned,
+                    blocked,
                     drop_p,
+                    coin_cause,
                     max_extra,
                 );
                 let pointers = retry.env.payload.pointers() as u64;
@@ -1288,10 +1344,7 @@ impl<M: MessageCost> EngineCore<M> {
         let policy = self.reliable.expect("reliable delivery enabled");
         let round = self.round;
         let seed = self.seed;
-        let drop_p = self.faults.drop_probability();
-        let has_crashes = self.faults.has_crashes();
-        let has_partitions = self.faults.has_partitions();
-        let faults = &self.faults;
+        let guards = FaultGuards::new(&self.faults);
         let inboxes = &mut self.inboxes;
         let delayed = &mut self.delayed;
         let pool = &mut self.pool;
@@ -1305,18 +1358,17 @@ impl<M: MessageCost> EngineCore<M> {
                 let attempt = retry.attempts + 1;
                 let lat = latency(src, dst, retry.orig_round, retry.orig_seq, attempt);
                 assert!(lat >= 1, "a delivery latency of 0 beats causality");
-                let crashed_dst = has_crashes && faults.is_crashed_at(dst, round + lat);
-                let partitioned =
-                    !crashed_dst && has_partitions && faults.partition_blocks(src, dst, round);
+                let blocked = guards.blocked(src, dst, round, round + lat);
+                let (drop_p, coin_cause) = guards.coin(src, dst);
                 let fate = retry_fate(
                     seed,
                     src,
                     retry.orig_round,
                     retry.orig_seq,
                     attempt,
-                    crashed_dst,
-                    partitioned,
+                    blocked,
                     drop_p,
+                    coin_cause,
                     0,
                 );
                 let pointers = retry.env.payload.pointers() as u64;
@@ -1492,28 +1544,37 @@ mod tests {
 
     #[test]
     fn route_fate_is_a_pure_function_of_its_inputs() {
-        let fate = |seq| route_fate(9, 3, 1, seq, false, false, 0.5, 4);
+        let fate = |seq| route_fate(9, 3, 1, seq, None, 0.5, DropCause::Coin, 4);
         assert_eq!(fate(0), fate(0));
         assert_eq!(fate(7), fate(7));
         // A fault-free synchronous policy never drops or delays.
         assert_eq!(
-            route_fate(9, 3, 1, 0, false, false, 0.0, 0),
+            route_fate(9, 3, 1, 0, None, 0.0, DropCause::Coin, 0),
             RouteFate::DELIVER
         );
-        // A crashed destination always drops, without consuming coins.
-        assert_eq!(
-            route_fate(9, 3, 1, 0, true, false, 0.0, 0),
-            RouteFate::drop(DropCause::Crash)
-        );
-        // So does a partition, and a crashed destination wins the tie.
-        assert_eq!(
-            route_fate(9, 3, 1, 0, false, true, 0.0, 0),
-            RouteFate::drop(DropCause::Partition)
-        );
-        assert_eq!(
-            route_fate(9, 3, 1, 0, true, true, 0.0, 0),
-            RouteFate::drop(DropCause::Crash)
-        );
+        // A blocked path always drops with its cause, without consuming
+        // coins.
+        for cause in [
+            DropCause::Crash,
+            DropCause::Partition,
+            DropCause::Suppression,
+        ] {
+            assert_eq!(
+                route_fate(9, 3, 1, 0, Some(cause), 0.0, DropCause::Coin, 0),
+                RouteFate::drop(cause)
+            );
+        }
+        // The coin attributes to the caller-selected cause (the link
+        // overlay substitutes `Link`) without changing the coin itself.
+        for seq in 0..128 {
+            let base = route_fate(9, 3, 1, seq, None, 0.5, DropCause::Coin, 4);
+            let link = route_fate(9, 3, 1, seq, None, 0.5, DropCause::Link, 4);
+            assert_eq!(base.is_dropped(), link.is_dropped(), "same coin, seq {seq}");
+            assert_eq!(base.extra_delay, link.extra_delay);
+            if link.is_dropped() {
+                assert_eq!(link.dropped, Some(DropCause::Link));
+            }
+        }
         // Fates vary across the sequence axis (statistically: across
         // 128 sequence numbers at p = 0.5, both outcomes must occur).
         let drops = (0..128).filter(|&s| fate(s).is_dropped()).count();
@@ -1522,24 +1583,73 @@ mod tests {
 
     #[test]
     fn retry_fate_is_pure_and_independent_of_the_route_stream() {
-        let fate = |attempt| retry_fate(9, 1, 3, 0, attempt, false, false, 0.5, 0);
+        let fate = |attempt| retry_fate(9, 1, 3, 0, attempt, None, 0.5, DropCause::Coin, 0);
         assert_eq!(fate(1), fate(1));
         // Attempts draw independent coins (statistically: across 128
         // attempts at p = 0.5, both outcomes must occur).
         let drops = (1..=128).filter(|&a| fate(a).is_dropped()).count();
         assert!(drops > 0 && drops < 128, "attempt axis ignored: {drops}");
         assert_eq!(
-            retry_fate(9, 1, 3, 0, 1, true, false, 0.0, 0),
+            retry_fate(
+                9,
+                1,
+                3,
+                0,
+                1,
+                Some(DropCause::Crash),
+                0.0,
+                DropCause::Coin,
+                0
+            ),
             RouteFate::drop(DropCause::Crash)
         );
         assert_eq!(
-            retry_fate(9, 1, 3, 0, 1, false, true, 0.0, 0),
+            retry_fate(
+                9,
+                1,
+                3,
+                0,
+                1,
+                Some(DropCause::Partition),
+                0.0,
+                DropCause::Coin,
+                0
+            ),
             RouteFate::drop(DropCause::Partition)
         );
         assert_eq!(
-            retry_fate(9, 1, 3, 0, 1, false, false, 0.0, 0),
+            retry_fate(9, 1, 3, 0, 1, None, 0.0, DropCause::Coin, 0),
             RouteFate::DELIVER
         );
+    }
+
+    #[test]
+    fn fault_guards_classify_blocks_and_coins() {
+        let plan = FaultPlan::new()
+            .with_drop_probability(0.1)
+            .with_crash_at(3, 5)
+            .with_partition([vec![0, 1], vec![2, 3]], 0, 10)
+            .with_suppression(crate::faults::SuppressionSpec::new(
+                7,
+                [(0, 1)],
+                0,
+                10,
+                1_000_000,
+            ))
+            .with_link_loss(crate::faults::LinkLossSpec::new(7, 1_000_000, 400_000));
+        let guards = FaultGuards::new(&plan);
+        // Precedence: crash beats partition beats suppression.
+        assert_eq!(guards.blocked(0, 3, 6, 7), Some(DropCause::Crash));
+        assert_eq!(guards.blocked(0, 3, 2, 3), Some(DropCause::Partition));
+        assert_eq!(guards.blocked(0, 1, 2, 3), Some(DropCause::Suppression));
+        assert_eq!(guards.blocked(0, 1, 12, 13), None, "windows expired");
+        // Every link is lossy at 40% > base 10%: the overlay's coin wins.
+        assert_eq!(guards.coin(0, 1), (0.4, DropCause::Link));
+        // A weaker overlay defers to the base coin.
+        let weak = FaultPlan::new()
+            .with_drop_probability(0.5)
+            .with_link_loss(crate::faults::LinkLossSpec::new(7, 1_000_000, 400_000));
+        assert_eq!(FaultGuards::new(&weak).coin(0, 1), (0.5, DropCause::Coin));
     }
 
     #[test]

@@ -75,9 +75,10 @@ pub mod trace;
 
 pub use engine::{Engine, RoundEngine, RunOutcome};
 pub use engine_core::{
-    retry_fate, route_fate, step_node, take_capped, EngineCore, RetryPolicy, RouteFate, StepState,
+    retry_fate, route_fate, step_node, take_capped, EngineCore, FaultGuards, RetryPolicy,
+    RouteFate, StepState,
 };
-pub use faults::{DropCause, FaultPlan};
+pub use faults::{ChurnSpec, DropCause, FaultPlan, LinkLossSpec, SuppressionSpec};
 pub use id::NodeId;
 pub use message::{Envelope, MessageCost, PointerList};
 pub use metrics::{round_obs, DropTally, NodeLane, RoundMetrics, RunMetrics};

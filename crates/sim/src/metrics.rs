@@ -17,12 +17,16 @@ pub struct DropTally {
     pub crash: u64,
     /// Messages blocked by an active partition.
     pub partition: u64,
+    /// Losses on lossy links (the per-link loss overlay's coin).
+    pub link: u64,
+    /// Sends suppressed by an adversarial campaign.
+    pub suppression: u64,
 }
 
 impl DropTally {
     /// Total messages dropped, across every cause.
     pub fn total(&self) -> u64 {
-        self.coin + self.crash + self.partition
+        self.coin + self.crash + self.partition + self.link + self.suppression
     }
 
     /// Charges one drop to its cause.
@@ -31,6 +35,8 @@ impl DropTally {
             DropCause::Coin => self.coin += 1,
             DropCause::Crash => self.crash += 1,
             DropCause::Partition => self.partition += 1,
+            DropCause::Link => self.link += 1,
+            DropCause::Suppression => self.suppression += 1,
         }
     }
 
@@ -39,6 +45,8 @@ impl DropTally {
         self.coin += other.coin;
         self.crash += other.crash;
         self.partition += other.partition;
+        self.link += other.link;
+        self.suppression += other.suppression;
     }
 }
 
@@ -259,6 +267,8 @@ pub fn round_obs(round: u64, row: &RoundMetrics) -> rd_obs::RoundObs {
         dropped_coin: row.drops.coin,
         dropped_crash: row.drops.crash,
         dropped_partition: row.drops.partition,
+        dropped_link: row.drops.link,
+        dropped_suppression: row.drops.suppression,
         retransmissions: row.retransmissions,
         knowledge_delta: None,
     }

@@ -125,6 +125,7 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
             pointers: m.total_pointers(),
             trace_events: 0,
             trace_overflow: 0,
+            last_progress: None,
         };
         match recorder.finish(
             outcome_obs,
@@ -162,8 +163,10 @@ fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
     let n = 1usize << log2_n;
     let seed = 42;
     // 5% of the machines crash in a wave over rounds 5..13; the even
-    // casualties recover ten rounds after going down. Node 0 is spared
-    // so the count below stays exact.
+    // casualties recover fourteen rounds after going down — past the
+    // partition heal at 18, since a recovery inside a partition window
+    // that names the node is rejected by `FaultPlan::validate`. Node 0
+    // is spared so the count below stays exact.
     let mut faults = FaultPlan::new()
         .with_drop_probability(0.01)
         .with_crash_detection_after(5);
@@ -175,7 +178,7 @@ fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
         faults = faults.with_crash_at(node, crash);
         crashed += 1;
         if i % 2 == 0 {
-            faults = faults.with_recovery_at(node, crash + 10);
+            faults = faults.with_recovery_at(node, crash + 14);
             recovering += 1;
         }
     }
@@ -234,47 +237,29 @@ fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
     println!("  retractions       {}", report.detector_retractions);
     println!("  sound             {}", report.sound);
 
+    // The fresh-side half of the `rd-inspect bench-diff` gate: the same
+    // `{bench, configs}` schema `scenario_runner --bench` emits and the
+    // committed `BENCH_faults.json` baseline is written in. The engine
+    // key embeds the worker count, so the row only joins against a
+    // baseline measured at the same parallelism.
+    let wall = elapsed.as_secs_f64();
     let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"hm-under-churn\",\n");
-    json.push_str(&format!("  \"n\": {n},\n"));
-    json.push_str(&format!("  \"workers\": {workers},\n"));
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str("  \"faults\": {\n");
-    json.push_str("    \"drop_probability\": 0.01,\n");
-    json.push_str(&format!("    \"crashes\": {crashed},\n"));
-    json.push_str(&format!("    \"recoveries\": {recovering},\n"));
-    json.push_str("    \"partition_rounds\": [12, 18],\n");
-    json.push_str("    \"detection_delay\": 5\n");
-    json.push_str("  },\n");
-    json.push_str(&format!("  \"verdict\": \"{}\",\n", report.verdict.name()));
-    json.push_str(&format!("  \"completed\": {},\n", report.completed));
-    json.push_str(&format!("  \"sound\": {},\n", report.sound));
-    json.push_str(&format!("  \"rounds\": {},\n", report.rounds));
-    json.push_str(&format!("  \"messages\": {},\n", report.messages));
-    json.push_str(&format!("  \"dropped_coin\": {},\n", report.drops.coin));
-    json.push_str(&format!("  \"dropped_crash\": {},\n", report.drops.crash));
+    json.push_str("{\n  \"bench\": \"fault-scenarios\",\n  \"configs\": [\n");
     json.push_str(&format!(
-        "  \"dropped_partition\": {},\n",
-        report.drops.partition
+        "    {{\"n\": {n}, \"engine\": \"churn-demo:sharded:{workers}\", \"obs\": {}, \"trace\": false, \
+         \"rounds\": {}, \"messages\": {}, \"verdict\": \"{}\", \"retransmission_overhead\": {overhead:.6}, \
+         \"best_seconds\": {:.6}, \"rounds_per_sec\": {:.2}}}\n",
+        obs_path.is_some(),
+        report.rounds,
+        report.messages,
+        report.verdict.name(),
+        wall,
+        report.rounds as f64 / wall.max(1e-9),
     ));
-    json.push_str(&format!(
-        "  \"retransmissions\": {},\n",
-        report.retransmissions
-    ));
-    json.push_str(&format!("  \"retransmission_overhead\": {overhead:.6},\n"));
-    json.push_str(&format!(
-        "  \"detector_retractions\": {},\n",
-        report.detector_retractions
-    ));
-    json.push_str(&format!(
-        "  \"wall_clock_seconds\": {:.3}\n",
-        elapsed.as_secs_f64()
-    ));
-    json.push_str("}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_faults.json");
-    std::fs::write(path, &json).expect("write BENCH_faults.json");
-    println!("\nwrote {path}");
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_faults.fresh.json");
+    std::fs::write(path, &json).expect("write BENCH_faults.fresh.json");
+    println!("\nwrote {path} (diff against BENCH_faults.json with rd-inspect bench-diff)");
 }
 
 fn main() {

@@ -47,6 +47,7 @@ pub use rd_exec as exec;
 pub use rd_graphs as graphs;
 pub use rd_obs as obs;
 pub use rd_registry as registry;
+pub use rd_scenarios as scenarios;
 pub use rd_sim as sim;
 
 pub use rd_core::runner::run;
@@ -64,5 +65,8 @@ pub mod prelude {
     pub use rd_exec::ShardedEngine;
     pub use rd_graphs::{connectivity, metrics, DiGraph, Topology};
     pub use rd_obs::{ChromeTraceSink, JsonlArchiveSink, PrometheusSink, Recorder, RunMeta};
-    pub use rd_sim::{DropCause, DropTally, Engine, FaultPlan, NodeId, RetryPolicy, RoundEngine};
+    pub use rd_sim::{
+        ChurnSpec, DropCause, DropTally, Engine, FaultPlan, LinkLossSpec, NodeId, RetryPolicy,
+        RoundEngine, SuppressionSpec,
+    };
 }

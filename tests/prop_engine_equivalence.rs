@@ -115,7 +115,7 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
         any::<u64>(),
         (0u32..3, 0usize..3, 0u64..16, 0u64..2),
         (0usize..3, 0u64..3, 2usize..9),
-        (0u32..2, 0u32..2, 0u32..2),
+        (0u32..2, 0u32..2, 0u32..2, 0u32..2, 0u32..2, 0u32..2),
     )
         .prop_map(
             |(
@@ -124,7 +124,7 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
                 seed,
                 (drop_decipct, crashes, crash_at, detect),
                 (cap, delay, workers),
-                (recover, partition, reliable),
+                (recover, partition, reliable, churn, link_loss, suppression),
             )| {
                 let mut faults = FaultPlan::new().with_drop_probability(drop_decipct as f64 / 10.0);
                 for c in 0..crashes {
@@ -150,6 +150,31 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
                 }
                 if detect == 1 && crashes > 0 {
                     faults = faults.with_crash_detection_after(3);
+                }
+                if churn == 1 {
+                    // A short transient-nap regime early in the run:
+                    // heavy enough to exercise the liveness gates on
+                    // every engine, bounded so runs still converge.
+                    faults = faults.with_churn(ChurnSpec::new(seed ^ 0x6368, 1, 11, 4, 2, 350_000));
+                }
+                if link_loss == 1 {
+                    faults =
+                        faults.with_link_loss(LinkLossSpec::new(seed ^ 0x6c6e, 250_000, 400_000));
+                }
+                if suppression == 1 {
+                    // A handful of directed edges spread over the
+                    // population, fully blocked for a short window.
+                    let edges: Vec<(usize, usize)> = (0..3usize)
+                        .map(|i| ((i * 2) % n, (i * 2 + 3) % n))
+                        .filter(|(a, b)| a != b)
+                        .collect();
+                    faults = faults.with_suppression(SuppressionSpec::new(
+                        seed ^ 0x7370,
+                        edges,
+                        1,
+                        9,
+                        1_000_000,
+                    ));
                 }
                 Instance {
                     topo,
@@ -528,6 +553,101 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Churn naps are pure in `(seed, node, round)`: two identically
+    /// parameterized specs agree on every query, the enumerated nap
+    /// windows match the per-round predicate exactly, and nodes are
+    /// always up outside the regime. This is the property that lets the
+    /// engines evaluate churn lazily, in any order, on any worker.
+    #[test]
+    fn churn_coins_are_pure_functions(
+        seed in any::<u64>(),
+        start in 0u64..20,
+        span in 1u64..60,
+        cycle in 1u64..9,
+        down_off in 0u64..8,
+        rate in 0u32..=1_000_000,
+    ) {
+        let down = 1 + down_off % cycle;
+        let spec = ChurnSpec::new(seed, start, start + span, cycle, down, rate);
+        let again = ChurnSpec::new(seed, start, start + span, cycle, down, rate);
+        for node in 0..16usize {
+            let naps = spec.naps(node);
+            for round in 0..start + span + 5 {
+                let down_now = spec.is_down(node, round);
+                prop_assert_eq!(down_now, again.is_down(node, round));
+                let in_nap = naps.iter().any(|&(d, u)| round >= d && round < u);
+                prop_assert_eq!(
+                    down_now, in_nap,
+                    "naps() disagrees with is_down at node {}, round {}", node, round
+                );
+                if round < start || round >= start + span {
+                    prop_assert!(!down_now, "node down outside the regime");
+                }
+            }
+        }
+    }
+
+    /// Suppression coins are pure in `(seed, src, dst, round)` and
+    /// strictly scoped: only listed *directed* edges inside the window
+    /// are ever blocked, identically on re-evaluation, and a
+    /// `drop_ppm` of one million blocks every listed edge on every
+    /// window round.
+    #[test]
+    fn suppression_coins_are_pure_functions(
+        seed in any::<u64>(),
+        start in 0u64..10,
+        span in 1u64..20,
+        drop_ppm in 1u32..=1_000_000,
+    ) {
+        let edges = vec![(0usize, 3usize), (5, 1), (2, 4)];
+        let spec = SuppressionSpec::new(seed, edges.clone(), start, start + span, drop_ppm);
+        let again = SuppressionSpec::new(seed, edges.clone(), start, start + span, drop_ppm);
+        for round in 0..start + span + 3 {
+            for src in 0..6usize {
+                for dst in 0..6usize {
+                    let blocked = spec.blocks(src, dst, round);
+                    prop_assert_eq!(blocked, again.blocks(src, dst, round));
+                    if blocked {
+                        prop_assert!(edges.contains(&(src, dst)), "unlisted edge blocked");
+                        prop_assert!((start..start + span).contains(&round), "blocked outside window");
+                    }
+                }
+            }
+        }
+        let total = SuppressionSpec::new(seed, edges.clone(), start, start + span, 1_000_000);
+        for &(s, d) in &edges {
+            for round in start..start + span {
+                prop_assert!(total.blocks(s, d, round));
+            }
+        }
+    }
+
+    /// Lossy-link membership is pure in `(seed, src, dst)` and keyed by
+    /// the *ordered* pair, so the overlay can model asymmetric links.
+    #[test]
+    fn link_loss_membership_is_pure(
+        seed in any::<u64>(),
+        fraction in 1u32..=1_000_000,
+        loss in 1u32..1_000_000,
+    ) {
+        let spec = LinkLossSpec::new(seed, fraction, loss);
+        let again = LinkLossSpec::new(seed, fraction, loss);
+        let mut lossy = 0usize;
+        for src in 0..12usize {
+            for dst in 0..12usize {
+                prop_assert_eq!(spec.is_lossy(src, dst), again.is_lossy(src, dst));
+                lossy += spec.is_lossy(src, dst) as usize;
+            }
+        }
+        if fraction == 1_000_000 {
+            prop_assert_eq!(lossy, 144, "full fraction must cover every ordered pair");
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Delivery-policy oracle: with a receive cap and delay jitter
@@ -579,7 +699,7 @@ proptest! {
             for src in 0..n {
                 for k in 0..FAN_OUT {
                     let dst = (src + 1 + ((round + k) as usize % (n - 1))) % n;
-                    let fate = route_fate(seed, round, src, k, false, false, drop_p, delay);
+                    let fate = route_fate(seed, round, src, k, None, drop_p, DropCause::Coin, delay);
                     if !fate.is_dropped() {
                         expected[dst].push((round + 1 + fate.extra_delay, chatter_tag(src, round, k)));
                     }
