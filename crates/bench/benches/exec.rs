@@ -18,10 +18,12 @@
 //! single-core host the sharded engine can at best tie). The summary
 //! also re-times the sequential and 4-worker configurations with a
 //! sink-less `rd-obs` recorder attached (`"obs": true` rows with an
-//! `obs_overhead_pct` field), and again with a sampling causal trace on
-//! top (`"trace": true` rows with a `trace_overhead_pct` field): the
-//! combined in-run telemetry overhead budget is < 5% at n = 2^16 on the
-//! sequential engine. Three `micro:*` rows time the knowledge-merge
+//! `obs_overhead_pct` field), again with a sampling causal trace on
+//! top (`"trace": true` rows with a `trace_overhead_pct` field), and
+//! again with cost-attribution profiling on (`"prof": true` rows with
+//! a `prof_overhead_pct` field): the combined in-run telemetry
+//! overhead budget is < 5% at n = 2^16 on the sequential engine, and
+//! profiling must stay inside the same budget. Three `micro:*` rows time the knowledge-merge
 //! kernels directly (dense ∪ dense and dense ∪ sparse `union_from`,
 //! and delta extraction + payload build) so the hot-path primitives are
 //! ratcheted independently of the end-to-end workload; for those rows
@@ -86,17 +88,33 @@ const TRACE_PPM: u32 = 1_000;
 
 /// One run of `rounds` rounds on the chosen engine; `workers == 0`
 /// means the sequential `rd-sim` engine, `obs` attaches a sink-less
-/// [`Recorder`], and `trace` additionally attaches a sampling
-/// [`CausalTrace`]. The node population is cloned from a prebuilt
+/// [`Recorder`], `trace` additionally attaches a sampling
+/// [`CausalTrace`], and `prof` enables cost-attribution profiling on
+/// the recorder. The node population is cloned from a prebuilt
 /// prototype so instance construction (graph generation and initial
 /// knowledge) stays outside every timed region. Returns total messages
 /// (a checksum that also keeps the work observable) and the wall-clock
 /// of the stepping loop alone.
-fn run_rounds(proto: &[Gossip], rounds: u64, workers: usize, obs: bool, trace: bool) -> (u64, f64) {
+fn run_rounds(
+    proto: &[Gossip],
+    rounds: u64,
+    workers: usize,
+    obs: bool,
+    trace: bool,
+    prof: bool,
+) -> (u64, f64) {
+    let recorder = |n: usize| {
+        let rec = bare_recorder(n, workers);
+        if prof {
+            rec.with_profiling()
+        } else {
+            rec
+        }
+    };
     if workers == 0 {
         let mut engine = Engine::new(proto.to_vec(), SEED);
         if obs {
-            engine = engine.with_obs(bare_recorder(proto.len(), workers));
+            engine = engine.with_obs(recorder(proto.len()));
         }
         if trace {
             engine = engine.with_causal_trace(CausalTrace::new(TRACE_CAPACITY, TRACE_PPM));
@@ -110,7 +128,7 @@ fn run_rounds(proto: &[Gossip], rounds: u64, workers: usize, obs: bool, trace: b
     } else {
         let mut engine = ShardedEngine::new(proto.to_vec(), SEED, workers);
         if obs {
-            engine = engine.with_obs(bare_recorder(proto.len(), workers));
+            engine = engine.with_obs(recorder(proto.len()));
         }
         if trace {
             engine = engine.with_causal_trace(CausalTrace::new(TRACE_CAPACITY, TRACE_PPM));
@@ -229,7 +247,7 @@ fn bench_engines(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(engine_label(workers), format!("2^{log2_n}")),
                 &proto,
-                |b, proto| b.iter(|| run_rounds(proto, rounds, workers, false, false)),
+                |b, proto| b.iter(|| run_rounds(proto, rounds, workers, false, false, false)),
             );
         }
     }
@@ -242,6 +260,7 @@ struct Measurement {
     workers: usize,
     obs: bool,
     trace: bool,
+    prof: bool,
     best_seconds: f64,
 }
 
@@ -259,21 +278,23 @@ fn write_json_summary(reps: usize, path: &str) {
         let proto = make_nodes(n, SEED);
         let configs = std::iter::once(0)
             .chain(WORKER_COUNTS)
-            .map(|w| (w, false, false))
-            .chain([(0, true, false), (4, true, false)])
-            .chain([(0, true, true), (4, true, true)]);
-        for (workers, obs, trace) in configs {
+            .map(|w| (w, false, false, false))
+            .chain([(0, true, false, false), (4, true, false, false)])
+            .chain([(0, true, true, false), (4, true, true, false)])
+            .chain([(0, true, false, true), (4, true, false, true)]);
+        for (workers, obs, trace, prof) in configs {
             let mut best = f64::INFINITY;
             for _ in 0..reps {
-                let (msgs, secs) = run_rounds(&proto, rounds, workers, obs, trace);
+                let (msgs, secs) = run_rounds(&proto, rounds, workers, obs, trace, prof);
                 std::hint::black_box(msgs);
                 best = best.min(secs);
             }
             eprintln!(
-                "[exec-bench] n=2^{log2_n} {:<12} obs={} trace={} best {:.3}s for {rounds} rounds",
+                "[exec-bench] n=2^{log2_n} {:<12} obs={} trace={} prof={} best {:.3}s for {rounds} rounds",
                 engine_label(workers),
                 if obs { "on " } else { "off" },
                 if trace { "on " } else { "off" },
+                if prof { "on " } else { "off" },
                 best
             );
             measurements.push(Measurement {
@@ -282,6 +303,7 @@ fn write_json_summary(reps: usize, path: &str) {
                 workers,
                 obs,
                 trace,
+                prof,
                 best_seconds: best,
             });
         }
@@ -326,14 +348,16 @@ fn write_json_summary(reps: usize, path: &str) {
         let n = 1usize << m.log2_n;
         let sequential = measurements
             .iter()
-            .find(|s| s.log2_n == m.log2_n && s.workers == 0 && !s.obs && !s.trace)
+            .find(|s| s.log2_n == m.log2_n && s.workers == 0 && !s.obs && !s.trace && !s.prof)
             .expect("sequential baseline present");
         // Obs rows additionally report overhead vs their own obs-off
-        // twin (same engine, same workers); trace rows report overhead
-        // vs their trace-off obs twin on top.
+        // twin (same engine, same workers); trace and prof rows report
+        // overhead vs their plain-obs twin on top.
         let twin = measurements
             .iter()
-            .find(|s| s.log2_n == m.log2_n && s.workers == m.workers && !s.obs && !s.trace)
+            .find(|s| {
+                s.log2_n == m.log2_n && s.workers == m.workers && !s.obs && !s.trace && !s.prof
+            })
             .expect("obs-off twin present");
         let rounds_per_sec = m.rounds as f64 / m.best_seconds;
         // On a single-core host "speedup" can only measure sharding
@@ -353,24 +377,30 @@ fn write_json_summary(reps: usize, path: &str) {
                 (m.best_seconds / twin.best_seconds - 1.0) * 100.0
             ));
         }
-        if m.trace {
+        if m.trace || m.prof {
             let obs_twin = measurements
                 .iter()
-                .find(|s| s.log2_n == m.log2_n && s.workers == m.workers && s.obs && !s.trace)
-                .expect("trace-off obs twin present");
-            overheads.push_str(&format!(
-                ", \"trace_overhead_pct\": {:.2}",
-                (m.best_seconds / obs_twin.best_seconds - 1.0) * 100.0
-            ));
+                .find(|s| {
+                    s.log2_n == m.log2_n && s.workers == m.workers && s.obs && !s.trace && !s.prof
+                })
+                .expect("plain-obs twin present");
+            let overhead = (m.best_seconds / obs_twin.best_seconds - 1.0) * 100.0;
+            if m.trace {
+                overheads.push_str(&format!(", \"trace_overhead_pct\": {overhead:.2}"));
+            }
+            if m.prof {
+                overheads.push_str(&format!(", \"prof_overhead_pct\": {overhead:.2}"));
+            }
         }
         json.push_str(&format!(
-            "    {{\"n\": {n}, \"log2_n\": {}, \"rounds\": {}, \"engine\": \"{}\", \"workers\": {}, \"obs\": {}, \"trace\": {}, \"best_seconds\": {:.4}, \"rounds_per_sec\": {:.2}{}{}}}{}\n",
+            "    {{\"n\": {n}, \"log2_n\": {}, \"rounds\": {}, \"engine\": \"{}\", \"workers\": {}, \"obs\": {}, \"trace\": {}, \"prof\": {}, \"best_seconds\": {:.4}, \"rounds_per_sec\": {:.2}{}{}}}{}\n",
             m.log2_n,
             m.rounds,
             engine_label(m.workers),
             m.workers,
             m.obs,
             m.trace,
+            m.prof,
             m.best_seconds,
             rounds_per_sec,
             speedup.as_deref().unwrap_or(""),
@@ -384,7 +414,7 @@ fn write_json_summary(reps: usize, path: &str) {
     }
     for (j, (label, n, best, per_sec)) in micros.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"n\": {n}, \"engine\": \"{label}\", \"workers\": 0, \"obs\": false, \"trace\": false, \"iters\": {MICRO_ITERS}, \"best_seconds\": {best:.6}, \"rounds_per_sec\": {per_sec:.0}}}{}\n",
+            "    {{\"n\": {n}, \"engine\": \"{label}\", \"workers\": 0, \"obs\": false, \"trace\": false, \"prof\": false, \"iters\": {MICRO_ITERS}, \"best_seconds\": {best:.6}, \"rounds_per_sec\": {per_sec:.0}}}{}\n",
             if j + 1 == micros.len() { "" } else { "," }
         ));
     }
@@ -398,15 +428,15 @@ fn write_json_summary(reps: usize, path: &str) {
 /// and attaching a recorder or a causal trace changes neither.
 fn smoke() {
     let proto = make_nodes(256, SEED);
-    let (seq, _) = run_rounds(&proto, 3, 0, false, false);
-    let (par, _) = run_rounds(&proto, 3, 4, false, false);
+    let (seq, _) = run_rounds(&proto, 3, 0, false, false, false);
+    let (par, _) = run_rounds(&proto, 3, 4, false, false, false);
     assert_eq!(seq, par, "engines diverged on the bench workload");
-    let (seq_obs, _) = run_rounds(&proto, 3, 0, true, false);
-    let (par_obs, _) = run_rounds(&proto, 3, 4, true, false);
+    let (seq_obs, _) = run_rounds(&proto, 3, 0, true, false, false);
+    let (par_obs, _) = run_rounds(&proto, 3, 4, true, false, false);
     assert_eq!(seq, seq_obs, "telemetry perturbed the sequential engine");
     assert_eq!(par, par_obs, "telemetry perturbed the sharded engine");
-    let (seq_trace, _) = run_rounds(&proto, 3, 0, true, true);
-    let (par_trace, _) = run_rounds(&proto, 3, 4, true, true);
+    let (seq_trace, _) = run_rounds(&proto, 3, 0, true, true, false);
+    let (par_trace, _) = run_rounds(&proto, 3, 4, true, true, false);
     assert_eq!(
         seq, seq_trace,
         "causal tracing perturbed the sequential engine"
@@ -415,7 +445,13 @@ fn smoke() {
         par, par_trace,
         "causal tracing perturbed the sharded engine"
     );
-    eprintln!("[exec-bench] smoke ok: both engines sent {seq} messages (obs and trace on and off)");
+    let (seq_prof, _) = run_rounds(&proto, 3, 0, true, false, true);
+    let (par_prof, _) = run_rounds(&proto, 3, 4, true, false, true);
+    assert_eq!(seq, seq_prof, "profiling perturbed the sequential engine");
+    assert_eq!(par, par_prof, "profiling perturbed the sharded engine");
+    eprintln!(
+        "[exec-bench] smoke ok: both engines sent {seq} messages (obs, trace, and prof on and off)"
+    );
 }
 
 /// Default output path of the full `cargo bench` summary: the committed

@@ -1,11 +1,11 @@
 //! Regenerates every table and figure of the evaluation.
 //!
 //! ```text
-//! figures [--quick] [--csv] [--engine=SPEC] [--obs=DIR] [--trace] [ids...]
+//! figures [--quick] [--csv] [--engine=SPEC] [--obs=DIR] [--trace] [--profile] [ids...]
 //! ```
 //!
 //! With no ids, everything runs. Ids: `t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5
-//! t5b t6 t7 t8 t9 t10` (case-insensitive). `--quick` uses the small profile, `--csv`
+//! t5b t6 t7 t8 t9 t10 t14` (case-insensitive). `--quick` uses the small profile, `--csv`
 //! additionally prints each table as CSV. `--engine=sharded:W` runs the
 //! engine-aware sweeps (T1/F1/T2/F2/F4 and F5) on the `rd-exec` sharded
 //! engine with `W` worker threads; results are bit-identical either way,
@@ -21,7 +21,9 @@
 //! reads them), plus a Chrome trace-event file (load in Perfetto) and a
 //! Prometheus text snapshot for the sharded run. When an event engine is
 //! selected, a third archive (`hm-event.jsonl`) is written under the
-//! chosen latency model. `--trace` adds causal provenance tracing to
+//! chosen latency model. `--profile` adds cost-attribution profiling
+//! (schema-3 `profile_*` records plus a folded-stack file per engine,
+//! for `rd-inspect profile` / `flame`). `--trace` adds causal provenance tracing to
 //! those reference runs (full sampling), so the archives carry the
 //! schema-v2 edge section that `rd-inspect why` and `rd-inspect path`
 //! read.
@@ -43,6 +45,7 @@ struct Options {
     csv: bool,
     engine: EngineKind,
     obs: Option<PathBuf>,
+    prof: bool,
     trace: bool,
     ids: Vec<String>,
 }
@@ -84,6 +87,7 @@ fn parse_args() -> Options {
     let mut engine = EngineKind::Sequential;
     let mut obs = None;
     let mut trace = false;
+    let mut prof = false;
     let mut ids = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -91,8 +95,9 @@ fn parse_args() -> Options {
             "--full" => profile = Profile::Full,
             "--csv" => csv = true,
             "--trace" => trace = true,
+            "--profile" => prof = true,
             "--help" | "-h" => {
-                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>|event[:<latency model>]] [--obs=DIR] [--trace] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t5b t6 t7 t8 t9 t10]");
+                eprintln!("usage: figures [--quick] [--csv] [--engine=sequential|sharded:<workers>|event[:<latency model>]] [--obs=DIR] [--trace] [--profile] [t1 f1 t2 f2 t3 f3 t4 f4 f5 f6 t5 t5b t6 t7 t8 t9 t10 t14]");
                 std::process::exit(0);
             }
             spec if spec.starts_with("--engine=") => {
@@ -109,6 +114,7 @@ fn parse_args() -> Options {
         csv,
         engine,
         obs,
+        prof,
         trace,
         ids,
     }
@@ -121,8 +127,14 @@ fn parse_args() -> Options {
 /// When `--engine=event[:<model>]` is selected, a third archive is
 /// written from the event engine under that latency model; its header
 /// carries the `latency_model` field so the archive is self-describing.
-fn obs_runs(profile: Profile, engine: EngineKind, dir: &std::path::Path, trace: bool) {
+fn obs_runs(profile: Profile, engine: EngineKind, dir: &std::path::Path, trace: bool, prof: bool) {
+    // Attribution coverage is a gated claim (`summarize --strict`
+    // fails below 90%), and at n = 512 the inter-phase driver residue
+    // is a double-digit share of a microsecond round — so profiled
+    // reference runs always use the full-size instance (still
+    // seconds of work).
     let n = match profile {
+        _ if prof => 4096,
         Profile::Quick => 512,
         Profile::Full => 4096,
     };
@@ -153,14 +165,29 @@ fn obs_runs(profile: Profile, engine: EngineKind, dir: &std::path::Path, trace: 
             *spec = spec.clone().with_causal_trace(1 << 20, 1_000_000);
         }
     }
+    if prof {
+        // Cost-attribution profiling: schema-3 `profile_*` records in
+        // every archive, plus a folded-stack file per engine for
+        // `rd-inspect flame` / external flamegraph tooling.
+        for (engine, spec) in &mut runs {
+            *spec = spec
+                .clone()
+                .with_profile()
+                .with_folded(dir.join(format!("hm-{}.folded", engine.name().replace(':', "-"))));
+        }
+    }
     for (engine, spec) in runs {
         eprintln!(
             "[figures] instrumented HM reference run (n = {n}, {} engine)...",
             engine.name()
         );
+        // Profiled archives are strict-gated, and strict treats a
+        // truncated event ring as failure — size the ring for the
+        // full-size run's ~122k envelopes.
+        let trace_cap = if prof { 1 << 18 } else { 1 << 16 };
         let config = RunConfig::new(Topology::KOut { k: 3 }, n, seed)
             .with_engine(engine)
-            .with_trace(1 << 16)
+            .with_trace(trace_cap)
             .with_obs(spec);
         let report = run(AlgorithmKind::Hm(HmConfig::default()), &config);
         println!(
@@ -196,7 +223,7 @@ fn main() {
     );
 
     if let Some(dir) = &opts.obs {
-        obs_runs(opts.profile, opts.engine, dir, opts.trace);
+        obs_runs(opts.profile, opts.engine, dir, opts.trace, opts.prof);
         // `--obs=DIR` with no ids means "just the instrumented runs":
         // don't drag the full evaluation along.
         if opts.ids.is_empty() {
@@ -389,5 +416,53 @@ fn main() {
             "completion time under random message delays (jitter)",
             &asynchrony::run(opts.profile),
         );
+    }
+
+    if wanted(&opts, "t14") {
+        t14(&opts);
+    }
+}
+
+/// T14 — where the nanosecond goes: per-phase cost attribution for
+/// the HM reference run, sequential vs 4-way sharded, across sizes.
+/// Each configuration runs once with profiling on; the report is then
+/// rebuilt from the archive's schema-3 profile section exactly the
+/// way `rd-inspect profile` reads it, so the table doubles as an
+/// end-to-end check of the export path. Archives land in a temp
+/// directory — the rendered report is the product.
+fn t14(opts: &Options) {
+    let sizes: &[u32] = match opts.profile {
+        Profile::Quick => &[9, 10],
+        Profile::Full => &[12, 14, 16],
+    };
+    let dir = std::env::temp_dir().join(format!("rd-t14-{}", std::process::id()));
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("t14: cannot create {}: {err}", dir.display());
+        return;
+    }
+    println!("== T14 — where the nanosecond goes (HM, k-out k = 3, seed 42) ==");
+    for &log2 in sizes {
+        for engine in [EngineKind::Sequential, EngineKind::Sharded { workers: 4 }] {
+            let n = 1usize << log2;
+            let path = dir.join(format!(
+                "t14-{log2}-{}.jsonl",
+                engine.name().replace(':', "-")
+            ));
+            eprintln!(
+                "[figures] t14 profiled run (n = 2^{log2}, {} engine)...",
+                engine.name()
+            );
+            let config = RunConfig::new(Topology::KOut { k: 3 }, n, 42)
+                .with_engine(engine)
+                .with_obs(ObsSpec::new().with_archive(path.clone()).with_profile());
+            run(AlgorithmKind::Hm(HmConfig::default()), &config);
+            let text = std::fs::read_to_string(&path).expect("t14 archive was just written");
+            let archive = rd_obs::archive::parse(&text).expect("t14 archive parses");
+            print!(
+                "{}",
+                rd_obs::inspect::profile_report(&archive).expect("t14 run was profiled")
+            );
+            println!();
+        }
     }
 }

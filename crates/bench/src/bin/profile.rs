@@ -2,9 +2,13 @@
 //!
 //! Runs the exec-bench gossip workload (the same bounded-gossip node the
 //! `exec` bench times) on the sequential engine with a sink-less
-//! recorder attached, then prints the per-phase wall-clock breakdown
-//! aggregated over all rounds — the first stop when attacking the
-//! per-round constant factor.
+//! profiling recorder attached, then prints the per-phase wall-clock
+//! breakdown the profiler attributed over all rounds — the first stop
+//! when attacking the per-round constant factor. The table is derived
+//! from the same [`ProfileReport`] the archive exports, so this binary
+//! and `rd-inspect profile` can never disagree.
+//!
+//! [`ProfileReport`]: rd_obs::ProfileReport
 //!
 //! ```text
 //! cargo run --release -p rd-bench --bin profile [-- --n LOG2_N] [--rounds R]
@@ -14,7 +18,7 @@
 //! emitted (every phase line present, percentages summing to ~100).
 
 use rd_bench::workload::{self, SEED};
-use rd_obs::{Phase, Recorder, RunMeta, RunOutcomeObs};
+use rd_obs::{Recorder, RunMeta, RunOutcomeObs};
 use rd_sim::Engine;
 
 fn main() {
@@ -39,7 +43,8 @@ fn main() {
         engine: "sequential".into(),
         workers: 1,
         latency_model: None,
-    });
+    })
+    .with_profiling();
     let mut engine = Engine::new(nodes, SEED).with_obs(recorder);
     let start = std::time::Instant::now();
     for _ in 0..rounds {
@@ -81,31 +86,31 @@ fn main() {
         )
         .expect("sink-less finish cannot fail");
 
-    let mut per_phase: Vec<(Phase, u64)> = Phase::ALL.iter().map(|&p| (p, 0u64)).collect();
-    for span in &report.spans {
-        if let Some(slot) = per_phase.iter_mut().find(|(p, _)| *p == span.phase) {
-            slot.1 += span.dur_ns;
-        }
-    }
-    let total: u64 = per_phase.iter().map(|(_, ns)| ns).sum();
+    let profile = report.profile.expect("profiling was enabled");
+    let total: u64 = profile.phases.iter().map(|p| p.total_ns).sum();
     println!(
         "profile: n=2^{log2_n} ({n} nodes), {rounds} round(s), {messages} messages, state digest {state_digest:#018x}, wall {:.3}s ({:.1} rounds/s)",
         wall,
         rounds as f64 / wall
     );
     println!("phase breakdown (aggregated over rounds):");
-    for (phase, ns) in &per_phase {
+    for p in &profile.phases {
         let pct = if total > 0 {
-            *ns as f64 / total as f64 * 100.0
+            p.total_ns as f64 / total as f64 * 100.0
         } else {
             0.0
         };
         println!(
-            "  {:<16} {:>12.3} ms  {:>5.1}%",
-            format!("{phase:?}"),
-            *ns as f64 / 1e6,
-            pct
+            "  {:<16} {:>12.3} ms  {:>5.1}%  {:>10.1} ns/env",
+            format!("{:?}", p.phase),
+            p.total_ns as f64 / 1e6,
+            pct,
+            p.ns_per_envelope
         );
     }
     println!("  {:<16} {:>12.3} ms  100.0%", "total", total as f64 / 1e6);
+    println!(
+        "attribution: {:.1}% of round wall time covered",
+        profile.coverage_pct
+    );
 }

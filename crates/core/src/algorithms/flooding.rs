@@ -113,6 +113,9 @@ impl KnowledgeView for FloodingNode {
     fn known_ids(&self) -> Vec<NodeId> {
         self.knowledge.to_vec()
     }
+    fn resident_bytes(&self) -> u64 {
+        self.knowledge.resident_bytes() as u64
+    }
 }
 
 impl DiscoveryAlgorithm for Flooding {

@@ -629,4 +629,7 @@ impl KnowledgeView for HmNode {
             self.got_roster
         }
     }
+    fn resident_bytes(&self) -> u64 {
+        self.knowledge.resident_bytes() as u64
+    }
 }

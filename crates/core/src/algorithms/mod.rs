@@ -36,6 +36,17 @@ pub trait KnowledgeView {
     fn believes_done(&self) -> bool {
         false
     }
+    /// Heap bytes of the node's knowledge state (capacities, not
+    /// lengths). Sampled per round by the profiler's memory timeline;
+    /// protocols that track knowledge in a [`KnowledgeSet`] report its
+    /// [`resident_bytes`]. The default (0) keeps exotic node states
+    /// honest: unknown is reported as nothing rather than a guess.
+    ///
+    /// [`KnowledgeSet`]: crate::knowledge::KnowledgeSet
+    /// [`resident_bytes`]: crate::knowledge::KnowledgeSet::resident_bytes
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// A resource-discovery protocol: a factory that turns an instance's

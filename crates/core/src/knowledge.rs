@@ -78,6 +78,20 @@ impl KnowledgeSet {
         (i / 64, 1u64 << (i % 64))
     }
 
+    /// Heap bytes this set currently holds (capacities, not lengths),
+    /// plus the inline struct itself. Sampled per round by the profiler
+    /// to build the memory timeline; never read by protocol logic.
+    pub fn resident_bytes(&self) -> usize {
+        let membership = match &self.membership {
+            Membership::Sparse(sorted) => sorted.capacity() * std::mem::size_of::<u32>(),
+            Membership::Dense(bits) => bits.capacity() * std::mem::size_of::<u64>(),
+        };
+        std::mem::size_of::<Self>()
+            + membership
+            + self.list.capacity() * std::mem::size_of::<NodeId>()
+            + self.fresh.capacity() * std::mem::size_of::<NodeId>()
+    }
+
     /// `true` if `id` has been learned.
     pub fn contains(&self, id: NodeId) -> bool {
         match &self.membership {

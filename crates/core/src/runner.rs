@@ -10,10 +10,10 @@ use rd_event::{EventEngine, LatencyModel};
 use rd_exec::ShardedEngine;
 use rd_graphs::Topology;
 use rd_obs::{
-    CausalTrace, ChromeTraceSink, JsonlArchiveSink, PrometheusSink, Recorder, RunMeta,
-    RunOutcomeObs,
+    CausalTrace, ChromeTraceSink, FoldedStackSink, Heartbeat, JsonlArchiveSink, PrometheusSink,
+    Recorder, RunMeta, RunOutcomeObs,
 };
-use rd_sim::{DropTally, Engine, FaultPlan, Node, RetryPolicy, RoundEngine};
+use rd_sim::{DropTally, Engine, FaultPlan, Node, RetryPolicy, RoundEngine, RunOutcome};
 use std::cell::Cell;
 use std::path::PathBuf;
 
@@ -194,6 +194,18 @@ pub struct ObsSpec {
     /// sampling rate in ppm)`; the DAG lands in the archive's schema-2
     /// section and feeds `rd-inspect why` / `path`.
     pub causal: Option<(usize, u32)>,
+    /// Cost-attribution profiling: per-phase/per-shard wall time,
+    /// per-kind message costs, and the memory timeline land in the
+    /// archive's schema-3 `profile_*` section and feed
+    /// `rd-inspect profile` / `flame`.
+    pub profile: bool,
+    /// Folded-stack file for flamegraph tooling (implies [`profile`]).
+    ///
+    /// [`profile`]: Self::profile
+    pub folded: Option<PathBuf>,
+    /// Rate-limited stderr heartbeat (round, rounds/s, msgs/s, resident
+    /// bytes) for long runs. Output only — never affects the run.
+    pub heartbeat: bool,
 }
 
 impl ObsSpec {
@@ -230,6 +242,35 @@ impl ObsSpec {
     pub fn with_causal_trace(mut self, capacity: usize, sample_ppm: u32) -> Self {
         self.causal = Some((capacity, sample_ppm));
         self
+    }
+
+    /// Enables cost-attribution profiling (schema-3 archive section,
+    /// `rd-inspect profile` / `flame`). Purely observational.
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
+    /// Writes a folded-stack file (one line per `engine;lane;phase`
+    /// stack, suitable for `flamegraph.pl` / inferno) to `path`.
+    /// Implies profiling.
+    pub fn with_folded(mut self, path: impl Into<PathBuf>) -> Self {
+        self.folded = Some(path.into());
+        self.profile = true;
+        self
+    }
+
+    /// Emits a rate-limited progress heartbeat on stderr while the run
+    /// executes.
+    pub fn with_heartbeat(mut self) -> Self {
+        self.heartbeat = true;
+        self
+    }
+
+    /// Whether profiling is requested (directly or via a folded-stack
+    /// export).
+    pub fn profiling(&self) -> bool {
+        self.profile || self.folded.is_some()
     }
 }
 
@@ -533,6 +574,12 @@ fn make_recorder(algorithm: &str, config: &RunConfig, spec: &ObsSpec) -> Recorde
     if let Some(path) = &spec.prometheus {
         rec = rec.with_sink(Box::new(PrometheusSink::new(path.clone())));
     }
+    if spec.profiling() {
+        rec = rec.with_profiling();
+    }
+    if let Some(path) = &spec.folded {
+        rec = rec.with_sink(Box::new(FoldedStackSink::new(path.clone())));
+    }
     rec
 }
 
@@ -581,8 +628,7 @@ where
         let total: u64 = engine.nodes().iter().map(|s| s.knows_count() as u64).sum();
         knowledge.push((0, total));
     }
-    let knowledge_ref = &mut knowledge;
-    let done = move |nodes: &[A::NodeState]| {
+    let mut done = move |nodes: &[A::NodeState]| {
         let done = match completion {
             Completion::EveryoneKnowsEveryone => {
                 problem::everyone_knows_everyone_among(nodes, &live_pred)
@@ -620,13 +666,61 @@ where
         }
         false
     };
-    let outcome = engine.run_observed(config.max_rounds, done, |round, nodes| {
-        current_round_ref.set(round);
-        if obs_on {
-            let total: u64 = nodes.iter().map(|s| s.knows_count() as u64).sum();
-            knowledge_ref.push((round, total));
+    // Profiler-side observations the engines cannot make themselves:
+    // the memory timeline needs `KnowledgeView::resident_bytes` (an
+    // algorithm-level notion, like the knowledge series above), and the
+    // heartbeat needs `engine.metrics()` between rounds. The loop is
+    // therefore inlined here with `run_observed` semantics — observe
+    // work first, then the completion check — instead of delegated.
+    let profiling = engine.obs_mut().is_some_and(|rec| rec.profiling_enabled());
+    let mut heartbeat = config
+        .obs
+        .as_ref()
+        .is_some_and(|s| s.heartbeat)
+        .then(|| Heartbeat::new(alg.name()));
+    let resident_total =
+        |nodes: &[A::NodeState]| -> u64 { nodes.iter().map(|s| s.resident_bytes()).sum() };
+    let mut mem_samples: Vec<(u64, u64)> = Vec::new();
+    if profiling {
+        mem_samples.push((0, resident_total(engine.nodes())));
+    }
+    let outcome = if done(engine.nodes()) {
+        RunOutcome {
+            completed: true,
+            rounds: engine.round(),
         }
-    });
+    } else {
+        let mut finished = None;
+        while engine.round() < config.max_rounds {
+            engine.step();
+            let round = engine.round();
+            current_round_ref.set(round);
+            if obs_on {
+                let total: u64 = engine.nodes().iter().map(|s| s.knows_count() as u64).sum();
+                knowledge.push((round, total));
+            }
+            if profiling || heartbeat.is_some() {
+                let resident = resident_total(engine.nodes());
+                if profiling {
+                    mem_samples.push((round, resident));
+                }
+                if let Some(hb) = &mut heartbeat {
+                    hb.tick(round, engine.metrics().total_messages(), || resident);
+                }
+            }
+            if done(engine.nodes()) {
+                finished = Some(RunOutcome {
+                    completed: true,
+                    rounds: round,
+                });
+                break;
+            }
+        }
+        finished.unwrap_or(RunOutcome {
+            completed: false,
+            rounds: engine.round(),
+        })
+    };
     let stalled = stalled.get();
     let completed = outcome.completed && !stalled;
 
@@ -694,6 +788,12 @@ where
             .add_counter("detector_retractions_total", m.detector_retractions());
         if let Some(trace) = causal {
             rec.attach_causal(trace);
+        }
+        if rec.profiling_enabled() {
+            for (round, bytes) in &mem_samples {
+                rec.profile_memory(*round, *bytes);
+            }
+            rec.profile_pool_high_water(&engine.pool_high_water());
         }
         let outcome_obs = RunOutcomeObs {
             verdict: verdict.name().to_string(),

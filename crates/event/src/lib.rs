@@ -145,7 +145,14 @@ impl<N: Node> EventEngine<N> {
     /// Attaches a telemetry [`Recorder`]. Purely observational — a run
     /// with a recorder is bit-identical to the same run without one.
     /// Span rows carry the simulated tick in their round field.
-    pub fn with_obs(mut self, recorder: Recorder) -> Self {
+    pub fn with_obs(mut self, mut recorder: Recorder) -> Self {
+        // One-time message-cost registration for the profiler (no-op
+        // unless profiling is on).
+        recorder.profile_msg_kind(
+            rd_sim::short_type_name::<N::Msg>(),
+            std::mem::size_of::<Envelope<N::Msg>>() as u64,
+            std::mem::size_of::<rd_sim::NodeId>() as u64,
+        );
         self.obs = Some(recorder);
         self
     }
@@ -308,8 +315,14 @@ impl<N: Node> EventEngine<N> {
         self.core.finish_tick();
         if let Some(rec) = &mut self.obs {
             rec.span_from(Phase::FinishRound, now, 0, t_finish.unwrap());
+            // Profiler self-cost: time the recorder's own round-close
+            // bookkeeping as a `Telemetry` span (profiling only).
+            let t_tel = rec.profiling_enabled().then(Instant::now);
             let row = *self.core.metrics().rounds().last().expect("open round row");
             rec.end_round(round_obs(now, &row));
+            if let Some(t) = t_tel {
+                rec.span_from(Phase::Telemetry, now, 0, t);
+            }
         }
     }
 
@@ -393,6 +406,10 @@ impl<N: Node> RoundEngine<N> for EventEngine<N> {
             ("delay", stats.takes, stats.reuses),
             ("timer", fired, cancelled),
         ]
+    }
+
+    fn pool_high_water(&self) -> Vec<(&'static str, u64)> {
+        vec![("delay", self.core.pool_high_water_bytes())]
     }
 }
 

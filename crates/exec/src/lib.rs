@@ -162,7 +162,15 @@ where
     /// rounds are recorded, and attached sinks export at run end.
     /// Purely observational — a run with a recorder is bit-identical to
     /// the same run without one, for every worker count.
-    pub fn with_obs(mut self, recorder: Recorder) -> Self {
+    pub fn with_obs(mut self, mut recorder: Recorder) -> Self {
+        // One-time message-cost registration: the profiler attributes
+        // per-kind byte costs at finish from these constants plus the
+        // deterministic round counters (no-op unless profiling is on).
+        recorder.profile_msg_kind(
+            rd_sim::short_type_name::<N::Msg>(),
+            std::mem::size_of::<Envelope<N::Msg>>() as u64,
+            std::mem::size_of::<rd_sim::NodeId>() as u64,
+        );
         self.obs = Some(recorder);
         self
     }
@@ -262,6 +270,11 @@ where
     fn observe_round_end(&mut self, round: u64, t_finish: Option<Instant>) {
         if let Some(rec) = &mut self.obs {
             rec.span_from(Phase::FinishRound, round, 0, t_finish.unwrap());
+            // Under profiling, the recorder's own round-close
+            // bookkeeping is timed as a `Telemetry` span so the
+            // profiler's self-cost shows up in the attribution instead
+            // of inflating the unattributed remainder.
+            let t_tel = rec.profiling_enabled().then(Instant::now);
             let row = *self
                 .core
                 .metrics()
@@ -269,6 +282,9 @@ where
                 .last()
                 .expect("finish_round closed a row");
             rec.end_round(round_obs(round, &row));
+            if let Some(t) = t_tel {
+                rec.span_from(Phase::Telemetry, round, 0, t);
+            }
         }
     }
 
@@ -703,6 +719,14 @@ where
             ("delay", delay.takes, delay.reuses),
             ("env", env.takes, env.reuses),
             ("routed", routed.takes, routed.reuses),
+        ]
+    }
+
+    fn pool_high_water(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("delay", self.core.pool_high_water_bytes()),
+            ("env", self.env_pool.high_water_bytes()),
+            ("routed", self.routed_pool.high_water_bytes()),
         ]
     }
 }

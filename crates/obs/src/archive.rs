@@ -1,4 +1,4 @@
-//! The JSONL run-archive format: schemas v1 and v2.
+//! The JSONL run-archive format: schemas v1, v2, and v3.
 //!
 //! One file per run, one JSON object per line, `"type"` tagging the
 //! record kind. Line order is fixed so archives diff cleanly as text:
@@ -18,6 +18,12 @@
 //! {"type":"trace_meta","capacity":…,"sample_ppm":…,"edges":…,"candidates":…,
 //!   "sampled_out":…,"overflow":…}                                                  (v2) × 0..1
 //! {"type":"edge","id":…,"node":…,"src":…,"sent":…,"round":…,"seq":…}               (v2) × edges
+//! {"type":"profile_meta","coverage_pct":…,"samples":…,"utilization_pct":…,
+//!   "imbalance_mean":…,"imbalance_max":…,"peak_knowledge_bytes":…,
+//!   "peak_pool_bytes":…,"peak_rss_bytes":…}                                        (v3) × 0..1
+//! {"type":"profile_phase","phase":…,"total_ns":…,"round_pct":…,"ns_per_envelope":…} (v3) × phases
+//! {"type":"profile_msg","kind":…,"envelopes":…,"payload_bytes":…,"ns_per_envelope":…}(v3) × kinds
+//! {"type":"profile_mem","round":…,"knowledge_bytes":…,"pool_bytes":…,"rss_bytes":…} (v3) × samples
 //! {"type":"summary","verdict":…,"completed":…,"sound":…,"rounds":…,"messages":…,"pointers":…,
 //!   "trace_events":…,"trace_overflow":…,"span_overflow":…,"wall_ns_total":…
 //!   [,"last_progress":…]}        (the stall watermark appears only when the driver tracked it)
@@ -30,11 +36,16 @@
 //! load-bearing ([`validate`] enforces both).
 //!
 //! Schema v2 adds the causal-provenance section (`trace_meta` + `edge`
-//! records, in ascending `(id, node)` order). A run without causal
-//! tracing still renders as schema 1, byte-identical to what earlier
-//! builds wrote, so v1 readers keep working on every archive that does
-//! not actually use the new section; archives that declare schema 1 may
-//! not contain v2 record types.
+//! records, in ascending `(id, node)` order). Schema v3 adds the
+//! profiling section (`profile_meta` first, then `profile_phase` /
+//! `profile_msg` / `profile_mem` records, the memory timeline in
+//! strictly ascending round order). Each section is opt-in and the
+//! declared schema is the *lowest* that covers the records actually
+//! present: a run without causal tracing or profiling still renders as
+//! schema 1, byte-identical to what earlier builds wrote, and a
+//! profiled-but-untraced run skips the v2 section while declaring v3.
+//! Archives may not contain record types newer than their declared
+//! schema.
 
 use crate::json::{escape, fmt_f64, Json};
 use crate::recorder::ObsReport;
@@ -42,10 +53,11 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The newest archive schema this crate reads and writes. Archives
-/// without a causal-trace section still render as schema 1.
-pub const SCHEMA_VERSION: u64 = 2;
+/// without a profile section render as schema 2 (or 1 without a
+/// causal-trace section either).
+pub const SCHEMA_VERSION: u64 = 3;
 
-const KNOWN_TYPES: [&str; 11] = [
+const KNOWN_TYPES: [&str; 15] = [
     "header",
     "round",
     "phase",
@@ -56,18 +68,35 @@ const KNOWN_TYPES: [&str; 11] = [
     "hot_nodes",
     "trace_meta",
     "edge",
+    "profile_meta",
+    "profile_phase",
+    "profile_msg",
+    "profile_mem",
     "summary",
 ];
 
-/// Record types that only schema v2 archives may contain.
+/// Record types that need at least a schema v2 archive.
 const V2_TYPES: [&str; 2] = ["trace_meta", "edge"];
+
+/// Record types that need at least a schema v3 archive.
+const V3_TYPES: [&str; 4] = [
+    "profile_meta",
+    "profile_phase",
+    "profile_msg",
+    "profile_mem",
+];
 
 /// Renders a finished run as the full archive text.
 pub fn render(report: &ObsReport) -> String {
     let mut out = String::new();
     let m = &report.meta;
-    let schema = if report.causal.is_some() {
+    // The lowest schema that covers the sections actually present, so
+    // un-profiled (and untraced) archives stay byte-identical to what
+    // earlier builds wrote.
+    let schema = if report.profile.is_some() {
         SCHEMA_VERSION
+    } else if report.causal.is_some() {
+        2
     } else {
         1
     };
@@ -176,6 +205,47 @@ pub fn render(report: &ObsReport) -> String {
                 out,
                 "{{\"type\":\"edge\",\"id\":{},\"node\":{},\"src\":{},\"sent\":{},\"round\":{},\"seq\":{}}}",
                 e.id, e.node, e.src, e.sent, e.round, e.seq
+            );
+        }
+    }
+    if let Some(prof) = &report.profile {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"profile_meta\",\"coverage_pct\":{},\"samples\":{},\"utilization_pct\":{},\"imbalance_mean\":{},\"imbalance_max\":{},\"peak_knowledge_bytes\":{},\"peak_pool_bytes\":{},\"peak_rss_bytes\":{}}}",
+            fmt_f64(prof.coverage_pct),
+            prof.samples,
+            fmt_f64(prof.utilization_pct),
+            fmt_f64(prof.imbalance_mean),
+            fmt_f64(prof.imbalance_max),
+            prof.peak_knowledge_bytes,
+            prof.peak_pool_bytes,
+            prof.peak_rss_bytes
+        );
+        for p in &prof.phases {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"profile_phase\",\"phase\":{},\"total_ns\":{},\"round_pct\":{},\"ns_per_envelope\":{}}}",
+                escape(p.phase.name()),
+                p.total_ns,
+                fmt_f64(p.round_pct),
+                fmt_f64(p.ns_per_envelope)
+            );
+        }
+        for msg in &prof.msgs {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"profile_msg\",\"kind\":{},\"envelopes\":{},\"payload_bytes\":{},\"ns_per_envelope\":{}}}",
+                escape(&msg.kind),
+                msg.envelopes,
+                msg.payload_bytes,
+                fmt_f64(msg.ns_per_envelope)
+            );
+        }
+        for s in &prof.mem {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"profile_mem\",\"round\":{},\"knowledge_bytes\":{},\"pool_bytes\":{},\"rss_bytes\":{}}}",
+                s.round, s.knowledge_bytes, s.pool_bytes, s.rss_bytes
             );
         }
     }
@@ -290,6 +360,47 @@ pub struct EdgeRec {
     pub seq: u64,
 }
 
+/// Parsed `profile_meta` record (schema v3): run-level attribution
+/// summary.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileMetaRec {
+    pub coverage_pct: f64,
+    pub samples: u64,
+    pub utilization_pct: f64,
+    pub imbalance_mean: f64,
+    pub imbalance_max: f64,
+    pub peak_knowledge_bytes: u64,
+    pub peak_pool_bytes: u64,
+    pub peak_rss_bytes: u64,
+}
+
+/// Parsed `profile_phase` record (schema v3): one phase's share.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfilePhaseRec {
+    pub phase: String,
+    pub total_ns: u64,
+    pub round_pct: f64,
+    pub ns_per_envelope: f64,
+}
+
+/// Parsed `profile_msg` record (schema v3): one message kind's cost.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileMsgRec {
+    pub kind: String,
+    pub envelopes: u64,
+    pub payload_bytes: u64,
+    pub ns_per_envelope: f64,
+}
+
+/// Parsed `profile_mem` record (schema v3): one memory sample.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileMemRec {
+    pub round: u64,
+    pub knowledge_bytes: u64,
+    pub pool_bytes: u64,
+    pub rss_bytes: u64,
+}
+
 /// Parsed `summary` record.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SummaryRec {
@@ -324,6 +435,14 @@ pub struct Archive {
     pub trace_meta: Option<TraceMetaRec>,
     /// Provenance edges in ascending `(id, node)` order (schema v2).
     pub edges: Vec<EdgeRec>,
+    /// Profile summary (schema v3; `None` on un-profiled archives).
+    pub profile_meta: Option<ProfileMetaRec>,
+    /// Per-phase attribution rows (schema v3).
+    pub profile_phases: Vec<ProfilePhaseRec>,
+    /// Per-message-kind cost rows (schema v3).
+    pub profile_msgs: Vec<ProfileMsgRec>,
+    /// The memory timeline in ascending round order (schema v3).
+    pub profile_mem: Vec<ProfileMemRec>,
     pub summary: SummaryRec,
 }
 
@@ -350,6 +469,7 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
     let mut summary_line: Option<usize> = None;
     let mut last_round: Option<u64> = None;
     let mut last_edge: Option<(u64, u64)> = None;
+    let mut last_mem_round: Option<u64> = None;
     let mut nonempty_lines = 0usize;
 
     for (i, line) in text.lines().enumerate() {
@@ -382,6 +502,12 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
         if V2_TYPES.contains(&ty.as_str()) && saw_header && archive.header.schema < 2 {
             problems.push(format!(
                 "line {lineno}: record type \"{ty}\" requires schema 2, archive declares {}",
+                archive.header.schema
+            ));
+        }
+        if V3_TYPES.contains(&ty.as_str()) && saw_header && archive.header.schema < 3 {
+            problems.push(format!(
+                "line {lineno}: record type \"{ty}\" requires schema 3, archive declares {}",
                 archive.header.schema
             ));
         }
@@ -564,6 +690,71 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
                 last_edge = Some((rec.id, rec.node));
                 archive.edges.push(rec);
             }
+            "profile_meta" => {
+                if archive.profile_meta.is_some() {
+                    problems.push(format!("line {lineno}: duplicate profile_meta"));
+                    continue;
+                }
+                archive.profile_meta = Some(ProfileMetaRec {
+                    coverage_pct: f64_field(&v, "coverage_pct", &ty, lineno, &mut problems),
+                    samples: field!("samples"),
+                    utilization_pct: f64_field(&v, "utilization_pct", &ty, lineno, &mut problems),
+                    imbalance_mean: f64_field(&v, "imbalance_mean", &ty, lineno, &mut problems),
+                    imbalance_max: f64_field(&v, "imbalance_max", &ty, lineno, &mut problems),
+                    peak_knowledge_bytes: field!("peak_knowledge_bytes"),
+                    peak_pool_bytes: field!("peak_pool_bytes"),
+                    peak_rss_bytes: field!("peak_rss_bytes"),
+                });
+            }
+            "profile_phase" => {
+                if archive.profile_meta.is_none() {
+                    problems.push(format!(
+                        "line {lineno}: profile_phase record before any profile_meta"
+                    ));
+                }
+                archive.profile_phases.push(ProfilePhaseRec {
+                    phase: str_field(&v, "phase", lineno, &mut problems),
+                    total_ns: field!("total_ns"),
+                    round_pct: f64_field(&v, "round_pct", &ty, lineno, &mut problems),
+                    ns_per_envelope: f64_field(&v, "ns_per_envelope", &ty, lineno, &mut problems),
+                });
+            }
+            "profile_msg" => {
+                if archive.profile_meta.is_none() {
+                    problems.push(format!(
+                        "line {lineno}: profile_msg record before any profile_meta"
+                    ));
+                }
+                archive.profile_msgs.push(ProfileMsgRec {
+                    kind: str_field(&v, "kind", lineno, &mut problems),
+                    envelopes: field!("envelopes"),
+                    payload_bytes: field!("payload_bytes"),
+                    ns_per_envelope: f64_field(&v, "ns_per_envelope", &ty, lineno, &mut problems),
+                });
+            }
+            "profile_mem" => {
+                if archive.profile_meta.is_none() {
+                    problems.push(format!(
+                        "line {lineno}: profile_mem record before any profile_meta"
+                    ));
+                }
+                let rec = ProfileMemRec {
+                    round: field!("round"),
+                    knowledge_bytes: field!("knowledge_bytes"),
+                    pool_bytes: field!("pool_bytes"),
+                    rss_bytes: field!("rss_bytes"),
+                };
+                if let Some(prev) = last_mem_round {
+                    if rec.round <= prev {
+                        problems.push(format!(
+                            "line {lineno}: profile_mem round {} out of order (previous {prev})",
+                            rec.round
+                        ));
+                    }
+                }
+                last_mem_round = Some(rec.round);
+                archive.profile_mem.push(rec);
+            }
             "summary" => {
                 if summary_line.is_some() {
                     problems.push(format!("line {lineno}: duplicate summary"));
@@ -597,6 +788,15 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
             ));
         }
     }
+    if let Some(pm) = &archive.profile_meta {
+        if pm.samples != archive.profile_mem.len() as u64 {
+            problems.push(format!(
+                "profile_meta declares {} samples, archive contains {}",
+                pm.samples,
+                archive.profile_mem.len()
+            ));
+        }
+    }
     if nonempty_lines == 0 {
         problems.push("empty archive".to_string());
     } else {
@@ -622,6 +822,18 @@ fn num_field(v: &Json, name: &str, ty: &str, lineno: usize, problems: &mut Vec<S
                 "line {lineno}: {ty} record missing numeric \"{name}\""
             ));
             0
+        }
+    }
+}
+
+fn f64_field(v: &Json, name: &str, ty: &str, lineno: usize, problems: &mut Vec<String>) -> f64 {
+    match v.get(name).and_then(Json::as_f64) {
+        Some(x) => x,
+        None => {
+            problems.push(format!(
+                "line {lineno}: {ty} record missing numeric \"{name}\""
+            ));
+            0.0
         }
     }
 }
@@ -811,6 +1023,135 @@ mod tests {
             }
         );
         assert_eq!(a.counters["causal_edges_total"], 2);
+    }
+
+    fn sample_v3_archive_text() -> String {
+        let mut rec = Recorder::new(RunMeta {
+            algorithm: "hm".into(),
+            topology: "k-out-3".into(),
+            n: 16,
+            seed: 3,
+            engine: "sharded:2".into(),
+            workers: 2,
+            latency_model: None,
+        })
+        .with_profiling();
+        rec.profile_msg_kind("Rumor", 40, 4);
+        for r in 1..=3u64 {
+            rec.begin_round();
+            for w in 0..2 {
+                rec.span_from(Phase::OnRound, r, w, Instant::now());
+            }
+            rec.span_from(Phase::FinishRound, r, 0, Instant::now());
+            rec.profile_memory(r, 512 * r);
+            rec.end_round(RoundObs {
+                round: r,
+                wall_ns: 0,
+                messages: 10,
+                pointers: 20,
+                dropped_coin: 0,
+                dropped_crash: 0,
+                dropped_partition: 0,
+                dropped_link: 0,
+                dropped_suppression: 0,
+                retransmissions: 0,
+                knowledge_delta: None,
+            });
+        }
+        rec.profile_pool_high_water(&[("env", 2048)]);
+        let report = rec
+            .finish(
+                RunOutcomeObs {
+                    verdict: "complete-sound".into(),
+                    completed: true,
+                    sound: true,
+                    rounds: 3,
+                    messages: 30,
+                    pointers: 60,
+                    trace_events: 0,
+                    trace_overflow: 0,
+                    last_progress: None,
+                },
+                &[1, 2],
+                &[2, 1],
+                &[],
+                &[("env", 6, 4)],
+            )
+            .unwrap();
+        render(&report)
+    }
+
+    #[test]
+    fn profiled_archives_render_as_schema_3_and_round_trip() {
+        let text = sample_v3_archive_text();
+        assert_eq!(validate(&text), Vec::<String>::new());
+        let a = parse(&text).unwrap();
+        assert_eq!(a.header.schema, 3);
+        // Profiling without causal tracing: no v2 section.
+        assert!(a.trace_meta.is_none());
+        let pm = a.profile_meta.as_ref().unwrap();
+        assert_eq!(pm.samples, 3);
+        assert_eq!(pm.peak_knowledge_bytes, 512 * 3);
+        assert_eq!(pm.peak_pool_bytes, 2048);
+        assert!(pm.peak_rss_bytes >= pm.peak_knowledge_bytes + pm.peak_pool_bytes);
+        assert!(a.profile_phases.iter().any(|p| p.phase == "on_round"));
+        assert_eq!(a.profile_msgs.len(), 1);
+        assert_eq!(a.profile_msgs[0].kind, "Rumor");
+        assert_eq!(a.profile_msgs[0].envelopes, 30);
+        assert_eq!(a.profile_msgs[0].payload_bytes, 30 * 40 + 60 * 4);
+        assert_eq!(a.profile_mem.len(), 3);
+        assert_eq!(a.profile_mem[2].round, 3);
+        assert_eq!(a.profile_mem[2].knowledge_bytes, 1536);
+    }
+
+    #[test]
+    fn v3_records_are_rejected_under_lower_schemas() {
+        let text = sample_v3_archive_text();
+        for downgrade in ["\"schema\":1", "\"schema\":2"] {
+            let downgraded = text.replace("\"schema\":3", downgrade);
+            assert!(
+                validate(&downgraded)
+                    .iter()
+                    .any(|p| p.contains("requires schema 3")),
+                "downgrade to {downgrade} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_section_structure_is_validated() {
+        let text = sample_v3_archive_text();
+        // Drop one memory sample: profile_meta's count no longer holds.
+        let truncated: String = text
+            .lines()
+            .filter(|l| !(l.contains("profile_mem") && l.contains("\"round\":2")))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate(&truncated)
+            .iter()
+            .any(|p| p.contains("declares 3 samples, archive contains 2")));
+
+        // Swap two memory samples: round order breaks.
+        let mut lines: Vec<&str> = text.lines().collect();
+        let first_mem = lines
+            .iter()
+            .position(|l| l.contains("\"type\":\"profile_mem\""))
+            .unwrap();
+        lines.swap(first_mem, first_mem + 1);
+        let swapped: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        assert!(validate(&swapped)
+            .iter()
+            .any(|p| p.contains("out of order")));
+
+        // A profile row with no preceding profile_meta is orphaned.
+        let orphaned: String = text
+            .lines()
+            .filter(|l| !l.contains("\"type\":\"profile_meta\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate(&orphaned)
+            .iter()
+            .any(|p| p.contains("before any profile_meta")));
     }
 
     #[test]

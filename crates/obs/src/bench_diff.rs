@@ -2,7 +2,7 @@
 //! schema — the library half of `rd-inspect bench-diff`.
 //!
 //! Two benchmark summaries are joined on their configuration key
-//! `(n, engine, obs, trace)` and compared on `rounds_per_sec`. Each
+//! `(n, engine, obs, trace, prof)` and compared on `rounds_per_sec`. Each
 //! matched row gets a verdict: `FAIL` above the failure threshold,
 //! `WARN` between the warn and fail thresholds, `OK` otherwise. Rows
 //! present on only one side are reported but never gate — a PR that
@@ -27,25 +27,27 @@ pub struct BenchRow {
     pub engine: String,
     pub obs: bool,
     pub trace: bool,
+    pub prof: bool,
     pub rounds_per_sec: f64,
 }
 
 impl BenchRow {
-    fn key(&self) -> (u64, &str, bool, bool) {
-        (self.n, &self.engine, self.obs, self.trace)
+    fn key(&self) -> (u64, &str, bool, bool, bool) {
+        (self.n, &self.engine, self.obs, self.trace, self.prof)
     }
 
     fn label(&self) -> String {
         format!(
-            "n={} engine={} obs={} trace={}",
-            self.n, self.engine, self.obs, self.trace
+            "n={} engine={} obs={} trace={} prof={}",
+            self.n, self.engine, self.obs, self.trace, self.prof
         )
     }
 }
 
 /// Parses a `BENCH_*.json` document into its configuration rows.
-/// Rows written before the `trace` field existed read as `trace:
-/// false`, so old committed baselines keep joining cleanly.
+/// Rows written before the `trace` (resp. `prof`) field existed read as
+/// `trace: false` (`prof: false`), so old committed baselines keep
+/// joining cleanly.
 pub fn parse_bench(text: &str) -> Result<Vec<BenchRow>, String> {
     let doc = Json::parse(text)?;
     let configs = doc
@@ -77,6 +79,14 @@ pub fn parse_bench(text: &str) -> Result<Vec<BenchRow>, String> {
                 })
                 .transpose()?
                 .unwrap_or(false),
+            prof: row
+                .get("prof")
+                .map(|v| {
+                    v.as_bool()
+                        .ok_or_else(|| format!("configs[{i}]: \"prof\" must be a boolean"))
+                })
+                .transpose()?
+                .unwrap_or(false),
             rounds_per_sec: field("rounds_per_sec")?
                 .as_f64()
                 .ok_or_else(|| format!("configs[{i}]: \"rounds_per_sec\" must be a number"))?,
@@ -93,20 +103,21 @@ pub struct BenchTarget {
     pub engine: String,
     pub obs: bool,
     pub trace: bool,
+    pub prof: bool,
     /// The run fails when the matching configuration measures below
     /// this floor, regardless of what the relative diff says.
     pub min_rounds_per_sec: f64,
 }
 
 impl BenchTarget {
-    fn key(&self) -> (u64, &str, bool, bool) {
-        (self.n, &self.engine, self.obs, self.trace)
+    fn key(&self) -> (u64, &str, bool, bool, bool) {
+        (self.n, &self.engine, self.obs, self.trace, self.prof)
     }
 
     fn label(&self) -> String {
         format!(
-            "n={} engine={} obs={} trace={}",
-            self.n, self.engine, self.obs, self.trace
+            "n={} engine={} obs={} trace={} prof={}",
+            self.n, self.engine, self.obs, self.trace, self.prof
         )
     }
 }
@@ -142,6 +153,14 @@ pub fn parse_targets(text: &str) -> Result<Vec<BenchTarget>, String> {
                 .map(|v| {
                     v.as_bool()
                         .ok_or_else(|| format!("targets[{i}]: \"trace\" must be a boolean"))
+                })
+                .transpose()?
+                .unwrap_or(false),
+            prof: row
+                .get("prof")
+                .map(|v| {
+                    v.as_bool()
+                        .ok_or_else(|| format!("targets[{i}]: \"prof\" must be a boolean"))
                 })
                 .transpose()?
                 .unwrap_or(false),
@@ -408,6 +427,7 @@ mod tests {
             engine: engine.into(),
             obs,
             trace,
+            prof: false,
             rounds_per_sec: rps,
         }
     }
@@ -426,6 +446,12 @@ mod tests {
         assert!(!rows[0].trace, "missing trace field defaults to false");
         assert!(rows[1].trace);
         assert_eq!(rows[1].engine, "sharded:4");
+        assert!(!rows[1].prof, "missing prof field defaults to false");
+        let profiled = parse_bench(
+            r#"{"configs": [{"n": 64, "engine": "sequential", "obs": true, "prof": true, "rounds_per_sec": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(profiled[0].prof);
     }
 
     #[test]
@@ -492,6 +518,7 @@ mod tests {
             engine: engine.into(),
             obs: false,
             trace: false,
+            prof: false,
             min_rounds_per_sec: min,
         }
     }

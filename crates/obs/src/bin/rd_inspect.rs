@@ -5,23 +5,31 @@
 //! rd-inspect summarize [--strict] <archive.jsonl>
 //! rd-inspect diff <a.jsonl> <b.jsonl>
 //! rd-inspect validate <archive.jsonl>...
+//! rd-inspect profile <archive.jsonl>
+//! rd-inspect flame <archive.jsonl>
 //! rd-inspect why <archive.jsonl>
 //! rd-inspect path <archive.jsonl> --from <id> --to <node>
 //! rd-inspect bench-diff <old.json> <new.json> [--fail-above PCT] [--warn-above PCT]
 //! ```
 //!
 //! Exit codes: 0 on success, 1 when validation finds problems, a file
-//! fails to parse, `summarize --strict` sees a truncated trace, or
-//! `bench-diff` finds a regression above the failure threshold or a
-//! measurement below a pinned target floor from the committed
-//! baseline's `"targets"` section; 2 on usage errors.
+//! fails to parse, `summarize --strict` sees a truncated trace or a
+//! profile section whose attribution coverage is below 90%, `profile`/
+//! `flame` run against an un-profiled archive, or `bench-diff` finds a
+//! regression above the failure threshold or a measurement below a
+//! pinned target floor from the committed baseline's `"targets"`
+//! section; 2 on usage errors.
 
 use rd_obs::{archive, bench_diff, critical_path, inspect};
 use std::process::ExitCode;
 
+/// `--strict` fails profiled archives whose phase spans explain less
+/// than this share of round wall time.
+const MIN_COVERAGE_PCT: f64 = 90.0;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rd-inspect summarize [--strict] <archive.jsonl>\n  rd-inspect diff <a.jsonl> <b.jsonl>\n  rd-inspect validate <archive.jsonl>...\n  rd-inspect why <archive.jsonl>\n  rd-inspect path <archive.jsonl> --from <id> --to <node>\n  rd-inspect bench-diff <old.json> <new.json> [--fail-above PCT] [--warn-above PCT]"
+        "usage:\n  rd-inspect summarize [--strict] <archive.jsonl>\n  rd-inspect diff <a.jsonl> <b.jsonl>\n  rd-inspect validate <archive.jsonl>...\n  rd-inspect profile <archive.jsonl>\n  rd-inspect flame <archive.jsonl>\n  rd-inspect why <archive.jsonl>\n  rd-inspect path <archive.jsonl> --from <id> --to <node>\n  rd-inspect bench-diff <old.json> <new.json> [--fail-above PCT] [--warn-above PCT]"
     );
     ExitCode::from(2)
 }
@@ -67,13 +75,59 @@ fn main() -> ExitCode {
                     print!("{}", inspect::summarize(&a));
                     let truncated = a.summary.trace_overflow > 0
                         || a.trace_meta.as_ref().is_some_and(|tm| tm.overflow > 0);
+                    // A profiled archive whose spans explain less than
+                    // 90% of round wall time is an attribution gap the
+                    // profiler exists to close — strict mode treats it
+                    // as a failure, like a truncated trace.
+                    let uncovered = a
+                        .profile_meta
+                        .as_ref()
+                        .is_some_and(|pm| pm.coverage_pct < MIN_COVERAGE_PCT);
                     if strict && truncated {
                         eprintln!("rd-inspect: --strict: trace truncated (see WARN above)");
+                        ExitCode::from(1)
+                    } else if strict && uncovered {
+                        let pct = a.profile_meta.as_ref().map_or(0.0, |pm| pm.coverage_pct);
+                        eprintln!(
+                            "rd-inspect: --strict: profile attribution covers only {pct:.1}% of round wall time (< {MIN_COVERAGE_PCT}%)"
+                        );
                         ExitCode::from(1)
                     } else {
                         ExitCode::SUCCESS
                     }
                 }
+                Err(code) => code,
+            }
+        }
+        Some("profile") => {
+            let [path] = &args[1..] else { return usage() };
+            match parse(path) {
+                Ok(a) => match inspect::profile_report(&a) {
+                    Ok(report) => {
+                        print!("{report}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("rd-inspect: {path}: {e}");
+                        ExitCode::from(1)
+                    }
+                },
+                Err(code) => code,
+            }
+        }
+        Some("flame") => {
+            let [path] = &args[1..] else { return usage() };
+            match parse(path) {
+                Ok(a) => match inspect::flame(&a) {
+                    Ok(folded) => {
+                        print!("{folded}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("rd-inspect: {path}: {e}");
+                        ExitCode::from(1)
+                    }
+                },
                 Err(code) => code,
             }
         }

@@ -141,6 +141,36 @@ pub fn summarize(archive: &Archive) -> String {
         }
     }
 
+    if let Some(pm) = &archive.profile_meta {
+        let _ = writeln!(
+            out,
+            "\nprofile: {:.1}% of round wall attributed, utilization {:.1}%, imbalance mean {:.2} / max {:.2}",
+            pm.coverage_pct, pm.utilization_pct, pm.imbalance_mean, pm.imbalance_max
+        );
+        let _ = writeln!(
+            out,
+            "memory: peak knowledge {}, pools {}, est. peak RSS {} ({} samples)",
+            fmt_bytes(pm.peak_knowledge_bytes),
+            fmt_bytes(pm.peak_pool_bytes),
+            fmt_bytes(pm.peak_rss_bytes),
+            pm.samples
+        );
+        if !archive.profile_msgs.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>12} {:>14} {:>13}",
+                "kind", "envelopes", "payload_bytes", "ns/envelope"
+            );
+            for m in &archive.profile_msgs {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:>12} {:>14} {:>13.1}",
+                    m.kind, m.envelopes, m.payload_bytes, m.ns_per_envelope
+                );
+            }
+        }
+    }
+
     if archive.workers.len() > 1 {
         let _ = writeln!(out, "\nworkers:");
         let busiest = archive.workers.iter().map(|w| w.busy_ns).max().unwrap_or(0);
@@ -316,6 +346,118 @@ pub fn diff(label_a: &str, a: &Archive, label_b: &str, b: &Archive) -> String {
     out
 }
 
+/// Renders the top-down cost-attribution table of a profiled (schema
+/// v3) archive: per-phase wall share and ns/envelope, message-kind
+/// costs, and memory peaks. Errors when the archive carries no profile
+/// section.
+pub fn profile_report(archive: &Archive) -> Result<String, String> {
+    let pm = archive
+        .profile_meta
+        .as_ref()
+        .ok_or("archive has no profile section (run with profiling enabled)")?;
+    let h = &archive.header;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {} on {}, n={}, seed={}, engine={}",
+        h.algorithm, h.topology, h.n, h.seed, h.engine
+    );
+    let _ = writeln!(
+        out,
+        "attribution: {:.1}% of round wall time covered across {} phases",
+        pm.coverage_pct,
+        archive.profile_phases.len()
+    );
+    let _ = writeln!(
+        out,
+        "shards: utilization {:.1}%, imbalance mean {:.2} / max {:.2}",
+        pm.utilization_pct, pm.imbalance_mean, pm.imbalance_max
+    );
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>12} {:>11} {:>13}",
+        "phase", "total_ms", "% of wall", "ns/envelope"
+    );
+    let mut total_ns = 0u64;
+    let mut total_pct = 0.0f64;
+    let mut total_nspe = 0.0f64;
+    for p in &archive.profile_phases {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>12.3} {:>11.1} {:>13.1}",
+            p.phase,
+            p.total_ns as f64 / 1e6,
+            p.round_pct,
+            p.ns_per_envelope
+        );
+        total_ns += p.total_ns;
+        total_pct += p.round_pct;
+        total_nspe += p.ns_per_envelope;
+    }
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>12.3} {:>11.1} {:>13.1}",
+        "(attributed)",
+        total_ns as f64 / 1e6,
+        total_pct,
+        total_nspe
+    );
+    if !archive.profile_msgs.is_empty() {
+        let _ = writeln!(out, "\nmessage kinds:");
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12} {:>14} {:>13}",
+            "kind", "envelopes", "payload_bytes", "ns/envelope"
+        );
+        for m in &archive.profile_msgs {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>12} {:>14} {:>13.1}",
+                m.kind, m.envelopes, m.payload_bytes, m.ns_per_envelope
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nmemory: peak knowledge {}, pools {}, est. peak RSS {} ({} samples)",
+        fmt_bytes(pm.peak_knowledge_bytes),
+        fmt_bytes(pm.peak_pool_bytes),
+        fmt_bytes(pm.peak_rss_bytes),
+        pm.samples
+    );
+    Ok(out)
+}
+
+/// Renders a profiled archive's phase attribution as folded stacks
+/// (`engine;phase total_ns`, one line per phase) for flamegraph
+/// tooling. Archive phase records carry no per-worker split, so the
+/// per-shard view lives in the run-time folded-stack file
+/// ([`crate::FoldedStackSink`]); this is the archive-side equivalent.
+pub fn flame(archive: &Archive) -> Result<String, String> {
+    if archive.profile_meta.is_none() {
+        return Err("archive has no profile section (run with profiling enabled)".to_string());
+    }
+    let mut out = String::new();
+    for p in &archive.profile_phases {
+        let _ = writeln!(out, "{};{} {}", archive.header.engine, p.phase, p.total_ns);
+    }
+    Ok(out)
+}
+
+/// `12.3 KiB` / `4.0 MiB` style rendering for memory figures.
+fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} GiB", b / (1024.0 * 1024.0 * 1024.0))
+    } else if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
 fn count(a: &Archive, name: &str) -> u64 {
     a.counters.get(name).copied().unwrap_or(0)
 }
@@ -421,6 +563,76 @@ mod tests {
         assert!(out.contains("causal: 1 provenance edges"), "{out}");
         assert!(out.contains("250000 ppm"), "{out}");
         assert!(out.contains("WARN: CAUSAL TRACE TRUNCATED"), "{out}");
+    }
+
+    fn profiled_sample() -> String {
+        sample(42, 0)
+            .replace("\"schema\":1", "\"schema\":3")
+            .replace(
+                "{\"type\":\"summary\"",
+                concat!(
+                    "{\"type\":\"profile_meta\",\"coverage_pct\":95.5,\"samples\":2,\"utilization_pct\":80.2,",
+                    "\"imbalance_mean\":1.05,\"imbalance_max\":1.2,\"peak_knowledge_bytes\":2097152,",
+                    "\"peak_pool_bytes\":1048576,\"peak_rss_bytes\":3145728}\n",
+                    "{\"type\":\"profile_phase\",\"phase\":\"on_round\",\"total_ns\":600000,\"round_pct\":60,\"ns_per_envelope\":14.3}\n",
+                    "{\"type\":\"profile_phase\",\"phase\":\"route_shard\",\"total_ns\":300000,\"round_pct\":30,\"ns_per_envelope\":7.1}\n",
+                    "{\"type\":\"profile_msg\",\"kind\":\"Rumor\",\"envelopes\":42,\"payload_bytes\":2016,\"ns_per_envelope\":23.8}\n",
+                    "{\"type\":\"profile_mem\",\"round\":1,\"knowledge_bytes\":1048576,\"pool_bytes\":1048576,\"rss_bytes\":2097152}\n",
+                    "{\"type\":\"profile_mem\",\"round\":2,\"knowledge_bytes\":2097152,\"pool_bytes\":1048576,\"rss_bytes\":3145728}\n",
+                    "{\"type\":\"summary\""
+                ),
+            )
+    }
+
+    #[test]
+    fn summarize_gains_profile_and_memory_columns_when_present() {
+        let out = summarize(&archive_from(&profiled_sample()));
+        assert!(
+            out.contains("profile: 95.5% of round wall attributed"),
+            "{out}"
+        );
+        assert!(out.contains("imbalance mean 1.05 / max 1.20"), "{out}");
+        assert!(
+            out.contains("memory: peak knowledge 2.0 MiB, pools 1.0 MiB, est. peak RSS 3.0 MiB"),
+            "{out}"
+        );
+        assert!(out.contains("ns/envelope"), "{out}");
+        assert!(out.contains("Rumor"), "{out}");
+
+        // Un-profiled archives keep their historical shape.
+        let plain = summarize(&archive_from(&sample(42, 0)));
+        assert!(!plain.contains("profile:"), "{plain}");
+        assert!(!plain.contains("memory:"), "{plain}");
+    }
+
+    #[test]
+    fn profile_report_renders_attribution_table() {
+        let a = archive_from(&profiled_sample());
+        let out = profile_report(&a).unwrap();
+        assert!(
+            out.contains("attribution: 95.5% of round wall time covered"),
+            "{out}"
+        );
+        assert!(out.contains("on_round"), "{out}");
+        assert!(out.contains("(attributed)"), "{out}");
+        assert!(out.contains("message kinds:"), "{out}");
+        assert!(out.contains("utilization 80.2%"), "{out}");
+        assert!(out.contains("est. peak RSS 3.0 MiB (2 samples)"), "{out}");
+
+        let plain = archive_from(&sample(42, 0));
+        assert!(profile_report(&plain).is_err());
+    }
+
+    #[test]
+    fn flame_emits_folded_stacks_from_phase_records() {
+        let a = archive_from(&profiled_sample());
+        let out = flame(&a).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "sharded:2;on_round 600000");
+        assert_eq!(lines[1], "sharded:2;route_shard 300000");
+
+        let plain = archive_from(&sample(42, 0));
+        assert!(flame(&plain).is_err());
     }
 
     #[test]

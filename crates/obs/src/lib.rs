@@ -31,12 +31,21 @@
 //! narratives; [`bench_diff`] gives `rd-inspect bench-diff` its
 //! machine-readable perf-regression verdicts.
 
+//!
+//! Profiling ([`prof`]) layers cost attribution on the same spans:
+//! enabling [`Recorder::with_profiling`] yields a [`ProfileReport`]
+//! (per-phase ns/envelope, shard utilization/imbalance, memory
+//! timeline), schema-v3 `profile_*` archive records, and optionally a
+//! folded-stack file ([`FoldedStackSink`]) for flamegraph tooling —
+//! while un-profiled archives stay byte-identical to schema v2.
+
 pub mod archive;
 pub mod bench_diff;
 pub mod critical_path;
 pub mod hist;
 pub mod inspect;
 pub mod json;
+pub mod prof;
 pub mod recorder;
 pub mod registry;
 pub mod sink;
@@ -44,6 +53,7 @@ pub mod span;
 pub mod trace;
 
 pub use hist::Histogram;
+pub use prof::{folded_stacks, FoldedStackSink, Heartbeat, ProfileReport, Profiler};
 pub use recorder::{ObsReport, Recorder, RoundObs, RunMeta, RunOutcomeObs};
 pub use registry::MetricsRegistry;
 pub use sink::{ChromeTraceSink, JsonlArchiveSink, ObsSink, PrometheusSink};

@@ -15,6 +15,7 @@
 //! [`ObsSink`](crate::ObsSink) for export.
 
 use crate::hist::Histogram;
+use crate::prof::{ProfileReport, Profiler};
 use crate::registry::MetricsRegistry;
 use crate::sink::ObsSink;
 use crate::span::{Phase, SpanEvent};
@@ -107,6 +108,9 @@ pub struct ObsReport {
     /// The knowledge-provenance DAG, when causal tracing was enabled
     /// (exported as the schema-v2 archive section).
     pub causal: Option<CausalTrace>,
+    /// Cost attribution, when profiling was enabled (exported as the
+    /// schema-v3 archive section).
+    pub profile: Option<ProfileReport>,
 }
 
 /// How many hot senders/receivers the report keeps.
@@ -132,6 +136,7 @@ pub struct Recorder {
     registry: MetricsRegistry,
     sinks: Vec<Box<dyn ObsSink>>,
     causal: Option<CausalTrace>,
+    prof: Option<Profiler>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -167,6 +172,49 @@ impl Recorder {
             registry: MetricsRegistry::new(),
             sinks: Vec::new(),
             causal: None,
+            prof: None,
+        }
+    }
+
+    /// Enables cost-attribution profiling. Purely additive: a profiled
+    /// run is bit-identical to an un-profiled one (wall-clock still
+    /// only flows *into* the recorder), but the finished report gains
+    /// a [`ProfileReport`](crate::ProfileReport) and archives move to
+    /// schema v3. Chainable.
+    pub fn with_profiling(mut self) -> Self {
+        self.prof = Some(Profiler::new());
+        self
+    }
+
+    /// Whether profiling is enabled — engines and drivers gate their
+    /// profiling-only work (extra spans, memory sampling) on this so
+    /// un-profiled runs pay nothing.
+    pub fn profiling_enabled(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Registers one message kind's byte costs with the profiler
+    /// (no-op when profiling is off). Engines call this once at
+    /// construction; sizes are compile-time facts.
+    pub fn profile_msg_kind(&mut self, kind: &str, env_bytes: u64, ptr_bytes: u64) {
+        if let Some(prof) = &mut self.prof {
+            prof.add_msg_kind(kind, env_bytes, ptr_bytes);
+        }
+    }
+
+    /// Records one per-round memory sample (no-op when profiling is
+    /// off). Driver-side: engines cannot see algorithm knowledge.
+    pub fn profile_memory(&mut self, round: u64, knowledge_bytes: u64) {
+        if let Some(prof) = &mut self.prof {
+            prof.add_mem_sample(round, knowledge_bytes);
+        }
+    }
+
+    /// Records end-of-run buffer-pool high-water marks (no-op when
+    /// profiling is off).
+    pub fn profile_pool_high_water(&mut self, pools: &[(&str, u64)]) {
+        if let Some(prof) = &mut self.prof {
+            prof.set_pool_high_water(pools);
         }
     }
 
@@ -371,6 +419,15 @@ impl Recorder {
         let wall_total: u64 = self.rounds.iter().map(|r| r.wall_ns).sum();
         reg.set_gauge("wall_seconds_total", wall_total as f64 / 1e9);
 
+        // Profile assembly is the one place attribution arithmetic
+        // runs — nothing above this line changes shape when profiling
+        // is enabled, which is what keeps un-profiled archives
+        // byte-identical.
+        let profile = self
+            .prof
+            .take()
+            .map(|p| p.assemble(&self.rounds, &self.spans, &outcome));
+
         let report = ObsReport {
             meta: self.meta,
             outcome,
@@ -383,6 +440,7 @@ impl Recorder {
             spans: self.spans,
             span_overflow: self.span_overflow,
             causal: self.causal,
+            profile,
         };
         for sink in &mut self.sinks {
             sink.on_finish(&report)?;

@@ -65,15 +65,35 @@ impl ObsSink for ChromeTraceSink {
         let mut out = String::new();
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
         let mut first = true;
+        // Metadata events first, so Perfetto labels the process and
+        // every shard lane instead of showing bare pid/tid numbers.
+        // Everything here derives from run identity and the span set,
+        // so the trace stays deterministic for a deterministic run.
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"name\":{}}}}}",
+                escape(&format!(
+                    "{} on {} (n={})",
+                    report.meta.algorithm, report.meta.engine, report.meta.n
+                ))
+            ),
+        );
         let mut workers: Vec<u32> = report.spans.iter().map(|s| s.worker).collect();
         workers.sort_unstable();
         workers.dedup();
+        let lane = if report.meta.workers > 1 {
+            "shard"
+        } else {
+            "worker"
+        };
         for w in workers {
             push_event(
                 &mut out,
                 &mut first,
                 &format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{w},\"args\":{{\"name\":\"worker {w}\"}}}}"
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{w},\"args\":{{\"name\":\"{lane} {w}\"}}}}"
                 ),
             );
         }
@@ -161,7 +181,7 @@ impl ObsSink for PrometheusSink {
 
 /// Writes via a temp file + rename so a crashing run never leaves a
 /// half-written artifact where a complete one is expected.
-fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -239,6 +259,22 @@ mod tests {
             .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
             .count();
         assert_eq!(slices, report.spans.len());
+        // Perfetto labelling: one process_name metadata event, and one
+        // thread_name per lane (meta.workers > 1 ⇒ lanes are shards).
+        let meta_name = |event: &crate::json::Json| -> Option<String> {
+            event.get("args")?.get("name")?.as_str().map(str::to_string)
+        };
+        let process = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .expect("process_name metadata event");
+        assert_eq!(meta_name(process).unwrap(), "hm on sharded:2 (n=64)");
+        let threads: Vec<String> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .map(|e| meta_name(e).unwrap())
+            .collect();
+        assert_eq!(threads, vec!["shard 0", "shard 1"]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

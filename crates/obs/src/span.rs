@@ -30,17 +30,22 @@ pub enum Phase {
     ApplyDeltas,
     /// End-of-round bookkeeping (row close-out, pool returns).
     FinishRound,
+    /// Recorder bookkeeping at round close (row assembly, sink fan-out).
+    /// Emitted only when profiling is enabled, so the profiler's own
+    /// cost shows up as an attributed phase instead of unexplained gap.
+    Telemetry,
 }
 
 impl Phase {
     /// Every phase, in within-round execution order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::BeginRound,
         Phase::OnRound,
         Phase::RouteShard,
         Phase::MergeDestShard,
         Phase::ApplyDeltas,
         Phase::FinishRound,
+        Phase::Telemetry,
     ];
 
     /// The snake_case name used in archives and trace events.
@@ -52,6 +57,7 @@ impl Phase {
             Phase::MergeDestShard => "merge_dest_shard",
             Phase::ApplyDeltas => "apply_deltas",
             Phase::FinishRound => "finish_round",
+            Phase::Telemetry => "telemetry",
         }
     }
 

@@ -143,10 +143,14 @@ impl Scenario {
         }
         if let Some(dir) = obs_dir {
             let archive = dir.join(format!("{}-{}.jsonl", self.name, algorithm.name()));
+            // Heartbeat: fault campaigns run long enough (churn +
+            // reliable delivery can take thousands of rounds) that a
+            // rate-limited stderr progress line pays for itself.
             config = config.with_obs(
                 ObsSpec::new()
                     .with_archive(archive)
-                    .with_causal_trace(1 << 20, 1_000_000),
+                    .with_causal_trace(1 << 20, 1_000_000)
+                    .with_heartbeat(),
             );
         }
         config

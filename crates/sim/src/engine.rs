@@ -80,6 +80,15 @@ pub trait RoundEngine<N: Node> {
         Vec::new()
     }
 
+    /// `(name, peak_bytes)` high-water marks for every buffer pool the
+    /// engine owns (profiler export). Like [`pool_counters`], read once
+    /// by the driver after the run; never consulted by engine logic.
+    ///
+    /// [`pool_counters`]: Self::pool_counters
+    fn pool_high_water(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
     /// Runs until `done(nodes)` holds (checked before the first round and
     /// after every round) or `max_rounds` have executed.
     fn run_until(&mut self, max_rounds: u64, mut done: impl FnMut(&[N]) -> bool) -> RunOutcome
@@ -166,7 +175,15 @@ impl<N: Node> Engine<N> {
     /// archived, and the recorder's sinks export at run end. Purely
     /// observational — a run with a recorder is bit-identical to the
     /// same run without one.
-    pub fn with_obs(mut self, recorder: Recorder) -> Self {
+    pub fn with_obs(mut self, mut recorder: Recorder) -> Self {
+        // One-time message-cost registration: the profiler attributes
+        // per-kind byte costs at finish from these constants plus the
+        // deterministic round counters (no-op unless profiling is on).
+        recorder.profile_msg_kind(
+            crate::short_type_name::<N::Msg>(),
+            std::mem::size_of::<Envelope<N::Msg>>() as u64,
+            std::mem::size_of::<crate::NodeId>() as u64,
+        );
         self.obs = Some(recorder);
         self
     }
@@ -318,8 +335,16 @@ impl<N: Node> Engine<N> {
         self.core.finish_round();
         if let Some(rec) = &mut self.obs {
             rec.span_from(Phase::FinishRound, round, 0, t_finish.unwrap());
+            // Under profiling, the recorder's own round-close
+            // bookkeeping is timed as a `Telemetry` span so the
+            // profiler's self-cost shows up in the attribution instead
+            // of inflating the unattributed remainder.
+            let t_tel = rec.profiling_enabled().then(Instant::now);
             let row = *self.core.metrics().rounds().last().expect("open round row");
             rec.end_round(round_obs(round, &row));
+            if let Some(t) = t_tel {
+                rec.span_from(Phase::Telemetry, round, 0, t);
+            }
         }
     }
 
@@ -382,6 +407,10 @@ impl<N: Node> RoundEngine<N> for Engine<N> {
     fn pool_counters(&self) -> Vec<(&'static str, u64, u64)> {
         let stats = self.core.pool_stats();
         vec![("delay", stats.takes, stats.reuses)]
+    }
+
+    fn pool_high_water(&self) -> Vec<(&'static str, u64)> {
+        vec![("delay", self.core.pool_high_water_bytes())]
     }
 }
 

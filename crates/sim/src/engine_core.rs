@@ -777,6 +777,12 @@ impl<M: MessageCost> EngineCore<M> {
         self.pool.stats()
     }
 
+    /// Peak bytes ever parked in the delay-batch buffer pool
+    /// (profiler export).
+    pub fn pool_high_water_bytes(&self) -> u64 {
+        self.pool.high_water_bytes()
+    }
+
     /// Opens a round: starts its metrics row, folds newly reportable
     /// crashes into the suspect list, and moves messages whose
     /// asynchronous delay expires this round into the mailboxes.

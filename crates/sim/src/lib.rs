@@ -85,3 +85,13 @@ pub use metrics::{round_obs, DropTally, NodeLane, RoundMetrics, RunMetrics};
 pub use node::{Node, RoundContext};
 pub use pool::{BufferPool, PoolStats};
 pub use trace::{Trace, TraceEvent};
+
+/// The last path segment of `T`'s type name — e.g. `Rumor` for
+/// `my_crate::gossip::Rumor`. The engines use it to register message
+/// kinds with the profiler under a stable, human-readable label.
+pub fn short_type_name<T>() -> &'static str {
+    std::any::type_name::<T>()
+        .rsplit("::")
+        .next()
+        .unwrap_or("msg")
+}

@@ -27,6 +27,11 @@ pub struct PoolStats {
 pub struct BufferPool<T> {
     spares: Vec<Vec<T>>,
     stats: PoolStats,
+    /// Total element capacity currently parked in `spares`.
+    spare_capacity: usize,
+    /// Largest `spare_capacity` ever reached — the pool's memory
+    /// footprint at its fullest, in elements.
+    high_water: usize,
 }
 
 /// Spares kept beyond this are dropped instead of pooled.
@@ -38,6 +43,8 @@ impl<T> BufferPool<T> {
         BufferPool {
             spares: Vec::new(),
             stats: PoolStats::default(),
+            spare_capacity: 0,
+            high_water: 0,
         }
     }
 
@@ -48,6 +55,7 @@ impl<T> BufferPool<T> {
         match self.spares.pop() {
             Some(buf) => {
                 self.stats.reuses += 1;
+                self.spare_capacity -= buf.capacity();
                 buf
             }
             None => Vec::new(),
@@ -65,8 +73,17 @@ impl<T> BufferPool<T> {
     pub fn put(&mut self, mut buf: Vec<T>) {
         buf.clear();
         if buf.capacity() > 0 && self.spares.len() < MAX_SPARES {
+            self.spare_capacity += buf.capacity();
+            self.high_water = self.high_water.max(self.spare_capacity);
             self.spares.push(buf);
         }
+    }
+
+    /// Peak bytes ever parked in the free list at once. Observation
+    /// only — sampled by the profiler at run end, never read by engine
+    /// logic.
+    pub fn high_water_bytes(&self) -> u64 {
+        (self.high_water * std::mem::size_of::<T>()) as u64
     }
 
     /// Number of pooled spare buffers.
@@ -111,6 +128,22 @@ mod tests {
         let mut pool: BufferPool<u32> = BufferPool::new();
         pool.put(Vec::new());
         assert_eq!(pool.spares(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_parked_capacity() {
+        let mut pool: BufferPool<u64> = BufferPool::new();
+        assert_eq!(pool.high_water_bytes(), 0);
+        pool.put(Vec::with_capacity(16));
+        pool.put(Vec::with_capacity(8));
+        // Peak: 24 elements parked at once.
+        assert_eq!(pool.high_water_bytes(), 24 * 8);
+        let _a = pool.take();
+        let _b = pool.take();
+        // Draining the pool does not lower the high-water mark.
+        assert_eq!(pool.high_water_bytes(), 24 * 8);
+        pool.put(Vec::with_capacity(4));
+        assert_eq!(pool.high_water_bytes(), 24 * 8);
     }
 
     #[test]

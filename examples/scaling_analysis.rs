@@ -46,7 +46,7 @@
 use resource_discovery::analysis::experiment::{sweep, SweepSpec};
 use resource_discovery::analysis::{best_fit, Plot};
 use resource_discovery::core::algorithms::hm::{cluster_count, HmDiscovery, PHASES};
-use resource_discovery::obs::{JsonlArchiveSink, Recorder, RunMeta, RunOutcomeObs};
+use resource_discovery::obs::{Heartbeat, JsonlArchiveSink, Recorder, RunMeta, RunOutcomeObs};
 use resource_discovery::prelude::*;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -93,23 +93,55 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
             workers,
             latency_model: None,
         })
-        .with_sink(Box::new(JsonlArchiveSink::new(path)));
+        .with_sink(Box::new(JsonlArchiveSink::new(path)))
+        .with_profiling();
         engine = engine.with_obs(recorder);
     }
+    let profiling = obs_path.is_some();
     let start = Instant::now();
-    let outcome = engine.run_observed(1_000_000, problem::leader_knows_all, |round, nodes| {
-        if round % (4 * PHASES) == 0 {
-            println!(
-                "  round {round:5}: {} clusters, {:.1?} elapsed",
-                cluster_count(nodes),
-                start.elapsed()
-            );
+    // The loop is inlined (instead of `run_observed`) so the heartbeat
+    // can read `engine.metrics()` between rounds; a profiled archive
+    // additionally gets its per-round memory timeline sampled here.
+    let mut heartbeat = Heartbeat::new("scaling-big");
+    let mut mem_samples: Vec<(u64, u64)> = Vec::new();
+    let outcome = {
+        let mut finished = problem::leader_knows_all(engine.nodes());
+        while !finished && engine.round() < 1_000_000 {
+            engine.step();
+            let round = engine.round();
+            if round % (4 * PHASES) == 0 {
+                println!(
+                    "  round {round:5}: {} clusters, {:.1?} elapsed",
+                    cluster_count(engine.nodes()),
+                    start.elapsed()
+                );
+            }
+            let resident = || {
+                engine
+                    .nodes()
+                    .iter()
+                    .map(KnowledgeView::resident_bytes)
+                    .sum()
+            };
+            if profiling {
+                mem_samples.push((round, resident()));
+            }
+            heartbeat.tick(round, engine.metrics().total_messages(), resident);
+            finished = problem::leader_knows_all(engine.nodes());
         }
-    });
+        resource_discovery::sim::RunOutcome {
+            completed: finished,
+            rounds: engine.round(),
+        }
+    };
     let elapsed = start.elapsed();
 
     assert!(outcome.completed, "HM failed to complete within the budget");
-    if let Some(recorder) = RoundEngine::take_obs(&mut engine) {
+    if let Some(mut recorder) = RoundEngine::take_obs(&mut engine) {
+        for (round, bytes) in &mem_samples {
+            recorder.profile_memory(*round, *bytes);
+        }
+        recorder.profile_pool_high_water(&RoundEngine::pool_high_water(&engine));
         let pools = RoundEngine::pool_counters(&engine);
         let m = engine.metrics();
         let outcome_obs = RunOutcomeObs {

@@ -548,6 +548,48 @@ proptest! {
             }
         }
 
+        // Profiling is also outside the boundary: at every worker count
+        // the RunReport stays byte-for-byte the blind run's, and the
+        // archive it writes is a valid schema-3 one with a complete
+        // profile section.
+        for (tag, engine) in [
+            ("pw1", EngineKind::Sharded { workers: 1 }),
+            ("pw2", EngineKind::Sharded { workers: 2 }),
+            ("pw4", EngineKind::Sharded { workers: 4 }),
+        ] {
+            let path = dir.join(format!("{tag}.jsonl"));
+            let folded = dir.join(format!("{tag}.folded"));
+            let spec = ObsSpec::new()
+                .with_archive(&path)
+                .with_profile()
+                .with_folded(&folded);
+            let observed = run(kind, &base.clone().with_engine(engine).with_obs(spec));
+            prop_assert_eq!(
+                &observed,
+                &blind[0],
+                "{}: profiling perturbed the run",
+                tag
+            );
+            let text = std::fs::read_to_string(&path).unwrap();
+            let problems = archive::validate(&text);
+            prop_assert!(problems.is_empty(), "{}: invalid archive: {:?}", tag, problems);
+            let parsed = archive::parse(&text).unwrap();
+            prop_assert_eq!(parsed.header.schema, 3, "{}: profiled archive must be v3", tag);
+            let meta = parsed.profile_meta.as_ref().expect("profile section present");
+            // One memory sample per round plus the pre-run baseline.
+            prop_assert_eq!(meta.samples, observed.rounds + 1);
+            prop_assert!(!parsed.profile_phases.is_empty(), "{}: no phase rows", tag);
+            prop_assert!(!parsed.profile_msgs.is_empty(), "{}: no msg-kind rows", tag);
+            let folded_text = std::fs::read_to_string(&folded).unwrap();
+            prop_assert!(
+                folded_text.lines().all(|l| l.rsplit_once(' ')
+                    .is_some_and(|(stack, ns)| stack.split(';').count() == 3
+                        && ns.parse::<u64>().is_ok())),
+                "{}: malformed folded stacks",
+                tag
+            );
+        }
+
         std::fs::remove_dir_all(&dir).ok();
     }
 }
