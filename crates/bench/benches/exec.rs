@@ -21,9 +21,12 @@
 //! `obs_overhead_pct` field), again with a sampling causal trace on
 //! top (`"trace": true` rows with a `trace_overhead_pct` field), and
 //! again with cost-attribution profiling on (`"prof": true` rows with
-//! a `prof_overhead_pct` field): the combined in-run telemetry
-//! overhead budget is < 5% at n = 2^16 on the sequential engine, and
-//! profiling must stay inside the same budget. Three `micro:*` rows time the knowledge-merge
+//! a `prof_overhead_pct` field), and again with a live telemetry bus
+//! plus loopback scrape endpoint serving while the rounds run
+//! (`"live": true` rows with a `live_overhead_pct` field): the
+//! combined in-run telemetry overhead budget is < 5% at n = 2^16 on
+//! the sequential engine, profiling must stay inside the same budget,
+//! and the live bus must stay under 5% at n = 2^14. Three `micro:*` rows time the knowledge-merge
 //! kernels directly (dense ∪ dense and dense ∪ sparse `union_from`,
 //! and delta extraction + payload build) so the hot-path primitives are
 //! ratcheted independently of the end-to-end workload; for those rows
@@ -46,7 +49,7 @@ use rd_bench::workload::{make_nodes, Gossip, SEED};
 use rd_core::delta::DeltaFrontier;
 use rd_core::KnowledgeSet;
 use rd_exec::ShardedEngine;
-use rd_obs::{CausalTrace, Recorder, RunMeta};
+use rd_obs::{CausalTrace, LiveBus, LivePublisher, LiveServer, LiveSnapshot, Recorder, RunMeta};
 use rd_sim::{Engine, NodeId};
 use std::sync::Arc;
 use std::time::Instant;
@@ -86,15 +89,66 @@ fn bare_recorder(n: usize, workers: usize) -> Recorder {
 const TRACE_CAPACITY: usize = 1 << 16;
 const TRACE_PPM: u32 = 1_000;
 
+/// The live-telemetry leg: a real [`LiveServer`] on an ephemeral
+/// loopback port backed by a [`LiveBus`], plus the per-round snapshot
+/// the publisher pushes — the same work `drive()` does with `--live`
+/// (including the O(n) knowledge scan), so the measured delta is the
+/// honest per-round cost of serving live telemetry. Server start and
+/// shutdown stay outside the timed region, like engine construction.
+struct LiveLeg {
+    publisher: LivePublisher,
+    server: Option<LiveServer>,
+    base: LiveSnapshot,
+}
+
+impl LiveLeg {
+    fn start(n: usize, workers: usize) -> LiveLeg {
+        let bus = Arc::new(LiveBus::new());
+        let server = LiveServer::start("127.0.0.1:0", bus.clone()).ok();
+        LiveLeg {
+            publisher: LivePublisher::with_bus(bus),
+            server,
+            base: LiveSnapshot {
+                algorithm: "bench-gossip".into(),
+                topology: "kout-3".into(),
+                engine: engine_label(workers),
+                n: n as u64,
+                seed: SEED,
+                workers: workers.max(1) as u64,
+                max_rounds: u64::MAX,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn publish(&mut self, round: u64, messages: u64, knowledge_total: u64) {
+        self.base.round = round;
+        self.base.messages = messages;
+        self.base.knowledge_total = knowledge_total;
+        let mut snap = self.base.clone();
+        self.publisher.publish(&mut snap);
+    }
+
+    fn finish(mut self) {
+        self.base.finished = true;
+        let mut snap = self.base.clone();
+        self.publisher.publish_final(&mut snap);
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}
+
 /// One run of `rounds` rounds on the chosen engine; `workers == 0`
 /// means the sequential `rd-sim` engine, `obs` attaches a sink-less
 /// [`Recorder`], `trace` additionally attaches a sampling
-/// [`CausalTrace`], and `prof` enables cost-attribution profiling on
-/// the recorder. The node population is cloned from a prebuilt
-/// prototype so instance construction (graph generation and initial
-/// knowledge) stays outside every timed region. Returns total messages
-/// (a checksum that also keeps the work observable) and the wall-clock
-/// of the stepping loop alone.
+/// [`CausalTrace`], `prof` enables cost-attribution profiling on
+/// the recorder, and `live` publishes a per-round snapshot to a
+/// served loopback scrape endpoint. The node population is cloned from
+/// a prebuilt prototype so instance construction (graph generation and
+/// initial knowledge) stays outside every timed region. Returns total
+/// messages (a checksum that also keeps the work observable) and the
+/// wall-clock of the stepping loop alone.
 fn run_rounds(
     proto: &[Gossip],
     rounds: u64,
@@ -102,6 +156,7 @@ fn run_rounds(
     obs: bool,
     trace: bool,
     prof: bool,
+    live: bool,
 ) -> (u64, f64) {
     let recorder = |n: usize| {
         let rec = bare_recorder(n, workers);
@@ -119,11 +174,19 @@ fn run_rounds(
         if trace {
             engine = engine.with_causal_trace(CausalTrace::new(TRACE_CAPACITY, TRACE_PPM));
         }
+        let mut leg = live.then(|| LiveLeg::start(proto.len(), workers));
         let start = Instant::now();
-        for _ in 0..rounds {
+        for r in 0..rounds {
             engine.step();
+            if let Some(leg) = leg.as_mut() {
+                let known: u64 = engine.nodes().iter().map(|g| g.known.len() as u64).sum();
+                leg.publish(r + 1, engine.metrics().total_messages(), known);
+            }
         }
         let secs = start.elapsed().as_secs_f64();
+        if let Some(leg) = leg.take() {
+            leg.finish();
+        }
         (engine.metrics().total_messages(), secs)
     } else {
         let mut engine = ShardedEngine::new(proto.to_vec(), SEED, workers);
@@ -133,11 +196,19 @@ fn run_rounds(
         if trace {
             engine = engine.with_causal_trace(CausalTrace::new(TRACE_CAPACITY, TRACE_PPM));
         }
+        let mut leg = live.then(|| LiveLeg::start(proto.len(), workers));
         let start = Instant::now();
-        for _ in 0..rounds {
+        for r in 0..rounds {
             engine.step();
+            if let Some(leg) = leg.as_mut() {
+                let known: u64 = engine.nodes().iter().map(|g| g.known.len() as u64).sum();
+                leg.publish(r + 1, engine.metrics().total_messages(), known);
+            }
         }
         let secs = start.elapsed().as_secs_f64();
+        if let Some(leg) = leg.take() {
+            leg.finish();
+        }
         (engine.metrics().total_messages(), secs)
     }
 }
@@ -247,7 +318,9 @@ fn bench_engines(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(engine_label(workers), format!("2^{log2_n}")),
                 &proto,
-                |b, proto| b.iter(|| run_rounds(proto, rounds, workers, false, false, false)),
+                |b, proto| {
+                    b.iter(|| run_rounds(proto, rounds, workers, false, false, false, false))
+                },
             );
         }
     }
@@ -261,6 +334,7 @@ struct Measurement {
     obs: bool,
     trace: bool,
     prof: bool,
+    live: bool,
     best_seconds: f64,
 }
 
@@ -276,25 +350,38 @@ fn write_json_summary(reps: usize, path: &str) {
     for &(log2_n, rounds) in &SIZES {
         let n = 1usize << log2_n;
         let proto = make_nodes(n, SEED);
-        let configs = std::iter::once(0)
+        let configs: Vec<_> = std::iter::once(0)
             .chain(WORKER_COUNTS)
-            .map(|w| (w, false, false, false))
-            .chain([(0, true, false, false), (4, true, false, false)])
-            .chain([(0, true, true, false), (4, true, true, false)])
-            .chain([(0, true, false, true), (4, true, false, true)]);
-        for (workers, obs, trace, prof) in configs {
-            let mut best = f64::INFINITY;
-            for _ in 0..reps {
-                let (msgs, secs) = run_rounds(&proto, rounds, workers, obs, trace, prof);
+            .map(|w| (w, false, false, false, false))
+            .chain([
+                (0, true, false, false, false),
+                (4, true, false, false, false),
+            ])
+            .chain([(0, true, true, false, false), (4, true, true, false, false)])
+            .chain([(0, true, false, true, false), (4, true, false, true, false)])
+            .chain([(0, true, false, false, true), (4, true, false, false, true)])
+            .collect();
+        // Interleave the reps across configurations (each pass times every
+        // config once) instead of running one config's reps back-to-back:
+        // slow monotonic host drift over a sweep then lands on every config
+        // equally, so the paired *_overhead_pct deltas cancel it rather
+        // than charging it all to whichever configs happen to run last.
+        let mut bests = vec![f64::INFINITY; configs.len()];
+        for _ in 0..reps {
+            for (i, &(workers, obs, trace, prof, live)) in configs.iter().enumerate() {
+                let (msgs, secs) = run_rounds(&proto, rounds, workers, obs, trace, prof, live);
                 std::hint::black_box(msgs);
-                best = best.min(secs);
+                bests[i] = bests[i].min(secs);
             }
+        }
+        for (&(workers, obs, trace, prof, live), &best) in configs.iter().zip(&bests) {
             eprintln!(
-                "[exec-bench] n=2^{log2_n} {:<12} obs={} trace={} prof={} best {:.3}s for {rounds} rounds",
+                "[exec-bench] n=2^{log2_n} {:<12} obs={} trace={} prof={} live={} best {:.3}s for {rounds} rounds",
                 engine_label(workers),
                 if obs { "on " } else { "off" },
                 if trace { "on " } else { "off" },
                 if prof { "on " } else { "off" },
+                if live { "on " } else { "off" },
                 best
             );
             measurements.push(Measurement {
@@ -304,6 +391,7 @@ fn write_json_summary(reps: usize, path: &str) {
                 obs,
                 trace,
                 prof,
+                live,
                 best_seconds: best,
             });
         }
@@ -348,15 +436,22 @@ fn write_json_summary(reps: usize, path: &str) {
         let n = 1usize << m.log2_n;
         let sequential = measurements
             .iter()
-            .find(|s| s.log2_n == m.log2_n && s.workers == 0 && !s.obs && !s.trace && !s.prof)
+            .find(|s| {
+                s.log2_n == m.log2_n && s.workers == 0 && !s.obs && !s.trace && !s.prof && !s.live
+            })
             .expect("sequential baseline present");
         // Obs rows additionally report overhead vs their own obs-off
-        // twin (same engine, same workers); trace and prof rows report
-        // overhead vs their plain-obs twin on top.
+        // twin (same engine, same workers); trace, prof, and live rows
+        // report overhead vs their plain-obs twin on top.
         let twin = measurements
             .iter()
             .find(|s| {
-                s.log2_n == m.log2_n && s.workers == m.workers && !s.obs && !s.trace && !s.prof
+                s.log2_n == m.log2_n
+                    && s.workers == m.workers
+                    && !s.obs
+                    && !s.trace
+                    && !s.prof
+                    && !s.live
             })
             .expect("obs-off twin present");
         let rounds_per_sec = m.rounds as f64 / m.best_seconds;
@@ -377,11 +472,16 @@ fn write_json_summary(reps: usize, path: &str) {
                 (m.best_seconds / twin.best_seconds - 1.0) * 100.0
             ));
         }
-        if m.trace || m.prof {
+        if m.trace || m.prof || m.live {
             let obs_twin = measurements
                 .iter()
                 .find(|s| {
-                    s.log2_n == m.log2_n && s.workers == m.workers && s.obs && !s.trace && !s.prof
+                    s.log2_n == m.log2_n
+                        && s.workers == m.workers
+                        && s.obs
+                        && !s.trace
+                        && !s.prof
+                        && !s.live
                 })
                 .expect("plain-obs twin present");
             let overhead = (m.best_seconds / obs_twin.best_seconds - 1.0) * 100.0;
@@ -391,9 +491,12 @@ fn write_json_summary(reps: usize, path: &str) {
             if m.prof {
                 overheads.push_str(&format!(", \"prof_overhead_pct\": {overhead:.2}"));
             }
+            if m.live {
+                overheads.push_str(&format!(", \"live_overhead_pct\": {overhead:.2}"));
+            }
         }
         json.push_str(&format!(
-            "    {{\"n\": {n}, \"log2_n\": {}, \"rounds\": {}, \"engine\": \"{}\", \"workers\": {}, \"obs\": {}, \"trace\": {}, \"prof\": {}, \"best_seconds\": {:.4}, \"rounds_per_sec\": {:.2}{}{}}}{}\n",
+            "    {{\"n\": {n}, \"log2_n\": {}, \"rounds\": {}, \"engine\": \"{}\", \"workers\": {}, \"obs\": {}, \"trace\": {}, \"prof\": {}, \"live\": {}, \"best_seconds\": {:.4}, \"rounds_per_sec\": {:.2}{}{}}}{}\n",
             m.log2_n,
             m.rounds,
             engine_label(m.workers),
@@ -401,6 +504,7 @@ fn write_json_summary(reps: usize, path: &str) {
             m.obs,
             m.trace,
             m.prof,
+            m.live,
             m.best_seconds,
             rounds_per_sec,
             speedup.as_deref().unwrap_or(""),
@@ -414,7 +518,7 @@ fn write_json_summary(reps: usize, path: &str) {
     }
     for (j, (label, n, best, per_sec)) in micros.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"n\": {n}, \"engine\": \"{label}\", \"workers\": 0, \"obs\": false, \"trace\": false, \"prof\": false, \"iters\": {MICRO_ITERS}, \"best_seconds\": {best:.6}, \"rounds_per_sec\": {per_sec:.0}}}{}\n",
+            "    {{\"n\": {n}, \"engine\": \"{label}\", \"workers\": 0, \"obs\": false, \"trace\": false, \"prof\": false, \"live\": false, \"iters\": {MICRO_ITERS}, \"best_seconds\": {best:.6}, \"rounds_per_sec\": {per_sec:.0}}}{}\n",
             if j + 1 == micros.len() { "" } else { "," }
         ));
     }
@@ -425,18 +529,19 @@ fn write_json_summary(reps: usize, path: &str) {
 }
 
 /// Smoke check for test runs: both engines agree on a small instance,
-/// and attaching a recorder or a causal trace changes neither.
+/// and attaching a recorder, a causal trace, a profiler, or a live
+/// telemetry server changes none of them.
 fn smoke() {
     let proto = make_nodes(256, SEED);
-    let (seq, _) = run_rounds(&proto, 3, 0, false, false, false);
-    let (par, _) = run_rounds(&proto, 3, 4, false, false, false);
+    let (seq, _) = run_rounds(&proto, 3, 0, false, false, false, false);
+    let (par, _) = run_rounds(&proto, 3, 4, false, false, false, false);
     assert_eq!(seq, par, "engines diverged on the bench workload");
-    let (seq_obs, _) = run_rounds(&proto, 3, 0, true, false, false);
-    let (par_obs, _) = run_rounds(&proto, 3, 4, true, false, false);
+    let (seq_obs, _) = run_rounds(&proto, 3, 0, true, false, false, false);
+    let (par_obs, _) = run_rounds(&proto, 3, 4, true, false, false, false);
     assert_eq!(seq, seq_obs, "telemetry perturbed the sequential engine");
     assert_eq!(par, par_obs, "telemetry perturbed the sharded engine");
-    let (seq_trace, _) = run_rounds(&proto, 3, 0, true, true, false);
-    let (par_trace, _) = run_rounds(&proto, 3, 4, true, true, false);
+    let (seq_trace, _) = run_rounds(&proto, 3, 0, true, true, false, false);
+    let (par_trace, _) = run_rounds(&proto, 3, 4, true, true, false, false);
     assert_eq!(
         seq, seq_trace,
         "causal tracing perturbed the sequential engine"
@@ -445,12 +550,19 @@ fn smoke() {
         par, par_trace,
         "causal tracing perturbed the sharded engine"
     );
-    let (seq_prof, _) = run_rounds(&proto, 3, 0, true, false, true);
-    let (par_prof, _) = run_rounds(&proto, 3, 4, true, false, true);
+    let (seq_prof, _) = run_rounds(&proto, 3, 0, true, false, true, false);
+    let (par_prof, _) = run_rounds(&proto, 3, 4, true, false, true, false);
     assert_eq!(seq, seq_prof, "profiling perturbed the sequential engine");
     assert_eq!(par, par_prof, "profiling perturbed the sharded engine");
+    let (seq_live, _) = run_rounds(&proto, 3, 0, true, false, false, true);
+    let (par_live, _) = run_rounds(&proto, 3, 4, true, false, false, true);
+    assert_eq!(
+        seq, seq_live,
+        "live telemetry perturbed the sequential engine"
+    );
+    assert_eq!(par, par_live, "live telemetry perturbed the sharded engine");
     eprintln!(
-        "[exec-bench] smoke ok: both engines sent {seq} messages (obs, trace, and prof on and off)"
+        "[exec-bench] smoke ok: both engines sent {seq} messages (obs, trace, prof, and live on and off)"
     );
 }
 

@@ -10,12 +10,19 @@ use rd_event::{EventEngine, LatencyModel};
 use rd_exec::ShardedEngine;
 use rd_graphs::Topology;
 use rd_obs::{
-    CausalTrace, ChromeTraceSink, FoldedStackSink, Heartbeat, JsonlArchiveSink, PrometheusSink,
-    Recorder, RunMeta, RunOutcomeObs,
+    CausalTrace, ChromeTraceSink, FoldedStackSink, Heartbeat, JsonlArchiveSink, LiveBus,
+    LivePublisher, LiveServer, LiveSnapshot, MonitorEngine, PrometheusSink, Recorder, RunMeta,
+    RunOutcomeObs,
 };
 use rd_sim::{DropTally, Engine, FaultPlan, Node, RetryPolicy, RoundEngine, RunOutcome};
 use std::cell::Cell;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+// Downstream crates (rd-scenarios, the facade binaries) configure live
+// telemetry through [`ObsSpec::with_live`]; re-export the types that
+// flow through that API so they don't need a direct rd-obs dependency.
+pub use rd_obs::{Alert, AlertLog, AlertRule, LiveSpec};
 
 /// Which discovery algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,6 +213,11 @@ pub struct ObsSpec {
     /// Rate-limited stderr heartbeat (round, rounds/s, msgs/s, resident
     /// bytes) for long runs. Output only — never affects the run.
     pub heartbeat: bool,
+    /// Live telemetry: per-round snapshots on a never-blocking bus, a
+    /// loopback HTTP scrape endpoint (`/metrics`, `/status`,
+    /// `/healthz`), and online alert rules. Strictly one-way facts out
+    /// of the run — the round loop never reads anything back.
+    pub live: Option<LiveSpec>,
 }
 
 impl ObsSpec {
@@ -264,6 +276,14 @@ impl ObsSpec {
     /// executes.
     pub fn with_heartbeat(mut self) -> Self {
         self.heartbeat = true;
+        self
+    }
+
+    /// Attaches live telemetry: the driver publishes a per-round
+    /// snapshot to a lock-light bus, serves it over a loopback HTTP
+    /// endpoint, and evaluates the spec's alert rules online.
+    pub fn with_live(mut self, live: LiveSpec) -> Self {
+        self.live = Some(live);
         self
     }
 
@@ -678,6 +698,56 @@ where
         .as_ref()
         .is_some_and(|s| s.heartbeat)
         .then(|| Heartbeat::new(alg.name()));
+    // Live telemetry: a bus the loopback HTTP server reads from, a
+    // publisher that stamps throughput rates (shared with the stderr
+    // heartbeat, which renders the same snapshot), and the online
+    // monitor. All strictly one-way out of the run — a bind failure
+    // degrades to a warning rather than changing the run.
+    let live_spec = config.obs.as_ref().and_then(|s| s.live.clone());
+    let mut live_bus: Option<Arc<LiveBus>> = None;
+    let mut live_server: Option<LiveServer> = None;
+    if let Some(spec) = &live_spec {
+        let bus = Arc::new(LiveBus::new());
+        let addr = spec.addr.as_deref().unwrap_or("127.0.0.1:0");
+        match LiveServer::start(addr, bus.clone()) {
+            Ok(server) => {
+                eprintln!("[rd-live] serving http://{}", server.addr());
+                live_server = Some(server);
+                live_bus = Some(bus);
+            }
+            Err(err) => eprintln!("warning: rd-live failed to bind {addr}: {err}"),
+        }
+    }
+    let live_on = live_bus.is_some();
+    let mut publisher = (live_on || heartbeat.is_some()).then(|| match &live_bus {
+        Some(bus) => LivePublisher::with_bus(bus.clone()),
+        None => LivePublisher::new(),
+    });
+    let mut monitor = live_spec
+        .as_ref()
+        .filter(|s| !s.rules.is_empty())
+        .map(|s| MonitorEngine::new(s.rules.clone()));
+    let alert_log = live_spec.as_ref().and_then(|s| s.log.clone());
+    let mut alerts_fired: u64 = 0;
+    let live_count = live.iter().filter(|&&l| l).count() as u64;
+    let mut snap_base = LiveSnapshot::default();
+    if publisher.is_some() {
+        snap_base.algorithm = alg.name();
+        snap_base.topology = config.topology.name();
+        snap_base.engine = config.engine.name();
+        snap_base.n = config.n as u64;
+        snap_base.seed = config.seed;
+        snap_base.workers = match config.engine {
+            EngineKind::Sequential | EngineKind::Event { .. } => 1,
+            EngineKind::Sharded { workers } => workers as u64,
+        };
+        snap_base.max_rounds = config.max_rounds;
+        // Every live node must know every live node (the default
+        // completion notion): live² identifiers in total.
+        snap_base.knowledge_target = live_count * live_count;
+    }
+    let mut live_last_total: Option<u64> = None;
+    let mut live_last_progress: u64 = 0;
     let resident_total =
         |nodes: &[A::NodeState]| -> u64 { nodes.iter().map(|s| s.resident_bytes()).sum() };
     let mut mem_samples: Vec<(u64, u64)> = Vec::new();
@@ -699,13 +769,67 @@ where
                 let total: u64 = engine.nodes().iter().map(|s| s.knows_count() as u64).sum();
                 knowledge.push((round, total));
             }
-            if profiling || heartbeat.is_some() {
+            // Resident bytes are sampled when profiling, when live
+            // telemetry wants every round, or when the heartbeat is
+            // due — so a heartbeat-only run still pays the sampling
+            // cost at the heartbeat rate, not the round rate.
+            let hb_due = heartbeat.as_ref().is_some_and(Heartbeat::due);
+            if profiling || live_on || hb_due {
                 let resident = resident_total(engine.nodes());
                 if profiling {
                     mem_samples.push((round, resident));
                 }
-                if let Some(hb) = &mut heartbeat {
-                    hb.tick(round, engine.metrics().total_messages(), || resident);
+                if live_on || hb_due {
+                    let mut snap = snap_base.clone();
+                    snap.round = round;
+                    {
+                        let m = engine.metrics();
+                        snap.messages = m.total_messages();
+                        snap.retransmissions = m.total_retransmissions();
+                        let d = m.drop_tally();
+                        snap.dropped_coin = d.coin;
+                        snap.dropped_crash = d.crash;
+                        snap.dropped_partition = d.partition;
+                        snap.dropped_link = d.link;
+                        snap.dropped_suppression = d.suppression;
+                    }
+                    snap.knowledge_total = engine
+                        .nodes()
+                        .iter()
+                        .zip(&live)
+                        .filter(|(_, &l)| l)
+                        .map(|(s, _)| s.knows_count() as u64)
+                        .sum();
+                    if live_last_total != Some(snap.knowledge_total) {
+                        live_last_total = Some(snap.knowledge_total);
+                        live_last_progress = round;
+                    }
+                    snap.last_progress = live_last_progress;
+                    snap.resident_bytes = resident;
+                    snap.pool_bytes = engine.pool_high_water().iter().map(|&(_, b)| b).sum();
+                    if let Some(rec) = engine.obs_mut() {
+                        snap.shard_busy_ns = rec.live_shard_busy().to_vec();
+                        snap.round_wall_ns = rec.last_round_wall_ns();
+                    }
+                    if let Some(mon) = &mut monitor {
+                        for alert in mon.evaluate(&snap) {
+                            alerts_fired += 1;
+                            eprintln!("[rd-live] ALERT {}: {}", alert.rule, alert.message);
+                            if let Some(log) = &alert_log {
+                                log.push(alert.clone());
+                            }
+                            if let Some(rec) = engine.obs_mut() {
+                                rec.record_alert(alert);
+                            }
+                        }
+                    }
+                    snap.alerts = alerts_fired;
+                    if let Some(p) = &mut publisher {
+                        p.publish(&mut snap);
+                    }
+                    if let Some(hb) = &mut heartbeat {
+                        hb.emit(&snap);
+                    }
                 }
             }
             if done(engine.nodes()) {
@@ -782,6 +906,44 @@ where
         trace_overflow,
         sound,
     };
+
+    // Terminal snapshot: scrape threads see the verdict before the
+    // server goes away. `publish_final` blocks on the back slot — the
+    // terminal state must not be dropped to a concurrent reader.
+    if live_on {
+        let mut snap = snap_base.clone();
+        snap.round = outcome.rounds;
+        snap.messages = report.messages;
+        snap.retransmissions = report.retransmissions;
+        snap.dropped_coin = report.drops.coin;
+        snap.dropped_crash = report.drops.crash;
+        snap.dropped_partition = report.drops.partition;
+        snap.dropped_link = report.drops.link;
+        snap.dropped_suppression = report.drops.suppression;
+        snap.knowledge_total = engine
+            .nodes()
+            .iter()
+            .zip(&live)
+            .filter(|(_, &l)| l)
+            .map(|(s, _)| s.knows_count() as u64)
+            .sum();
+        snap.last_progress = live_last_progress;
+        snap.resident_bytes = resident_total(engine.nodes());
+        snap.pool_bytes = engine.pool_high_water().iter().map(|&(_, b)| b).sum();
+        if let Some(rec) = &recorder {
+            snap.shard_busy_ns = rec.live_shard_busy().to_vec();
+            snap.round_wall_ns = rec.last_round_wall_ns();
+        }
+        snap.alerts = alerts_fired;
+        snap.finished = true;
+        snap.verdict = verdict.name().to_string();
+        if let Some(p) = &mut publisher {
+            p.publish_final(&mut snap);
+        }
+    }
+    if let Some(server) = live_server.take() {
+        server.shutdown();
+    }
 
     if let Some(mut rec) = recorder {
         rec.registry_mut()

@@ -1,4 +1,4 @@
-//! The JSONL run-archive format: schemas v1, v2, and v3.
+//! The JSONL run-archive format: schemas v1 through v4.
 //!
 //! One file per run, one JSON object per line, `"type"` tagging the
 //! record kind. Line order is fixed so archives diff cleanly as text:
@@ -24,6 +24,7 @@
 //! {"type":"profile_phase","phase":…,"total_ns":…,"round_pct":…,"ns_per_envelope":…} (v3) × phases
 //! {"type":"profile_msg","kind":…,"envelopes":…,"payload_bytes":…,"ns_per_envelope":…}(v3) × kinds
 //! {"type":"profile_mem","round":…,"knowledge_bytes":…,"pool_bytes":…,"rss_bytes":…} (v3) × samples
+//! {"type":"alert","rule":…,"round":…,"value":…,"threshold":…,"message":…}           (v4) × alerts
 //! {"type":"summary","verdict":…,"completed":…,"sound":…,"rounds":…,"messages":…,"pointers":…,
 //!   "trace_events":…,"trace_overflow":…,"span_overflow":…,"wall_ns_total":…
 //!   [,"last_progress":…]}        (the stall watermark appears only when the driver tracked it)
@@ -39,11 +40,14 @@
 //! records, in ascending `(id, node)` order). Schema v3 adds the
 //! profiling section (`profile_meta` first, then `profile_phase` /
 //! `profile_msg` / `profile_mem` records, the memory timeline in
-//! strictly ascending round order). Each section is opt-in and the
-//! declared schema is the *lowest* that covers the records actually
-//! present: a run without causal tracing or profiling still renders as
-//! schema 1, byte-identical to what earlier builds wrote, and a
-//! profiled-but-untraced run skips the v2 section while declaring v3.
+//! strictly ascending round order). Schema v4 adds `alert` records —
+//! online SLO monitor firings, in ascending round order just before
+//! the summary. Each section is opt-in and the declared schema is the
+//! *lowest* that covers the records actually present: a run without
+//! causal tracing or profiling still renders as schema 1,
+//! byte-identical to what earlier builds wrote, a profiled-but-
+//! untraced run skips the v2 section while declaring v3, and an
+//! alert-free live run declares whatever its other sections need.
 //! Archives may not contain record types newer than their declared
 //! schema.
 
@@ -53,11 +57,12 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The newest archive schema this crate reads and writes. Archives
-/// without a profile section render as schema 2 (or 1 without a
-/// causal-trace section either).
-pub const SCHEMA_VERSION: u64 = 3;
+/// declare the lowest schema covering the sections they contain:
+/// without alerts they render as schema 3 (or 2 without a profile
+/// section, or 1 without a causal-trace section either).
+pub const SCHEMA_VERSION: u64 = 4;
 
-const KNOWN_TYPES: [&str; 15] = [
+const KNOWN_TYPES: [&str; 16] = [
     "header",
     "round",
     "phase",
@@ -72,6 +77,7 @@ const KNOWN_TYPES: [&str; 15] = [
     "profile_phase",
     "profile_msg",
     "profile_mem",
+    "alert",
     "summary",
 ];
 
@@ -86,6 +92,9 @@ const V3_TYPES: [&str; 4] = [
     "profile_mem",
 ];
 
+/// Record types that need at least a schema v4 archive.
+const V4_TYPES: [&str; 1] = ["alert"];
+
 /// Renders a finished run as the full archive text.
 pub fn render(report: &ObsReport) -> String {
     let mut out = String::new();
@@ -93,8 +102,10 @@ pub fn render(report: &ObsReport) -> String {
     // The lowest schema that covers the sections actually present, so
     // un-profiled (and untraced) archives stay byte-identical to what
     // earlier builds wrote.
-    let schema = if report.profile.is_some() {
+    let schema = if !report.alerts.is_empty() {
         SCHEMA_VERSION
+    } else if report.profile.is_some() {
+        3
     } else if report.causal.is_some() {
         2
     } else {
@@ -249,6 +260,17 @@ pub fn render(report: &ObsReport) -> String {
             );
         }
     }
+    for a in &report.alerts {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"alert\",\"rule\":{},\"round\":{},\"value\":{},\"threshold\":{},\"message\":{}}}",
+            escape(&a.rule),
+            a.round,
+            fmt_f64(a.value),
+            fmt_f64(a.threshold),
+            escape(&a.message)
+        );
+    }
     let o = &report.outcome;
     let wall_total: u64 = report.rounds.iter().map(|r| r.wall_ns).sum();
     // `last_progress` renders only when the driver tracked it, so
@@ -401,6 +423,16 @@ pub struct ProfileMemRec {
     pub rss_bytes: u64,
 }
 
+/// Parsed `alert` record (schema v4): one online-monitor firing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AlertRec {
+    pub rule: String,
+    pub round: u64,
+    pub value: f64,
+    pub threshold: f64,
+    pub message: String,
+}
+
 /// Parsed `summary` record.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SummaryRec {
@@ -443,6 +475,8 @@ pub struct Archive {
     pub profile_msgs: Vec<ProfileMsgRec>,
     /// The memory timeline in ascending round order (schema v3).
     pub profile_mem: Vec<ProfileMemRec>,
+    /// Online-monitor firings in ascending round order (schema v4).
+    pub alerts: Vec<AlertRec>,
     pub summary: SummaryRec,
 }
 
@@ -470,6 +504,7 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
     let mut last_round: Option<u64> = None;
     let mut last_edge: Option<(u64, u64)> = None;
     let mut last_mem_round: Option<u64> = None;
+    let mut last_alert_round: Option<u64> = None;
     let mut nonempty_lines = 0usize;
 
     for (i, line) in text.lines().enumerate() {
@@ -508,6 +543,12 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
         if V3_TYPES.contains(&ty.as_str()) && saw_header && archive.header.schema < 3 {
             problems.push(format!(
                 "line {lineno}: record type \"{ty}\" requires schema 3, archive declares {}",
+                archive.header.schema
+            ));
+        }
+        if V4_TYPES.contains(&ty.as_str()) && saw_header && archive.header.schema < 4 {
+            problems.push(format!(
+                "line {lineno}: record type \"{ty}\" requires schema 4, archive declares {}",
                 archive.header.schema
             ));
         }
@@ -754,6 +795,27 @@ fn scan(text: &str) -> (Archive, Vec<String>) {
                 }
                 last_mem_round = Some(rec.round);
                 archive.profile_mem.push(rec);
+            }
+            "alert" => {
+                let rec = AlertRec {
+                    rule: str_field(&v, "rule", lineno, &mut problems),
+                    round: field!("round"),
+                    value: f64_field(&v, "value", &ty, lineno, &mut problems),
+                    threshold: f64_field(&v, "threshold", &ty, lineno, &mut problems),
+                    message: str_field(&v, "message", lineno, &mut problems),
+                };
+                // Two rules may fire in the same round, so the order
+                // constraint is non-strict, unlike rounds and samples.
+                if let Some(prev) = last_alert_round {
+                    if rec.round < prev {
+                        problems.push(format!(
+                            "line {lineno}: alert round {} out of order (previous {prev})",
+                            rec.round
+                        ));
+                    }
+                }
+                last_alert_round = Some(rec.round);
+                archive.alerts.push(rec);
             }
             "summary" => {
                 if summary_line.is_some() {
@@ -1152,6 +1214,104 @@ mod tests {
         assert!(validate(&orphaned)
             .iter()
             .any(|p| p.contains("before any profile_meta")));
+    }
+
+    fn sample_v4_archive_text() -> String {
+        let mut rec = Recorder::new(RunMeta {
+            algorithm: "hm".into(),
+            topology: "k-out-3".into(),
+            n: 32,
+            seed: 11,
+            engine: "sequential".into(),
+            workers: 1,
+            latency_model: None,
+        });
+        rec.begin_round();
+        rec.end_round(RoundObs {
+            round: 1,
+            wall_ns: 0,
+            messages: 4,
+            pointers: 8,
+            dropped_coin: 0,
+            dropped_crash: 0,
+            dropped_partition: 0,
+            dropped_link: 0,
+            dropped_suppression: 0,
+            retransmissions: 0,
+            knowledge_delta: None,
+        });
+        rec.record_alert(crate::monitor::Alert {
+            rule: "stall".into(),
+            round: 40,
+            value: 40.0,
+            threshold: 5.0,
+            message: "no knowledge growth for 40 rounds".into(),
+        });
+        rec.record_alert(crate::monitor::Alert {
+            rule: "drop-rate".into(),
+            round: 40,
+            value: 0.95,
+            threshold: 0.9,
+            message: "drop ratio 0.95 exceeds 0.9".into(),
+        });
+        let report = rec
+            .finish(
+                RunOutcomeObs {
+                    verdict: "stalled".into(),
+                    completed: false,
+                    sound: true,
+                    rounds: 40,
+                    messages: 4,
+                    pointers: 8,
+                    trace_events: 0,
+                    trace_overflow: 0,
+                    last_progress: Some(1),
+                },
+                &[],
+                &[],
+                &[],
+                &[],
+            )
+            .unwrap();
+        render(&report)
+    }
+
+    #[test]
+    fn alert_archives_render_as_schema_4_and_round_trip() {
+        let text = sample_v4_archive_text();
+        assert_eq!(validate(&text), Vec::<String>::new());
+        let a = parse(&text).unwrap();
+        assert_eq!(a.header.schema, 4);
+        assert_eq!(a.alerts.len(), 2);
+        assert_eq!(a.alerts[0].rule, "stall");
+        assert_eq!(a.alerts[0].round, 40);
+        assert!((a.alerts[1].value - 0.95).abs() < 1e-9);
+        assert_eq!(a.counters["alerts_total"], 2);
+        // Same round twice is fine (two rules firing together).
+        assert_eq!(a.alerts[1].round, a.alerts[0].round);
+    }
+
+    #[test]
+    fn v4_records_are_rejected_under_lower_schemas() {
+        let text = sample_v4_archive_text();
+        for downgrade in ["\"schema\":1", "\"schema\":2", "\"schema\":3"] {
+            let downgraded = text.replace("\"schema\":4", downgrade);
+            assert!(
+                validate(&downgraded)
+                    .iter()
+                    .any(|p| p.contains("requires schema 4")),
+                "downgrade to {downgrade} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn alert_free_archives_keep_their_pre_v4_schema() {
+        // No alerts + no profile + no causal ⇒ still schema 1: a live
+        // run on which nothing fired archives byte-identically to
+        // builds without the monitor.
+        assert!(sample_archive_text().contains("\"schema\":1"));
+        assert!(sample_v3_archive_text().contains("\"schema\":3"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! schema — the library half of `rd-inspect bench-diff`.
 //!
 //! Two benchmark summaries are joined on their configuration key
-//! `(n, engine, obs, trace, prof)` and compared on `rounds_per_sec`. Each
+//! `(n, engine, obs, trace, prof, live)` and compared on `rounds_per_sec`. Each
 //! matched row gets a verdict: `FAIL` above the failure threshold,
 //! `WARN` between the warn and fail thresholds, `OK` otherwise. Rows
 //! present on only one side are reported but never gate — a PR that
@@ -28,26 +28,34 @@ pub struct BenchRow {
     pub obs: bool,
     pub trace: bool,
     pub prof: bool,
+    pub live: bool,
     pub rounds_per_sec: f64,
 }
 
 impl BenchRow {
-    fn key(&self) -> (u64, &str, bool, bool, bool) {
-        (self.n, &self.engine, self.obs, self.trace, self.prof)
+    fn key(&self) -> (u64, &str, bool, bool, bool, bool) {
+        (
+            self.n,
+            &self.engine,
+            self.obs,
+            self.trace,
+            self.prof,
+            self.live,
+        )
     }
 
     fn label(&self) -> String {
         format!(
-            "n={} engine={} obs={} trace={} prof={}",
-            self.n, self.engine, self.obs, self.trace, self.prof
+            "n={} engine={} obs={} trace={} prof={} live={}",
+            self.n, self.engine, self.obs, self.trace, self.prof, self.live
         )
     }
 }
 
 /// Parses a `BENCH_*.json` document into its configuration rows.
-/// Rows written before the `trace` (resp. `prof`) field existed read as
-/// `trace: false` (`prof: false`), so old committed baselines keep
-/// joining cleanly.
+/// Rows written before the `trace` (resp. `prof`, `live`) field existed
+/// read as `trace: false` (`prof: false`, `live: false`), so old
+/// committed baselines keep joining cleanly.
 pub fn parse_bench(text: &str) -> Result<Vec<BenchRow>, String> {
     let doc = Json::parse(text)?;
     let configs = doc
@@ -87,6 +95,14 @@ pub fn parse_bench(text: &str) -> Result<Vec<BenchRow>, String> {
                 })
                 .transpose()?
                 .unwrap_or(false),
+            live: row
+                .get("live")
+                .map(|v| {
+                    v.as_bool()
+                        .ok_or_else(|| format!("configs[{i}]: \"live\" must be a boolean"))
+                })
+                .transpose()?
+                .unwrap_or(false),
             rounds_per_sec: field("rounds_per_sec")?
                 .as_f64()
                 .ok_or_else(|| format!("configs[{i}]: \"rounds_per_sec\" must be a number"))?,
@@ -104,20 +120,28 @@ pub struct BenchTarget {
     pub obs: bool,
     pub trace: bool,
     pub prof: bool,
+    pub live: bool,
     /// The run fails when the matching configuration measures below
     /// this floor, regardless of what the relative diff says.
     pub min_rounds_per_sec: f64,
 }
 
 impl BenchTarget {
-    fn key(&self) -> (u64, &str, bool, bool, bool) {
-        (self.n, &self.engine, self.obs, self.trace, self.prof)
+    fn key(&self) -> (u64, &str, bool, bool, bool, bool) {
+        (
+            self.n,
+            &self.engine,
+            self.obs,
+            self.trace,
+            self.prof,
+            self.live,
+        )
     }
 
     fn label(&self) -> String {
         format!(
-            "n={} engine={} obs={} trace={} prof={}",
-            self.n, self.engine, self.obs, self.trace, self.prof
+            "n={} engine={} obs={} trace={} prof={} live={}",
+            self.n, self.engine, self.obs, self.trace, self.prof, self.live
         )
     }
 }
@@ -161,6 +185,14 @@ pub fn parse_targets(text: &str) -> Result<Vec<BenchTarget>, String> {
                 .map(|v| {
                     v.as_bool()
                         .ok_or_else(|| format!("targets[{i}]: \"prof\" must be a boolean"))
+                })
+                .transpose()?
+                .unwrap_or(false),
+            live: row
+                .get("live")
+                .map(|v| {
+                    v.as_bool()
+                        .ok_or_else(|| format!("targets[{i}]: \"live\" must be a boolean"))
                 })
                 .transpose()?
                 .unwrap_or(false),
@@ -428,6 +460,7 @@ mod tests {
             obs,
             trace,
             prof: false,
+            live: false,
             rounds_per_sec: rps,
         }
     }
@@ -447,11 +480,32 @@ mod tests {
         assert!(rows[1].trace);
         assert_eq!(rows[1].engine, "sharded:4");
         assert!(!rows[1].prof, "missing prof field defaults to false");
+        assert!(!rows[1].live, "missing live field defaults to false");
         let profiled = parse_bench(
             r#"{"configs": [{"n": 64, "engine": "sequential", "obs": true, "prof": true, "rounds_per_sec": 1.0}]}"#,
         )
         .unwrap();
         assert!(profiled[0].prof);
+        let live = parse_bench(
+            r#"{"configs": [{"n": 64, "engine": "sequential", "obs": true, "live": true, "rounds_per_sec": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(live[0].live, "explicit live field parses");
+    }
+
+    #[test]
+    fn live_rows_join_only_against_live_rows() {
+        let mut live_row = row(1, "sequential", true, false, 100.0);
+        live_row.live = true;
+        let old = vec![row(1, "sequential", true, false, 100.0), live_row.clone()];
+        let mut live_new = live_row;
+        live_new.rounds_per_sec = 99.0;
+        let new = vec![row(1, "sequential", true, false, 100.0), live_new];
+        let diff = compare(&old, &new, 5.0, 15.0);
+        assert_eq!(diff.rows.len(), 2, "live and non-live rows both join");
+        assert!(diff.rows[0].label.contains("live=false"));
+        assert!(diff.rows[1].label.contains("live=true"));
+        assert_eq!(diff.rows[1].new, 99.0);
     }
 
     #[test]
@@ -519,6 +573,7 @@ mod tests {
             obs: false,
             trace: false,
             prof: false,
+            live: false,
             min_rounds_per_sec: min,
         }
     }

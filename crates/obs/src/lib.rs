@@ -38,21 +38,37 @@
 //! timeline), schema-v3 `profile_*` archive records, and optionally a
 //! folded-stack file ([`FoldedStackSink`]) for flamegraph tooling —
 //! while un-profiled archives stay byte-identical to schema v2.
+//!
+//! Live telemetry ([`live`], [`http`], [`monitor`]) streams the same
+//! facts *during* the run: the driver publishes one [`LiveSnapshot`]
+//! per round to a never-blocking [`LiveBus`], a loopback-only
+//! [`LiveServer`] serves `/metrics`, `/status`, and `/healthz` from the
+//! latest snapshot, and a [`MonitorEngine`] evaluates declarative
+//! [`AlertRule`]s online, firing schema-v4 `alert` archive records.
+//! Snapshots are one-way facts out of the run, so the determinism
+//! contract above is untouched.
 
 pub mod archive;
 pub mod bench_diff;
 pub mod critical_path;
 pub mod hist;
+pub mod http;
 pub mod inspect;
 pub mod json;
+pub mod live;
+pub mod monitor;
 pub mod prof;
 pub mod recorder;
 pub mod registry;
 pub mod sink;
 pub mod span;
 pub mod trace;
+pub mod watch;
 
 pub use hist::Histogram;
+pub use http::{http_get, LiveServer};
+pub use live::{LiveBus, LivePublisher, LiveSnapshot, LiveSpec};
+pub use monitor::{Alert, AlertLog, AlertRule, MonitorEngine};
 pub use prof::{folded_stacks, FoldedStackSink, Heartbeat, ProfileReport, Profiler};
 pub use recorder::{ObsReport, Recorder, RoundObs, RunMeta, RunOutcomeObs};
 pub use registry::MetricsRegistry;

@@ -350,14 +350,19 @@ impl ObsSink for FoldedStackSink {
 
 /// A rate-limited stderr progress line for long runs: round, rounds/s,
 /// msgs/s, resident bytes. Strictly observational — it only *reads*
-/// run state, via the driver's observe hook, and prints to stderr so
-/// deterministic stdout reports stay byte-stable.
+/// run state and prints to stderr so deterministic stdout reports stay
+/// byte-stable.
+///
+/// The heartbeat is a *renderer* of [`LiveSnapshot`](crate::
+/// LiveSnapshot)s: throughput accounting lives solely in the
+/// [`LivePublisher`](crate::LivePublisher) that stamps the snapshot,
+/// so the stderr line and the `/status` endpoint can never disagree
+/// (the heartbeat used to recompute its own rounds/s — that duplicate
+/// accounting is gone).
 pub struct Heartbeat {
     label: String,
     interval: Duration,
     last_emit: Instant,
-    last_round: u64,
-    last_messages: u64,
 }
 
 impl Heartbeat {
@@ -372,35 +377,31 @@ impl Heartbeat {
             label: label.into(),
             interval,
             last_emit: Instant::now(),
-            last_round: 0,
-            last_messages: 0,
         }
     }
 
-    /// Called once per round. Cheap when not due (one clock read);
-    /// `resident_bytes` is only invoked when a line is actually
-    /// printed, so the sampling cost is paid at the heartbeat rate,
-    /// not the round rate.
-    pub fn tick(&mut self, round: u64, messages: u64, resident_bytes: impl FnOnce() -> u64) {
-        let elapsed = self.last_emit.elapsed();
-        if elapsed < self.interval {
+    /// Whether a line is due. Cheap (one clock read); drivers gate
+    /// snapshot assembly — resident-memory sampling in particular — on
+    /// this for heartbeat-only runs, so the sampling cost is paid at
+    /// the heartbeat rate, not the round rate.
+    pub fn due(&self) -> bool {
+        self.last_emit.elapsed() >= self.interval
+    }
+
+    /// Prints one line from `snap` if due.
+    pub fn emit(&mut self, snap: &crate::live::LiveSnapshot) {
+        if !self.due() {
             return;
         }
-        let secs = elapsed.as_secs_f64().max(1e-9);
-        let rounds_per_s = round.saturating_sub(self.last_round) as f64 / secs;
-        let msgs_per_s = messages.saturating_sub(self.last_messages) as f64 / secs;
-        let resident = resident_bytes();
         eprintln!(
             "[{}] round {} | {:.1} rounds/s | {:.0} msgs/s | resident {:.1} MiB",
             self.label,
-            round,
-            rounds_per_s,
-            msgs_per_s,
-            resident as f64 / (1024.0 * 1024.0)
+            snap.round,
+            snap.rounds_per_sec,
+            snap.msgs_per_sec,
+            snap.resident_bytes as f64 / (1024.0 * 1024.0)
         );
         self.last_emit = Instant::now();
-        self.last_round = round;
-        self.last_messages = messages;
     }
 }
 
@@ -555,22 +556,24 @@ mod tests {
     }
 
     #[test]
-    fn heartbeat_rate_limits_and_tracks_progress() {
-        let mut hb = Heartbeat::with_interval("test", Duration::from_secs(3600));
-        let mut sampled = 0u32;
-        // Not due: the resident closure must not run.
-        hb.tick(1, 10, || {
-            sampled += 1;
-            0
-        });
-        assert_eq!(sampled, 0);
+    fn heartbeat_rate_limits_and_renders_snapshots() {
+        let hb = Heartbeat::with_interval("test", Duration::from_secs(3600));
+        assert!(!hb.due(), "fresh heartbeat with a long interval not due");
         let mut hb = Heartbeat::with_interval("test", Duration::ZERO);
-        hb.tick(5, 100, || {
-            sampled += 1;
-            1 << 20
-        });
-        assert_eq!(sampled, 1);
-        assert_eq!(hb.last_round, 5);
-        assert_eq!(hb.last_messages, 100);
+        assert!(hb.due());
+        let snap = crate::live::LiveSnapshot {
+            round: 5,
+            rounds_per_sec: 12.5,
+            resident_bytes: 1 << 20,
+            ..Default::default()
+        };
+        hb.emit(&snap);
+        // Emitting resets the rate limit (ZERO interval is immediately
+        // due again, so pin with a real interval).
+        let mut hb = Heartbeat::with_interval("test", Duration::from_secs(3600));
+        hb.last_emit = Instant::now() - Duration::from_secs(7200);
+        assert!(hb.due());
+        hb.emit(&snap);
+        assert!(!hb.due(), "emit resets the interval clock");
     }
 }

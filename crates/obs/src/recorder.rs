@@ -15,6 +15,7 @@
 //! [`ObsSink`](crate::ObsSink) for export.
 
 use crate::hist::Histogram;
+use crate::monitor::Alert;
 use crate::prof::{ProfileReport, Profiler};
 use crate::registry::MetricsRegistry;
 use crate::sink::ObsSink;
@@ -111,6 +112,10 @@ pub struct ObsReport {
     /// Cost attribution, when profiling was enabled (exported as the
     /// schema-v3 archive section).
     pub profile: Option<ProfileReport>,
+    /// Alerts the online monitor fired, in firing order (exported as
+    /// schema-v4 `alert` records; empty for alert-free runs, which
+    /// keeps their archives byte-identical to earlier schemas).
+    pub alerts: Vec<Alert>,
 }
 
 /// How many hot senders/receivers the report keeps.
@@ -137,6 +142,13 @@ pub struct Recorder {
     sinks: Vec<Box<dyn ObsSink>>,
     causal: Option<CausalTrace>,
     prof: Option<Profiler>,
+    /// Per-worker parallel-phase busy time over the *current* round —
+    /// the live bus's shard-utilization tap, reset in
+    /// [`begin_round`](Self::begin_round) and accumulated as spans
+    /// arrive (O(1) per span; no end-of-round scan).
+    round_busy: Vec<u64>,
+    last_round_wall_ns: u64,
+    alerts: Vec<Alert>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -156,6 +168,7 @@ impl Recorder {
     /// there is just no file export. This is the configuration the
     /// overhead benchmarks measure.
     pub fn new(meta: RunMeta) -> Self {
+        let lanes = meta.workers.max(1);
         Recorder {
             epoch: Instant::now(),
             meta,
@@ -173,6 +186,9 @@ impl Recorder {
             sinks: Vec::new(),
             causal: None,
             prof: None,
+            round_busy: vec![0; lanes],
+            last_round_wall_ns: 0,
+            alerts: Vec::new(),
         }
     }
 
@@ -256,6 +272,7 @@ impl Recorder {
     /// Marks the wall-clock start of a round.
     pub fn begin_round(&mut self) {
         self.round_start = Some(Instant::now());
+        self.round_busy.fill(0);
     }
 
     /// Records a span that started at `start` and ends now (the serial
@@ -269,6 +286,13 @@ impl Recorder {
     /// Records a pre-built span (the sharded engine folds per-worker
     /// spans in through here after joining its scope).
     pub fn record_span(&mut self, span: SpanEvent) {
+        if matches!(span.phase, Phase::OnRound | Phase::RouteShard) {
+            let lane = span.worker as usize;
+            if lane >= self.round_busy.len() {
+                self.round_busy.resize(lane + 1, 0);
+            }
+            self.round_busy[lane] += span.dur_ns;
+        }
         for sink in &mut self.sinks {
             sink.on_span(&span);
         }
@@ -286,10 +310,28 @@ impl Recorder {
             .round_start
             .take()
             .map_or(0, |t| t.elapsed().as_nanos() as u64);
+        self.last_round_wall_ns = obs.wall_ns;
         for sink in &mut self.sinks {
             sink.on_round(&obs);
         }
         self.rounds.push(obs);
+    }
+
+    /// Per-worker parallel-phase busy time over the round now closing
+    /// (the live snapshot's shard-utilization source).
+    pub fn live_shard_busy(&self) -> &[u64] {
+        &self.round_busy
+    }
+
+    /// Wall time of the most recently closed round.
+    pub fn last_round_wall_ns(&self) -> u64 {
+        self.last_round_wall_ns
+    }
+
+    /// Stores an alert the online monitor fired, for export as a
+    /// schema-v4 `alert` archive record.
+    pub fn record_alert(&mut self, alert: Alert) {
+        self.alerts.push(alert);
     }
 
     /// Assembles the [`ObsReport`] and runs every sink's export.
@@ -335,6 +377,12 @@ impl Recorder {
         reg.add_counter("retransmissions_total", retrans);
         reg.add_counter("trace_events_total", outcome.trace_events);
         reg.add_counter("trace_overflow_total", outcome.trace_overflow);
+        // Registered only when something fired: alert-free runs keep
+        // their registry — and therefore their archive bytes —
+        // identical to builds without the monitor.
+        if !self.alerts.is_empty() {
+            reg.add_counter("alerts_total", self.alerts.len() as u64);
+        }
         if let Some(causal) = &self.causal {
             reg.add_counter("causal_edges_total", causal.len() as u64);
             reg.add_counter("causal_candidates_total", causal.candidates());
@@ -441,6 +489,7 @@ impl Recorder {
             span_overflow: self.span_overflow,
             causal: self.causal,
             profile,
+            alerts: self.alerts,
         };
         for sink in &mut self.sinks {
             sink.on_finish(&report)?;

@@ -136,7 +136,9 @@ fn push_event(out: &mut String, first: &mut bool, event: &str) {
 
 /// Writes Prometheus text exposition (format 0.0.4): every registry
 /// counter and gauge as an `rd_`-prefixed metric with run-identity
-/// labels, histograms as summaries with `quantile` labels.
+/// labels, histograms as summaries with `quantile` labels. Every family
+/// gets `# HELP`/`# TYPE` lines and label values are escaped per the
+/// spec ([`prom_check_conformance`] pins both in tests).
 pub struct PrometheusSink {
     path: PathBuf,
 }
@@ -150,33 +152,237 @@ impl PrometheusSink {
 impl ObsSink for PrometheusSink {
     fn on_finish(&mut self, report: &ObsReport) -> io::Result<()> {
         let m = &report.meta;
-        let labels = format!(
-            "algorithm=\"{}\",topology=\"{}\",engine=\"{}\",n=\"{}\",seed=\"{}\"",
-            m.algorithm, m.topology, m.engine, m.n, m.seed
-        );
+        let labels = prom_labels(&[
+            ("algorithm", &m.algorithm),
+            ("topology", &m.topology),
+            ("engine", &m.engine),
+            ("n", &m.n.to_string()),
+            ("seed", &m.seed.to_string()),
+        ]);
         let mut out = String::new();
         for (name, v) in report.registry.counters() {
-            let _ = writeln!(out, "# TYPE rd_{name} counter");
-            let _ = writeln!(out, "rd_{name}{{{labels}}} {v}");
+            let full = format!("rd_{name}");
+            prom_type(
+                &mut out,
+                &full,
+                "Run-total counter from the rd-obs registry.",
+                "counter",
+            );
+            prom_sample(&mut out, &full, &labels, v as f64);
         }
         for (name, v) in report.registry.gauges() {
-            let _ = writeln!(out, "# TYPE rd_{name} gauge");
-            let _ = writeln!(out, "rd_{name}{{{labels}}} {}", fmt_f64(v));
+            let full = format!("rd_{name}");
+            prom_type(
+                &mut out,
+                &full,
+                "End-of-run gauge from the rd-obs registry.",
+                "gauge",
+            );
+            prom_sample(&mut out, &full, &labels, v);
         }
         for (name, h) in report.registry.histograms() {
-            let _ = writeln!(out, "# TYPE rd_{name} summary");
+            let full = format!("rd_{name}");
+            prom_type(
+                &mut out,
+                &full,
+                "Per-round distribution, exported as a summary.",
+                "summary",
+            );
             for q in [0.5, 0.9, 0.99, 1.0] {
-                let _ = writeln!(
-                    out,
-                    "rd_{name}{{{labels},quantile=\"{q}\"}} {}",
-                    h.quantile(q)
-                );
+                let mut ql = labels.clone();
+                let _ = write!(ql, ",quantile=\"{q}\"");
+                prom_sample(&mut out, &full, &ql, h.quantile(q) as f64);
             }
-            let _ = writeln!(out, "rd_{name}_sum{{{labels}}} {}", fmt_f64(h.sum() as f64));
-            let _ = writeln!(out, "rd_{name}_count{{{labels}}} {}", h.count());
+            prom_sample(&mut out, &format!("{full}_sum"), &labels, h.sum() as f64);
+            prom_sample(
+                &mut out,
+                &format!("{full}_count"),
+                &labels,
+                h.count() as f64,
+            );
         }
         write_atomic(&self.path, &out)
     }
+}
+
+/// Escapes a label value for the text exposition format: backslash,
+/// double quote, and newline are the three characters the spec requires
+/// escaping inside `label="..."`.
+pub fn prom_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `pairs` as an escaped `key="value",...` label string (no
+/// surrounding braces, so callers can append extra labels).
+pub fn prom_labels(pairs: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (key, value)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{key}=\"{}\"", prom_escape_label(value));
+    }
+    out
+}
+
+/// Writes a family's `# HELP`/`# TYPE` header. Help text escapes
+/// backslash and newline (quotes are legal verbatim in HELP).
+pub fn prom_type(out: &mut String, name: &str, help: &str, mtype: &str) {
+    let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {mtype}");
+}
+
+/// Writes one sample line; `labels` comes pre-escaped from
+/// [`prom_labels`] (pass `""` for a bare metric).
+pub fn prom_sample(out: &mut String, name: &str, labels: &str, value: f64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {}", fmt_f64(value));
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {}", fmt_f64(value));
+    }
+}
+
+/// Validates text exposition: every sample's family must have `# HELP`
+/// and `# TYPE` lines before its first sample, label values must parse
+/// under the spec's escape rules, and sample values must be numbers.
+/// Used by the sink/live tests and the `/metrics` endpoint tests.
+pub fn prom_check_conformance(text: &str) -> Result<(), String> {
+    let mut helped: Vec<String> = Vec::new();
+    let mut typed: Vec<String> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest
+                .split_whitespace()
+                .next()
+                .ok_or_else(|| format!("line {lineno}: HELP without a metric name"))?;
+            helped.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: TYPE without a metric name"))?;
+            let mtype = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: TYPE without a type"))?;
+            if !["counter", "gauge", "summary", "histogram", "untyped"].contains(&mtype) {
+                return Err(format!("line {lineno}: unknown metric type {mtype:?}"));
+            }
+            typed.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let name = prom_check_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        // A summary/histogram sample may carry a `_sum`/`_count`/
+        // `_bucket` suffix; fold it back onto the base family unless
+        // the raw name is itself a declared family.
+        let family = if typed.iter().any(|t| t == &name) {
+            name
+        } else {
+            ["_sum", "_count", "_bucket"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .filter(|base| !base.is_empty() && typed.iter().any(|t| t == base))
+                .map(str::to_string)
+                .unwrap_or(name)
+        };
+        if !typed.iter().any(|t| t == &family) {
+            return Err(format!(
+                "line {lineno}: sample for {family:?} has no preceding # TYPE"
+            ));
+        }
+        if !helped.iter().any(|h| h == &family) {
+            return Err(format!(
+                "line {lineno}: sample for {family:?} has no preceding # HELP"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses one sample line, returning the raw metric name.
+fn prom_check_sample(line: &str) -> Result<String, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':')
+    {
+        i += 1;
+    }
+    if i == 0 || bytes[0].is_ascii_digit() {
+        return Err("malformed metric name".into());
+    }
+    let name = &line[..i];
+    if i < bytes.len() && bytes[i] == b'{' {
+        i += 1;
+        loop {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            if i == start {
+                return Err(format!("empty label name in {name}"));
+            }
+            if i >= bytes.len() || bytes[i] != b'=' {
+                return Err(format!("label without '=' in {name}"));
+            }
+            i += 1;
+            if i >= bytes.len() || bytes[i] != b'"' {
+                return Err(format!("unquoted label value in {name}"));
+            }
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(format!("unterminated label value in {name}"));
+                }
+                match bytes[i] {
+                    b'"' => break,
+                    b'\\' => {
+                        i += 1;
+                        if i >= bytes.len() || !matches!(bytes[i], b'\\' | b'"' | b'n') {
+                            return Err(format!("bad escape in label value in {name}"));
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            i += 1;
+            match bytes.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err(format!("label list not closed in {name}")),
+            }
+        }
+    }
+    let value = line[i..].trim();
+    if value.is_empty() {
+        return Err(format!("sample {name} has no value"));
+    }
+    if !matches!(value, "+Inf" | "-Inf" | "NaN") && value.parse::<f64>().is_err() {
+        return Err(format!("sample {name} has non-numeric value {value:?}"));
+    }
+    Ok(name.to_string())
 }
 
 /// Writes via a temp file + rename so a crashing run never leaves a
@@ -285,10 +491,67 @@ mod tests {
         let path = dir.join("run.prom");
         PrometheusSink::new(&path).on_finish(&report).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# HELP rd_messages_total "));
         assert!(text.contains("# TYPE rd_messages_total counter"));
         assert!(text.contains("rd_messages_total{algorithm=\"hm\""));
         assert!(text.contains("quantile=\"0.99\""));
         assert!(text.contains("rd_pool_delay_hit_rate"));
+        prom_check_conformance(&text).expect("end-of-run exposition is conformant");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let mut report = sample_report();
+        // Hostile run identity: every character class the text format
+        // requires escaping inside a label value.
+        report.meta.algorithm = "evil\"quote".into();
+        report.meta.topology = "back\\slash".into();
+        report.meta.engine = "new\nline".into();
+        let dir = std::env::temp_dir().join("rd_obs_sink_test_prom_hostile");
+        let path = dir.join("run.prom");
+        PrometheusSink::new(&path).on_finish(&report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("algorithm=\"evil\\\"quote\""));
+        assert!(text.contains("topology=\"back\\\\slash\""));
+        assert!(text.contains("engine=\"new\\nline\""));
+        assert!(
+            !text.contains("new\nline"),
+            "raw newline must never reach a label value"
+        );
+        prom_check_conformance(&text).expect("hostile labels still conformant");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conformance_checker_rejects_bad_expositions() {
+        // Sample without HELP/TYPE.
+        assert!(prom_check_conformance("rd_x{a=\"b\"} 1\n").is_err());
+        // TYPE present but HELP missing.
+        assert!(prom_check_conformance("# TYPE rd_x gauge\nrd_x 1\n").is_err());
+        // Unescaped backslash (bad escape sequence).
+        let bad = "# HELP rd_x h\n# TYPE rd_x gauge\nrd_x{a=\"b\\q\"} 1\n";
+        assert!(prom_check_conformance(bad).is_err());
+        // Non-numeric value.
+        let bad = "# HELP rd_x h\n# TYPE rd_x gauge\nrd_x{a=\"b\"} zebra\n";
+        assert!(prom_check_conformance(bad).is_err());
+        // Unknown metric type.
+        assert!(prom_check_conformance("# TYPE rd_x flimsy\n").is_err());
+        // A healthy document, with summary suffixes folding onto the
+        // declared family.
+        let good = "# HELP rd_s h\n# TYPE rd_s summary\nrd_s{quantile=\"0.5\"} 1\nrd_s_sum 2\nrd_s_count 1\n";
+        prom_check_conformance(good).expect("summary suffixes fold onto family");
+    }
+
+    #[test]
+    fn prom_label_helpers_escape_and_join() {
+        assert_eq!(prom_escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(
+            prom_labels(&[("alg", "h\"m"), ("n", "64")]),
+            "alg=\"h\\\"m\",n=\"64\""
+        );
+        let mut out = String::new();
+        prom_sample(&mut out, "rd_bare", "", 1.5);
+        assert_eq!(out, "rd_bare 1.5\n");
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! scenario_runner --all [--log2-n K] [--seed S] [--obs DIR]
 //!                 [--bench PATH] [--tighten F]
+//!                 [--live[=ADDR]] [--alerts-fatal] [--alert-stall-window R]
 //! scenario_runner <name>... [same flags]
 //! scenario_runner --list
 //! ```
@@ -11,7 +12,15 @@
 //! `(scenarios, n, seed)` — wall-clock timing goes only to the
 //! `--bench` summary (the `BENCH_faults.json` side of the `rd-inspect
 //! bench-diff` gate) and to stderr. Exits nonzero when any gate fails.
+//!
+//! `--live` serves each run's `/metrics`, `/status`, and `/healthz` on
+//! a loopback listener and arms the default online monitors;
+//! `--alert-stall-window R` tightens the stall monitor to `R` rounds,
+//! and `--alerts-fatal` turns any fired alert into a nonzero exit
+//! (the alerts also land as schema-v4 `alert` records in the `--obs`
+//! archive either way).
 
+use rd_core::runner::{AlertLog, AlertRule, LiveSpec};
 use rd_scenarios::{library, render_bench, render_report, select, Scenario, ScenarioOutcome};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -25,6 +34,11 @@ struct Options {
     obs: Option<PathBuf>,
     bench: Option<PathBuf>,
     tighten: Option<f64>,
+    /// `Some(None)` = `--live` on an ephemeral port, `Some(Some(a))` =
+    /// `--live=a`.
+    live: Option<Option<String>>,
+    alerts_fatal: bool,
+    alert_stall_window: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -37,6 +51,9 @@ fn parse_args() -> Result<Options, String> {
         obs: None,
         bench: None,
         tighten: None,
+        live: None,
+        alerts_fatal: false,
+        alert_stall_window: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +73,17 @@ fn parse_args() -> Result<Options, String> {
             }
             "--obs" => opts.obs = Some(PathBuf::from(value("--obs")?)),
             "--bench" => opts.bench = Some(PathBuf::from(value("--bench")?)),
+            "--live" => opts.live = Some(None),
+            "--alerts-fatal" => opts.alerts_fatal = true,
+            "--alert-stall-window" => {
+                let window: u64 = value("--alert-stall-window")?
+                    .parse()
+                    .map_err(|e| format!("--alert-stall-window: {e}"))?;
+                if window == 0 {
+                    return Err("--alert-stall-window needs a positive round count".into());
+                }
+                opts.alert_stall_window = Some(window);
+            }
             "--tighten" => {
                 let f: f64 = value("--tighten")?
                     .parse()
@@ -68,11 +96,15 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: scenario_runner (--all | --list | <name>...) \
-                     [--log2-n K] [--seed S] [--obs DIR] [--bench PATH] [--tighten F]"
+                     [--log2-n K] [--seed S] [--obs DIR] [--bench PATH] [--tighten F] \
+                     [--live[=ADDR]] [--alerts-fatal] [--alert-stall-window R]"
                 );
                 std::process::exit(0);
             }
             name if !name.starts_with('-') => opts.names.push(name.to_string()),
+            other if other.starts_with("--live=") => {
+                opts.live = Some(Some(other["--live=".len()..].to_string()));
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -124,10 +156,31 @@ fn main() {
 
     let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
     let mut walls: Vec<f64> = Vec::new();
+    let mut alerts_fired: usize = 0;
     for scenario in &scenarios {
         for kind in &scenario.algorithms {
             let started = Instant::now();
-            let config = scenario.run_config(opts.obs.as_deref(), kind);
+            let mut config = scenario.run_config(opts.obs.as_deref(), kind);
+            // `--live` gets a fresh alert log per run so the fatal gate
+            // and the stderr drain below attribute alerts to the run
+            // that fired them.
+            let alert_log = opts.live.as_ref().map(|addr| {
+                let log = AlertLog::new();
+                let mut rules = AlertRule::defaults();
+                if let Some(window) = opts.alert_stall_window {
+                    for rule in &mut rules {
+                        if let AlertRule::Stall { window: w } = rule {
+                            *w = window;
+                        }
+                    }
+                }
+                let mut live = LiveSpec::new().with_rules(rules).with_log(log.clone());
+                if let Some(addr) = addr {
+                    live = live.with_addr(addr);
+                }
+                config.obs = Some(config.obs.take().unwrap_or_default().with_live(live));
+                log
+            });
             let report = rd_scenarios::gate(
                 scenario,
                 resource_run(*kind, &config),
@@ -140,6 +193,15 @@ fn main() {
                 "timing: {}/{} {:.3}s",
                 scenario.name, report.algorithm, wall
             );
+            if let Some(log) = alert_log {
+                for alert in log.snapshot() {
+                    alerts_fired += 1;
+                    eprintln!(
+                        "alert: {}/{} {} at round {}: {}",
+                        scenario.name, report.algorithm, alert.rule, alert.round, alert.message
+                    );
+                }
+            }
             outcomes.push(report);
             walls.push(wall);
         }
@@ -156,6 +218,10 @@ fn main() {
         eprintln!("wrote {}", path.display());
     }
 
+    if opts.alerts_fatal && alerts_fired > 0 {
+        eprintln!("scenario_runner: --alerts-fatal: {alerts_fired} alert(s) fired");
+        std::process::exit(1);
+    }
     if outcomes.iter().any(|o| !o.passed()) {
         std::process::exit(1);
     }

@@ -46,9 +46,13 @@
 use resource_discovery::analysis::experiment::{sweep, SweepSpec};
 use resource_discovery::analysis::{best_fit, Plot};
 use resource_discovery::core::algorithms::hm::{cluster_count, HmDiscovery, PHASES};
-use resource_discovery::obs::{Heartbeat, JsonlArchiveSink, Recorder, RunMeta, RunOutcomeObs};
+use resource_discovery::obs::{
+    Heartbeat, JsonlArchiveSink, LiveBus, LivePublisher, LiveServer, LiveSnapshot, LiveSpec,
+    Recorder, RunMeta, RunOutcomeObs,
+};
 use resource_discovery::prelude::*;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Resolves the unified `--obs=<dir>` value to this mode's archive
@@ -69,7 +73,7 @@ fn resolve_obs(obs: Option<&str>, auto_name: &str) -> Option<PathBuf> {
     Some(dir.join(auto_name))
 }
 
-fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
+fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>, live: Option<Option<&str>>) {
     let n = 1usize << log2_n;
     println!(
         "big run: HM on a 3-out random overlay, n = 2^{log2_n} = {n}, \
@@ -102,7 +106,38 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
     // The loop is inlined (instead of `run_observed`) so the heartbeat
     // can read `engine.metrics()` between rounds; a profiled archive
     // additionally gets its per-round memory timeline sampled here.
+    // With `--live` the same snapshots also feed a scrape endpoint.
     let mut heartbeat = Heartbeat::new("scaling-big");
+    let mut live_server = None;
+    let mut publisher = match live {
+        Some(addr) => {
+            let bus = Arc::new(LiveBus::new());
+            match LiveServer::start(addr.unwrap_or("127.0.0.1:0"), bus.clone()) {
+                Ok(server) => {
+                    eprintln!("[rd-live] serving http://{}", server.addr());
+                    live_server = Some(server);
+                    LivePublisher::with_bus(bus)
+                }
+                Err(err) => {
+                    eprintln!("warning: rd-live failed to bind: {err}");
+                    LivePublisher::new()
+                }
+            }
+        }
+        None => LivePublisher::new(),
+    };
+    let live_on = live_server.is_some();
+    let mut snap_base = LiveSnapshot {
+        algorithm: "hm".into(),
+        topology: "3-out".into(),
+        engine: format!("sharded:{workers}"),
+        n: n as u64,
+        seed,
+        workers: workers as u64,
+        max_rounds: 1_000_000,
+        knowledge_target: (n as u64) * (n as u64),
+        ..Default::default()
+    };
     let mut mem_samples: Vec<(u64, u64)> = Vec::new();
     let outcome = {
         let mut finished = problem::leader_knows_all(engine.nodes());
@@ -116,17 +151,34 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
                     start.elapsed()
                 );
             }
-            let resident = || {
-                engine
+            let hb_due = heartbeat.due();
+            if profiling || live_on || hb_due {
+                let resident: u64 = engine
                     .nodes()
                     .iter()
                     .map(KnowledgeView::resident_bytes)
-                    .sum()
-            };
-            if profiling {
-                mem_samples.push((round, resident()));
+                    .sum();
+                if profiling {
+                    mem_samples.push((round, resident));
+                }
+                if live_on || hb_due {
+                    snap_base.round = round;
+                    snap_base.messages = engine.metrics().total_messages();
+                    snap_base.knowledge_total = engine
+                        .nodes()
+                        .iter()
+                        .map(|node| node.knows_count() as u64)
+                        .sum();
+                    snap_base.resident_bytes = resident;
+                    let mut snap = snap_base.clone();
+                    publisher.publish(&mut snap);
+                    snap_base.rounds_per_sec = snap.rounds_per_sec;
+                    snap_base.msgs_per_sec = snap.msgs_per_sec;
+                    if hb_due {
+                        heartbeat.emit(&snap);
+                    }
+                }
             }
-            heartbeat.tick(round, engine.metrics().total_messages(), resident);
             finished = problem::leader_knows_all(engine.nodes());
         }
         resource_discovery::sim::RunOutcome {
@@ -134,6 +186,21 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
             rounds: engine.round(),
         }
     };
+    if live_on {
+        snap_base.round = engine.round();
+        snap_base.messages = engine.metrics().total_messages();
+        snap_base.finished = true;
+        snap_base.verdict = if outcome.completed {
+            "complete".into()
+        } else {
+            "budget-exhausted".into()
+        };
+        let mut snap = snap_base.clone();
+        publisher.publish_final(&mut snap);
+    }
+    if let Some(server) = live_server.take() {
+        server.shutdown();
+    }
     let elapsed = start.elapsed();
 
     assert!(outcome.completed, "HM failed to complete within the budget");
@@ -191,7 +258,7 @@ fn big_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
 
 /// The churn demo: HM through drops, a crash/recovery wave, and a
 /// mid-run partition, with reliable delivery and the watchdog armed.
-fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
+fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&Path>, live: Option<Option<&str>>) {
     let n = 1usize << log2_n;
     let seed = 42;
     // 5% of the machines crash in a wave over rounds 5..13; the even
@@ -234,14 +301,22 @@ fn churn_run(log2_n: u32, workers: usize, obs_path: Option<&Path>) {
         .with_reliable_delivery(RetryPolicy::default())
         .with_stall_window(200)
         .with_max_rounds(100_000);
-    if let Some(path) = obs_path {
+    let mut spec = obs_path.map(|path| {
         // Full-sampling causal trace: the degraded run's archive is the
         // `rd-inspect why` walkthrough input, so keep every edge.
-        config = config.with_obs(
-            ObsSpec::new()
-                .with_archive(path)
-                .with_causal_trace(1 << 20, 1_000_000),
-        );
+        ObsSpec::new()
+            .with_archive(path)
+            .with_causal_trace(1 << 20, 1_000_000)
+    });
+    if let Some(addr) = live {
+        let mut live_spec = LiveSpec::new();
+        if let Some(addr) = addr {
+            live_spec = live_spec.with_addr(addr);
+        }
+        spec = Some(spec.unwrap_or_default().with_live(live_spec));
+    }
+    if let Some(spec) = spec {
+        config = config.with_obs(spec);
     }
     let start = Instant::now();
     let report = run(AlgorithmKind::Hm(HmConfig::default()), &config);
@@ -302,6 +377,15 @@ fn main() {
         .iter()
         .position(|a| a.starts_with("--obs="))
         .map(|i| args.remove(i)["--obs=".len()..].to_string());
+    // `--live` / `--live=ADDR` may also appear anywhere; the outer
+    // Option is "flag present", the inner one a custom bind address.
+    let live = args
+        .iter()
+        .position(|a| a == "--live" || a.starts_with("--live="))
+        .map(|i| {
+            let flag = args.remove(i);
+            flag.strip_prefix("--live=").map(str::to_string)
+        });
     if args.first().map(String::as_str) == Some("--churn") {
         let log2_n: u32 = args.get(1).map_or(14, |a| a.parse().expect("log2 n"));
         let workers: usize = args.get(2).map_or_else(
@@ -313,7 +397,12 @@ fn main() {
             |a| a.parse().expect("worker count"),
         );
         let archive = resolve_obs(obs_path.as_deref(), "scaling-churn.jsonl");
-        churn_run(log2_n, workers, archive.as_deref());
+        churn_run(
+            log2_n,
+            workers,
+            archive.as_deref(),
+            live.as_ref().map(|a| a.as_deref()),
+        );
         if let Some(path) = archive {
             println!(
                 "wrote run archive (with causal trace) to {}",
@@ -333,7 +422,12 @@ fn main() {
             |a| a.parse().expect("worker count"),
         );
         let archive = resolve_obs(obs_path.as_deref(), "scaling-big.jsonl");
-        big_run(log2_n, workers, archive.as_deref());
+        big_run(
+            log2_n,
+            workers,
+            archive.as_deref(),
+            live.as_ref().map(|a| a.as_deref()),
+        );
         return;
     }
 
@@ -342,6 +436,12 @@ fn main() {
             "note: --obs={path} only applies to the single-run modes \
              (--big / --churn); the sweep runs many instances and \
              writes no archive"
+        );
+    }
+    if live.is_some() {
+        eprintln!(
+            "note: --live only applies to the single-run modes \
+             (--big / --churn); the sweep serves no live endpoint"
         );
     }
 

@@ -427,6 +427,7 @@ proptest! {
         seed in any::<u64>(),
         workers in 2usize..7,
     ) {
+        use resource_discovery::core::runner::LiveSpec;
         use resource_discovery::obs::archive;
         use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -588,6 +589,49 @@ proptest! {
                 "{}: malformed folded stacks",
                 tag
             );
+        }
+
+        // The live scrape server is also outside the boundary: with a
+        // loopback listener bound, the publisher streaming a snapshot
+        // every round, and the default online monitors armed, the
+        // RunReport stays byte-for-byte the blind run's at every worker
+        // count. And since the deliberately generous default rules
+        // cannot fire on a healthy fault-free run, the archive keeps
+        // its pre-alert schema — `alert` records are the only thing
+        // that bumps an archive to v4.
+        for (tag, engine) in [
+            ("lw1", EngineKind::Sharded { workers: 1 }),
+            ("lw2", EngineKind::Sharded { workers: 2 }),
+            ("lw4", EngineKind::Sharded { workers: 4 }),
+        ] {
+            let path = dir.join(format!("{tag}.jsonl"));
+            let spec = ObsSpec::new()
+                .with_archive(&path)
+                .with_live(LiveSpec::new());
+            let observed = run(kind, &base.clone().with_engine(engine).with_obs(spec));
+            prop_assert_eq!(
+                &observed,
+                &blind[0],
+                "{}: live telemetry perturbed the run",
+                tag
+            );
+            let text = std::fs::read_to_string(&path).unwrap();
+            let problems = archive::validate(&text);
+            prop_assert!(problems.is_empty(), "{}: invalid archive: {:?}", tag, problems);
+            let parsed = archive::parse(&text).unwrap();
+            prop_assert!(
+                parsed.header.schema < 4,
+                "{}: alert-free archive must keep its pre-v4 schema (got v{})",
+                tag,
+                parsed.header.schema
+            );
+            prop_assert!(
+                !text.contains("\"type\":\"alert\""),
+                "{}: default monitors fired on a healthy run",
+                tag
+            );
+            prop_assert_eq!(parsed.summary.rounds, observed.rounds);
+            prop_assert_eq!(parsed.summary.messages, observed.messages);
         }
 
         std::fs::remove_dir_all(&dir).ok();
